@@ -1,0 +1,32 @@
+//! §4.1 autocorrelation study benchmark: simulate the abstracted M/M/16
+//! system and estimate the lag-1 autocorrelation of its response times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rejuv_ecommerce::mmc_mode::autocorrelation_study;
+use rejuv_ecommerce::Runner;
+use rejuv_stats::AutocorrStudy;
+use std::hint::black_box;
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autocorr_study");
+    group.sample_size(10);
+
+    // Scaled-down protocol per iteration; the figures binary runs the
+    // paper's full 5 x 100 000.
+    group.bench_function("mm16_2x20000", |b| {
+        b.iter(|| {
+            let outcome = autocorrelation_study(
+                1.6,
+                Runner::new(2, 20_000, 11),
+                AutocorrStudy::new(2_000, 0.95).unwrap(),
+            )
+            .unwrap();
+            black_box(outcome.significant)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

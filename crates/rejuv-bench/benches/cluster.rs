@@ -1,0 +1,88 @@
+//! Cluster-simulation benchmarks: cost per transaction by routing policy
+//! and by host count, plus the exact ARL computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rejuv_core::analysis::expected_windows_to_trigger;
+use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
+use rejuv_ecommerce::SystemConfig;
+use std::hint::black_box;
+
+fn sraa_253() -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+fn bench_routing_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_routing");
+    group.sample_size(10);
+    let transactions = 20_000u64;
+    group.throughput(Throughput::Elements(transactions));
+    let cfg = SystemConfig::paper(1.0).unwrap();
+
+    for policy in [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::Random,
+        RoutingPolicy::LeastActive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cluster = ClusterSystem::new(cfg, 4, 7.2, policy, 60.0, 7);
+                    cluster.attach_detectors(|_| sraa_253());
+                    black_box(cluster.run(transactions))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_host_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_host_scaling");
+    group.sample_size(10);
+    let transactions = 20_000u64;
+    group.throughput(Throughput::Elements(transactions));
+    let cfg = SystemConfig::paper(1.0).unwrap();
+
+    for hosts in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let mut cluster = ClusterSystem::new(
+                    cfg,
+                    hosts,
+                    hosts as f64 * 1.8,
+                    RoutingPolicy::RoundRobin,
+                    60.0,
+                    7,
+                );
+                cluster.attach_detectors(|_| sraa_253());
+                black_box(cluster.run(transactions))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_arl_analysis(c: &mut Criterion) {
+    c.bench_function("exact_arl_recursion_k5_d3", |b| {
+        let probs = [0.45, 0.09, 0.01, 0.001, 0.0001];
+        b.iter(|| black_box(expected_windows_to_trigger(&probs, 5, 3).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_routing_policies,
+    bench_host_scaling,
+    bench_arl_analysis
+);
+criterion_main!(benches);

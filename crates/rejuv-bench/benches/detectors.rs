@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the detector hot path: cost per observation for
+//! each algorithm, plus the ablation between acceleration schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rejuv_core::{
+    AccelerationSchedule, Clta, CltaConfig, RejuvenationDetector, Saraa, SaraaConfig, Sraa,
+    SraaConfig, StaticRejuvenation,
+};
+use std::hint::black_box;
+
+/// A deterministic response-time stream mixing healthy values with
+/// occasional spikes, so detectors exercise both branch directions.
+fn stream(len: usize) -> Vec<f64> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            // Exponential-ish around mean 5 with a heavy shoulder.
+            -5.0 * (1.0 - u).ln()
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let data = stream(100_000);
+    let mut group = c.benchmark_group("detector_observe");
+    group.throughput(Throughput::Elements(data.len() as u64));
+
+    group.bench_function("sraa_2_5_3", |b| {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut d = Sraa::new(cfg);
+            for &x in &data {
+                black_box(d.observe(x));
+            }
+            d.rejuvenation_count()
+        });
+    });
+
+    group.bench_function("saraa_2_5_3", |b| {
+        let cfg = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut d = Saraa::new(cfg);
+            for &x in &data {
+                black_box(d.observe(x));
+            }
+            d.rejuvenation_count()
+        });
+    });
+
+    group.bench_function("clta_30", |b| {
+        let cfg = CltaConfig::builder(5.0, 5.0)
+            .sample_size(30)
+            .quantile_factor(1.96)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut d = Clta::new(cfg);
+            for &x in &data {
+                black_box(d.observe(x));
+            }
+            d.rejuvenation_count()
+        });
+    });
+
+    group.bench_function("static_5_3", |b| {
+        b.iter(|| {
+            let mut d = StaticRejuvenation::new(5.0, 5.0, 5, 3).unwrap();
+            for &x in &data {
+                black_box(d.observe(x));
+            }
+            d.rejuvenation_count()
+        });
+    });
+
+    group.finish();
+}
+
+/// Ablation: SARAA acceleration schedules (the design choice called out
+/// in DESIGN.md) under a degraded stream, measuring full-detection cost.
+fn bench_acceleration_ablation(c: &mut Criterion) {
+    let degraded: Vec<f64> = stream(50_000).iter().map(|x| x + 20.0).collect();
+    let mut group = c.benchmark_group("saraa_acceleration_ablation");
+    for schedule in [
+        AccelerationSchedule::None,
+        AccelerationSchedule::Linear,
+        AccelerationSchedule::Quadratic,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{schedule:?}")),
+            &schedule,
+            |b, &schedule| {
+                let cfg = SaraaConfig::builder(5.0, 5.0)
+                    .initial_sample_size(10)
+                    .buckets(3)
+                    .depth(1)
+                    .schedule(schedule)
+                    .build()
+                    .unwrap();
+                b.iter(|| {
+                    let mut d = Saraa::new(cfg);
+                    let mut triggers = 0u64;
+                    for &x in &degraded {
+                        if d.observe(x).is_rejuvenate() {
+                            triggers += 1;
+                        }
+                    }
+                    black_box(triggers)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_acceleration_ablation);
+criterion_main!(benches);

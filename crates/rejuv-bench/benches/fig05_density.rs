@@ -1,0 +1,47 @@
+//! Fig. 5 computation benchmark: the exact density of the sample-mean
+//! response time from the 2n+1-state CTMC, per sample size, plus the
+//! §4.1 tail-mass evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rejuv_queueing::{MmcQueue, SampleMean};
+use std::hint::black_box;
+
+fn bench_density(c: &mut Criterion) {
+    let rt = MmcQueue::paper_system(1.6)
+        .unwrap()
+        .response_time()
+        .unwrap();
+    let mut group = c.benchmark_group("fig05_exact_density");
+    group.sample_size(20);
+    for n in [1usize, 5, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let sm = SampleMean::new(&rt, n).unwrap();
+                // The 41-point panel slice; the figures binary uses 201.
+                black_box(sm.density_comparison(2.0, 12.0, 41).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tail_mass(c: &mut Criterion) {
+    let rt = MmcQueue::paper_system(1.6)
+        .unwrap()
+        .response_time()
+        .unwrap();
+    let mut group = c.benchmark_group("fig05_tail_mass");
+    group.sample_size(20);
+    for n in [15usize, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let sm = SampleMean::new(&rt, n).unwrap();
+                black_box(sm.tail_mass_beyond_normal_quantile(0.975).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density, bench_tail_mass);
+criterion_main!(benches);

@@ -1,0 +1,487 @@
+//! Regenerates every figure of the paper's evaluation as CSV series plus
+//! a markdown report.
+//!
+//! ```text
+//! cargo run --release -p rejuv-bench --bin figures -- [options]
+//!
+//! options:
+//!   --out DIR            output directory (default target/figures)
+//!   --replications R     replications per point (default 5, as in §5)
+//!   --transactions T     transactions per replication (default 100000)
+//!   --seed S             master seed (default 2006)
+//!   --fig N              only regenerate figure N (5, 9, 10, 11, 12,
+//!                        13, 14, 15, 16); repeatable
+//!   --autocorr           only run the §4.1 autocorrelation study
+//!   --ablation           also run the degradation-mechanism ablation
+//!   --baselines          also compare against EWMA / CUSUM charts
+//!   --quick              shorthand for --replications 2 --transactions 20000
+//! ```
+
+use rejuv_bench::*;
+use rejuv_ecommerce::Runner;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+struct Options {
+    out: PathBuf,
+    replications: usize,
+    transactions: u64,
+    seed: u64,
+    figs: BTreeSet<u32>,
+    autocorr_only: bool,
+    ablation: bool,
+    baselines: bool,
+}
+
+fn parse_args() -> Options {
+    let mut out = PathBuf::from("target/figures");
+    let mut replications = 5usize;
+    let mut transactions = 100_000u64;
+    let mut seed = 2006u64;
+    let mut figs = BTreeSet::new();
+    let mut autocorr_only = false;
+    let mut ablation = false;
+    let mut baselines = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value("--out")),
+            "--replications" => replications = value("--replications").parse().expect("usize"),
+            "--transactions" => transactions = value("--transactions").parse().expect("u64"),
+            "--seed" => seed = value("--seed").parse().expect("u64"),
+            "--fig" => {
+                figs.insert(value("--fig").parse().expect("figure number"));
+            }
+            "--autocorr" => autocorr_only = true,
+            "--ablation" => ablation = true,
+            "--baselines" => baselines = true,
+            "--quick" => {
+                replications = 2;
+                transactions = 20_000;
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    Options {
+        out,
+        replications,
+        transactions,
+        seed,
+        figs,
+        autocorr_only,
+        ablation,
+        baselines,
+    }
+}
+
+fn want(opts: &Options, fig: u32) -> bool {
+    !opts.autocorr_only && (opts.figs.is_empty() || opts.figs.contains(&fig))
+}
+
+fn write_sweep_csv(
+    json_summary: &mut std::collections::BTreeMap<String, serde_json::Value>,
+    path: &Path,
+    series: &[SweepSeries],
+    metric: &str,
+) {
+    let key = path
+        .file_stem()
+        .expect("csv path has a stem")
+        .to_string_lossy()
+        .into_owned();
+    json_summary.insert(key, serde_json::to_value(series).expect("series serialize"));
+    let metric = match metric {
+        "rt" => rejuv_bench::emit::SweepMetric::ResponseTime,
+        "loss" => rejuv_bench::emit::SweepMetric::LossFraction,
+        _ => unreachable!("metric is rt or loss"),
+    };
+    fs::write(path, rejuv_bench::emit::sweep_to_csv(series, metric)).expect("write csv");
+    println!("  wrote {}", path.display());
+
+    // Companion gnuplot script next to the CSV.
+    let csv_name = path
+        .file_name()
+        .expect("csv path has a file name")
+        .to_string_lossy()
+        .into_owned();
+    let title = csv_name.trim_end_matches(".csv").replace('_', " ");
+    let plt = rejuv_bench::emit::sweep_to_gnuplot(series, metric, &csv_name, &title);
+    let plt_path = path.with_extension("plt");
+    fs::write(&plt_path, plt).expect("write gnuplot script");
+    println!("  wrote {}", plt_path.display());
+}
+
+fn summarize(report: &mut String, title: &str, series: &[SweepSeries], metric: &str) {
+    writeln!(report, "\n### {title}\n").unwrap();
+    writeln!(report, "| configuration | @0.5 | @5.0 | @9.0 | @10.0 |").unwrap();
+    writeln!(report, "|---|---|---|---|---|").unwrap();
+    for s in series {
+        let at = |load: f64| -> String {
+            s.points
+                .iter()
+                .find(|p| (p.load_cpus - load).abs() < 1e-9)
+                .map(|p| {
+                    let v = match metric {
+                        "rt" => p.result.mean_response_time(),
+                        _ => p.result.mean_loss_fraction(),
+                    };
+                    format!("{v:.4}")
+                })
+                .unwrap_or_else(|| "-".into())
+        };
+        writeln!(
+            report,
+            "| {} | {} | {} | {} | {} |",
+            s.label,
+            at(0.5),
+            at(5.0),
+            at(9.0),
+            at(10.0)
+        )
+        .unwrap();
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    fs::create_dir_all(&opts.out).expect("create output directory");
+    let runner = Runner::new(opts.replications, opts.transactions, opts.seed);
+    let loads = LOAD_GRID;
+    let mut report = String::new();
+    let mut json_summary: std::collections::BTreeMap<String, serde_json::Value> =
+        std::collections::BTreeMap::new();
+    writeln!(
+        report,
+        "# Figure regeneration report\n\nProtocol: {} replications x {} transactions, master seed {}.\n",
+        opts.replications, opts.transactions, opts.seed
+    )
+    .unwrap();
+
+    // ---- Fig. 5 + tail masses (analytic, fast). ----------------------
+    if want(&opts, 5) {
+        println!("fig 5: exact density of the sample mean vs normal approximation");
+        let mut csv = String::from("n,x,exact_pdf,normal_pdf\n");
+        for n in [1usize, 5, 15, 30] {
+            for p in fig05_density(n, 201).expect("fig 5 densities") {
+                writeln!(csv, "{n},{:.6},{:.8},{:.8}", p.x, p.exact, p.normal).unwrap();
+            }
+        }
+        fs::write(opts.out.join("fig05_density.csv"), csv).expect("write fig05");
+        println!("  wrote {}", opts.out.join("fig05_density.csv").display());
+
+        let tails = fig05_tail_masses(&[1, 5, 15, 30]).expect("tail masses");
+        writeln!(report, "\n### Fig. 5 / §4.1 tail masses\n").unwrap();
+        writeln!(
+            report,
+            "| n | exact mass beyond normal 97.5% quantile | paper |"
+        )
+        .unwrap();
+        writeln!(report, "|---|---|---|").unwrap();
+        for (n, mass) in &tails {
+            let paper = match n {
+                15 => "3.69%",
+                30 => "3.37%",
+                _ => "-",
+            };
+            writeln!(report, "| {n} | {:.2}% | {paper} |", mass * 100.0).unwrap();
+        }
+    }
+
+    // ---- §4.1 autocorrelation study. ---------------------------------
+    if opts.autocorr_only || opts.figs.is_empty() {
+        println!("§4.1: autocorrelation study (M/M/16, λ = 1.6)");
+        let warmup = (opts.transactions / 10) as usize;
+        let outcome = autocorr_study(runner, warmup).expect("autocorrelation study");
+        writeln!(report, "\n### §4.1 autocorrelation study\n").unwrap();
+        writeln!(
+            report,
+            "Warm-up {} observations per replication; 95% band ±{:.5}.\n",
+            warmup,
+            outcome
+                .replications
+                .first()
+                .map(|r| r.threshold)
+                .unwrap_or(0.0)
+        )
+        .unwrap();
+        writeln!(report, "| replication | γ̂ (lag 1) | significant |").unwrap();
+        writeln!(report, "|---|---|---|").unwrap();
+        for (i, r) in outcome.replications.iter().enumerate() {
+            writeln!(report, "| {i} | {:.5} | {} |", r.gamma_hat, r.significant).unwrap();
+        }
+        writeln!(
+            report,
+            "\n{} of {} replications significant (paper: 1 of 5).",
+            outcome.significant,
+            outcome.replications.len()
+        )
+        .unwrap();
+        if opts.autocorr_only {
+            fs::write(opts.out.join("report.md"), &report).expect("write report");
+            println!("wrote {}", opts.out.join("report.md").display());
+            return;
+        }
+    }
+
+    // ---- Figs. 9/10: SRAA, n·K·D = 15. --------------------------------
+    if want(&opts, 9) || want(&opts, 10) {
+        println!("figs 9/10: SRAA sweep, n·K·D = 15");
+        let series = sraa_response_time(&runner, &FIG9_CONFIGS, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig09_response_time.csv"),
+            &series,
+            "rt",
+        );
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig10_loss.csv"),
+            &series,
+            "loss",
+        );
+        summarize(
+            &mut report,
+            "Fig. 9 — SRAA avg RT (s), n·K·D = 15",
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Fig. 10 — SRAA loss fraction, n·K·D = 15",
+            &series,
+            "loss",
+        );
+    }
+
+    // ---- Fig. 11: sample size doubled. --------------------------------
+    if want(&opts, 11) {
+        println!("fig 11: SRAA sweep, sample size doubled");
+        let series = sraa_response_time(&runner, &FIG11_CONFIGS, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig11_response_time.csv"),
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Fig. 11 — SRAA avg RT (s), n doubled",
+            &series,
+            "rt",
+        );
+    }
+
+    // ---- Figs. 12/13: depth doubled. -----------------------------------
+    if want(&opts, 12) || want(&opts, 13) {
+        println!("figs 12/13: SRAA sweep, bucket depth doubled");
+        let series = sraa_response_time(&runner, &FIG12_CONFIGS, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig12_response_time.csv"),
+            &series,
+            "rt",
+        );
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig13_loss.csv"),
+            &series,
+            "loss",
+        );
+        summarize(
+            &mut report,
+            "Fig. 12 — SRAA avg RT (s), D doubled",
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Fig. 13 — SRAA loss fraction, D doubled",
+            &series,
+            "loss",
+        );
+    }
+
+    // ---- Fig. 14: buckets doubled. -------------------------------------
+    if want(&opts, 14) {
+        println!("fig 14: SRAA sweep, number of buckets doubled");
+        let series = sraa_response_time(&runner, &FIG14_CONFIGS, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig14_response_time.csv"),
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Fig. 14 — SRAA avg RT (s), K doubled",
+            &series,
+            "rt",
+        );
+    }
+
+    // ---- Fig. 15: SARAA. ------------------------------------------------
+    if want(&opts, 15) {
+        println!("fig 15: SARAA sweep");
+        let series = saraa_response_time(&runner, &FIG15_CONFIGS, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig15_response_time.csv"),
+            &series,
+            "rt",
+        );
+        summarize(&mut report, "Fig. 15 — SARAA avg RT (s)", &series, "rt");
+        // SRAA-vs-SARAA deltas at 9.0 CPUs (the §5.5 comparison).
+        let sraa_series = sraa_response_time(&runner, &FIG15_CONFIGS, &[9.0]);
+        writeln!(report, "\n§5.5 SRAA vs SARAA at 9.0 CPUs:\n").unwrap();
+        writeln!(report, "| (n,K,D) | SRAA RT | SARAA RT |").unwrap();
+        writeln!(report, "|---|---|---|").unwrap();
+        for (sr, sa) in sraa_series.iter().zip(&series) {
+            writeln!(
+                report,
+                "| {} | {:.2} | {:.2} |",
+                sr.label,
+                sr.response_time_at(9.0).unwrap_or(f64::NAN),
+                sa.response_time_at(9.0).unwrap_or(f64::NAN)
+            )
+            .unwrap();
+        }
+    }
+
+    // ---- Fig. 16: the three algorithms head to head. --------------------
+    if want(&opts, 16) {
+        println!("fig 16: SRAA vs SARAA vs CLTA (+ static baseline, no-rejuvenation control)");
+        let series = fig16_comparison(&runner, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig16_response_time.csv"),
+            &series,
+            "rt",
+        );
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("fig16_loss.csv"),
+            &series,
+            "loss",
+        );
+        summarize(
+            &mut report,
+            "Fig. 16 — algorithm comparison, avg RT (s)",
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Fig. 16 — algorithm comparison, loss fraction",
+            &series,
+            "loss",
+        );
+    }
+
+    // ---- EWMA / CUSUM baseline comparison (beyond the paper). ----------
+    if opts.baselines {
+        println!("baselines: SRAA / SARAA vs EWMA / CUSUM charts");
+        let series = baseline_comparison(&runner, &loads);
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("baselines_response_time.csv"),
+            &series,
+            "rt",
+        );
+        write_sweep_csv(
+            &mut json_summary,
+            &opts.out.join("baselines_loss.csv"),
+            &series,
+            "loss",
+        );
+        summarize(
+            &mut report,
+            "Beyond the paper — change-detection baselines, avg RT (s)",
+            &series,
+            "rt",
+        );
+        summarize(
+            &mut report,
+            "Beyond the paper — change-detection baselines, loss fraction",
+            &series,
+            "loss",
+        );
+    }
+
+    // ---- Mechanism ablation (beyond the paper). -------------------------
+    if opts.ablation {
+        println!("ablation: kernel overhead x memory/GC x detector");
+        let rows = mechanism_ablation(&runner, &[5.0, 9.0]);
+        let mut csv = String::from(
+            "load_cpus,kernel_overhead,memory_gc,detector,mean_rt,loss_fraction,gc_events,rejuvenations\n",
+        );
+        writeln!(
+            report,
+            "\n### Degradation-mechanism ablation (SRAA 2,5,3)\n"
+        )
+        .unwrap();
+        writeln!(
+            report,
+            "| load | overhead | GC | detector | RT (s) | loss | GCs | rejuv |"
+        )
+        .unwrap();
+        writeln!(report, "|---|---|---|---|---|---|---|---|").unwrap();
+        for r in &rows {
+            writeln!(
+                csv,
+                "{},{},{},{},{:.4},{:.6},{:.1},{:.1}",
+                r.load_cpus,
+                r.kernel_overhead,
+                r.memory_gc,
+                r.detector,
+                r.mean_response_time,
+                r.loss_fraction,
+                r.gc_events,
+                r.rejuvenations
+            )
+            .unwrap();
+            writeln!(
+                report,
+                "| {} | {} | {} | {} | {:.2} | {:.4} | {:.0} | {:.0} |",
+                r.load_cpus,
+                r.kernel_overhead,
+                r.memory_gc,
+                r.detector,
+                r.mean_response_time,
+                r.loss_fraction,
+                r.gc_events,
+                r.rejuvenations
+            )
+            .unwrap();
+        }
+        fs::write(opts.out.join("ablation.csv"), csv).expect("write ablation");
+        println!("  wrote {}", opts.out.join("ablation.csv").display());
+    }
+
+    fs::write(opts.out.join("report.md"), &report).expect("write report");
+    println!("wrote {}", opts.out.join("report.md").display());
+
+    if !json_summary.is_empty() {
+        let json = serde_json::json!({
+            "protocol": {
+                "replications": opts.replications,
+                "transactions_per_replication": opts.transactions,
+                "seed": opts.seed,
+            },
+            "figures": json_summary,
+        });
+        let path = opts.out.join("summary.json");
+        fs::write(
+            &path,
+            serde_json::to_string_pretty(&json).expect("render json"),
+        )
+        .expect("write summary.json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,165 @@
+//! CSV and gnuplot emission for figure series.
+//!
+//! The `figures` binary delegates here so the output format is unit
+//! tested; each CSV also gets a companion `.plt` gnuplot script so
+//! `gnuplot target/figures/fig09_response_time.plt` renders the figure
+//! directly.
+
+use crate::SweepSeries;
+use std::fmt::Write as _;
+
+/// Which metric of a sweep a file contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMetric {
+    /// Mean response time, seconds.
+    ResponseTime,
+    /// Mean fraction of transactions lost.
+    LossFraction,
+}
+
+impl SweepMetric {
+    fn value(self, series: &SweepSeries, idx: usize) -> f64 {
+        match self {
+            SweepMetric::ResponseTime => series.points[idx].result.mean_response_time(),
+            SweepMetric::LossFraction => series.points[idx].result.mean_loss_fraction(),
+        }
+    }
+
+    /// Axis label used in the gnuplot script.
+    pub fn axis_label(self) -> &'static str {
+        match self {
+            SweepMetric::ResponseTime => "Average Response Time (s)",
+            SweepMetric::LossFraction => "Average Fraction of Transaction Loss",
+        }
+    }
+}
+
+/// Renders a sweep as CSV: one `load_cpus` column plus one column per
+/// series (commas inside labels are replaced so the CSV stays valid).
+///
+/// # Panics
+///
+/// Panics if `series` is empty or the series have differing grids.
+pub fn sweep_to_csv(series: &[SweepSeries], metric: SweepMetric) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let grid_len = series[0].points.len();
+    for s in series {
+        assert_eq!(
+            s.points.len(),
+            grid_len,
+            "all series must share the load grid"
+        );
+    }
+
+    let mut csv = String::from("load_cpus");
+    for s in series {
+        write!(csv, ",{}", s.label.replace(',', ";")).expect("writing to String");
+    }
+    csv.push('\n');
+    for i in 0..grid_len {
+        write!(csv, "{}", series[0].points[i].load_cpus).expect("writing to String");
+        for s in series {
+            write!(csv, ",{:.6}", metric.value(s, i)).expect("writing to String");
+        }
+        csv.push('\n');
+    }
+    csv
+}
+
+/// Renders a gnuplot script that plots every series of `csv_name`
+/// against the offered load, in the paper's style (lines + points).
+pub fn sweep_to_gnuplot(
+    series: &[SweepSeries],
+    metric: SweepMetric,
+    csv_name: &str,
+    title: &str,
+) -> String {
+    let mut plt = String::new();
+    writeln!(plt, "set datafile separator ','").unwrap();
+    writeln!(plt, "set title '{title}'").unwrap();
+    writeln!(plt, "set xlabel 'Offered Load (CPUs)'").unwrap();
+    writeln!(plt, "set ylabel '{}'", metric.axis_label()).unwrap();
+    writeln!(plt, "set key outside right").unwrap();
+    writeln!(plt, "set grid").unwrap();
+    write!(plt, "plot ").unwrap();
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            write!(plt, ", \\\n     ").unwrap();
+        }
+        write!(
+            plt,
+            "'{csv_name}' using 1:{} with linespoints title '{}'",
+            i + 2,
+            s.label.replace(',', ";").replace('\'', " ")
+        )
+        .unwrap();
+    }
+    plt.push('\n');
+    plt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sraa_response_time_for_tests;
+
+    fn tiny_series() -> Vec<SweepSeries> {
+        sraa_response_time_for_tests()
+    }
+
+    #[test]
+    fn csv_shape_and_header() {
+        let series = tiny_series();
+        let csv = sweep_to_csv(&series, SweepMetric::ResponseTime);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("load_cpus,"));
+        assert_eq!(header.matches(',').count(), series.len());
+        // One data row per grid point, each with the same column count.
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), series[0].points.len());
+        for row in rows {
+            assert_eq!(row.matches(',').count(), series.len(), "row: {row}");
+            // First column parses as the load.
+            let first = row.split(',').next().unwrap();
+            assert!(first.parse::<f64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn csv_values_match_series() {
+        let series = tiny_series();
+        let csv = sweep_to_csv(&series, SweepMetric::LossFraction);
+        let second_row = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = second_row.split(',').collect();
+        let parsed: f64 = cols[1].parse().unwrap();
+        let expected = series[0].points[0].result.mean_loss_fraction();
+        assert!((parsed - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels_with_commas_stay_single_column() {
+        let mut series = tiny_series();
+        series[0].label = "SRAA(n=1,K=1,D=1)".into();
+        let csv = sweep_to_csv(&series, SweepMetric::ResponseTime);
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.matches(',').count(), series.len());
+        assert!(header.contains("SRAA(n=1;K=1;D=1)"));
+    }
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let series = tiny_series();
+        let plt = sweep_to_gnuplot(&series, SweepMetric::ResponseTime, "x.csv", "Fig");
+        for (i, _) in series.iter().enumerate() {
+            assert!(plt.contains(&format!("using 1:{}", i + 2)));
+        }
+        assert!(plt.contains("set ylabel 'Average Response Time (s)'"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_panics() {
+        let _ = sweep_to_csv(&[], SweepMetric::ResponseTime);
+    }
+}

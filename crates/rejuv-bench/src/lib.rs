@@ -1,0 +1,479 @@
+//! Figure-regeneration harness for the DSN 2006 rejuvenation paper.
+//!
+//! Every table and figure of the paper's evaluation maps to a function
+//! here; the `figures` binary drives them and writes CSV series plus a
+//! markdown report, and the Criterion benches in `benches/` time the
+//! underlying computations.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Fig. 5 (exact density of X̄n vs normal, n = 1, 5, 15, 30) | [`fig05_density`] |
+//! | §4.1 tail masses (3.69 % / 3.37 %) | [`fig05_tail_masses`] |
+//! | §4.1 autocorrelation study | [`autocorr_study`] |
+//! | Fig. 9 (SRAA RT, n·K·D = 15) | [`sraa_response_time`] with [`FIG9_CONFIGS`] |
+//! | Fig. 10 (SRAA loss, n·K·D = 15) | same sweep, loss series |
+//! | Fig. 11 (SRAA RT, sample size doubled) | [`FIG11_CONFIGS`] |
+//! | Fig. 12/13 (SRAA RT + loss, depth doubled) | [`FIG12_CONFIGS`] |
+//! | Fig. 14 (SRAA RT, buckets doubled) | [`FIG14_CONFIGS`] |
+//! | Fig. 15 (SARAA RT) | [`saraa_response_time`] with [`FIG15_CONFIGS`] |
+//! | Fig. 16 (SRAA vs SARAA vs CLTA) | [`fig16_comparison`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod search;
+
+use rejuv_core::{
+    Clta, CltaConfig, Cusum, CusumConfig, DynamicSraa, DynamicSraaConfig, Ewma, EwmaConfig,
+    RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+use rejuv_ecommerce::mmc_mode::{autocorrelation_study, AutocorrStudyOutcome};
+use rejuv_ecommerce::{LoadPoint, Runner, SystemConfig};
+use rejuv_queueing::{MmcQueue, QueueingError, SampleMean};
+use rejuv_stats::AutocorrStudy;
+use serde::Serialize;
+
+/// `(n, K, D)` triples of Fig. 9/10: `n·K·D = 15`.
+pub const FIG9_CONFIGS: [(usize, usize, u32); 7] = [
+    (1, 3, 5),
+    (1, 5, 3),
+    (3, 1, 5),
+    (3, 5, 1),
+    (5, 1, 3),
+    (5, 3, 1),
+    (15, 1, 1),
+];
+
+/// Fig. 11: the Fig. 9 set with the sample size doubled (`n·K·D = 30`).
+pub const FIG11_CONFIGS: [(usize, usize, u32); 7] = [
+    (2, 3, 5),
+    (2, 5, 3),
+    (6, 1, 5),
+    (6, 5, 1),
+    (10, 1, 3),
+    (10, 3, 1),
+    (30, 1, 1),
+];
+
+/// Fig. 12/13: the Fig. 9 set with the bucket depth doubled.
+pub const FIG12_CONFIGS: [(usize, usize, u32); 7] = [
+    (1, 3, 10),
+    (1, 5, 6),
+    (3, 1, 10),
+    (3, 5, 2),
+    (5, 1, 6),
+    (5, 3, 2),
+    (15, 1, 2),
+];
+
+/// Fig. 14: the Fig. 9 set with the number of buckets doubled
+/// (as printed in the paper, including the (15, 1, 2) control).
+pub const FIG14_CONFIGS: [(usize, usize, u32); 7] = [
+    (1, 6, 5),
+    (1, 10, 3),
+    (3, 2, 5),
+    (3, 10, 1),
+    (5, 6, 1),
+    (15, 2, 1),
+    (15, 1, 2),
+];
+
+/// Fig. 15: the SARAA configurations.
+pub const FIG15_CONFIGS: [(usize, usize, u32); 4] = [(2, 3, 5), (2, 5, 3), (6, 5, 1), (10, 3, 1)];
+
+/// The offered-load grid (in CPUs) used for every sweep figure.
+pub const LOAD_GRID: [f64; 13] = [
+    0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.5, 9.0, 9.5, 10.0,
+];
+
+/// One series of a sweep figure: a detector configuration and its
+/// response-time / loss values over [`LOAD_GRID`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepSeries {
+    /// Display label, e.g. `"SRAA(n=3,K=1,D=5)"`.
+    pub label: String,
+    /// Points over the load grid.
+    pub points: Vec<LoadPoint>,
+}
+
+impl SweepSeries {
+    /// `(load, mean RT)` pairs.
+    pub fn response_time(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.load_cpus, p.result.mean_response_time()))
+            .collect()
+    }
+
+    /// `(load, mean loss fraction)` pairs.
+    pub fn loss(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.load_cpus, p.result.mean_loss_fraction()))
+            .collect()
+    }
+
+    /// The series value at a given load (exact grid match), if present.
+    pub fn response_time_at(&self, load: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.load_cpus - load).abs() < 1e-9)
+            .map(|p| p.result.mean_response_time())
+    }
+}
+
+fn sraa_factory(
+    n: usize,
+    k: usize,
+    d: u32,
+) -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+    move || {
+        Some(Box::new(Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(n)
+                .buckets(k)
+                .depth(d)
+                .build()
+                .expect("paper configurations are valid"),
+        )))
+    }
+}
+
+fn saraa_factory(
+    n: usize,
+    k: usize,
+    d: u32,
+) -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+    move || {
+        Some(Box::new(Saraa::new(
+            SaraaConfig::builder(5.0, 5.0)
+                .initial_sample_size(n)
+                .buckets(k)
+                .depth(d)
+                .build()
+                .expect("paper configurations are valid"),
+        )))
+    }
+}
+
+fn clta_factory(n: usize, z: f64) -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+    move || {
+        Some(Box::new(Clta::new(
+            CltaConfig::builder(5.0, 5.0)
+                .sample_size(n)
+                .quantile_factor(z)
+                .build()
+                .expect("paper configurations are valid"),
+        )))
+    }
+}
+
+/// Base system for all sweeps (the arrival rate is overridden per point).
+fn base_config() -> SystemConfig {
+    SystemConfig::paper_at_load(1.0).expect("paper system is valid")
+}
+
+/// Runs an SRAA load sweep for each `(n, K, D)` in `configs` — the data
+/// behind Figs. 9–14.
+pub fn sraa_response_time(
+    runner: &Runner,
+    configs: &[(usize, usize, u32)],
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    configs
+        .iter()
+        .map(|&(n, k, d)| {
+            let factory = sraa_factory(n, k, d);
+            SweepSeries {
+                label: format!("SRAA(n={n},K={k},D={d})"),
+                points: runner.load_sweep(&base_config(), loads, &factory),
+            }
+        })
+        .collect()
+}
+
+/// Runs a SARAA load sweep for each `(n, K, D)` in `configs` (Fig. 15).
+pub fn saraa_response_time(
+    runner: &Runner,
+    configs: &[(usize, usize, u32)],
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    configs
+        .iter()
+        .map(|&(n, k, d)| {
+            let factory = saraa_factory(n, k, d);
+            SweepSeries {
+                label: format!("SARAA(n={n},K={k},D={d})"),
+                points: runner.load_sweep(&base_config(), loads, &factory),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 16: SRAA (2, 5, 3) vs SARAA (2, 5, 3) vs CLTA (30, N = 1.96),
+/// plus two reproductions beyond the paper — the WOSP 2005 static
+/// baseline and a no-rejuvenation control.
+pub fn fig16_comparison(runner: &Runner, loads: &[f64]) -> Vec<SweepSeries> {
+    let base = base_config();
+    let sraa = sraa_factory(2, 5, 3);
+    let saraa = saraa_factory(2, 5, 3);
+    let clta = clta_factory(30, 1.96);
+    let static_alg = || {
+        Some(
+            Box::new(StaticRejuvenation::new(5.0, 5.0, 5, 3).expect("valid baseline"))
+                as Box<dyn RejuvenationDetector>,
+        )
+    };
+    let none = || None;
+
+    vec![
+        SweepSeries {
+            label: "SRAA(n=2,K=5,D=3)".into(),
+            points: runner.load_sweep(&base, loads, &sraa),
+        },
+        SweepSeries {
+            label: "SARAA(n=2,K=5,D=3)".into(),
+            points: runner.load_sweep(&base, loads, &saraa),
+        },
+        SweepSeries {
+            label: "CLTA(n=30,N=1.96)".into(),
+            points: runner.load_sweep(&base, loads, &clta),
+        },
+        SweepSeries {
+            label: "Static(K=5,D=3) [baseline]".into(),
+            points: runner.load_sweep(&base, loads, &static_alg),
+        },
+        SweepSeries {
+            label: "no rejuvenation [control]".into(),
+            points: runner.load_sweep(&base, loads, &none),
+        },
+    ]
+}
+
+/// One panel of Fig. 5: `(x, exact density, normal density)` triples for
+/// the given sample size at `λ = 1.6`, `µ = 0.2`, `c = 16`.
+///
+/// # Errors
+///
+/// Propagates queueing/CTMC errors.
+pub fn fig05_density(
+    n: usize,
+    points: usize,
+) -> Result<Vec<rejuv_queueing::sample_mean::DensityPoint>, QueueingError> {
+    let rt = MmcQueue::paper_system(1.6)?.response_time()?;
+    let sm = SampleMean::new(&rt, n)?;
+    // Plot window mirroring the paper's panels: mean ± 6 sd of X̄n,
+    // clamped at zero.
+    let normal = sm.normal_approximation();
+    let lo = (normal.mean() - 6.0 * normal.std_dev()).max(0.0);
+    let hi = normal.mean() + 6.0 * normal.std_dev();
+    sm.density_comparison(lo, hi, points)
+}
+
+/// The §4.1 tail-mass table: `(n, exact mass beyond the normal 97.5 %
+/// quantile)` for the requested sample sizes.
+///
+/// # Errors
+///
+/// Propagates queueing/CTMC errors.
+pub fn fig05_tail_masses(sizes: &[usize]) -> Result<Vec<(usize, f64)>, QueueingError> {
+    let rt = MmcQueue::paper_system(1.6)?.response_time()?;
+    sizes
+        .iter()
+        .map(|&n| {
+            Ok((
+                n,
+                SampleMean::new(&rt, n)?.tail_mass_beyond_normal_quantile(0.975)?,
+            ))
+        })
+        .collect()
+}
+
+/// The §4.1 autocorrelation study at `λ = 1.6` with the given protocol.
+///
+/// # Errors
+///
+/// Propagates model/statistics errors.
+pub fn autocorr_study(
+    runner: Runner,
+    warmup: usize,
+) -> Result<AutocorrStudyOutcome, Box<dyn std::error::Error>> {
+    let study = AutocorrStudy::new(warmup, 0.95)?;
+    Ok(autocorrelation_study(1.6, runner, study)?)
+}
+
+/// Beyond the paper: the paper's two best algorithms against the two
+/// classical change-detection charts (EWMA, one-sided CUSUM) at
+/// conventional settings, on the same simulation and the same loads.
+pub fn baseline_comparison(runner: &Runner, loads: &[f64]) -> Vec<SweepSeries> {
+    let base = base_config();
+    let sraa = sraa_factory(2, 5, 3);
+    let saraa = saraa_factory(2, 5, 3);
+    let ewma = || {
+        Some(Box::new(Ewma::new(
+            EwmaConfig::new(5.0, 5.0, 0.2, 3.0).expect("conventional EWMA settings"),
+        )) as Box<dyn RejuvenationDetector>)
+    };
+    let cusum = || {
+        Some(Box::new(Cusum::new(
+            CusumConfig::new(5.0, 5.0, 0.5, 5.0).expect("conventional CUSUM settings"),
+        )) as Box<dyn RejuvenationDetector>)
+    };
+    let dynamic = || {
+        Some(Box::new(DynamicSraa::new(
+            DynamicSraaConfig::new(5.0, 5.0, 2, vec![5, 4, 3, 2, 1])
+                .expect("valid decreasing-depth profile"),
+        )) as Box<dyn RejuvenationDetector>)
+    };
+
+    vec![
+        SweepSeries {
+            label: "SRAA(n=2,K=5,D=3)".into(),
+            points: runner.load_sweep(&base, loads, &sraa),
+        },
+        SweepSeries {
+            label: "SARAA(n=2,K=5,D=3)".into(),
+            points: runner.load_sweep(&base, loads, &saraa),
+        },
+        SweepSeries {
+            label: "EWMA(w=0.2,L=3.0)".into(),
+            points: runner.load_sweep(&base, loads, &ewma),
+        },
+        SweepSeries {
+            label: "CUSUM(k=0.5,h=5.0)".into(),
+            points: runner.load_sweep(&base, loads, &cusum),
+        },
+        SweepSeries {
+            label: "DynamicSRAA(n=2,D=[5..1])".into(),
+            points: runner.load_sweep(&base, loads, &dynamic),
+        },
+    ]
+}
+
+/// One row of the degradation-mechanism ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Whether the >50-thread kernel-overhead penalty was enabled.
+    pub kernel_overhead: bool,
+    /// Whether the heap/GC mechanism was enabled.
+    pub memory_gc: bool,
+    /// Whether the SRAA(2,5,3) detector was attached.
+    pub detector: bool,
+    /// Offered load in CPUs.
+    pub load_cpus: f64,
+    /// Cross-replication mean response time.
+    pub mean_response_time: f64,
+    /// Cross-replication mean loss fraction.
+    pub loss_fraction: f64,
+    /// Cross-replication mean GC count per replication.
+    pub gc_events: f64,
+    /// Cross-replication mean rejuvenation count per replication.
+    pub rejuvenations: f64,
+}
+
+/// Degradation-mechanism ablation (DESIGN.md §5): crosses the two §3
+/// mechanisms (kernel overhead, heap/GC) with and without the SRAA
+/// detector at each load. Shows which mechanism produces the soft
+/// failure and what rejuvenation buys against each.
+pub fn mechanism_ablation(runner: &Runner, loads: &[f64]) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for &load in loads {
+        for (overhead, memory) in [(false, false), (true, false), (false, true), (true, true)] {
+            let config = SystemConfig::new(
+                16,
+                load * 0.2,
+                0.2,
+                overhead.then_some(50),
+                if overhead { 2.0 } else { 1.0 },
+                memory.then(rejuv_ecommerce::config::MemoryConfig::paper),
+            )
+            .expect("ablation parameters are valid");
+            for detector in [false, true] {
+                let factory = sraa_factory(2, 5, 3);
+                let none = || None;
+                let result = if detector {
+                    runner.run_point(config, &factory)
+                } else {
+                    runner.run_point(config, &none)
+                };
+                rows.push(AblationRow {
+                    kernel_overhead: overhead,
+                    memory_gc: memory,
+                    detector,
+                    load_cpus: load,
+                    mean_response_time: result.mean_response_time(),
+                    loss_fraction: result.mean_loss_fraction(),
+                    gc_events: result.gc_events.mean(),
+                    rejuvenations: result.rejuvenations.mean(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// A tiny two-series sweep used by the `emit` unit tests (one
+/// replication, two loads) — kept here so the test helper shares the
+/// real pipeline.
+#[doc(hidden)]
+pub fn sraa_response_time_for_tests() -> Vec<SweepSeries> {
+    let runner = Runner::new(1, 500, 1);
+    sraa_response_time(&runner, &[(1, 1, 1), (2, 1, 1)], &[0.5, 9.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_sets_have_the_paper_products() {
+        for (n, k, d) in FIG9_CONFIGS {
+            assert_eq!(n * k * d as usize, 15, "({n},{k},{d})");
+        }
+        for set in [FIG11_CONFIGS, FIG12_CONFIGS] {
+            for (n, k, d) in set {
+                assert_eq!(n * k * d as usize, 30, "({n},{k},{d})");
+            }
+        }
+        for (n, k, d) in FIG15_CONFIGS {
+            assert_eq!(n * k * d as usize, 30, "({n},{k},{d})");
+        }
+        // Fig. 14 keeps the product at 30 for every printed configuration.
+        for (n, k, d) in FIG14_CONFIGS {
+            assert_eq!(n * k * d as usize, 30, "({n},{k},{d})");
+        }
+    }
+
+    #[test]
+    fn smoke_sraa_sweep() {
+        let runner = Runner::new(1, 1_000, 3);
+        let series = sraa_response_time(&runner, &[(2, 5, 3)], &[0.5, 9.0]);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 2);
+        assert!(series[0].response_time_at(0.5).unwrap() > 0.0);
+        assert_eq!(series[0].response_time().len(), 2);
+        assert_eq!(series[0].loss().len(), 2);
+    }
+
+    #[test]
+    fn smoke_fig05() {
+        let d = fig05_density(5, 21).unwrap();
+        assert_eq!(d.len(), 21);
+        let tails = fig05_tail_masses(&[15, 30]).unwrap();
+        assert!((tails[0].1 - 0.037).abs() < 0.005);
+        assert!((tails[1].1 - 0.034).abs() < 0.005);
+    }
+
+    #[test]
+    fn smoke_fig16() {
+        let runner = Runner::new(1, 2_000, 5);
+        let series = fig16_comparison(&runner, &[9.0]);
+        assert_eq!(series.len(), 5);
+        let rt = |i: usize| series[i].response_time_at(9.0).unwrap();
+        // The no-rejuvenation control must be the slowest at high load.
+        assert!(rt(4) > rt(0));
+        assert!(rt(4) > rt(1));
+        assert!(rt(4) > rt(2));
+    }
+}

@@ -1,0 +1,278 @@
+//! Parameter search over `(n, K, D)` — the paper's conclusion, made
+//! executable.
+//!
+//! §6 of the paper: "care needs to be taken to optimize each algorithm
+//! and parameter configuration to the domain of applicability" and
+//! "configurations that use small values of each of the parameters are
+//! better than configurations that invest in only one dimension". This
+//! module evaluates a grid of configurations by the paper's own
+//! assessment basis — average response time at high load and transaction
+//! loss at low load — and reports the Pareto front plus a scalarized
+//! winner.
+
+use crate::LOAD_GRID;
+use rejuv_core::{RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig};
+use rejuv_ecommerce::{Runner, SystemConfig};
+use serde::Serialize;
+
+/// Which algorithm a candidate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Algorithm {
+    /// Static rejuvenation with averaging.
+    Sraa,
+    /// Sampling-acceleration rejuvenation with averaging.
+    Saraa,
+}
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Candidate {
+    /// Algorithm evaluated.
+    pub algorithm: Algorithm,
+    /// Window size `n` (initial size for SARAA).
+    pub n: usize,
+    /// Bucket count `K`.
+    pub k: usize,
+    /// Bucket depth `D`.
+    pub d: u32,
+    /// Mean response time at the high-load point (seconds).
+    pub high_load_rt: f64,
+    /// Loss fraction at the low-load point.
+    pub low_load_loss: f64,
+    /// Loss fraction at the high-load point (informational).
+    pub high_load_loss: f64,
+}
+
+impl Candidate {
+    /// The product `n·K·D`, the paper's budget measure.
+    pub fn nkd(&self) -> u64 {
+        self.n as u64 * self.k as u64 * u64::from(self.d)
+    }
+
+    /// Returns `true` if `self` dominates `other` on the paper's two
+    /// objectives (no worse on both, strictly better on one).
+    pub fn dominates(&self, other: &Candidate) -> bool {
+        let no_worse =
+            self.high_load_rt <= other.high_load_rt && self.low_load_loss <= other.low_load_loss;
+        let better =
+            self.high_load_rt < other.high_load_rt || self.low_load_loss < other.low_load_loss;
+        no_worse && better
+    }
+}
+
+/// Options for [`parameter_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Low-load point in CPUs (paper assesses loss at 0.5).
+    pub low_load: f64,
+    /// High-load point in CPUs (paper assesses RT at 9.0).
+    pub high_load: f64,
+    /// Evaluate every `(n, K, D)` with `n·K·D` equal to one of these.
+    pub budgets: &'static [u64],
+    /// Include SARAA candidates as well as SRAA.
+    pub include_saraa: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            low_load: 0.5,
+            high_load: 9.0,
+            budgets: &[15, 30],
+            include_saraa: true,
+        }
+    }
+}
+
+/// Enumerates all `(n, K, D)` triples whose product equals `budget`.
+pub fn factorizations(budget: u64) -> Vec<(usize, usize, u32)> {
+    let mut out = Vec::new();
+    for n in 1..=budget {
+        if !budget.is_multiple_of(n) {
+            continue;
+        }
+        let rest = budget / n;
+        for k in 1..=rest {
+            if !rest.is_multiple_of(k) {
+                continue;
+            }
+            out.push((n as usize, k as usize, (rest / k) as u32));
+        }
+    }
+    out
+}
+
+/// Runs the grid search and returns all evaluated candidates sorted by
+/// high-load response time.
+pub fn parameter_search(runner: &Runner, options: &SearchOptions) -> Vec<Candidate> {
+    let base = SystemConfig::paper_at_load(1.0).expect("paper system is valid");
+    let loads = [options.low_load, options.high_load];
+    let mut candidates = Vec::new();
+
+    for &budget in options.budgets {
+        for (n, k, d) in factorizations(budget) {
+            let algorithms: &[Algorithm] = if options.include_saraa && n > 1 {
+                &[Algorithm::Sraa, Algorithm::Saraa]
+            } else {
+                &[Algorithm::Sraa]
+            };
+            for &algorithm in algorithms {
+                let factory = move || -> Option<Box<dyn RejuvenationDetector>> {
+                    Some(match algorithm {
+                        Algorithm::Sraa => Box::new(Sraa::new(
+                            SraaConfig::builder(5.0, 5.0)
+                                .sample_size(n)
+                                .buckets(k)
+                                .depth(d)
+                                .build()
+                                .expect("grid parameters are valid"),
+                        )),
+                        Algorithm::Saraa => Box::new(Saraa::new(
+                            SaraaConfig::builder(5.0, 5.0)
+                                .initial_sample_size(n)
+                                .buckets(k)
+                                .depth(d)
+                                .build()
+                                .expect("grid parameters are valid"),
+                        )),
+                    })
+                };
+                let sweep = runner.load_sweep(&base, &loads, &factory);
+                candidates.push(Candidate {
+                    algorithm,
+                    n,
+                    k,
+                    d,
+                    low_load_loss: sweep[0].result.mean_loss_fraction(),
+                    high_load_rt: sweep[1].result.mean_response_time(),
+                    high_load_loss: sweep[1].result.mean_loss_fraction(),
+                });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.high_load_rt
+            .partial_cmp(&b.high_load_rt)
+            .expect("finite response times")
+    });
+    candidates
+}
+
+/// Extracts the Pareto-optimal candidates under the paper's two
+/// objectives (minimize high-load RT, minimize low-load loss).
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut front: Vec<Candidate> = Vec::new();
+    for c in candidates {
+        if candidates.iter().any(|other| other.dominates(c)) {
+            continue;
+        }
+        front.push(c.clone());
+    }
+    front.sort_by(|a, b| {
+        a.high_load_rt
+            .partial_cmp(&b.high_load_rt)
+            .expect("finite response times")
+    });
+    front
+}
+
+/// Scalarizes a candidate: `rt_weight · RT_high + loss_weight · loss_low`
+/// with the loss expressed in percentage points so the two terms share a
+/// magnitude.
+pub fn scalarized_cost(c: &Candidate, rt_weight: f64, loss_weight: f64) -> f64 {
+    rt_weight * c.high_load_rt + loss_weight * c.low_load_loss * 100.0
+}
+
+/// The x-axis used when printing a full sweep for the winner.
+pub fn default_loads() -> &'static [f64] {
+    &LOAD_GRID
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_cover_the_paper_grid() {
+        let f15 = factorizations(15);
+        // 15 = 1·1·15, 1·3·5, 1·5·3, 1·15·1, 3·…: divisor triples of 15:
+        // τ₃(15) = 9? 15 = 3·5: number of ordered triples = 3²... = 9.
+        assert_eq!(f15.len(), 9);
+        for (n, k, d) in &f15 {
+            assert_eq!(n * k * (*d as usize), 15);
+        }
+        // Every Fig. 9 configuration appears.
+        for cfg in [
+            (1, 3, 5),
+            (1, 5, 3),
+            (3, 1, 5),
+            (3, 5, 1),
+            (5, 1, 3),
+            (5, 3, 1),
+            (15, 1, 1),
+        ] {
+            assert!(f15.contains(&cfg), "{cfg:?} missing");
+        }
+    }
+
+    #[test]
+    fn domination_is_strict_partial_order() {
+        let a = Candidate {
+            algorithm: Algorithm::Sraa,
+            n: 1,
+            k: 1,
+            d: 1,
+            high_load_rt: 5.0,
+            low_load_loss: 0.0,
+            high_load_loss: 0.1,
+        };
+        let b = Candidate {
+            high_load_rt: 6.0,
+            low_load_loss: 0.01,
+            ..a.clone()
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "irreflexive");
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated() {
+        let mk = |rt: f64, loss: f64| Candidate {
+            algorithm: Algorithm::Sraa,
+            n: 1,
+            k: 1,
+            d: 1,
+            high_load_rt: rt,
+            low_load_loss: loss,
+            high_load_loss: 0.0,
+        };
+        let candidates = vec![mk(5.0, 0.01), mk(6.0, 0.0), mk(7.0, 0.02), mk(5.5, 0.005)];
+        let front = pareto_front(&candidates);
+        let rts: Vec<f64> = front.iter().map(|c| c.high_load_rt).collect();
+        assert_eq!(rts, vec![5.0, 5.5, 6.0]);
+    }
+
+    #[test]
+    fn tiny_search_runs_end_to_end() {
+        let runner = Runner::new(1, 2_000, 9);
+        let options = SearchOptions {
+            budgets: &[4],
+            include_saraa: true,
+            ..SearchOptions::default()
+        };
+        let candidates = parameter_search(&runner, &options);
+        // 4 = 1·1·4 … : ordered triples of divisors of 4 = 6 SRAA, plus
+        // SARAA for the n > 1 triples (n ∈ {2, 4}: 2·2 + 1... compute:
+        // triples with n=2: (2,1,2),(2,2,1); n=4: (4,1,1) -> 3 SARAA.
+        assert_eq!(candidates.len(), 6 + 3);
+        let front = pareto_front(&candidates);
+        assert!(!front.is_empty());
+        assert!(front.len() <= candidates.len());
+        // The front is sorted and loss decreases as RT increases.
+        for w in front.windows(2) {
+            assert!(w[0].high_load_rt <= w[1].high_load_rt);
+            assert!(w[0].low_load_loss >= w[1].low_load_loss - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Smoke tests for the `figures` and `optimize` binaries: they must run
+//! end to end with small parameters and leave well-formed artifacts.
+
+use std::path::Path;
+use std::process::Command;
+
+fn figures_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_figures")
+}
+
+fn optimize_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_optimize")
+}
+
+#[test]
+fn figures_fig5_is_fast_and_writes_artifacts() {
+    let out = tempdir("fig5");
+    let status = Command::new(figures_bin())
+        .args(["--fig", "5", "--out"])
+        .arg(&out)
+        .status()
+        .expect("figures binary runs");
+    assert!(status.success());
+    let csv = std::fs::read_to_string(Path::new(&out).join("fig05_density.csv")).unwrap();
+    assert!(csv.starts_with("n,x,exact_pdf,normal_pdf"));
+    // All four panels present.
+    for n in ["\n1,", "\n5,", "\n15,", "\n30,"] {
+        assert!(csv.contains(n), "missing panel {n}");
+    }
+    let report = std::fs::read_to_string(Path::new(&out).join("report.md")).unwrap();
+    assert!(report.contains("tail masses"));
+    assert!(report.contains("3.69%"), "paper reference row present");
+}
+
+#[test]
+fn figures_quick_fig16_writes_csv_and_plt() {
+    let out = tempdir("fig16");
+    let status = Command::new(figures_bin())
+        .args([
+            "--fig",
+            "16",
+            "--replications",
+            "1",
+            "--transactions",
+            "2000",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("figures binary runs");
+    assert!(status.success());
+    let csv = std::fs::read_to_string(Path::new(&out).join("fig16_response_time.csv")).unwrap();
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("SRAA"));
+    assert!(header.contains("SARAA"));
+    assert!(header.contains("CLTA"));
+    assert!(header.contains("no rejuvenation"));
+    let plt = std::fs::read_to_string(Path::new(&out).join("fig16_response_time.plt")).unwrap();
+    assert!(plt.contains("plot 'fig16_response_time.csv'"));
+
+    // The machine-readable summary carries the same series.
+    let json = std::fs::read_to_string(Path::new(&out).join("summary.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["protocol"]["replications"], 1);
+    assert!(parsed["figures"]["fig16_response_time"].is_array());
+}
+
+#[test]
+fn optimize_prints_a_pareto_front() {
+    let output = Command::new(optimize_bin())
+        .args([
+            "--replications",
+            "1",
+            "--transactions",
+            "2000",
+            "--budget",
+            "4",
+        ])
+        .output()
+        .expect("optimize binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Pareto front"));
+    assert!(stdout.contains("scalarized winner"));
+    assert!(stdout.contains("candidates evaluated"));
+}
+
+fn tempdir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rejuv-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.to_string_lossy().into_owned()
+}

@@ -1,0 +1,371 @@
+//! Online baseline estimation — the paper's stated future work.
+//!
+//! The DSN 2006 algorithms assume the service-level agreement supplies
+//! the normal-behaviour mean `µX` and standard deviation `σX`. The
+//! paper's conclusion proposes "statistical estimation techniques to
+//! determine optimal algorithm parameters in real-time"; this module
+//! implements the first step of that programme:
+//!
+//! * [`BaselineEstimator`] — a robust online estimator of `(µX, σX)`
+//!   that learns from a calibration prefix and ignores the upper tail
+//!   (so a degradation during calibration cannot poison the baseline),
+//! * [`Calibrating`] — a detector adaptor that estimates the baseline
+//!   from the first `calibration` observations, then constructs and
+//!   delegates to the wrapped algorithm.
+
+use crate::{Decision, RejuvenationDetector};
+use rejuv_stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Robust online estimator of the healthy-behaviour `(µX, σX)`.
+///
+/// Keeps Welford statistics over the observations *below the current
+/// trimming quantile approximation*: an observation larger than
+/// `mean + cutoff · std` is excluded once at least `min_samples` have
+/// been accepted. With `cutoff = 3`, sustained degradation inflates the
+/// estimate far less than a plain mean would.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::adaptive::BaselineEstimator;
+///
+/// let mut est = BaselineEstimator::new(3.0, 30);
+/// for i in 0..1_000 {
+///     est.observe(4.0 + (i % 3) as f64); // healthy: 4, 5, 6
+/// }
+/// for _ in 0..50 {
+///     est.observe(500.0); // a degradation tail — trimmed away
+/// }
+/// let (mu, _sigma) = est.estimate().unwrap();
+/// assert!((mu - 5.0).abs() < 0.2, "mu = {mu}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEstimator {
+    stats: OnlineStats,
+    cutoff: f64,
+    min_samples: u64,
+    rejected: u64,
+}
+
+impl BaselineEstimator {
+    /// Creates an estimator that rejects observations more than
+    /// `cutoff` estimated standard deviations above the running mean,
+    /// once `min_samples` observations have been accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is not positive and finite.
+    pub fn new(cutoff: f64, min_samples: u64) -> Self {
+        assert!(
+            cutoff.is_finite() && cutoff > 0.0,
+            "cutoff must be positive and finite, got {cutoff}"
+        );
+        BaselineEstimator {
+            stats: OnlineStats::new(),
+            cutoff,
+            min_samples,
+            rejected: 0,
+        }
+    }
+
+    /// Feeds one observation. Returns `true` if it was accepted into the
+    /// baseline.
+    pub fn observe(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        if self.stats.count() >= self.min_samples {
+            let limit = self.stats.mean() + self.cutoff * self.stats.sample_std_dev();
+            if value > limit {
+                self.rejected += 1;
+                return false;
+            }
+        }
+        self.stats.push(value);
+        true
+    }
+
+    /// Number of observations accepted.
+    pub fn accepted(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Number of observations rejected as outliers.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The current `(µX, σX)` estimate, or `None` with fewer than two
+    /// accepted observations.
+    pub fn estimate(&self) -> Option<(f64, f64)> {
+        if self.stats.count() < 2 {
+            None
+        } else {
+            Some((self.stats.mean(), self.stats.sample_std_dev()))
+        }
+    }
+}
+
+/// State of a [`Calibrating`] adaptor.
+enum Phase<D> {
+    /// Still learning the baseline.
+    Learning {
+        estimator: BaselineEstimator,
+        seen: u64,
+        build: Box<dyn Fn(f64, f64) -> D + Send>,
+    },
+    /// Baseline locked; delegating to the real detector.
+    Active(D),
+}
+
+/// A detector adaptor that first *learns* `(µX, σX)` from a calibration
+/// prefix of the stream, then builds the wrapped detector from the
+/// estimate and delegates to it.
+///
+/// During calibration every decision is [`Decision::Continue`]: the
+/// system is presumed healthy while its baseline is measured, exactly as
+/// an operator would commission a monitor.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::adaptive::Calibrating;
+/// use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+///
+/// let mut detector = Calibrating::new(200, 3.0, |mu, sigma| {
+///     Sraa::new(
+///         SraaConfig::builder(mu, sigma)
+///             .sample_size(2).buckets(5).depth(3)
+///             .build()
+///             .expect("estimated baseline is finite"),
+///     )
+/// });
+///
+/// // Calibration phase: healthy observations, no decisions.
+/// for i in 0..200 {
+///     assert!(!detector.observe(4.0 + (i % 3) as f64).is_rejuvenate());
+/// }
+/// assert!(detector.baseline().is_some());
+///
+/// // Now it behaves like a normal SRAA around the learned baseline.
+/// let fired = (0..10_000).any(|_| detector.observe(80.0).is_rejuvenate());
+/// assert!(fired);
+/// ```
+pub struct Calibrating<D> {
+    phase: Phase<D>,
+    calibration: u64,
+    baseline: Option<(f64, f64)>,
+}
+
+impl<D: RejuvenationDetector> Calibrating<D> {
+    /// Creates the adaptor: learn for `calibration` observations with a
+    /// `cutoff`-sigma outlier trim, then build the inner detector with
+    /// the estimated `(µX, σX)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration < 2` (an estimate needs two points) or the
+    /// cutoff is invalid.
+    pub fn new<F>(calibration: u64, cutoff: f64, build: F) -> Self
+    where
+        F: Fn(f64, f64) -> D + Send + 'static,
+    {
+        assert!(
+            calibration >= 2,
+            "calibration needs at least two observations"
+        );
+        Calibrating {
+            phase: Phase::Learning {
+                estimator: BaselineEstimator::new(cutoff, calibration / 4 + 2),
+                seen: 0,
+                build: Box::new(build),
+            },
+            calibration,
+            baseline: None,
+        }
+    }
+
+    /// The learned `(µX, σX)`, available once calibration completes.
+    pub fn baseline(&self) -> Option<(f64, f64)> {
+        self.baseline
+    }
+
+    /// Returns `true` while still calibrating.
+    pub fn is_calibrating(&self) -> bool {
+        matches!(self.phase, Phase::Learning { .. })
+    }
+}
+
+impl<D: RejuvenationDetector> RejuvenationDetector for Calibrating<D> {
+    fn observe(&mut self, value: f64) -> Decision {
+        match &mut self.phase {
+            Phase::Learning {
+                estimator,
+                seen,
+                build,
+            } => {
+                estimator.observe(value);
+                *seen += 1;
+                if *seen >= self.calibration {
+                    let (mu, sigma) = estimator
+                        .estimate()
+                        .unwrap_or((value, value.abs().max(1e-9)));
+                    // A degenerate constant stream has sigma 0; widen it
+                    // to a sliver of the mean so targets stay ordered.
+                    let sigma = if sigma > 0.0 {
+                        sigma
+                    } else {
+                        mu.abs().max(1e-9) * 0.01
+                    };
+                    self.baseline = Some((mu, sigma));
+                    self.phase = Phase::Active(build(mu, sigma));
+                }
+                Decision::Continue
+            }
+            Phase::Active(inner) => inner.observe(value),
+        }
+    }
+
+    fn reset(&mut self) {
+        if let Phase::Active(inner) = &mut self.phase {
+            inner.reset();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Calibrating"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        match &self.phase {
+            Phase::Learning { .. } => 0,
+            Phase::Active(inner) => inner.rejuvenation_count(),
+        }
+    }
+}
+
+impl<D: RejuvenationDetector> std::fmt::Debug for Calibrating<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calibrating")
+            .field("calibrating", &self.is_calibrating())
+            .field("baseline", &self.baseline)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sraa, SraaConfig};
+
+    fn sraa_builder(mu: f64, sigma: f64) -> Sraa {
+        Sraa::new(
+            SraaConfig::builder(mu, sigma)
+                .sample_size(1)
+                .buckets(2)
+                .depth(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn estimator_recovers_clean_moments() {
+        let mut est = BaselineEstimator::new(3.0, 10);
+        for i in 0..10_000u64 {
+            // Uniform over [0, 10]: mean 5, std ~2.89.
+            est.observe((i % 11) as f64);
+        }
+        let (mu, sigma) = est.estimate().unwrap();
+        assert!((mu - 5.0).abs() < 0.05, "mu = {mu}");
+        assert!((sigma - 3.16).abs() < 0.15, "sigma = {sigma}");
+    }
+
+    #[test]
+    fn estimator_resists_degradation_tail() {
+        let mut clean = BaselineEstimator::new(3.0, 10);
+        let mut polluted = BaselineEstimator::new(3.0, 10);
+        for i in 0..1_000u64 {
+            let v = 4.0 + (i % 3) as f64;
+            clean.observe(v);
+            polluted.observe(v);
+        }
+        for _ in 0..200 {
+            polluted.observe(300.0);
+        }
+        let (mu_clean, _) = clean.estimate().unwrap();
+        let (mu_polluted, _) = polluted.estimate().unwrap();
+        assert!(
+            (mu_clean - mu_polluted).abs() < 0.01,
+            "trim failed: {mu_polluted}"
+        );
+    }
+
+    #[test]
+    fn estimator_needs_two_points() {
+        let mut est = BaselineEstimator::new(3.0, 5);
+        assert!(est.estimate().is_none());
+        est.observe(1.0);
+        assert!(est.estimate().is_none());
+        est.observe(2.0);
+        assert!(est.estimate().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be positive")]
+    fn estimator_rejects_bad_cutoff() {
+        let _ = BaselineEstimator::new(0.0, 5);
+    }
+
+    #[test]
+    fn calibrating_never_fires_during_learning() {
+        let mut det = Calibrating::new(100, 3.0, sraa_builder);
+        for _ in 0..99 {
+            assert_eq!(det.observe(1_000.0), Decision::Continue);
+            assert!(det.is_calibrating());
+        }
+        det.observe(1_000.0);
+        assert!(!det.is_calibrating());
+        assert!(det.baseline().is_some());
+    }
+
+    #[test]
+    fn calibrating_learns_and_then_detects() {
+        let mut det = Calibrating::new(300, 3.0, sraa_builder);
+        for i in 0..300 {
+            det.observe(10.0 + (i % 5) as f64); // healthy around 12
+        }
+        let (mu, sigma) = det.baseline().unwrap();
+        assert!((mu - 12.0).abs() < 0.3, "mu = {mu}");
+        assert!(sigma > 0.5 && sigma < 3.0, "sigma = {sigma}");
+        // Healthy traffic keeps it quiet…
+        for i in 0..2_000 {
+            assert_eq!(det.observe(10.0 + (i % 5) as f64), Decision::Continue);
+        }
+        // …a big sustained shift fires.
+        let fired = (0..1_000).any(|_| det.observe(200.0).is_rejuvenate());
+        assert!(fired);
+        assert!(det.rejuvenation_count() > 0);
+    }
+
+    #[test]
+    fn constant_calibration_stream_gets_fallback_sigma() {
+        let mut det = Calibrating::new(50, 3.0, sraa_builder);
+        for _ in 0..50 {
+            det.observe(5.0);
+        }
+        let (mu, sigma) = det.baseline().unwrap();
+        assert_eq!(mu, 5.0);
+        assert!(sigma > 0.0);
+    }
+
+    #[test]
+    fn reset_before_calibration_is_benign() {
+        let mut det = Calibrating::new(10, 3.0, sraa_builder);
+        det.observe(1.0);
+        det.reset();
+        assert!(det.is_calibrating());
+        assert_eq!(det.rejuvenation_count(), 0);
+    }
+}

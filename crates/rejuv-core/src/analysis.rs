@@ -1,0 +1,251 @@
+//! Exact run-length analysis of the bucket detectors.
+//!
+//! Over (approximately) independent window averages, the SRAA/SARAA
+//! state `(N, d)` evolves as a **birth–death Markov chain** on the
+//! `K·(D + 1)` lexicographically ordered states: a window exceeding the
+//! current bucket's target moves one step "up" (ball added; overflow
+//! advances a bucket), otherwise one step "down" (underflow retreats a
+//! bucket with a full count; the very first state floors at itself).
+//! Rejuvenation is absorption past the last state.
+//!
+//! The *average run length* (ARL) — the expected number of windows until
+//! a trigger — therefore has the standard first-passage recursion
+//!
+//! ```text
+//! E[T(i → i+1)] = 1/p_i + (q_i/p_i)·E[T(i−1 → i)]
+//! ```
+//!
+//! with `p_i` the probability the window average exceeds the target of
+//! the bucket that state `i` belongs to. With `p` computed from the
+//! healthy distribution this is `ARL₀` (mean windows between false
+//! alarms); under a shifted distribution it is `ARL₁` (detection
+//! delay). These are the canonical change-detection metrics, and tests
+//! validate them against Monte-Carlo runs of the real detectors.
+
+use crate::ConfigError;
+
+/// Expected number of *windows* until the bucket chain of `buckets`
+/// buckets with depth `depth` triggers, starting from the clean state,
+/// when the window average exceeds bucket `N`'s target with probability
+/// `exceed_probs[N]` independently per window.
+///
+/// Returns `f64::INFINITY` if the expectation overflows (the healthy
+/// ARL of a well-tuned detector is astronomically large by design).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `exceed_probs.len() != buckets`, a
+/// probability is outside `[0, 1]`, or a count is zero.
+pub fn expected_windows_to_trigger(
+    exceed_probs: &[f64],
+    buckets: usize,
+    depth: u32,
+) -> Result<f64, ConfigError> {
+    if buckets == 0 {
+        return Err(ConfigError::ZeroCount { name: "buckets" });
+    }
+    if depth == 0 {
+        return Err(ConfigError::ZeroCount { name: "depth" });
+    }
+    if exceed_probs.len() != buckets {
+        return Err(ConfigError::InvalidValue {
+            name: "exceed_probs",
+            value: exceed_probs.len() as f64,
+            expected: "one exceed probability per bucket",
+        });
+    }
+    for &p in exceed_probs {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(ConfigError::InvalidValue {
+                name: "exceed_probability",
+                value: p,
+                expected: "a probability in [0, 1]",
+            });
+        }
+    }
+
+    // States 0..M, lexicographic (N, d); state i belongs to bucket
+    // i / (depth + 1). Trigger = first passage to M = buckets·(depth+1).
+    let per_bucket = depth as usize + 1;
+    let m = buckets * per_bucket;
+    let mut step = 0.0f64; // E[T(i−1 → i)], starts unused at i = 0
+    let mut total = 0.0f64;
+    for i in 0..m {
+        let p = exceed_probs[i / per_bucket];
+        if p <= 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        let q = 1.0 - p;
+        // At state 0 the down-move floors in place, so the recursion's
+        // base case is E[T(0→1)] = 1/p.
+        step = if i == 0 {
+            1.0 / p
+        } else {
+            1.0 / p + q / p * step
+        };
+        total += step;
+        if !total.is_finite() {
+            return Ok(f64::INFINITY);
+        }
+    }
+    Ok(total)
+}
+
+/// ARL of the CLTA detector in windows: the first window whose average
+/// exceeds the threshold, i.e. a geometric distribution with mean `1/p`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidValue`] unless `0 ≤ exceed_prob ≤ 1`.
+pub fn clta_expected_windows(exceed_prob: f64) -> Result<f64, ConfigError> {
+    if !(exceed_prob.is_finite() && (0.0..=1.0).contains(&exceed_prob)) {
+        return Err(ConfigError::InvalidValue {
+            name: "exceed_probability",
+            value: exceed_prob,
+            expected: "a probability in [0, 1]",
+        });
+    }
+    if exceed_prob == 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(1.0 / exceed_prob)
+    }
+}
+
+/// Converts a windows-based ARL to observations for window size `n`.
+pub fn windows_to_observations(windows: f64, n: usize) -> f64 {
+    windows * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+
+    /// Monte-Carlo ARL of a real SRAA detector fed iid Bernoulli-exceed
+    /// windows realized as values straddling the targets.
+    fn simulated_arl_windows(p: f64, k: usize, d: u32, runs: usize, seed: u64) -> f64 {
+        // Feed window means directly (n = 1): exceed with probability p
+        // against every bucket target, which we arrange by using values
+        // far above the last target or far below the first.
+        let cfg = SraaConfig::builder(0.0, 1.0)
+            .sample_size(1)
+            .buckets(k)
+            .depth(d)
+            .build()
+            .unwrap();
+        let mut state = seed;
+        let mut total = 0u64;
+        for _ in 0..runs {
+            let mut det = Sraa::new(cfg);
+            let mut windows = 0u64;
+            loop {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let value = if u < p { 1e9 } else { -1e9 };
+                windows += 1;
+                if det.observe(value) == Decision::Rejuvenate {
+                    break;
+                }
+            }
+            total += windows;
+        }
+        total as f64 / runs as f64
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(expected_windows_to_trigger(&[0.5], 0, 1).is_err());
+        assert!(expected_windows_to_trigger(&[0.5], 1, 0).is_err());
+        assert!(expected_windows_to_trigger(&[0.5, 0.5], 1, 1).is_err());
+        assert!(expected_windows_to_trigger(&[1.5], 1, 1).is_err());
+        assert!(expected_windows_to_trigger(&[-0.1], 1, 1).is_err());
+        assert!(clta_expected_windows(2.0).is_err());
+    }
+
+    #[test]
+    fn certain_exceedance_gives_minimum_delay() {
+        // p = 1 everywhere: exactly K(D+1) windows.
+        for (k, d) in [(1usize, 1u32), (3, 5), (5, 3), (2, 10)] {
+            let arl = expected_windows_to_trigger(&vec![1.0; k], k, d).unwrap();
+            assert!(
+                (arl - (k as f64 * (d as f64 + 1.0))).abs() < 1e-9,
+                "K = {k}, D = {d}: {arl}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_triggers() {
+        let arl = expected_windows_to_trigger(&[0.5, 0.0], 2, 3).unwrap();
+        assert!(arl.is_infinite());
+        assert!(clta_expected_windows(0.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn single_bucket_depth_one_closed_form() {
+        // K = 1, D = 1: states {0, 1}, trigger from 1 on an up-move.
+        // E = 1/p + (1/p)(1 + q·E) ... solve: E[T0->1] = 1/p,
+        // E[T1->2] = 1/p + (q/p)(1/p); total = 2/p + q/p².
+        for p in [0.1, 0.5, 0.9] {
+            let q = 1.0 - p;
+            let expected = 2.0 / p + q / (p * p);
+            let arl = expected_windows_to_trigger(&[p], 1, 1).unwrap();
+            assert!(
+                (arl - expected).abs() < 1e-9,
+                "p = {p}: {arl} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn arl_matches_monte_carlo_single_bucket() {
+        let p = 0.6;
+        let analytic = expected_windows_to_trigger(&[p], 1, 2).unwrap();
+        let simulated = simulated_arl_windows(p, 1, 2, 20_000, 42);
+        assert!(
+            (simulated / analytic - 1.0).abs() < 0.03,
+            "simulated {simulated} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn arl_matches_monte_carlo_multi_bucket() {
+        // With the same exceed probability in every bucket (values far
+        // beyond all targets or far below), the chain is homogeneous.
+        let p = 0.7;
+        let analytic = expected_windows_to_trigger(&[p, p, p], 3, 1).unwrap();
+        let simulated = simulated_arl_windows(p, 3, 1, 20_000, 43);
+        assert!(
+            (simulated / analytic - 1.0).abs() < 0.03,
+            "simulated {simulated} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn healthy_arl_exceeds_shifted_arl() {
+        // Healthy: p small; shifted: p large. ARL must collapse.
+        let healthy = expected_windows_to_trigger(&[0.45, 0.1, 0.01], 3, 3).unwrap();
+        let shifted = expected_windows_to_trigger(&[0.99, 0.95, 0.9], 3, 3).unwrap();
+        assert!(
+            healthy > 50.0 * shifted,
+            "healthy {healthy}, shifted {shifted}"
+        );
+    }
+
+    #[test]
+    fn deeper_buckets_raise_healthy_arl() {
+        let shallow = expected_windows_to_trigger(&[0.45], 1, 1).unwrap();
+        let deep = expected_windows_to_trigger(&[0.45], 1, 10).unwrap();
+        assert!(deep > shallow * 10.0);
+    }
+
+    #[test]
+    fn clta_geometric_arl() {
+        assert_eq!(clta_expected_windows(0.5).unwrap(), 2.0);
+        assert!((clta_expected_windows(0.034).unwrap() - 29.411764705882355).abs() < 1e-9);
+        assert_eq!(windows_to_observations(29.4, 30), 882.0);
+    }
+}

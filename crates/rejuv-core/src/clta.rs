@@ -1,0 +1,189 @@
+//! CLTA — the central-limit-theorem rejuvenation algorithm (the paper's
+//! Fig. 8).
+
+use crate::{AveragingWindow, CltaConfig, Decision, RejuvenationDetector};
+
+/// The central-limit-theorem rejuvenation detector.
+///
+/// Collects windows of `n` observations (with `n` large enough for the
+/// normal approximation — the paper uses 30) and triggers the first time
+/// a window average exceeds `µX + N·σX/√n`, where `N` is a standard-
+/// normal quantile chosen from the acceptable false-alarm probability.
+/// Buckets and depth are implicitly 1.
+///
+/// Note that the *real* false-alarm probability is larger than nominal:
+/// the paper computes 3.37 % instead of 2.5 % for `n = 30` at the
+/// heaviest load (reproduced in `rejuv-queueing::SampleMean`).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::{Clta, CltaConfig, Decision, RejuvenationDetector};
+///
+/// let config = CltaConfig::builder(5.0, 5.0)
+///     .sample_size(30)
+///     .quantile_factor(1.96)
+///     .build()?;
+/// let mut clta = Clta::new(config);
+/// // 30 observations straddling the healthy mean: no decision before
+/// // the window completes, and none after, because the mean is small.
+/// for _ in 0..29 {
+///     assert_eq!(clta.observe(5.0), Decision::Continue);
+/// }
+/// assert_eq!(clta.observe(5.0), Decision::Continue);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clta {
+    config: CltaConfig,
+    window: AveragingWindow,
+    windows_seen: u64,
+    triggers: u64,
+}
+
+impl Clta {
+    /// Creates the detector from a validated configuration.
+    pub fn new(config: CltaConfig) -> Self {
+        Clta {
+            window: AveragingWindow::new(config.sample_size()),
+            config,
+            windows_seen: 0,
+            triggers: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CltaConfig {
+        &self.config
+    }
+
+    /// Number of completed windows consumed so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// The constant trigger threshold `µX + N·σX/√n`.
+    pub fn threshold(&self) -> f64 {
+        self.config.target()
+    }
+}
+
+impl RejuvenationDetector for Clta {
+    fn observe(&mut self, value: f64) -> Decision {
+        match self.window.push(value) {
+            Some(mean) => {
+                self.windows_seen += 1;
+                if mean > self.threshold() {
+                    self.triggers += 1;
+                    Decision::Rejuvenate
+                } else {
+                    Decision::Continue
+                }
+            }
+            None => Decision::Continue,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.window.reset();
+        self.windows_seen = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "CLTA"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, z: f64) -> CltaConfig {
+        CltaConfig::builder(5.0, 5.0)
+            .sample_size(n)
+            .quantile_factor(z)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let clta = Clta::new(config(30, 1.96));
+        assert!((clta.threshold() - (5.0 + 1.96 * 5.0 / 30f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bad_window_triggers() {
+        let mut clta = Clta::new(config(30, 1.96));
+        for _ in 0..29 {
+            assert_eq!(clta.observe(100.0), Decision::Continue);
+        }
+        assert_eq!(clta.observe(100.0), Decision::Rejuvenate);
+        assert_eq!(clta.rejuvenation_count(), 1);
+    }
+
+    #[test]
+    fn healthy_windows_do_not_trigger() {
+        let mut clta = Clta::new(config(10, 1.96));
+        // Mean 5.0 is well below 5 + 1.96·5/√10 ≈ 8.1.
+        for i in 0..10_000 {
+            let v = if i % 2 == 0 { 3.0 } else { 7.0 };
+            assert_eq!(clta.observe(v), Decision::Continue);
+        }
+        assert_eq!(clta.rejuvenation_count(), 0);
+    }
+
+    #[test]
+    fn decision_is_made_only_at_window_boundaries() {
+        let mut clta = Clta::new(config(5, 1.0));
+        let mut decisions = 0;
+        for i in 1..=23 {
+            let d = clta.observe(1000.0);
+            if d.is_rejuvenate() {
+                decisions += 1;
+                assert_eq!(i % 5, 0, "trigger only when a window completes");
+            }
+        }
+        assert_eq!(decisions, 4); // windows at 5, 10, 15, 20
+        assert_eq!(clta.windows_seen(), 4);
+    }
+
+    #[test]
+    fn just_above_threshold_triggers_strictly() {
+        let mut clta = Clta::new(config(1, 2.0));
+        let threshold = clta.threshold(); // 5 + 2·5 = 15
+        assert_eq!(clta.observe(threshold), Decision::Continue);
+        assert_eq!(clta.observe(threshold + 1e-9), Decision::Rejuvenate);
+    }
+
+    #[test]
+    fn smaller_n_means_higher_threshold() {
+        let t5 = Clta::new(config(5, 1.96)).threshold();
+        let t30 = Clta::new(config(30, 1.96)).threshold();
+        assert!(t5 > t30);
+    }
+
+    #[test]
+    fn reset_discards_partial_window_but_keeps_trigger_count() {
+        let mut clta = Clta::new(config(2, 1.0));
+        clta.observe(1000.0);
+        clta.observe(1000.0);
+        assert_eq!(clta.rejuvenation_count(), 1);
+        clta.observe(1000.0); // partial window
+        clta.reset();
+        assert_eq!(clta.windows_seen(), 0);
+        assert_eq!(clta.rejuvenation_count(), 1);
+        // After reset a fresh full window is needed.
+        assert_eq!(clta.observe(1000.0), Decision::Continue);
+        assert_eq!(clta.observe(1000.0), Decision::Rejuvenate);
+    }
+
+    #[test]
+    fn name_is_clta() {
+        assert_eq!(Clta::new(config(30, 1.96)).name(), "CLTA");
+    }
+}

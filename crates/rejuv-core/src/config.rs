@@ -1,0 +1,589 @@
+//! Validated configurations for the three detectors.
+//!
+//! All detectors share the service-level parameters `µX` (mean) and `σX`
+//! (standard deviation) of the metric under *normal* behaviour — in the
+//! paper's experiments, `µX = σX = 5` seconds. The builders validate
+//! every parameter so the detectors themselves can be panic-free on the
+//! hot path.
+
+use crate::ConfigError;
+use serde::{Deserialize, Serialize};
+
+fn validate_sla(mu: f64, sigma: f64) -> Result<(), ConfigError> {
+    if !mu.is_finite() {
+        return Err(ConfigError::InvalidValue {
+            name: "mu",
+            value: mu,
+            expected: "a finite baseline mean",
+        });
+    }
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return Err(ConfigError::InvalidValue {
+            name: "sigma",
+            value: sigma,
+            expected: "a positive finite baseline standard deviation",
+        });
+    }
+    Ok(())
+}
+
+/// Configuration for [`crate::Sraa`] (static rejuvenation with
+/// averaging).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::SraaConfig;
+///
+/// // The best tradeoff configuration of the paper's §5.4: (n, K, D) = (3, 2, 5).
+/// let c = SraaConfig::builder(5.0, 5.0)
+///     .sample_size(3)
+///     .buckets(2)
+///     .depth(5)
+///     .build()?;
+/// assert_eq!((c.sample_size(), c.buckets(), c.depth()), (3, 2, 5));
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SraaConfig {
+    mu: f64,
+    sigma: f64,
+    sample_size: usize,
+    buckets: usize,
+    depth: u32,
+}
+
+impl SraaConfig {
+    /// Starts a builder with the baseline mean and standard deviation.
+    pub fn builder(mu: f64, sigma: f64) -> SraaConfigBuilder {
+        SraaConfigBuilder {
+            mu,
+            sigma,
+            sample_size: 1,
+            buckets: 1,
+            depth: 1,
+        }
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Window size `n`.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Number of buckets `K`.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Bucket depth `D`.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The product `n · K · D`, the figure-of-merit the paper holds
+    /// constant when comparing configurations.
+    pub fn nkd(&self) -> u64 {
+        self.sample_size as u64 * self.buckets as u64 * u64::from(self.depth)
+    }
+
+    /// The target value for bucket `N`: `µX + N·σX`.
+    pub fn target(&self, bucket: usize) -> f64 {
+        self.mu + bucket as f64 * self.sigma
+    }
+}
+
+/// Builder for [`SraaConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SraaConfigBuilder {
+    mu: f64,
+    sigma: f64,
+    sample_size: usize,
+    buckets: usize,
+    depth: u32,
+}
+
+impl SraaConfigBuilder {
+    /// Sets the window size `n` (default 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the number of buckets `K` (default 1).
+    pub fn buckets(mut self, k: usize) -> Self {
+        self.buckets = k;
+        self
+    }
+
+    /// Sets the bucket depth `D` (default 1).
+    pub fn depth(mut self, d: u32) -> Self {
+        self.depth = d;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any count is zero or the SLA values are
+    /// not valid.
+    pub fn build(self) -> Result<SraaConfig, ConfigError> {
+        validate_sla(self.mu, self.sigma)?;
+        if self.sample_size == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "sample_size",
+            });
+        }
+        if self.buckets == 0 {
+            return Err(ConfigError::ZeroCount { name: "buckets" });
+        }
+        if self.depth == 0 {
+            return Err(ConfigError::ZeroCount { name: "depth" });
+        }
+        Ok(SraaConfig {
+            mu: self.mu,
+            sigma: self.sigma,
+            sample_size: self.sample_size,
+            buckets: self.buckets,
+            depth: self.depth,
+        })
+    }
+}
+
+/// How SARAA shrinks its window as degradation deepens.
+///
+/// The paper uses the linear schedule
+/// `n(N) = floor(1 + (n_orig − 1)(1 − N/K))`. The other variants exist
+/// for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccelerationSchedule {
+    /// The paper's linear shrink, rate `−N/K`.
+    #[default]
+    Linear,
+    /// No acceleration: the window stays at `n_orig` (SARAA degenerates
+    /// into SRAA with `σX/√n` targets).
+    None,
+    /// Aggressive quadratic shrink, `n(N) = floor(1 + (n_orig − 1)(1 − N/K)²)`.
+    Quadratic,
+}
+
+impl AccelerationSchedule {
+    /// Window size to use while in bucket `bucket` of `buckets`.
+    ///
+    /// Always at least 1 and at most `n_orig`.
+    pub fn sample_size(self, n_orig: usize, bucket: usize, buckets: usize) -> usize {
+        debug_assert!(bucket < buckets || bucket == 0);
+        let frac = 1.0 - bucket as f64 / buckets as f64;
+        let scaled = match self {
+            AccelerationSchedule::Linear => 1.0 + (n_orig as f64 - 1.0) * frac,
+            AccelerationSchedule::None => n_orig as f64,
+            AccelerationSchedule::Quadratic => 1.0 + (n_orig as f64 - 1.0) * frac * frac,
+        };
+        (scaled.floor() as usize).clamp(1, n_orig)
+    }
+}
+
+/// Configuration for [`crate::Saraa`] (sampling-acceleration
+/// rejuvenation with averaging).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::SaraaConfig;
+///
+/// let c = SaraaConfig::builder(5.0, 5.0)
+///     .initial_sample_size(10)
+///     .buckets(3)
+///     .depth(1)
+///     .build()?;
+/// // The paper's linear schedule: bucket 0 uses the full window …
+/// assert_eq!(c.sample_size_for_bucket(0), 10);
+/// // … bucket 2 uses floor(1 + 9·(1 − 2/3)) = 4.
+/// assert_eq!(c.sample_size_for_bucket(2), 4);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaraaConfig {
+    mu: f64,
+    sigma: f64,
+    initial_sample_size: usize,
+    buckets: usize,
+    depth: u32,
+    schedule: AccelerationSchedule,
+}
+
+impl SaraaConfig {
+    /// Starts a builder with the baseline mean and standard deviation.
+    pub fn builder(mu: f64, sigma: f64) -> SaraaConfigBuilder {
+        SaraaConfigBuilder {
+            mu,
+            sigma,
+            initial_sample_size: 1,
+            buckets: 1,
+            depth: 1,
+            schedule: AccelerationSchedule::Linear,
+        }
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Initial window size `n_orig`.
+    pub fn initial_sample_size(&self) -> usize {
+        self.initial_sample_size
+    }
+
+    /// Number of buckets `K`.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Bucket depth `D`.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The acceleration schedule in force.
+    pub fn schedule(&self) -> AccelerationSchedule {
+        self.schedule
+    }
+
+    /// The product `n · K · D` using the *initial* sample size.
+    pub fn nkd(&self) -> u64 {
+        self.initial_sample_size as u64 * self.buckets as u64 * u64::from(self.depth)
+    }
+
+    /// Window size while in `bucket`.
+    pub fn sample_size_for_bucket(&self, bucket: usize) -> usize {
+        self.schedule
+            .sample_size(self.initial_sample_size, bucket, self.buckets)
+    }
+
+    /// Target for bucket `N` at window size `n`: `µX + N·σX/√n`.
+    pub fn target(&self, bucket: usize, sample_size: usize) -> f64 {
+        self.mu + bucket as f64 * self.sigma / (sample_size as f64).sqrt()
+    }
+}
+
+/// Builder for [`SaraaConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SaraaConfigBuilder {
+    mu: f64,
+    sigma: f64,
+    initial_sample_size: usize,
+    buckets: usize,
+    depth: u32,
+    schedule: AccelerationSchedule,
+}
+
+impl SaraaConfigBuilder {
+    /// Sets the initial window size `n_orig` (default 1).
+    pub fn initial_sample_size(mut self, n: usize) -> Self {
+        self.initial_sample_size = n;
+        self
+    }
+
+    /// Sets the number of buckets `K` (default 1).
+    pub fn buckets(mut self, k: usize) -> Self {
+        self.buckets = k;
+        self
+    }
+
+    /// Sets the bucket depth `D` (default 1).
+    pub fn depth(mut self, d: u32) -> Self {
+        self.depth = d;
+        self
+    }
+
+    /// Sets the acceleration schedule (default [`AccelerationSchedule::Linear`]).
+    pub fn schedule(mut self, s: AccelerationSchedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any count is zero or the SLA values are
+    /// not valid.
+    pub fn build(self) -> Result<SaraaConfig, ConfigError> {
+        validate_sla(self.mu, self.sigma)?;
+        if self.initial_sample_size == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "initial_sample_size",
+            });
+        }
+        if self.buckets == 0 {
+            return Err(ConfigError::ZeroCount { name: "buckets" });
+        }
+        if self.depth == 0 {
+            return Err(ConfigError::ZeroCount { name: "depth" });
+        }
+        Ok(SaraaConfig {
+            mu: self.mu,
+            sigma: self.sigma,
+            initial_sample_size: self.initial_sample_size,
+            buckets: self.buckets,
+            depth: self.depth,
+            schedule: self.schedule,
+        })
+    }
+}
+
+/// Configuration for [`crate::Clta`] (the CLT-based detector).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::CltaConfig;
+///
+/// // The paper's Fig. 16 setting: n = 30, N = 1.96.
+/// let c = CltaConfig::builder(5.0, 5.0)
+///     .sample_size(30)
+///     .quantile_factor(1.96)
+///     .build()?;
+/// // Target: µX + N·σX/√n = 5 + 1.96·5/√30.
+/// assert!((c.target() - (5.0 + 1.96 * 5.0 / 30f64.sqrt())).abs() < 1e-12);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CltaConfig {
+    mu: f64,
+    sigma: f64,
+    sample_size: usize,
+    quantile_factor: f64,
+}
+
+impl CltaConfig {
+    /// Starts a builder with the baseline mean and standard deviation.
+    pub fn builder(mu: f64, sigma: f64) -> CltaConfigBuilder {
+        CltaConfigBuilder {
+            mu,
+            sigma,
+            sample_size: 30,
+            quantile_factor: 1.96,
+        }
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Window size `n`.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// The normal quantile `N` (e.g. 1.96 for a nominal 2.5 % false-alarm
+    /// rate).
+    pub fn quantile_factor(&self) -> f64 {
+        self.quantile_factor
+    }
+
+    /// The trigger threshold `µX + N·σX/√n`.
+    pub fn target(&self) -> f64 {
+        self.mu + self.quantile_factor * self.sigma / (self.sample_size as f64).sqrt()
+    }
+}
+
+/// Builder for [`CltaConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CltaConfigBuilder {
+    mu: f64,
+    sigma: f64,
+    sample_size: usize,
+    quantile_factor: f64,
+}
+
+impl CltaConfigBuilder {
+    /// Sets the window size `n` (default 30, per the paper's "large
+    /// enough for the CLT" guidance).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the normal quantile `N` directly (default 1.96).
+    pub fn quantile_factor(mut self, z: f64) -> Self {
+        self.quantile_factor = z;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the sample size is zero, the quantile
+    /// factor is not positive and finite, or the SLA values are invalid.
+    pub fn build(self) -> Result<CltaConfig, ConfigError> {
+        validate_sla(self.mu, self.sigma)?;
+        if self.sample_size == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "sample_size",
+            });
+        }
+        if !(self.quantile_factor.is_finite() && self.quantile_factor > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "quantile_factor",
+                value: self.quantile_factor,
+                expected: "a positive finite normal quantile",
+            });
+        }
+        Ok(CltaConfig {
+            mu: self.mu,
+            sigma: self.sigma,
+            sample_size: self.sample_size,
+            quantile_factor: self.quantile_factor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sraa_builder_validates() {
+        assert!(SraaConfig::builder(5.0, 5.0).build().is_ok());
+        assert!(SraaConfig::builder(5.0, 0.0).build().is_err());
+        assert!(SraaConfig::builder(f64::NAN, 5.0).build().is_err());
+        assert!(SraaConfig::builder(5.0, 5.0)
+            .sample_size(0)
+            .build()
+            .is_err());
+        assert!(SraaConfig::builder(5.0, 5.0).buckets(0).build().is_err());
+        assert!(SraaConfig::builder(5.0, 5.0).depth(0).build().is_err());
+    }
+
+    #[test]
+    fn sraa_targets_step_by_sigma() {
+        let c = SraaConfig::builder(5.0, 2.0).buckets(4).build().unwrap();
+        assert_eq!(c.target(0), 5.0);
+        assert_eq!(c.target(1), 7.0);
+        assert_eq!(c.target(3), 11.0);
+    }
+
+    #[test]
+    fn nkd_product() {
+        let c = SraaConfig::builder(5.0, 5.0)
+            .sample_size(3)
+            .buckets(2)
+            .depth(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.nkd(), 30);
+    }
+
+    #[test]
+    fn saraa_linear_schedule_matches_paper_formula() {
+        // n(N) = floor(1 + (n_orig − 1)(1 − N/K)).
+        let c = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(10)
+            .buckets(3)
+            .depth(1)
+            .build()
+            .unwrap();
+        assert_eq!(c.sample_size_for_bucket(0), 10);
+        assert_eq!(c.sample_size_for_bucket(1), 7); // floor(1 + 9·2/3)
+        assert_eq!(c.sample_size_for_bucket(2), 4); // floor(1 + 9·1/3)
+    }
+
+    #[test]
+    fn saraa_schedule_never_below_one_or_above_n_orig() {
+        for schedule in [
+            AccelerationSchedule::Linear,
+            AccelerationSchedule::None,
+            AccelerationSchedule::Quadratic,
+        ] {
+            for n_orig in 1..=12usize {
+                for k in 1..=8usize {
+                    for b in 0..k {
+                        let n = schedule.sample_size(n_orig, b, k);
+                        assert!(
+                            (1..=n_orig).contains(&n),
+                            "{schedule:?} n_orig={n_orig} K={k} N={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saraa_none_schedule_is_constant() {
+        let c = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(6)
+            .buckets(5)
+            .schedule(AccelerationSchedule::None)
+            .build()
+            .unwrap();
+        for b in 0..5 {
+            assert_eq!(c.sample_size_for_bucket(b), 6);
+        }
+    }
+
+    #[test]
+    fn saraa_targets_use_sqrt_n() {
+        let c = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(4)
+            .buckets(3)
+            .build()
+            .unwrap();
+        assert!((c.target(2, 4) - (5.0 + 2.0 * 5.0 / 2.0)).abs() < 1e-12);
+        assert!((c.target(0, 4) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clta_builder_validates() {
+        assert!(CltaConfig::builder(5.0, 5.0).build().is_ok());
+        assert!(CltaConfig::builder(5.0, 5.0)
+            .sample_size(0)
+            .build()
+            .is_err());
+        assert!(CltaConfig::builder(5.0, 5.0)
+            .quantile_factor(0.0)
+            .build()
+            .is_err());
+        assert!(CltaConfig::builder(5.0, 5.0)
+            .quantile_factor(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SraaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,189 @@
+//! A refractory-period adaptor for rejuvenation detectors.
+//!
+//! Rejuvenation is expensive (the paper's cost metric is the fraction of
+//! transactions terminated). In production one usually wants a floor on
+//! the spacing between rejuvenations so a pathological configuration
+//! cannot thrash the system. [`Cooldown`] wraps any detector and
+//! suppresses triggers for a configurable number of observations after
+//! each one — trading a little detection latency for a hard bound on
+//! rejuvenation frequency.
+
+use crate::{Decision, RejuvenationDetector};
+
+/// Wraps a detector with a post-trigger refractory period measured in
+/// observations.
+///
+/// While in cooldown, inner decisions are overridden to
+/// [`Decision::Continue`] and the inner detector is reset once so it
+/// starts the next cycle from a clean state (mirroring what its own
+/// trigger path does).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::cooldown::Cooldown;
+/// use rejuv_core::{Clta, CltaConfig, RejuvenationDetector};
+///
+/// let clta = Clta::new(
+///     CltaConfig::builder(5.0, 5.0).sample_size(1).quantile_factor(1.0).build()?,
+/// );
+/// // At most one rejuvenation per 100 observations.
+/// let mut guarded = Cooldown::new(clta, 100);
+/// let mut fired = 0;
+/// for _ in 0..1_000 {
+///     if guarded.observe(1_000.0).is_rejuvenate() {
+///         fired += 1;
+///     }
+/// }
+/// assert!(fired <= 10);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Cooldown<D> {
+    inner: D,
+    period: u64,
+    remaining: u64,
+    suppressed: u64,
+    triggers: u64,
+}
+
+impl<D: RejuvenationDetector> Cooldown<D> {
+    /// Wraps `inner` with a refractory period of `period` observations.
+    pub fn new(inner: D, period: u64) -> Self {
+        Cooldown {
+            inner,
+            period,
+            remaining: 0,
+            suppressed: 0,
+            triggers: 0,
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Observations remaining in the current refractory period (0 when
+    /// armed).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Number of inner triggers that were suppressed by the cooldown.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Consumes the adaptor and returns the wrapped detector.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: RejuvenationDetector> RejuvenationDetector for Cooldown<D> {
+    fn observe(&mut self, value: f64) -> Decision {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            // The inner detector does not see observations made during
+            // the refractory period: the system was just flushed, so the
+            // first post-rejuvenation samples are transient anyway.
+            return Decision::Continue;
+        }
+        match self.inner.observe(value) {
+            Decision::Rejuvenate => {
+                self.remaining = self.period;
+                self.triggers += 1;
+                self.inner.reset();
+                Decision::Rejuvenate
+            }
+            Decision::Continue => Decision::Continue,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.remaining = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "Cooldown"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sraa, SraaConfig};
+
+    fn hair_trigger() -> Sraa {
+        // (n, K, D) = (1, 1, 1): two large observations trigger.
+        Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(1)
+                .buckets(1)
+                .depth(1)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn caps_trigger_rate() {
+        let mut det = Cooldown::new(hair_trigger(), 50);
+        let mut fired = 0;
+        for _ in 0..1_040 {
+            if det.observe(100.0).is_rejuvenate() {
+                fired += 1;
+            }
+        }
+        // Cycle length = 2 (to fire) + 50 (cooldown) = 52 observations.
+        assert_eq!(fired, 20);
+        assert_eq!(det.rejuvenation_count(), 20);
+    }
+
+    #[test]
+    fn zero_period_is_transparent() {
+        let mut plain = hair_trigger();
+        let mut wrapped = Cooldown::new(hair_trigger(), 0);
+        for i in 0..200 {
+            let v = if i % 3 == 0 { 100.0 } else { 1.0 };
+            assert_eq!(plain.observe(v), wrapped.observe(v));
+        }
+    }
+
+    #[test]
+    fn cooldown_counts_remaining() {
+        let mut det = Cooldown::new(hair_trigger(), 10);
+        det.observe(100.0);
+        assert_eq!(det.remaining(), 0);
+        assert!(det.observe(100.0).is_rejuvenate());
+        assert_eq!(det.remaining(), 10);
+        det.observe(100.0);
+        assert_eq!(det.remaining(), 9);
+    }
+
+    #[test]
+    fn reset_clears_cooldown() {
+        let mut det = Cooldown::new(hair_trigger(), 1_000);
+        det.observe(100.0);
+        det.observe(100.0);
+        assert_eq!(det.remaining(), 1_000);
+        det.reset();
+        assert_eq!(det.remaining(), 0);
+        // Armed again immediately.
+        det.observe(100.0);
+        assert!(det.observe(100.0).is_rejuvenate());
+    }
+
+    #[test]
+    fn into_inner_returns_detector() {
+        let det = Cooldown::new(hair_trigger(), 5);
+        let inner = det.into_inner();
+        assert_eq!(inner.name(), "SRAA");
+    }
+}

@@ -1,0 +1,260 @@
+//! One-sided CUSUM detector — the optimal change-point baseline.
+//!
+//! Page's cumulative-sum chart (1954) is the classical sequential test
+//! for a shift in the mean and, by the Lorden/Moustakides theory, the
+//! minimax-optimal one for a known shift size. Included as the second
+//! change-detection baseline against which the paper's bucket algorithms
+//! are benchmarked.
+//!
+//! The statistic is `s_t = max(0, s_{t−1} + (x_t − µX) − k·σX)` with the
+//! *reference value* `k` (half the shift to detect, in σ units); the
+//! chart signals when `s_t > h·σX` (the *decision interval*).
+
+use crate::{ConfigError, Decision, RejuvenationDetector};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Cusum`] detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CusumConfig {
+    mu: f64,
+    sigma: f64,
+    reference: f64,
+    decision: f64,
+}
+
+impl CusumConfig {
+    /// Creates a configuration: baseline `(mu, sigma)`, reference value
+    /// `reference` (`k`, in σ; 0.5 targets a 1σ shift) and decision
+    /// interval `decision` (`h`, in σ; 4–5 conventional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidValue`] for out-of-domain values.
+    pub fn new(mu: f64, sigma: f64, reference: f64, decision: f64) -> Result<Self, ConfigError> {
+        if !mu.is_finite() {
+            return Err(ConfigError::InvalidValue {
+                name: "mu",
+                value: mu,
+                expected: "a finite baseline mean",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "sigma",
+                value: sigma,
+                expected: "a positive finite baseline standard deviation",
+            });
+        }
+        if !(reference.is_finite() && reference >= 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "reference",
+                value: reference,
+                expected: "a non-negative reference value k",
+            });
+        }
+        if !(decision.is_finite() && decision > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "decision",
+                value: decision,
+                expected: "a positive decision interval h",
+            });
+        }
+        Ok(CusumConfig {
+            mu,
+            sigma,
+            reference,
+            decision,
+        })
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Reference value `k` in σ units.
+    pub fn reference(&self) -> f64 {
+        self.reference
+    }
+
+    /// Decision interval `h` in σ units.
+    pub fn decision(&self) -> f64 {
+        self.decision
+    }
+}
+
+/// The one-sided (upper) CUSUM rejuvenation detector.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::cusum::{Cusum, CusumConfig};
+/// use rejuv_core::{Decision, RejuvenationDetector};
+///
+/// let mut chart = Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 5.0)?);
+/// for i in 0..1_000 {
+///     assert_eq!(chart.observe(4.0 + (i % 3) as f64), Decision::Continue);
+/// }
+/// let fired = (0..100).any(|_| chart.observe(40.0).is_rejuvenate());
+/// assert!(fired);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cusum {
+    config: CusumConfig,
+    s: f64,
+    triggers: u64,
+}
+
+impl Cusum {
+    /// Creates the detector with the statistic at zero.
+    pub fn new(config: CusumConfig) -> Self {
+        Cusum {
+            config,
+            s: 0.0,
+            triggers: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CusumConfig {
+        &self.config
+    }
+
+    /// Current cumulative-sum statistic (in raw metric units).
+    pub fn statistic(&self) -> f64 {
+        self.s
+    }
+
+    /// The trigger threshold `h·σX` in raw metric units.
+    pub fn threshold(&self) -> f64 {
+        self.config.decision * self.config.sigma
+    }
+}
+
+impl RejuvenationDetector for Cusum {
+    fn observe(&mut self, value: f64) -> Decision {
+        if !value.is_finite() {
+            return Decision::Continue;
+        }
+        let drift = self.config.reference * self.config.sigma;
+        self.s = (self.s + value - self.config.mu - drift).max(0.0);
+        if self.s > self.threshold() {
+            self.triggers += 1;
+            self.s = 0.0;
+            Decision::Rejuvenate
+        } else {
+            Decision::Continue
+        }
+    }
+
+    fn reset(&mut self) {
+        self.s = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "CUSUM"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart(k: f64, h: f64) -> Cusum {
+        Cusum::new(CusumConfig::new(5.0, 5.0, k, h).unwrap())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CusumConfig::new(5.0, 5.0, 0.5, 5.0).is_ok());
+        assert!(CusumConfig::new(f64::INFINITY, 5.0, 0.5, 5.0).is_err());
+        assert!(CusumConfig::new(5.0, -1.0, 0.5, 5.0).is_err());
+        assert!(CusumConfig::new(5.0, 5.0, -0.5, 5.0).is_err());
+        assert!(CusumConfig::new(5.0, 5.0, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn statistic_floors_at_zero() {
+        let mut c = chart(0.5, 5.0);
+        for _ in 0..100 {
+            c.observe(0.0); // far below the mean
+            assert_eq!(c.statistic(), 0.0);
+        }
+    }
+
+    #[test]
+    fn values_below_reference_do_not_accumulate() {
+        // Drift allowance: values at µ + kσ − ε never build the sum.
+        let mut c = chart(0.5, 5.0);
+        for _ in 0..100_000 {
+            assert_eq!(c.observe(7.4), Decision::Continue); // µ + kσ = 7.5
+            assert!(c.statistic() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_firing_arithmetic() {
+        // Each observation at 17.5 adds (17.5 − 5 − 2.5) = 10 to s;
+        // threshold is h·σ = 25, so it fires on the 3rd observation.
+        let mut c = chart(0.5, 5.0);
+        assert_eq!(c.observe(17.5), Decision::Continue);
+        assert_eq!(c.observe(17.5), Decision::Continue);
+        assert_eq!(c.observe(17.5), Decision::Rejuvenate);
+        assert_eq!(c.statistic(), 0.0, "restarts after the trigger");
+    }
+
+    #[test]
+    fn detects_small_persistent_shift_that_shewhart_misses() {
+        // A +1.2σ shift never crosses a 3σ Shewhart limit pointwise, but
+        // CUSUM accumulates it.
+        let mut c = chart(0.5, 4.0);
+        let fired = (0..10_000).any(|_| c.observe(5.0 + 1.2 * 5.0).is_rejuvenate());
+        assert!(fired);
+    }
+
+    #[test]
+    fn larger_h_means_slower_but_rarer_firing() {
+        let fire_time = |h: f64| {
+            let mut c = chart(0.5, h);
+            for i in 1..100_000 {
+                if c.observe(12.0).is_rejuvenate() {
+                    return i;
+                }
+            }
+            panic!("never fired");
+        };
+        assert!(fire_time(2.0) < fire_time(8.0));
+    }
+
+    #[test]
+    fn reset_and_counts() {
+        let mut c = chart(0.0, 1.0);
+        c.observe(100.0);
+        assert_eq!(c.rejuvenation_count(), 1);
+        c.observe(7.0);
+        assert!(c.statistic() > 0.0);
+        c.reset();
+        assert_eq!(c.statistic(), 0.0);
+        assert_eq!(c.rejuvenation_count(), 1);
+        assert_eq!(c.name(), "CUSUM");
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut c = chart(0.5, 5.0);
+        c.observe(10.0);
+        let s = c.statistic();
+        c.observe(f64::NAN);
+        assert_eq!(c.statistic(), s);
+    }
+}

@@ -1,0 +1,74 @@
+//! The detector abstraction shared by all rejuvenation algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The verdict a detector returns for each observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// The system looks healthy enough; keep serving.
+    Continue,
+    /// Sustained degradation detected: trigger software rejuvenation now.
+    Rejuvenate,
+}
+
+impl Decision {
+    /// Returns `true` for [`Decision::Rejuvenate`].
+    pub fn is_rejuvenate(self) -> bool {
+        self == Decision::Rejuvenate
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Continue => write!(f, "continue"),
+            Decision::Rejuvenate => write!(f, "rejuvenate"),
+        }
+    }
+}
+
+/// A software-rejuvenation detector.
+///
+/// Implementations consume one observation of the customer-affecting
+/// metric at a time (smaller is better, as for response times) and
+/// answer whether the system should be rejuvenated *now*.
+///
+/// After returning [`Decision::Rejuvenate`], implementations reset their
+/// internal state, exactly as the paper's pseudo-code does
+/// (`d := 0; N := 0`), so one detector instance can supervise a system
+/// across many rejuvenation cycles.
+///
+/// The trait is object-safe; simulation harnesses hold detectors as
+/// `Box<dyn RejuvenationDetector>`.
+pub trait RejuvenationDetector: Send {
+    /// Feeds one observation and returns the rejuvenation decision.
+    fn observe(&mut self, value: f64) -> Decision;
+
+    /// Clears all internal state back to the post-construction state.
+    fn reset(&mut self);
+
+    /// Short algorithm name ("SRAA", "SARAA", "CLTA", …) for reports.
+    fn name(&self) -> &'static str;
+
+    /// The number of rejuvenations this detector has triggered so far.
+    fn rejuvenation_count(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_helpers() {
+        assert!(Decision::Rejuvenate.is_rejuvenate());
+        assert!(!Decision::Continue.is_rejuvenate());
+        assert_eq!(Decision::Continue.to_string(), "continue");
+        assert_eq!(Decision::Rejuvenate.to_string(), "rejuvenate");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_boxed(_d: Box<dyn RejuvenationDetector>) {}
+    }
+}

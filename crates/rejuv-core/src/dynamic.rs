@@ -1,0 +1,365 @@
+//! Dynamic-depth rejuvenation with averaging.
+//!
+//! §4.2 of the DSN paper notes of SRAA: "In this version of the
+//! algorithm, the bucket depth D is constant for all buckets and so the
+//! algorithm is said to be *static*." Its predecessors (\[1\], \[2\])
+//! also studied the *dynamic* sibling, in which each bucket has its own
+//! depth — typically decreasing with the bucket index so that the deeper
+//! the degradation, the less corroboration is demanded (the depth-domain
+//! analogue of SARAA's sampling acceleration).
+//!
+//! [`DynamicSraa`] implements that variant: SRAA semantics with a
+//! per-bucket depth vector.
+
+use crate::{AveragingWindow, ConfigError, Decision, RejuvenationDetector};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`DynamicSraa`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSraaConfig {
+    mu: f64,
+    sigma: f64,
+    sample_size: usize,
+    depths: Vec<u32>,
+}
+
+impl DynamicSraaConfig {
+    /// Creates the configuration: baseline `(mu, sigma)`, window size
+    /// `sample_size`, and one depth per bucket (the vector's length is
+    /// the bucket count `K`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the baseline is invalid, the window is
+    /// zero, `depths` is empty, or any depth is zero.
+    pub fn new(
+        mu: f64,
+        sigma: f64,
+        sample_size: usize,
+        depths: Vec<u32>,
+    ) -> Result<Self, ConfigError> {
+        if !mu.is_finite() {
+            return Err(ConfigError::InvalidValue {
+                name: "mu",
+                value: mu,
+                expected: "a finite baseline mean",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "sigma",
+                value: sigma,
+                expected: "a positive finite baseline standard deviation",
+            });
+        }
+        if sample_size == 0 {
+            return Err(ConfigError::ZeroCount {
+                name: "sample_size",
+            });
+        }
+        if depths.is_empty() {
+            return Err(ConfigError::ZeroCount { name: "depths" });
+        }
+        if depths.contains(&0) {
+            return Err(ConfigError::ZeroCount { name: "depth" });
+        }
+        Ok(DynamicSraaConfig {
+            mu,
+            sigma,
+            sample_size,
+            depths,
+        })
+    }
+
+    /// A linearly *decreasing* depth schedule from `first_depth` down to
+    /// 1 across `buckets` buckets — the conventional dynamic profile.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn decreasing(
+        mu: f64,
+        sigma: f64,
+        sample_size: usize,
+        buckets: usize,
+        first_depth: u32,
+    ) -> Result<Self, ConfigError> {
+        if buckets == 0 {
+            return Err(ConfigError::ZeroCount { name: "buckets" });
+        }
+        let depths = (0..buckets)
+            .map(|b| {
+                let frac = if buckets == 1 {
+                    0.0
+                } else {
+                    b as f64 / (buckets - 1) as f64
+                };
+                let depth = first_depth as f64 - (first_depth as f64 - 1.0) * frac;
+                depth.round().max(1.0) as u32
+            })
+            .collect();
+        DynamicSraaConfig::new(mu, sigma, sample_size, depths)
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Window size `n`.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Number of buckets `K`.
+    pub fn buckets(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// The per-bucket depths.
+    pub fn depths(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// The target value for bucket `N`: `µX + N·σX`.
+    pub fn target(&self, bucket: usize) -> f64 {
+        self.mu + bucket as f64 * self.sigma
+    }
+}
+
+/// SRAA with a per-bucket depth vector.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::dynamic::{DynamicSraa, DynamicSraaConfig};
+/// use rejuv_core::{Decision, RejuvenationDetector};
+///
+/// // Depth 5 at the first bucket, 1 at the last: cautious about entering
+/// // the degradation path, quick to confirm once deep in it.
+/// let cfg = DynamicSraaConfig::new(5.0, 5.0, 1, vec![5, 3, 1])?;
+/// let mut det = DynamicSraa::new(cfg);
+/// let fired = (0..100).any(|_| det.observe(100.0).is_rejuvenate());
+/// assert!(fired);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicSraa {
+    config: DynamicSraaConfig,
+    window: AveragingWindow,
+    bucket: usize,
+    count: i64,
+    triggers: u64,
+}
+
+impl DynamicSraa {
+    /// Creates the detector from a validated configuration.
+    pub fn new(config: DynamicSraaConfig) -> Self {
+        DynamicSraa {
+            window: AveragingWindow::new(config.sample_size()),
+            config,
+            bucket: 0,
+            count: 0,
+            triggers: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DynamicSraaConfig {
+        &self.config
+    }
+
+    /// Current bucket index `N`.
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+
+    /// Current ball count `d`.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    fn apply_mean(&mut self, mean: f64) -> Decision {
+        let exceeded = mean > self.config.target(self.bucket);
+        if exceeded {
+            self.count += 1;
+        } else {
+            self.count -= 1;
+        }
+
+        let depth = i64::from(self.config.depths()[self.bucket]);
+        if self.count > depth {
+            self.count = 0;
+            self.bucket += 1;
+            if self.bucket == self.config.buckets() {
+                self.bucket = 0;
+                self.triggers += 1;
+                return Decision::Rejuvenate;
+            }
+            return Decision::Continue;
+        }
+        if self.count < 0 {
+            if self.bucket > 0 {
+                self.bucket -= 1;
+                // Refill to the *previous* bucket's own depth.
+                self.count = i64::from(self.config.depths()[self.bucket]);
+            } else {
+                self.count = 0;
+            }
+        }
+        Decision::Continue
+    }
+}
+
+impl RejuvenationDetector for DynamicSraa {
+    fn observe(&mut self, value: f64) -> Decision {
+        match self.window.push(value) {
+            Some(mean) => self.apply_mean(mean),
+            None => Decision::Continue,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.window.reset();
+        self.bucket = 0;
+        self.count = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "DynamicSRAA"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sraa, SraaConfig};
+
+    #[test]
+    fn config_validation() {
+        assert!(DynamicSraaConfig::new(5.0, 5.0, 1, vec![3, 2, 1]).is_ok());
+        assert!(DynamicSraaConfig::new(f64::NAN, 5.0, 1, vec![1]).is_err());
+        assert!(DynamicSraaConfig::new(5.0, 0.0, 1, vec![1]).is_err());
+        assert!(DynamicSraaConfig::new(5.0, 5.0, 0, vec![1]).is_err());
+        assert!(DynamicSraaConfig::new(5.0, 5.0, 1, vec![]).is_err());
+        assert!(DynamicSraaConfig::new(5.0, 5.0, 1, vec![2, 0]).is_err());
+    }
+
+    #[test]
+    fn decreasing_schedule_shape() {
+        let c = DynamicSraaConfig::decreasing(5.0, 5.0, 2, 5, 9).unwrap();
+        assert_eq!(c.depths(), &[9, 7, 5, 3, 1]);
+        let c = DynamicSraaConfig::decreasing(5.0, 5.0, 2, 1, 4).unwrap();
+        assert_eq!(c.depths(), &[4]);
+        assert!(DynamicSraaConfig::decreasing(5.0, 5.0, 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn uniform_depths_match_static_sraa() {
+        // With every depth equal, the dynamic variant IS SRAA.
+        let dyn_cfg = DynamicSraaConfig::new(5.0, 5.0, 2, vec![3, 3, 3, 3]).unwrap();
+        let sraa_cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(4)
+            .depth(3)
+            .build()
+            .unwrap();
+        let mut dynamic = DynamicSraa::new(dyn_cfg);
+        let mut classic = Sraa::new(sraa_cfg);
+        let mut state = 0xABCDu64;
+        for _ in 0..100_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64 * 30.0;
+            assert_eq!(dynamic.observe(v), classic.observe(v));
+        }
+        assert_eq!(dynamic.rejuvenation_count(), classic.rejuvenation_count());
+        assert_eq!(dynamic.bucket(), classic.bucket());
+        assert_eq!(dynamic.count(), classic.count());
+    }
+
+    #[test]
+    fn trigger_delay_is_sum_of_depths_plus_buckets() {
+        // All-exceeding stream: Σ (depth_N + 1) windows.
+        let depths = vec![4, 2, 1];
+        let expected: u32 = depths.iter().map(|d| d + 1).sum();
+        let cfg = DynamicSraaConfig::new(5.0, 5.0, 1, depths).unwrap();
+        let mut det = DynamicSraa::new(cfg);
+        for step in 1..=expected {
+            let decision = det.observe(1_000.0);
+            if step < expected {
+                assert_eq!(decision, Decision::Continue, "step {step}");
+            } else {
+                assert_eq!(decision, Decision::Rejuvenate);
+            }
+        }
+    }
+
+    #[test]
+    fn decreasing_depths_fire_faster_than_static_at_equal_budget() {
+        // Same total depth budget (9 = 3+3+3 vs 5+3+1): under sustained
+        // degradation both need Σ(d+1) = 12 exceeding windows, but under
+        // a *noisy* degradation (80% exceed) the decreasing profile
+        // should not be slower on average.
+        let run = |depths: Vec<u32>, seed: u64| {
+            let cfg = DynamicSraaConfig::new(5.0, 5.0, 1, depths).unwrap();
+            let mut det = DynamicSraa::new(cfg);
+            let mut state = seed;
+            let mut count = 0u64;
+            let mut windows = 0u64;
+            for _ in 0..2_000_000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                let v = if u < 0.8 { 1_000.0 } else { 0.0 };
+                windows += 1;
+                if det.observe(v).is_rejuvenate() {
+                    count += 1;
+                }
+            }
+            windows as f64 / count as f64
+        };
+        let decreasing = run(vec![5, 3, 1], 1);
+        let uniform = run(vec![3, 3, 3], 1);
+        // Both are finite and in the same regime; decreasing is at least
+        // as fast once deep (identical minimum delay, lighter tail).
+        assert!(decreasing <= uniform * 1.2, "{decreasing} vs {uniform}");
+    }
+
+    #[test]
+    fn underflow_refills_to_previous_buckets_depth() {
+        let cfg = DynamicSraaConfig::new(5.0, 5.0, 1, vec![4, 2]).unwrap();
+        let mut det = DynamicSraa::new(cfg);
+        // Overflow bucket 0 (depth 4): 5 exceeding windows.
+        for _ in 0..5 {
+            det.observe(1_000.0);
+        }
+        assert_eq!(det.bucket(), 1);
+        // One below-target window underflows back to bucket 0 with d = 4.
+        det.observe(0.0);
+        assert_eq!(det.bucket(), 0);
+        assert_eq!(det.count(), 4);
+    }
+
+    #[test]
+    fn reset_and_name() {
+        let cfg = DynamicSraaConfig::new(5.0, 5.0, 2, vec![2, 1]).unwrap();
+        let mut det = DynamicSraa::new(cfg);
+        det.observe(100.0);
+        det.reset();
+        assert_eq!(det.bucket(), 0);
+        assert_eq!(det.count(), 0);
+        assert_eq!(det.name(), "DynamicSRAA");
+    }
+}

@@ -1,0 +1,58 @@
+//! Configuration errors for the rejuvenation detectors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating detector configurations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A count parameter (sample size, buckets, depth) was zero.
+    ZeroCount {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A real-valued parameter was outside its valid domain.
+    InvalidValue {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCount { name } => {
+                write!(f, "parameter {name} must be at least 1")
+            }
+            ConfigError::InvalidValue {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}: expected {expected}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::ZeroCount { name: "buckets" };
+        assert!(e.to_string().contains("buckets"));
+        let e = ConfigError::InvalidValue {
+            name: "sigma",
+            value: -1.0,
+            expected: "a positive real",
+        };
+        assert!(e.to_string().contains("sigma"));
+    }
+}

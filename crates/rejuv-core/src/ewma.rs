@@ -1,0 +1,290 @@
+//! EWMA control-chart detector — a classic change-detection baseline.
+//!
+//! The paper's related work (its reference \[15\]) motivates
+//! measurement-based rejuvenation policies with time-series trend
+//! detection. The exponentially weighted moving-average control chart
+//! (Roberts 1959) is the standard such detector; it is implemented here
+//! as a baseline the paper's bucket algorithms can be compared against
+//! in the benches.
+//!
+//! The chart tracks `z_t = (1 − w)·z_{t−1} + w·x_t` and signals when
+//! `z_t` exceeds the upper control limit
+//! `µX + L·σX·sqrt(w / (2 − w) · (1 − (1 − w)^{2t}))`
+//! (one-sided: for response times only upward shifts matter).
+
+use crate::{ConfigError, Decision, RejuvenationDetector};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Ewma`] detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaConfig {
+    mu: f64,
+    sigma: f64,
+    weight: f64,
+    limit: f64,
+}
+
+impl EwmaConfig {
+    /// Creates a configuration: baseline `(mu, sigma)`, smoothing
+    /// `weight ∈ (0, 1]` (0.2 is conventional) and control-limit width
+    /// `limit` in asymptotic standard deviations (2.7–3.0 conventional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidValue`] for out-of-domain values.
+    pub fn new(mu: f64, sigma: f64, weight: f64, limit: f64) -> Result<Self, ConfigError> {
+        if !mu.is_finite() {
+            return Err(ConfigError::InvalidValue {
+                name: "mu",
+                value: mu,
+                expected: "a finite baseline mean",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "sigma",
+                value: sigma,
+                expected: "a positive finite baseline standard deviation",
+            });
+        }
+        if !(weight.is_finite() && weight > 0.0 && weight <= 1.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "weight",
+                value: weight,
+                expected: "a smoothing weight in (0, 1]",
+            });
+        }
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(ConfigError::InvalidValue {
+                name: "limit",
+                value: limit,
+                expected: "a positive control-limit width",
+            });
+        }
+        Ok(EwmaConfig {
+            mu,
+            sigma,
+            weight,
+            limit,
+        })
+    }
+
+    /// Baseline mean `µX`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Baseline standard deviation `σX`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Smoothing weight `w`.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Control-limit width `L`.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+}
+
+/// The one-sided EWMA control-chart rejuvenation detector.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::ewma::{Ewma, EwmaConfig};
+/// use rejuv_core::{Decision, RejuvenationDetector};
+///
+/// let mut chart = Ewma::new(EwmaConfig::new(5.0, 5.0, 0.2, 3.0)?);
+/// // Healthy stream around the mean: stays quiet.
+/// for i in 0..1_000 {
+///     assert_eq!(chart.observe(4.0 + (i % 3) as f64), Decision::Continue);
+/// }
+/// // Sustained shift: fires within a handful of observations.
+/// let fired = (0..100).any(|_| chart.observe(40.0).is_rejuvenate());
+/// assert!(fired);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    config: EwmaConfig,
+    z: f64,
+    /// `(1 − w)^{2t}` maintained incrementally for the exact
+    /// time-varying control limit.
+    decay_sq: f64,
+    triggers: u64,
+}
+
+impl Ewma {
+    /// Creates the detector; the chart starts at the baseline mean.
+    pub fn new(config: EwmaConfig) -> Self {
+        Ewma {
+            z: config.mu,
+            decay_sq: 1.0,
+            config,
+            triggers: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EwmaConfig {
+        &self.config
+    }
+
+    /// Current chart statistic `z_t`.
+    pub fn statistic(&self) -> f64 {
+        self.z
+    }
+
+    /// Current upper control limit.
+    pub fn control_limit(&self) -> f64 {
+        let w = self.config.weight;
+        let var_factor = w / (2.0 - w) * (1.0 - self.decay_sq);
+        self.config.mu + self.config.limit * self.config.sigma * var_factor.sqrt()
+    }
+}
+
+impl RejuvenationDetector for Ewma {
+    fn observe(&mut self, value: f64) -> Decision {
+        if !value.is_finite() {
+            return Decision::Continue;
+        }
+        let w = self.config.weight;
+        self.z = (1.0 - w) * self.z + w * value;
+        let one_minus_w_sq = (1.0 - w) * (1.0 - w);
+        self.decay_sq *= one_minus_w_sq;
+        if self.z > self.control_limit() {
+            self.triggers += 1;
+            // Restart the chart, as the bucket algorithms restart their
+            // state after a rejuvenation.
+            self.z = self.config.mu;
+            self.decay_sq = 1.0;
+            Decision::Rejuvenate
+        } else {
+            Decision::Continue
+        }
+    }
+
+    fn reset(&mut self) {
+        self.z = self.config.mu;
+        self.decay_sq = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "EWMA"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.triggers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart(w: f64, l: f64) -> Ewma {
+        Ewma::new(EwmaConfig::new(5.0, 5.0, w, l).unwrap())
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EwmaConfig::new(5.0, 5.0, 0.2, 3.0).is_ok());
+        assert!(EwmaConfig::new(f64::NAN, 5.0, 0.2, 3.0).is_err());
+        assert!(EwmaConfig::new(5.0, 0.0, 0.2, 3.0).is_err());
+        assert!(EwmaConfig::new(5.0, 5.0, 0.0, 3.0).is_err());
+        assert!(EwmaConfig::new(5.0, 5.0, 1.5, 3.0).is_err());
+        assert!(EwmaConfig::new(5.0, 5.0, 0.2, 0.0).is_err());
+    }
+
+    #[test]
+    fn starts_at_baseline_mean() {
+        let c = chart(0.2, 3.0);
+        assert_eq!(c.statistic(), 5.0);
+        assert_eq!(c.rejuvenation_count(), 0);
+    }
+
+    #[test]
+    fn control_limit_grows_to_asymptote() {
+        let mut c = chart(0.2, 3.0);
+        let first_limit = {
+            c.observe(5.0);
+            c.control_limit()
+        };
+        for _ in 0..200 {
+            c.observe(5.0);
+        }
+        let late_limit = c.control_limit();
+        assert!(late_limit > first_limit);
+        // Asymptote: µ + L·σ·sqrt(w/(2−w)) = 5 + 15·sqrt(1/9) = 10.
+        assert!((late_limit - 10.0).abs() < 1e-9, "limit = {late_limit}");
+    }
+
+    #[test]
+    fn constant_mean_stream_never_fires() {
+        let mut c = chart(0.2, 3.0);
+        for i in 0..100_000 {
+            let v = if i % 2 == 0 { 2.0 } else { 8.0 }; // mean 5
+            assert_eq!(c.observe(v), Decision::Continue);
+        }
+    }
+
+    #[test]
+    fn w_equals_one_is_a_shewhart_chart() {
+        // With w = 1 the statistic is the raw observation and the limit
+        // is µ + Lσ.
+        let mut c = chart(1.0, 2.0);
+        assert_eq!(c.observe(14.9), Decision::Continue);
+        assert_eq!(c.observe(15.1), Decision::Rejuvenate);
+    }
+
+    #[test]
+    fn fires_faster_on_bigger_shifts() {
+        let time_to_fire = |shift: f64| {
+            let mut c = chart(0.2, 3.0);
+            for i in 1..10_000 {
+                if c.observe(5.0 + shift).is_rejuvenate() {
+                    return i;
+                }
+            }
+            panic!("never fired for shift {shift}");
+        };
+        assert!(time_to_fire(30.0) < time_to_fire(8.0));
+    }
+
+    #[test]
+    fn trigger_restarts_chart() {
+        let mut c = chart(0.5, 1.0);
+        let mut fired = 0;
+        for _ in 0..100 {
+            if c.observe(100.0).is_rejuvenate() {
+                fired += 1;
+                assert_eq!(c.statistic(), 5.0, "chart restarts after trigger");
+            }
+        }
+        assert!(fired > 1, "restart must allow repeated triggers");
+        assert_eq!(c.rejuvenation_count(), fired);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut c = chart(0.2, 3.0);
+        let before = c.statistic();
+        assert_eq!(c.observe(f64::NAN), Decision::Continue);
+        assert_eq!(c.statistic(), before);
+    }
+
+    #[test]
+    fn reset_keeps_trigger_count() {
+        let mut c = chart(1.0, 1.0);
+        c.observe(100.0);
+        assert_eq!(c.rejuvenation_count(), 1);
+        c.observe(7.0);
+        c.reset();
+        assert_eq!(c.statistic(), 5.0);
+        assert_eq!(c.rejuvenation_count(), 1);
+    }
+}

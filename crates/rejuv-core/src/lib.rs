@@ -1,0 +1,81 @@
+//! Software rejuvenation detectors — the contribution of
+//! *Avritzer, Bondi, Grottke, Trivedi, Weyuker: "Performance Assurance
+//! via Software Rejuvenation: Monitoring, Statistics and Algorithms"*
+//! (DSN 2006).
+//!
+//! The detectors monitor a stream of observations of a customer-affecting
+//! metric — in the paper, transaction response time — and decide when a
+//! degradable system should be *rejuvenated* (flushed and restarted).
+//! They must fire under sustained degradation (software aging, soft
+//! failures) while tolerating short bursts of large values caused by
+//! arrival-process burstiness.
+//!
+//! Three algorithms from the paper, plus its predecessor as a baseline:
+//!
+//! * [`Sraa`] — *static rejuvenation with averaging* (the paper's Fig. 6):
+//!   a chain of `K` buckets of depth `D` tracks how persistently window
+//!   averages of size `n` exceed `µX + N·σX`,
+//! * [`Saraa`] — *sampling-acceleration rejuvenation with averaging*
+//!   (Fig. 7): like SRAA with targets `µX + N·σX/√n`, but the window
+//!   shrinks as degradation deepens,
+//! * [`Clta`] — *central-limit-theorem rejuvenation* (Fig. 8): a single
+//!   large window, firing the first time the average exceeds
+//!   `µX + N·σX/√n` with `N` a standard-normal quantile,
+//! * [`StaticRejuvenation`] — the per-observation static algorithm of
+//!   Avritzer/Bondi/Weyuker 2005, i.e. SRAA with `n = 1`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rejuv_core::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+//!
+//! let config = SraaConfig::builder(5.0, 5.0)
+//!     .sample_size(2)
+//!     .buckets(5)
+//!     .depth(3)
+//!     .build()?;
+//! let mut detector = Sraa::new(config);
+//!
+//! // Healthy traffic never triggers …
+//! for _ in 0..1_000 {
+//!     assert_eq!(detector.observe(4.9), Decision::Continue);
+//! }
+//! // … a sustained shift does.
+//! let fired = (0..10_000).any(|_| detector.observe(60.0) == Decision::Rejuvenate);
+//! assert!(fired);
+//! # Ok::<(), rejuv_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod bucket;
+pub mod clta;
+pub mod config;
+pub mod cooldown;
+pub mod cusum;
+pub mod detector;
+pub mod dynamic;
+pub mod error;
+pub mod ewma;
+pub mod saraa;
+pub mod sraa;
+pub mod static_alg;
+pub mod window;
+
+pub use adaptive::{BaselineEstimator, Calibrating};
+pub use bucket::{BucketChain, BucketEvent};
+pub use clta::Clta;
+pub use config::{AccelerationSchedule, CltaConfig, SaraaConfig, SraaConfig};
+pub use cooldown::Cooldown;
+pub use cusum::{Cusum, CusumConfig};
+pub use detector::{Decision, RejuvenationDetector};
+pub use dynamic::{DynamicSraa, DynamicSraaConfig};
+pub use error::ConfigError;
+pub use ewma::{Ewma, EwmaConfig};
+pub use saraa::Saraa;
+pub use sraa::Sraa;
+pub use static_alg::StaticRejuvenation;
+pub use window::AveragingWindow;

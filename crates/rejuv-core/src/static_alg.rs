@@ -1,0 +1,136 @@
+//! The static rejuvenation algorithm of Avritzer, Bondi and Weyuker
+//! (*"Ensuring stable performance for systems that degrade"*, WOSP 2005)
+//! — the per-observation predecessor of SRAA, kept as a baseline.
+
+use crate::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+
+/// The original static rejuvenation algorithm: the bucket chain fed by
+/// *raw observations* instead of window averages.
+///
+/// Operationally this is exactly [`Sraa`] with sample size `n = 1`; the
+/// distinct type documents the lineage and keeps the ablation benches
+/// honest (the delta the DSN 2006 paper adds over its predecessor is
+/// precisely the averaging).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::{Decision, RejuvenationDetector, StaticRejuvenation};
+///
+/// let mut alg = StaticRejuvenation::new(5.0, 5.0, 3, 5)?;
+/// let fired = (0..1_000).any(|_| alg.observe(100.0) == Decision::Rejuvenate);
+/// assert!(fired);
+/// # Ok::<(), rejuv_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticRejuvenation {
+    inner: Sraa,
+}
+
+impl StaticRejuvenation {
+    /// Creates the detector with baseline mean `mu`, standard deviation
+    /// `sigma`, `buckets` buckets of depth `depth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ConfigError`] under the same conditions as
+    /// [`SraaConfig`]'s builder.
+    pub fn new(
+        mu: f64,
+        sigma: f64,
+        buckets: usize,
+        depth: u32,
+    ) -> Result<Self, crate::ConfigError> {
+        let config = SraaConfig::builder(mu, sigma)
+            .sample_size(1)
+            .buckets(buckets)
+            .depth(depth)
+            .build()?;
+        Ok(StaticRejuvenation {
+            inner: Sraa::new(config),
+        })
+    }
+
+    /// Current bucket index `N`.
+    pub fn bucket(&self) -> usize {
+        self.inner.bucket()
+    }
+
+    /// Current ball count `d`.
+    pub fn count(&self) -> i64 {
+        self.inner.count()
+    }
+}
+
+impl RejuvenationDetector for StaticRejuvenation {
+    fn observe(&mut self, value: f64) -> Decision {
+        self.inner.observe(value)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "Static"
+    }
+
+    fn rejuvenation_count(&self) -> u64 {
+        self.inner.rejuvenation_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sraa;
+
+    #[test]
+    fn equivalent_to_sraa_with_n_1() {
+        let mut st = StaticRejuvenation::new(5.0, 5.0, 3, 5).unwrap();
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(1)
+            .buckets(3)
+            .depth(5)
+            .build()
+            .unwrap();
+        let mut sraa = Sraa::new(cfg);
+        // Same deterministic stream must yield identical decisions.
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (state >> 11) as f64 / (1u64 << 53) as f64 * 20.0;
+            assert_eq!(st.observe(v), sraa.observe(v));
+        }
+        assert_eq!(st.rejuvenation_count(), sraa.rejuvenation_count());
+        assert_eq!(st.bucket(), sraa.bucket());
+        assert_eq!(st.count(), sraa.count());
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(StaticRejuvenation::new(5.0, 0.0, 3, 5).is_err());
+        assert!(StaticRejuvenation::new(5.0, 5.0, 0, 5).is_err());
+        assert!(StaticRejuvenation::new(5.0, 5.0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn name_is_static() {
+        assert_eq!(
+            StaticRejuvenation::new(5.0, 5.0, 1, 1).unwrap().name(),
+            "Static"
+        );
+    }
+
+    #[test]
+    fn reset_works() {
+        let mut st = StaticRejuvenation::new(5.0, 5.0, 2, 2).unwrap();
+        for _ in 0..4 {
+            st.observe(50.0);
+        }
+        assert!(st.bucket() > 0 || st.count() > 0);
+        st.reset();
+        assert_eq!(st.bucket(), 0);
+        assert_eq!(st.count(), 0);
+    }
+}

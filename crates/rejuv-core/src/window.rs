@@ -1,0 +1,154 @@
+//! Fixed-size averaging windows.
+//!
+//! All three algorithms of the paper consume *averages of `n` successive
+//! observations* rather than raw observations:
+//! `x̄u = (1/n) Σ_{t=(u−1)n+1}^{un} x_t`. The windows are disjoint
+//! (tumbling), not sliding.
+
+use serde::{Deserialize, Serialize};
+
+/// A tumbling window that emits the mean of every `n` consecutive
+/// observations.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_core::AveragingWindow;
+///
+/// let mut w = AveragingWindow::new(3);
+/// assert_eq!(w.push(1.0), None);
+/// assert_eq!(w.push(2.0), None);
+/// assert_eq!(w.push(6.0), Some(3.0));
+/// assert_eq!(w.push(10.0), None); // a new window has begun
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AveragingWindow {
+    size: usize,
+    sum: f64,
+    filled: usize,
+}
+
+impl AveragingWindow {
+    /// Creates a window of `size` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`; validated upstream by the config builders.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "window size must be at least 1");
+        AveragingWindow {
+            size,
+            sum: 0.0,
+            filled: 0,
+        }
+    }
+
+    /// The window size `n`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of observations accumulated in the current window.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Adds one observation; returns `Some(mean)` when this observation
+    /// completes the window, which then starts empty again.
+    pub fn push(&mut self, value: f64) -> Option<f64> {
+        self.sum += value;
+        self.filled += 1;
+        if self.filled == self.size {
+            let mean = self.sum / self.size as f64;
+            self.sum = 0.0;
+            self.filled = 0;
+            Some(mean)
+        } else {
+            None
+        }
+    }
+
+    /// Changes the window size, discarding any partial window.
+    ///
+    /// SARAA adjusts its sample size exactly when a bucket transition
+    /// occurs, which coincides with a completed window, so nothing is
+    /// usually lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn resize(&mut self, size: usize) {
+        assert!(size > 0, "window size must be at least 1");
+        self.size = size;
+        self.sum = 0.0;
+        self.filled = 0;
+    }
+
+    /// Discards any partial window, keeping the size.
+    pub fn reset(&mut self) {
+        self.sum = 0.0;
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "window size must be at least 1")]
+    fn zero_size_panics() {
+        let _ = AveragingWindow::new(0);
+    }
+
+    #[test]
+    fn size_one_passes_values_through() {
+        let mut w = AveragingWindow::new(1);
+        assert_eq!(w.push(7.5), Some(7.5));
+        assert_eq!(w.push(-2.0), Some(-2.0));
+    }
+
+    #[test]
+    fn windows_are_disjoint() {
+        let mut w = AveragingWindow::new(2);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(3.0), Some(2.0));
+        assert_eq!(w.push(10.0), None);
+        assert_eq!(w.push(20.0), Some(15.0));
+    }
+
+    #[test]
+    fn resize_discards_partial() {
+        let mut w = AveragingWindow::new(3);
+        w.push(100.0);
+        w.resize(2);
+        assert_eq!(w.size(), 2);
+        assert_eq!(w.filled(), 0);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(3.0), Some(2.0), "old partial must not leak in");
+    }
+
+    #[test]
+    fn reset_discards_partial_keeps_size() {
+        let mut w = AveragingWindow::new(2);
+        w.push(100.0);
+        w.reset();
+        assert_eq!(w.size(), 2);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(4.0), Some(3.0));
+    }
+
+    #[test]
+    fn long_stream_mean_of_means() {
+        let mut w = AveragingWindow::new(5);
+        let mut means = Vec::new();
+        for i in 0..100 {
+            if let Some(m) = w.push(i as f64) {
+                means.push(m);
+            }
+        }
+        assert_eq!(means.len(), 20);
+        assert_eq!(means[0], 2.0); // mean of 0..5
+        assert_eq!(means[19], 97.0); // mean of 95..100
+    }
+}

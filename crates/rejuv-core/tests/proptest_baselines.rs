@@ -1,0 +1,104 @@
+//! Property-based tests for the EWMA / CUSUM baselines and the exact
+//! run-length analysis.
+
+use proptest::prelude::*;
+use rejuv_core::analysis::expected_windows_to_trigger;
+use rejuv_core::cusum::{Cusum, CusumConfig};
+use rejuv_core::ewma::{Ewma, EwmaConfig};
+use rejuv_core::{Decision, RejuvenationDetector};
+
+proptest! {
+    /// EWMA never fires on values at or below the baseline mean (the
+    /// chart statistic stays at or under µ while the limit sits above).
+    #[test]
+    fn ewma_silent_below_mean(
+        mu in -50.0f64..50.0,
+        sigma in 0.1f64..20.0,
+        w in 0.01f64..1.0,
+        l in 0.5f64..6.0,
+        values in proptest::collection::vec(-1.0f64..=0.0, 1..500),
+    ) {
+        let mut chart = Ewma::new(EwmaConfig::new(mu, sigma, w, l).unwrap());
+        for &dv in &values {
+            // Observations at mu + dv·sigma with dv <= 0.
+            prop_assert_eq!(chart.observe(mu + dv * sigma), Decision::Continue);
+        }
+        prop_assert_eq!(chart.rejuvenation_count(), 0);
+    }
+
+    /// CUSUM never fires when every observation stays under the drift
+    /// allowance µ + kσ.
+    #[test]
+    fn cusum_silent_below_drift(
+        mu in -50.0f64..50.0,
+        sigma in 0.1f64..20.0,
+        k in 0.1f64..3.0,
+        h in 0.5f64..10.0,
+        values in proptest::collection::vec(-1.0f64..=0.0, 1..500),
+    ) {
+        let mut chart = Cusum::new(CusumConfig::new(mu, sigma, k, h).unwrap());
+        for &dv in &values {
+            prop_assert_eq!(chart.observe(mu + k * sigma + dv * sigma), Decision::Continue);
+            prop_assert!(chart.statistic() <= 1e-9);
+        }
+    }
+
+    /// Both charts fire in bounded time under any sustained shift beyond
+    /// their thresholds.
+    #[test]
+    fn charts_fire_on_sustained_shift(
+        shift_sigmas in 4.1f64..100.0,
+        w in 0.05f64..1.0,
+    ) {
+        let mut ewma = Ewma::new(EwmaConfig::new(5.0, 5.0, w, 3.0).unwrap());
+        let mut cusum = Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 4.0).unwrap());
+        let value = 5.0 + shift_sigmas * 5.0;
+        let ewma_fired = (0..10_000).any(|_| ewma.observe(value).is_rejuvenate());
+        let cusum_fired = (0..10_000).any(|_| cusum.observe(value).is_rejuvenate());
+        prop_assert!(ewma_fired, "EWMA silent at +{shift_sigmas}σ");
+        prop_assert!(cusum_fired, "CUSUM silent at +{shift_sigmas}σ");
+    }
+
+    /// Charts are deterministic state machines.
+    #[test]
+    fn charts_are_deterministic(values in proptest::collection::vec(0.0f64..40.0, 0..400)) {
+        let mk_e = || Ewma::new(EwmaConfig::new(5.0, 5.0, 0.3, 2.5).unwrap());
+        let mk_c = || Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 3.0).unwrap());
+        let (mut e1, mut e2) = (mk_e(), mk_e());
+        let (mut c1, mut c2) = (mk_c(), mk_c());
+        for &v in &values {
+            prop_assert_eq!(e1.observe(v), e2.observe(v));
+            prop_assert_eq!(c1.observe(v), c2.observe(v));
+        }
+    }
+
+    /// The exact ARL is monotone: raising any bucket's exceed
+    /// probability can only shorten (or keep) the expected time to
+    /// trigger.
+    #[test]
+    fn arl_monotone_in_probabilities(
+        base in 0.05f64..0.9,
+        bump in 0.0f64..0.1,
+        k in 1usize..5,
+        d in 1u32..5,
+        which in 0usize..5,
+    ) {
+        let probs = vec![base; k];
+        let mut bumped = probs.clone();
+        let idx = which % k;
+        bumped[idx] = (bumped[idx] + bump).min(1.0);
+        let slow = expected_windows_to_trigger(&probs, k, d).unwrap();
+        let fast = expected_windows_to_trigger(&bumped, k, d).unwrap();
+        prop_assert!(fast <= slow + 1e-9 * slow.abs(), "fast {fast} > slow {slow}");
+    }
+
+    /// ARL grows with both K and D (more tolerance, longer runs).
+    #[test]
+    fn arl_monotone_in_structure(p in 0.05f64..0.95, k in 1usize..4, d in 1u32..4) {
+        let base = expected_windows_to_trigger(&vec![p; k], k, d).unwrap();
+        let deeper = expected_windows_to_trigger(&vec![p; k], k, d + 1).unwrap();
+        let wider = expected_windows_to_trigger(&vec![p; k + 1], k + 1, d).unwrap();
+        prop_assert!(deeper >= base);
+        prop_assert!(wider >= base);
+    }
+}

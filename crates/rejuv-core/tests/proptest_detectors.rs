@@ -1,0 +1,190 @@
+//! Property-based tests for the detector state machines.
+
+use proptest::prelude::*;
+use rejuv_core::{
+    AccelerationSchedule, BucketChain, BucketEvent, Clta, CltaConfig, Decision,
+    RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+
+proptest! {
+    /// The bucket chain's state stays inside its invariant box no matter
+    /// what Boolean stream drives it, and it triggers exactly when the
+    /// last bucket overflows.
+    #[test]
+    fn bucket_chain_invariants(
+        buckets in 1usize..8,
+        depth in 1u32..10,
+        steps in proptest::collection::vec(any::<bool>(), 0..2_000),
+    ) {
+        let mut chain = BucketChain::new(buckets, depth);
+        let mut triggers = 0u64;
+        for exceeded in steps {
+            let event = chain.step(exceeded);
+            if event == BucketEvent::Triggered {
+                triggers += 1;
+                // Self-reset on trigger.
+                prop_assert_eq!(chain.bucket(), 0);
+                prop_assert_eq!(chain.count(), 0);
+            }
+            prop_assert!(chain.bucket() < buckets);
+            prop_assert!(chain.count() >= 0);
+            prop_assert!(chain.count() <= i64::from(depth));
+        }
+        prop_assert_eq!(chain.triggers(), triggers);
+    }
+
+    /// A chain driven by `exceeded = true` only, triggers after exactly
+    /// K(D+1) steps — the paper's minimum-delay guarantee.
+    #[test]
+    fn bucket_chain_minimum_delay(buckets in 1usize..6, depth in 1u32..8) {
+        let mut chain = BucketChain::new(buckets, depth);
+        let expected = buckets as u32 * (depth + 1);
+        for step in 1..=expected {
+            let event = chain.step(true);
+            if step < expected {
+                prop_assert_ne!(event, BucketEvent::Triggered, "early at {}", step);
+            } else {
+                prop_assert_eq!(event, BucketEvent::Triggered);
+            }
+        }
+    }
+
+    /// Detectors are pure state machines: the same observation stream
+    /// yields the same decision stream.
+    #[test]
+    fn sraa_is_deterministic(
+        n in 1usize..6,
+        k in 1usize..5,
+        d in 1u32..5,
+        values in proptest::collection::vec(0.0f64..60.0, 0..1_000),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(n).buckets(k).depth(d).build().unwrap();
+        let mut a = Sraa::new(cfg);
+        let mut b = Sraa::new(cfg);
+        for &v in &values {
+            prop_assert_eq!(a.observe(v), b.observe(v));
+        }
+        prop_assert_eq!(a.rejuvenation_count(), b.rejuvenation_count());
+    }
+
+    /// The static baseline is behaviourally identical to SRAA with n = 1
+    /// on any stream.
+    #[test]
+    fn static_equals_sraa_n1(
+        k in 1usize..5,
+        d in 1u32..5,
+        values in proptest::collection::vec(0.0f64..60.0, 0..1_000),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(1).buckets(k).depth(d).build().unwrap();
+        let mut sraa = Sraa::new(cfg);
+        let mut st = StaticRejuvenation::new(5.0, 5.0, k, d).unwrap();
+        for &v in &values {
+            prop_assert_eq!(sraa.observe(v), st.observe(v));
+        }
+    }
+
+    /// Values at or below every target can never trigger any detector.
+    #[test]
+    fn benign_streams_never_trigger(
+        n in 1usize..6,
+        k in 1usize..5,
+        d in 1u32..5,
+        values in proptest::collection::vec(0.0f64..=5.0, 0..2_000),
+    ) {
+        let sraa_cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(n).buckets(k).depth(d).build().unwrap();
+        let saraa_cfg = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(n).buckets(k).depth(d).build().unwrap();
+        let clta_cfg = CltaConfig::builder(5.0, 5.0)
+            .sample_size(n.max(2)).quantile_factor(1.96).build().unwrap();
+        let mut detectors: Vec<Box<dyn RejuvenationDetector>> = vec![
+            Box::new(Sraa::new(sraa_cfg)),
+            Box::new(Saraa::new(saraa_cfg)),
+            Box::new(Clta::new(clta_cfg)),
+        ];
+        for &v in &values {
+            for det in &mut detectors {
+                prop_assert_eq!(det.observe(v), Decision::Continue, "{}", det.name());
+            }
+        }
+    }
+
+    /// Every detector must fire within a bounded number of observations
+    /// under an unambiguous, sustained shift far beyond the last target.
+    #[test]
+    fn sustained_shift_always_fires(
+        n in 1usize..6,
+        k in 1usize..5,
+        d in 1u32..5,
+        shift in 100.0f64..1_000.0,
+    ) {
+        let bound = 4 * n * k * (d as usize + 1) + 4 * n;
+        let sraa_cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(n).buckets(k).depth(d).build().unwrap();
+        let mut sraa = Sraa::new(sraa_cfg);
+        let fired = (0..bound).any(|_| sraa.observe(shift).is_rejuvenate());
+        prop_assert!(fired, "SRAA silent for {} observations", bound);
+
+        let saraa_cfg = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(n).buckets(k).depth(d).build().unwrap();
+        let mut saraa = Saraa::new(saraa_cfg);
+        let fired = (0..bound).any(|_| saraa.observe(shift).is_rejuvenate());
+        prop_assert!(fired, "SARAA silent for {} observations", bound);
+
+        let clta_cfg = CltaConfig::builder(5.0, 5.0)
+            .sample_size(n).quantile_factor(1.96).build().unwrap();
+        let mut clta = Clta::new(clta_cfg);
+        let fired = (0..bound).any(|_| clta.observe(shift).is_rejuvenate());
+        prop_assert!(fired, "CLTA silent for {} observations", bound);
+    }
+
+    /// SARAA's schedule keeps the window inside [1, n_orig] and is
+    /// non-increasing in the bucket index for all three schedules.
+    #[test]
+    fn acceleration_schedules_are_monotone(
+        n_orig in 1usize..40,
+        buckets in 1usize..12,
+    ) {
+        for schedule in [
+            AccelerationSchedule::Linear,
+            AccelerationSchedule::None,
+            AccelerationSchedule::Quadratic,
+        ] {
+            let mut last = usize::MAX;
+            for b in 0..buckets {
+                let n = schedule.sample_size(n_orig, b, buckets);
+                prop_assert!((1..=n_orig).contains(&n));
+                prop_assert!(n <= last, "{schedule:?} grew at bucket {b}");
+                last = n;
+            }
+        }
+    }
+
+    /// SARAA never triggers later than an identical SARAA without
+    /// acceleration on an all-exceeding stream (acceleration can only
+    /// speed detection up there).
+    #[test]
+    fn linear_acceleration_never_slower_on_sustained_shift(
+        n in 2usize..12,
+        k in 2usize..5,
+        d in 1u32..4,
+    ) {
+        let count = |schedule| {
+            let cfg = SaraaConfig::builder(5.0, 5.0)
+                .initial_sample_size(n).buckets(k).depth(d)
+                .schedule(schedule).build().unwrap();
+            let mut det = Saraa::new(cfg);
+            let mut i = 0usize;
+            loop {
+                i += 1;
+                if det.observe(10_000.0).is_rejuvenate() {
+                    return i;
+                }
+                if i > 100_000 { panic!("never fired"); }
+            }
+        };
+        prop_assert!(count(AccelerationSchedule::Linear) <= count(AccelerationSchedule::None));
+    }
+}

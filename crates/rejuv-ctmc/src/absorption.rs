@@ -1,0 +1,375 @@
+//! Time-to-absorption analysis for absorbing CTMCs.
+//!
+//! The paper (its eq. (4)) computes the exact probability density of the
+//! average response time as the density of the absorption time of the
+//! Fig. 4 chain:
+//!
+//! ```text
+//! f(t) = Σ_{i transient} p_i(t) · rate(i → absorbing)
+//! ```
+//!
+//! [`AbsorptionTimes`] packages an absorbing chain and initial
+//! distribution and exposes the CDF, that density, moments (via the
+//! fundamental-matrix linear systems) and quantiles.
+
+use crate::linalg::solve_dense;
+use crate::{Ctmc, CtmcError, TransientSolver};
+
+/// The distribution of the time to absorption of an absorbing CTMC.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ctmc::{AbsorptionTimes, Ctmc};
+///
+/// // Exponential(2): one transient, one absorbing state.
+/// let mut c = Ctmc::new(2);
+/// c.add_transition(0, 1, 2.0)?;
+/// let at = AbsorptionTimes::new(c, vec![1.0, 0.0])?;
+/// assert!((at.mean()? - 0.5).abs() < 1e-12);
+/// assert!((at.cdf(1.0)? - (1.0 - (-2.0f64).exp())).abs() < 1e-10);
+/// # Ok::<(), rejuv_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbsorptionTimes {
+    ctmc: Ctmc,
+    p0: Vec<f64>,
+    absorbing: Vec<bool>,
+    solver: TransientSolver,
+}
+
+impl AbsorptionTimes {
+    /// Creates the absorption-time distribution for `ctmc` started from
+    /// `p0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::NoAbsorbingState`] if the chain has none,
+    /// * [`CtmcError::InvalidInitialDistribution`] if `p0` is invalid.
+    pub fn new(ctmc: Ctmc, p0: Vec<f64>) -> Result<Self, CtmcError> {
+        ctmc.validate_initial(&p0)?;
+        let absorbing: Vec<bool> = (0..ctmc.states()).map(|s| ctmc.is_absorbing(s)).collect();
+        if !absorbing.iter().any(|&a| a) {
+            return Err(CtmcError::NoAbsorbingState);
+        }
+        Ok(AbsorptionTimes {
+            ctmc,
+            p0,
+            absorbing,
+            solver: TransientSolver::default(),
+        })
+    }
+
+    /// Replaces the transient solver (e.g. to loosen the tolerance).
+    pub fn with_solver(mut self, solver: TransientSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The underlying chain.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// The initial distribution.
+    pub fn initial(&self) -> &[f64] {
+        &self.p0
+    }
+
+    /// `P(T ≤ t)`: total probability mass in absorbing states at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (negative `t`, …).
+    pub fn cdf(&self, t: f64) -> Result<f64, CtmcError> {
+        let p = self.solver.solve(&self.ctmc, &self.p0, t)?;
+        Ok(p.iter()
+            .zip(&self.absorbing)
+            .filter(|(_, &a)| a)
+            .map(|(&pi, _)| pi)
+            .sum())
+    }
+
+    /// Probability density of the absorption time at `t` (eq. (4) of the
+    /// paper): probability flux from transient states into absorbing
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn pdf(&self, t: f64) -> Result<f64, CtmcError> {
+        let p = self.solver.solve(&self.ctmc, &self.p0, t)?;
+        let mut flux = 0.0;
+        for (i, &pi) in p.iter().enumerate() {
+            if self.absorbing[i] || pi == 0.0 {
+                continue;
+            }
+            for &(j, rate) in self.ctmc.outgoing(i) {
+                if self.absorbing[j] {
+                    flux += pi * rate;
+                }
+            }
+        }
+        Ok(flux)
+    }
+
+    /// Evaluates the density on a uniform grid over `[lo, hi]` with
+    /// `points` points (inclusive of both ends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; returns an empty vector if `points == 0`.
+    pub fn pdf_grid(&self, lo: f64, hi: f64, points: usize) -> Result<Vec<(f64, f64)>, CtmcError> {
+        if points == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let t = if points == 1 {
+                lo
+            } else {
+                lo + (hi - lo) * i as f64 / (points - 1) as f64
+            };
+            out.push((t, self.pdf(t)?));
+        }
+        Ok(out)
+    }
+
+    /// Expected time to absorption, via the linear system
+    /// `(−Q_TT) m = 1` on the transient states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Singular`] if some transient state cannot
+    /// reach absorption.
+    pub fn mean(&self) -> Result<f64, CtmcError> {
+        let m = self.transient_solve_ones()?;
+        Ok(self.dot_initial(&m))
+    }
+
+    /// Second moment of the time to absorption:
+    /// `(−Q_TT) m₂ = 2 m₁`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::mean`].
+    pub fn second_moment(&self) -> Result<f64, CtmcError> {
+        let m1 = self.transient_solve_ones()?;
+        let rhs: Vec<f64> = m1.iter().map(|&x| 2.0 * x).collect();
+        let m2 = self.transient_solve(rhs)?;
+        Ok(self.dot_initial(&m2))
+    }
+
+    /// Variance of the time to absorption.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::mean`].
+    pub fn variance(&self) -> Result<f64, CtmcError> {
+        let mean = self.mean()?;
+        Ok(self.second_moment()? - mean * mean)
+    }
+
+    /// Quantile of the absorption time by bisection on the CDF.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::InvalidTolerance`] unless `0 < p < 1`,
+    /// * propagates solver errors.
+    pub fn quantile(&self, p: f64) -> Result<f64, CtmcError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(CtmcError::InvalidTolerance(p));
+        }
+        // Bracket: grow hi until cdf(hi) > p.
+        let mut hi = self.mean()?.max(1e-9) * 2.0;
+        let mut guard = 0;
+        while self.cdf(hi)? < p {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                return Err(CtmcError::Singular);
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid)? < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// Solves `(−Q_TT) x = 1`.
+    fn transient_solve_ones(&self) -> Result<Vec<f64>, CtmcError> {
+        let n_trans = self.absorbing.iter().filter(|&&a| !a).count();
+        self.transient_solve(vec![1.0; n_trans])
+    }
+
+    /// Solves `(−Q_TT) x = rhs`, where `rhs` is indexed over transient
+    /// states in increasing state order.
+    fn transient_solve(&self, rhs: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
+        // Map transient state -> dense index.
+        let mut index = vec![usize::MAX; self.ctmc.states()];
+        let mut count = 0;
+        for (s, slot) in index.iter_mut().enumerate() {
+            if !self.absorbing[s] {
+                *slot = count;
+                count += 1;
+            }
+        }
+        debug_assert_eq!(rhs.len(), count);
+
+        let mut a = vec![vec![0.0; count]; count];
+        for s in 0..self.ctmc.states() {
+            if self.absorbing[s] {
+                continue;
+            }
+            let i = index[s];
+            a[i][i] = self.ctmc.exit_rate(s);
+            for &(j, rate) in self.ctmc.outgoing(s) {
+                if !self.absorbing[j] {
+                    a[i][index[j]] -= rate;
+                }
+            }
+        }
+        solve_dense(a, rhs)
+    }
+
+    /// Dot product of a transient-indexed vector with the initial
+    /// distribution (absorbing entries of `p0` contribute 0 time).
+    fn dot_initial(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        let mut acc = 0.0;
+        for (s, &p) in self.p0.iter().enumerate() {
+            if !self.absorbing[s] {
+                acc += p * x[i];
+                i += 1;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypoexp_chain(a: f64, b: f64) -> AbsorptionTimes {
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, a).unwrap();
+        c.add_transition(1, 2, b).unwrap();
+        AbsorptionTimes::new(c, vec![1.0, 0.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn requires_an_absorbing_state() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 0, 1.0).unwrap();
+        assert!(matches!(
+            AbsorptionTimes::new(c, vec![1.0, 0.0]),
+            Err(CtmcError::NoAbsorbingState)
+        ));
+    }
+
+    #[test]
+    fn exponential_moments_and_cdf() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 4.0).unwrap();
+        let at = AbsorptionTimes::new(c, vec![1.0, 0.0]).unwrap();
+        assert!((at.mean().unwrap() - 0.25).abs() < 1e-12);
+        assert!((at.variance().unwrap() - 0.0625).abs() < 1e-12);
+        assert!((at.cdf(0.25).unwrap() - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+        assert!((at.pdf(0.0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypoexponential_moments() {
+        let at = hypoexp_chain(2.0, 3.0);
+        // mean = 1/2 + 1/3, var = 1/4 + 1/9.
+        assert!((at.mean().unwrap() - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((at.variance().unwrap() - (0.25 + 1.0 / 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_matches_closed_form() {
+        let (a, b) = (2.0, 3.0);
+        let at = hypoexp_chain(a, b);
+        for t in [0.1, 0.5, 1.0, 2.0] {
+            let f = a * b / (b - a) * ((-a * t).exp() - (-b * t).exp());
+            assert!((at.pdf(t).unwrap() - f).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let at = hypoexp_chain(1.0, 2.0);
+        // Trapezoid rule over [0, 20].
+        let grid = at.pdf_grid(0.0, 20.0, 2001).unwrap();
+        let h = 0.01;
+        let integral: f64 = grid.windows(2).map(|w| 0.5 * h * (w[0].1 + w[1].1)).sum();
+        assert!((integral - 1.0).abs() < 1e-4, "integral = {integral}");
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let at = hypoexp_chain(0.5, 0.8);
+        let mut last = 0.0;
+        for i in 0..50 {
+            let t = i as f64 * 0.3;
+            let c = at.cdf(t).unwrap();
+            assert!(c >= last - 1e-12);
+            last = c;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let at = hypoexp_chain(2.0, 5.0);
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let t = at.quantile(p).unwrap();
+            assert!((at.cdf(t).unwrap() - p).abs() < 1e-8, "p = {p}");
+        }
+        assert!(at.quantile(0.0).is_err());
+        assert!(at.quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn mixed_initial_distribution() {
+        // Start in state 1 with probability 1: absorption is Exp(b).
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 2.0).unwrap();
+        c.add_transition(1, 2, 3.0).unwrap();
+        let at = AbsorptionTimes::new(c, vec![0.0, 1.0, 0.0]).unwrap();
+        assert!((at.mean().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_mass_on_absorbing_state() {
+        // With probability 0.5 we are already absorbed at t = 0.
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).unwrap();
+        let at = AbsorptionTimes::new(c, vec![0.5, 0.5]).unwrap();
+        assert!((at.mean().unwrap() - 0.5).abs() < 1e-12);
+        assert!((at.cdf(0.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_absorption_is_singular() {
+        // State 0 cycles with state 1 and never reaches the absorbing
+        // state 2; the mean is infinite -> singular system.
+        let mut c = Ctmc::new(4);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 0, 1.0).unwrap();
+        c.add_transition(3, 2, 1.0).unwrap();
+        let at = AbsorptionTimes::new(c, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(at.mean(), Err(CtmcError::Singular));
+    }
+}

@@ -1,0 +1,286 @@
+//! Sparse continuous-time Markov chain representation.
+
+use crate::CtmcError;
+use serde::{Deserialize, Serialize};
+
+/// A continuous-time Markov chain held as a sparse list of transitions.
+///
+/// States are indexed `0..states`. The generator matrix `Q` is implied:
+/// off-diagonal entries are the transition rates added with
+/// [`Ctmc::add_transition`], diagonal entries are the negated exit rates.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ctmc::Ctmc;
+///
+/// // Birth-death M/M/1-like fragment on 3 states.
+/// let mut c = Ctmc::new(3);
+/// c.add_transition(0, 1, 2.0)?;
+/// c.add_transition(1, 0, 1.0)?;
+/// c.add_transition(1, 2, 2.0)?;
+/// assert_eq!(c.exit_rate(1), 3.0);
+/// assert!(c.is_absorbing(2));
+/// # Ok::<(), rejuv_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctmc {
+    states: usize,
+    /// Outgoing transitions per state: `(target, rate)`.
+    outgoing: Vec<Vec<(usize, f64)>>,
+    /// Cached exit rate per state.
+    exit_rates: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Creates a chain with `states` states and no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states == 0`; an empty chain has no meaning.
+    pub fn new(states: usize) -> Self {
+        assert!(states > 0, "a CTMC needs at least one state");
+        Ctmc {
+            states,
+            outgoing: vec![Vec::new(); states],
+            exit_rates: vec![0.0; states],
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Total number of transitions.
+    pub fn transitions(&self) -> usize {
+        self.outgoing.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a transition `from → to` with the given positive rate.
+    ///
+    /// Parallel transitions between the same pair of states are merged by
+    /// adding their rates.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::StateOutOfRange`] if either index is invalid,
+    /// * [`CtmcError::SelfLoop`] if `from == to`,
+    /// * [`CtmcError::InvalidRate`] unless `rate` is positive and finite.
+    pub fn add_transition(&mut self, from: usize, to: usize, rate: f64) -> Result<(), CtmcError> {
+        if from >= self.states {
+            return Err(CtmcError::StateOutOfRange {
+                state: from,
+                states: self.states,
+            });
+        }
+        if to >= self.states {
+            return Err(CtmcError::StateOutOfRange {
+                state: to,
+                states: self.states,
+            });
+        }
+        if from == to {
+            return Err(CtmcError::SelfLoop(from));
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CtmcError::InvalidRate(rate));
+        }
+        if let Some(entry) = self.outgoing[from].iter_mut().find(|(t, _)| *t == to) {
+            entry.1 += rate;
+        } else {
+            self.outgoing[from].push((to, rate));
+        }
+        self.exit_rates[from] += rate;
+        Ok(())
+    }
+
+    /// Outgoing transitions of `state` as `(target, rate)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn outgoing(&self, state: usize) -> &[(usize, f64)] {
+        &self.outgoing[state]
+    }
+
+    /// Exit rate (sum of outgoing rates) of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.exit_rates[state]
+    }
+
+    /// Largest exit rate over all states — the uniformization constant.
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit_rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if `state` has no outgoing transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn is_absorbing(&self, state: usize) -> bool {
+        self.outgoing[state].is_empty()
+    }
+
+    /// Indices of all absorbing states.
+    pub fn absorbing_states(&self) -> Vec<usize> {
+        (0..self.states).filter(|&s| self.is_absorbing(s)).collect()
+    }
+
+    /// Validates an initial probability vector against this chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidInitialDistribution`] if the length is
+    /// wrong, any entry is negative or non-finite, or the entries do not
+    /// sum to 1 within `1e-9`.
+    pub fn validate_initial(&self, p0: &[f64]) -> Result<(), CtmcError> {
+        if p0.len() != self.states {
+            return Err(CtmcError::InvalidInitialDistribution(format!(
+                "length {} does not match {} states",
+                p0.len(),
+                self.states
+            )));
+        }
+        let mut sum = 0.0;
+        for &p in p0 {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(CtmcError::InvalidInitialDistribution(format!(
+                    "entry {p} is not a probability"
+                )));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CtmcError::InvalidInitialDistribution(format!(
+                "entries sum to {sum}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// One step of the uniformized DTMC: computes `out = p · P` where
+    /// `P = I + Q/Λ`.
+    ///
+    /// `out` must have the same length as `p`; both must match the chain.
+    pub(crate) fn uniformized_step(&self, lambda: f64, p: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.states);
+        debug_assert_eq!(out.len(), self.states);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = p[i] * (1.0 - self.exit_rates[i] / lambda);
+        }
+        for (i, &pi) in p.iter().enumerate() {
+            if pi == 0.0 {
+                continue;
+            }
+            for &(j, rate) in &self.outgoing[i] {
+                out[j] += pi * rate / lambda;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_validation() {
+        let mut c = Ctmc::new(3);
+        assert_eq!(c.states(), 3);
+        assert_eq!(c.transitions(), 0);
+        c.add_transition(0, 1, 2.0).unwrap();
+        c.add_transition(0, 2, 1.0).unwrap();
+        assert_eq!(c.transitions(), 2);
+        assert_eq!(c.exit_rate(0), 3.0);
+        assert_eq!(c.exit_rate(1), 0.0);
+        assert_eq!(c.max_exit_rate(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        let _ = Ctmc::new(0);
+    }
+
+    #[test]
+    fn rejects_bad_transitions() {
+        let mut c = Ctmc::new(2);
+        assert_eq!(
+            c.add_transition(2, 0, 1.0),
+            Err(CtmcError::StateOutOfRange {
+                state: 2,
+                states: 2
+            })
+        );
+        assert_eq!(
+            c.add_transition(0, 5, 1.0),
+            Err(CtmcError::StateOutOfRange {
+                state: 5,
+                states: 2
+            })
+        );
+        assert_eq!(c.add_transition(0, 0, 1.0), Err(CtmcError::SelfLoop(0)));
+        assert_eq!(
+            c.add_transition(0, 1, 0.0),
+            Err(CtmcError::InvalidRate(0.0))
+        );
+        assert_eq!(
+            c.add_transition(0, 1, -1.0),
+            Err(CtmcError::InvalidRate(-1.0))
+        );
+        assert!(c.add_transition(0, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn parallel_transitions_merge() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(0, 1, 2.5).unwrap();
+        assert_eq!(c.outgoing(0), &[(1, 3.5)]);
+        assert_eq!(c.exit_rate(0), 3.5);
+        assert_eq!(c.transitions(), 1);
+    }
+
+    #[test]
+    fn absorbing_detection() {
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 2, 1.0).unwrap();
+        assert!(!c.is_absorbing(0));
+        assert!(!c.is_absorbing(1));
+        assert!(c.is_absorbing(2));
+        assert_eq!(c.absorbing_states(), vec![2]);
+    }
+
+    #[test]
+    fn initial_distribution_validation() {
+        let c = Ctmc::new(2);
+        assert!(c.validate_initial(&[1.0, 0.0]).is_ok());
+        assert!(c.validate_initial(&[0.5, 0.5]).is_ok());
+        assert!(c.validate_initial(&[1.0]).is_err());
+        assert!(c.validate_initial(&[0.5, 0.6]).is_err());
+        assert!(c.validate_initial(&[-0.5, 1.5]).is_err());
+        assert!(c.validate_initial(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn uniformized_step_conserves_probability() {
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 2.0).unwrap();
+        c.add_transition(1, 0, 1.0).unwrap();
+        c.add_transition(1, 2, 3.0).unwrap();
+        let lambda = c.max_exit_rate();
+        let p = [0.3, 0.5, 0.2];
+        let mut out = [0.0; 3];
+        c.uniformized_step(lambda, &p, &mut out);
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+}

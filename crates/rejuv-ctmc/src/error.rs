@@ -1,0 +1,79 @@
+//! Error type for CTMC construction and solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or solving a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CtmcError {
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the chain.
+        states: usize,
+    },
+    /// A transition rate was not a positive finite number.
+    InvalidRate(f64),
+    /// A self-loop was requested; CTMC generators have none.
+    SelfLoop(usize),
+    /// An initial probability vector did not match the chain or did not
+    /// sum to one.
+    InvalidInitialDistribution(String),
+    /// A numerical tolerance parameter was out of range.
+    InvalidTolerance(f64),
+    /// The linear system arising in a moment computation was singular,
+    /// which happens when some state cannot reach absorption.
+    Singular,
+    /// The requested operation needs at least one absorbing state.
+    NoAbsorbingState,
+    /// A phase-type construction was given inconsistent input.
+    InvalidPhaseType(String),
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::StateOutOfRange { state, states } => {
+                write!(f, "state {state} out of range for a {states}-state chain")
+            }
+            CtmcError::InvalidRate(r) => {
+                write!(f, "transition rate {r} is not positive and finite")
+            }
+            CtmcError::SelfLoop(s) => write!(f, "self-loop on state {s} is not allowed"),
+            CtmcError::InvalidInitialDistribution(msg) => {
+                write!(f, "invalid initial distribution: {msg}")
+            }
+            CtmcError::InvalidTolerance(e) => write!(f, "tolerance {e} is outside (0, 1)"),
+            CtmcError::Singular => write!(f, "linear system is singular"),
+            CtmcError::NoAbsorbingState => write!(f, "chain has no absorbing state"),
+            CtmcError::InvalidPhaseType(msg) => write!(f, "invalid phase-type input: {msg}"),
+        }
+    }
+}
+
+impl Error for CtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_data() {
+        let e = CtmcError::StateOutOfRange {
+            state: 5,
+            states: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        assert!(CtmcError::InvalidRate(-2.0).to_string().contains("-2"));
+        assert!(CtmcError::SelfLoop(1).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CtmcError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Continuous-time Markov chains, uniformization and phase-type
+//! distributions.
+//!
+//! The DSN 2006 paper derives the *exact* distribution of the average
+//! response time `X̄n` by representing it as the time to absorption in a
+//! `2n + 1`-state CTMC (its Fig. 4) and solving that chain with the
+//! proprietary SHARPE tool. This crate is the open substitute:
+//!
+//! * [`ctmc::Ctmc`] — a validated sparse CTMC generator,
+//! * [`uniformization::TransientSolver`] — transient state probabilities
+//!   `p(t)` by uniformization (randomization) with truncated Poisson
+//!   weights,
+//! * [`absorption::AbsorptionTimes`] — CDF / PDF / moments of the time to
+//!   absorption,
+//! * [`phase_type::PhaseType`] — phase-type distributions (exponential,
+//!   hypoexponential, mixtures, convolutions) with closed-form moments,
+//!   convertible to an absorbing CTMC.
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_ctmc::{Ctmc, TransientSolver};
+//!
+//! // A two-state chain: 0 --(1.0)--> 1 (absorbing).
+//! let mut ctmc = Ctmc::new(2);
+//! ctmc.add_transition(0, 1, 1.0)?;
+//! let solver = TransientSolver::default();
+//! let p = solver.solve(&ctmc, &[1.0, 0.0], 1.0)?;
+//! // P(absorbed by t = 1) = 1 - e^{-1}.
+//! assert!((p[1] - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+//! # Ok::<(), rejuv_ctmc::CtmcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod absorption;
+pub mod ctmc;
+pub mod error;
+pub mod linalg;
+pub mod phase_type;
+pub mod steady_state;
+pub mod uniformization;
+
+pub use absorption::AbsorptionTimes;
+pub use ctmc::Ctmc;
+pub use error::CtmcError;
+pub use phase_type::PhaseType;
+pub use steady_state::steady_state;
+pub use uniformization::TransientSolver;

@@ -1,0 +1,156 @@
+//! Minimal dense linear algebra: LU solve with partial pivoting.
+//!
+//! Moment computations on absorbing chains and phase-type distributions
+//! reduce to solving small dense systems (`S x = b` with `S` the
+//! sub-generator). Chains in this workspace have at most a few hundred
+//! transient states, so a straightforward O(n³) LU factorization is both
+//! simple and fast enough.
+
+use crate::CtmcError;
+
+/// A dense row-major matrix.
+pub type DenseMatrix = Vec<Vec<f64>>;
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// `a` is consumed as workspace. The system dimension is `b.len()`; `a`
+/// must be square with matching size.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::Singular`] if a pivot smaller than `1e-300` in
+/// magnitude is encountered.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or its size does not match `b`.
+pub fn solve_dense(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, CtmcError> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix rows must match rhs length");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+
+    for col in 0..n {
+        // Partial pivot: the largest magnitude in this column.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return Err(CtmcError::Singular);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        for (offset, row) in rest.iter_mut().enumerate() {
+            let factor = row[col] / pivot[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (rk, pk) in row[col..].iter_mut().zip(&pivot[col..]) {
+                *rk -= factor * pk;
+            }
+            b[col + 1 + offset] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in row + 1..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Multiplies a dense matrix by a vector: `A x`.
+///
+/// # Panics
+///
+/// Panics if dimensions do not agree.
+pub fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter()
+        .map(|row| {
+            assert_eq!(row.len(), x.len(), "dimension mismatch");
+            row.iter().zip(x).map(|(aij, xj)| aij * xj).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero in the leading position forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(a, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_dense(a, vec![1.0, 2.0]), Err(CtmcError::Singular));
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        // Build a well-conditioned system, solve, and verify A x = b.
+        let n = 20;
+        let a: DenseMatrix = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            10.0 + i as f64
+                        } else {
+                            ((i * 7 + j * 13) % 5) as f64 * 0.3
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = solve_dense(a.clone(), b.clone()).unwrap();
+        let ax = mat_vec(&a, &x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let a = vec![vec![1.0, 2.0]];
+        let _ = solve_dense(a, vec![1.0]);
+    }
+}

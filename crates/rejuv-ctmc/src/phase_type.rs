@@ -1,0 +1,502 @@
+//! Phase-type (PH) distributions.
+//!
+//! The paper's §4.1 notes that the M/M/c response time "is a phase-type
+//! distribution representable by a parallel and serial combination of
+//! exponential distributions" (its Fig. 2). This module implements PH
+//! distributions with the standard `(α, S)` representation — `α` the
+//! initial probability vector over transient phases, `S` the
+//! sub-generator — plus the combinators needed by the queueing crate:
+//! mixtures, convolutions and rate scaling.
+
+use crate::linalg::{solve_dense, DenseMatrix};
+use crate::{AbsorptionTimes, Ctmc, CtmcError};
+use serde::{Deserialize, Serialize};
+
+/// A phase-type distribution `PH(α, S)`.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ctmc::PhaseType;
+///
+/// // Hypoexponential: Exp(2) followed by Exp(3).
+/// let ph = PhaseType::hypoexponential(&[2.0, 3.0])?;
+/// assert!((ph.mean()? - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+/// assert!((ph.variance()? - (0.25 + 1.0 / 9.0)).abs() < 1e-12);
+/// # Ok::<(), rejuv_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseType {
+    alpha: Vec<f64>,
+    /// Sub-generator: off-diagonal entries are non-negative rates,
+    /// diagonal entries are negative, row sums are ≤ 0. The (implicit)
+    /// exit rate of phase `i` is `−Σ_j S[i][j]`.
+    s: DenseMatrix,
+}
+
+impl PhaseType {
+    /// Creates a PH distribution from `(alpha, s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidPhaseType`] if the dimensions are
+    /// inconsistent, `alpha` is not a probability vector, or `s` is not a
+    /// valid sub-generator (non-negative off-diagonals, non-positive row
+    /// sums, negative diagonal for any phase that `alpha` can start in).
+    pub fn new(alpha: Vec<f64>, s: DenseMatrix) -> Result<Self, CtmcError> {
+        let n = alpha.len();
+        if n == 0 {
+            return Err(CtmcError::InvalidPhaseType("no phases".into()));
+        }
+        if s.len() != n || s.iter().any(|row| row.len() != n) {
+            return Err(CtmcError::InvalidPhaseType(format!(
+                "sub-generator must be {n}x{n}"
+            )));
+        }
+        let mut sum = 0.0;
+        for &a in &alpha {
+            if !(a.is_finite() && a >= 0.0) {
+                return Err(CtmcError::InvalidPhaseType(format!(
+                    "alpha entry {a} is not a probability"
+                )));
+            }
+            sum += a;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CtmcError::InvalidPhaseType(format!(
+                "alpha sums to {sum}, expected 1"
+            )));
+        }
+        for (i, row) in s.iter().enumerate() {
+            let mut row_sum = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(CtmcError::InvalidPhaseType(format!(
+                        "S[{i}][{j}] = {v} is not finite"
+                    )));
+                }
+                if i != j && v < 0.0 {
+                    return Err(CtmcError::InvalidPhaseType(format!(
+                        "off-diagonal S[{i}][{j}] = {v} is negative"
+                    )));
+                }
+                if i == j && v > 0.0 {
+                    return Err(CtmcError::InvalidPhaseType(format!(
+                        "diagonal S[{i}][{i}] = {v} is positive"
+                    )));
+                }
+                row_sum += v;
+            }
+            if row_sum > 1e-12 {
+                return Err(CtmcError::InvalidPhaseType(format!(
+                    "row {i} of S sums to {row_sum} > 0"
+                )));
+            }
+        }
+        Ok(PhaseType { alpha, s })
+    }
+
+    /// An exponential distribution with the given rate as a 1-phase PH.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidRate`] unless `rate` is positive and
+    /// finite.
+    pub fn exponential(rate: f64) -> Result<Self, CtmcError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(CtmcError::InvalidRate(rate));
+        }
+        Ok(PhaseType {
+            alpha: vec![1.0],
+            s: vec![vec![-rate]],
+        })
+    }
+
+    /// A hypoexponential distribution: the given exponential stages in
+    /// series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidPhaseType`] if `rates` is empty and
+    /// [`CtmcError::InvalidRate`] if any rate is invalid.
+    pub fn hypoexponential(rates: &[f64]) -> Result<Self, CtmcError> {
+        if rates.is_empty() {
+            return Err(CtmcError::InvalidPhaseType("no stages".into()));
+        }
+        let n = rates.len();
+        let mut s = vec![vec![0.0; n]; n];
+        for (i, &r) in rates.iter().enumerate() {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(CtmcError::InvalidRate(r));
+            }
+            s[i][i] = -r;
+            if i + 1 < n {
+                s[i][i + 1] = r;
+            }
+        }
+        let mut alpha = vec![0.0; n];
+        alpha[0] = 1.0;
+        Ok(PhaseType { alpha, s })
+    }
+
+    /// An Erlang-`k` distribution: `k` identical exponential stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidPhaseType`] if `k == 0` and
+    /// [`CtmcError::InvalidRate`] if `rate` is invalid.
+    pub fn erlang(k: usize, rate: f64) -> Result<Self, CtmcError> {
+        if k == 0 {
+            return Err(CtmcError::InvalidPhaseType("Erlang needs k >= 1".into()));
+        }
+        Self::hypoexponential(&vec![rate; k])
+    }
+
+    /// A finite mixture of PH distributions: with probability
+    /// `weights[i]`, the sample is drawn from `components[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidPhaseType`] if the slices are empty or
+    /// of different lengths, or the weights are not a probability vector.
+    pub fn mixture(weights: &[f64], components: &[PhaseType]) -> Result<Self, CtmcError> {
+        if weights.is_empty() || weights.len() != components.len() {
+            return Err(CtmcError::InvalidPhaseType(
+                "mixture needs matching, non-empty weights and components".into(),
+            ));
+        }
+        let total_phases: usize = components.iter().map(|c| c.phases()).sum();
+        let mut alpha = Vec::with_capacity(total_phases);
+        let mut s = vec![vec![0.0; total_phases]; total_phases];
+        let mut offset = 0;
+        for (&w, comp) in weights.iter().zip(components) {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(CtmcError::InvalidPhaseType(format!(
+                    "weight {w} is not a probability"
+                )));
+            }
+            for &a in &comp.alpha {
+                alpha.push(w * a);
+            }
+            for (i, row) in comp.s.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    s[offset + i][offset + j] = v;
+                }
+            }
+            offset += comp.phases();
+        }
+        PhaseType::new(alpha, s)
+    }
+
+    /// The convolution `X + Y`: this distribution followed by `other`.
+    pub fn convolve(&self, other: &PhaseType) -> PhaseType {
+        let n = self.phases();
+        let m = other.phases();
+        let mut alpha = Vec::with_capacity(n + m);
+        alpha.extend_from_slice(&self.alpha);
+        alpha.extend(std::iter::repeat_n(0.0, m));
+        let mut s = vec![vec![0.0; n + m]; n + m];
+        for (i, row) in self.s.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                s[i][j] = v;
+            }
+            // Exit of phase i flows into other's initial phases.
+            let exit = -row.iter().sum::<f64>();
+            for (j, &aj) in other.alpha.iter().enumerate() {
+                s[i][n + j] = exit * aj;
+            }
+        }
+        for (i, row) in other.s.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                s[n + i][n + j] = v;
+            }
+        }
+        PhaseType { alpha, s }
+    }
+
+    /// The distribution of `X / r`: all rates multiplied by `r`.
+    ///
+    /// This is the transformation the paper applies to build the Fig. 4
+    /// chain for the sample mean: each `Xi / n` is the original phase-type
+    /// distribution with every rate multiplied by `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidRate`] unless `r` is positive and
+    /// finite.
+    pub fn scaled_by(&self, r: f64) -> Result<PhaseType, CtmcError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(CtmcError::InvalidRate(r));
+        }
+        let s = self
+            .s
+            .iter()
+            .map(|row| row.iter().map(|&v| v * r).collect())
+            .collect();
+        Ok(PhaseType {
+            alpha: self.alpha.clone(),
+            s,
+        })
+    }
+
+    /// Number of transient phases.
+    pub fn phases(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The initial probability vector `α`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator `S`.
+    pub fn sub_generator(&self) -> &DenseMatrix {
+        &self.s
+    }
+
+    /// Exit-rate vector `s⁰ = −S·1`.
+    pub fn exit_rates(&self) -> Vec<f64> {
+        self.s.iter().map(|row| -row.iter().sum::<f64>()).collect()
+    }
+
+    /// `k`-th raw moment, `E[X^k] = k! · α (−S)^{−k} 1`, computed by
+    /// repeated linear solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Singular`] if `S` is singular (some phase
+    /// never exits) and [`CtmcError::InvalidPhaseType`] if `k == 0`.
+    pub fn moment(&self, k: usize) -> Result<f64, CtmcError> {
+        if k == 0 {
+            return Err(CtmcError::InvalidPhaseType(
+                "moment order must be >= 1".into(),
+            ));
+        }
+        let n = self.phases();
+        let neg_s: DenseMatrix = self
+            .s
+            .iter()
+            .map(|row| row.iter().map(|&v| -v).collect())
+            .collect();
+        // v_1 = (−S)^{-1} 1; v_{j+1} = (−S)^{-1} v_j; E[X^k] = k! α v_k.
+        let mut v = solve_dense(neg_s.clone(), vec![1.0; n])?;
+        for _ in 1..k {
+            v = solve_dense(neg_s.clone(), v)?;
+        }
+        let mut kfact = 1.0;
+        for j in 2..=k {
+            kfact *= j as f64;
+        }
+        Ok(kfact * self.alpha.iter().zip(&v).map(|(a, x)| a * x).sum::<f64>())
+    }
+
+    /// Expected value `E[X]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::moment`].
+    pub fn mean(&self) -> Result<f64, CtmcError> {
+        self.moment(1)
+    }
+
+    /// Variance `Var(X)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::moment`].
+    pub fn variance(&self) -> Result<f64, CtmcError> {
+        let m1 = self.moment(1)?;
+        Ok(self.moment(2)? - m1 * m1)
+    }
+
+    /// Converts into an absorbing CTMC: phases `0..n` plus absorbing
+    /// state `n`, with the initial distribution `(α, 0)`.
+    pub fn to_ctmc(&self) -> (Ctmc, Vec<f64>) {
+        let n = self.phases();
+        let mut ctmc = Ctmc::new(n + 1);
+        for (i, row) in self.s.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j && v > 0.0 {
+                    ctmc.add_transition(i, j, v).expect("validated rates");
+                }
+            }
+            let exit = -row.iter().sum::<f64>();
+            if exit > 1e-15 {
+                ctmc.add_transition(i, n, exit).expect("validated rates");
+            }
+        }
+        let mut p0 = self.alpha.clone();
+        p0.push(0.0);
+        (ctmc, p0)
+    }
+
+    /// The absorption-time view of this distribution, exposing `cdf`,
+    /// `pdf`, `quantile` and grid evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoAbsorbingState`] if every phase has a zero
+    /// exit rate (a defective distribution that never finishes).
+    pub fn to_absorption_times(&self) -> Result<AbsorptionTimes, CtmcError> {
+        let (ctmc, p0) = self.to_ctmc();
+        AbsorptionTimes::new(ctmc, p0)
+    }
+
+    /// Cumulative distribution function at `t` (convenience wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion/solver errors.
+    pub fn cdf(&self, t: f64) -> Result<f64, CtmcError> {
+        self.to_absorption_times()?.cdf(t)
+    }
+
+    /// Probability density function at `t` (convenience wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion/solver errors.
+    pub fn pdf(&self, t: f64) -> Result<f64, CtmcError> {
+        self.to_absorption_times()?.pdf(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_basics() {
+        let ph = PhaseType::exponential(2.0).unwrap();
+        assert_eq!(ph.phases(), 1);
+        assert!((ph.mean().unwrap() - 0.5).abs() < 1e-12);
+        assert!((ph.variance().unwrap() - 0.25).abs() < 1e-12);
+        assert!((ph.cdf(0.5).unwrap() - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+        assert!(PhaseType::exponential(0.0).is_err());
+        assert!(PhaseType::exponential(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn hypoexponential_moments() {
+        let ph = PhaseType::hypoexponential(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((ph.mean().unwrap() - (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        assert!((ph.variance().unwrap() - (1.0 + 0.25 + 0.0625)).abs() < 1e-12);
+        assert!(PhaseType::hypoexponential(&[]).is_err());
+        assert!(PhaseType::hypoexponential(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn erlang_equals_equal_stage_hypoexp() {
+        let e = PhaseType::erlang(3, 2.0).unwrap();
+        let h = PhaseType::hypoexponential(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(e, h);
+        assert!((e.mean().unwrap() - 1.5).abs() < 1e-12);
+        assert!(PhaseType::erlang(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mixture_moments_are_weighted() {
+        let a = PhaseType::exponential(1.0).unwrap();
+        let b = PhaseType::exponential(2.0).unwrap();
+        let mix = PhaseType::mixture(&[0.25, 0.75], &[a, b]).unwrap();
+        // E = 0.25*1 + 0.75*0.5, E[X^2] = 0.25*2 + 0.75*0.5.
+        assert!((mix.mean().unwrap() - 0.625).abs() < 1e-12);
+        assert!((mix.moment(2).unwrap() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_validation() {
+        let a = PhaseType::exponential(1.0).unwrap();
+        assert!(PhaseType::mixture(&[], &[]).is_err());
+        assert!(PhaseType::mixture(&[1.0], &[]).is_err());
+        assert!(PhaseType::mixture(&[0.5, 0.6], &[a.clone(), a.clone()]).is_err());
+        assert!(PhaseType::mixture(&[0.5, 0.5], &[a.clone(), a]).is_ok());
+    }
+
+    #[test]
+    fn convolution_adds_moments() {
+        let a = PhaseType::exponential(2.0).unwrap();
+        let b = PhaseType::exponential(3.0).unwrap();
+        let c = a.convolve(&b);
+        assert_eq!(c.phases(), 2);
+        assert!((c.mean().unwrap() - (0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        // Variances add for independent summands.
+        assert!((c.variance().unwrap() - (0.25 + 1.0 / 9.0)).abs() < 1e-12);
+        // Equivalent to the hypoexponential.
+        let h = PhaseType::hypoexponential(&[2.0, 3.0]).unwrap();
+        assert!((c.cdf(0.7).unwrap() - h.cdf(0.7).unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn convolution_with_mixture_second_summand() {
+        // X + Y where Y is a mixture: exit of X must split across Y's alpha.
+        let x = PhaseType::exponential(1.0).unwrap();
+        let y = PhaseType::mixture(
+            &[0.5, 0.5],
+            &[
+                PhaseType::exponential(1.0).unwrap(),
+                PhaseType::exponential(3.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        let c = x.convolve(&y);
+        let expected_mean = 1.0 + 0.5 * 1.0 + 0.5 / 3.0;
+        assert!((c.mean().unwrap() - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_divides_moments() {
+        let ph = PhaseType::hypoexponential(&[1.0, 2.0]).unwrap();
+        let scaled = ph.scaled_by(4.0).unwrap();
+        assert!((scaled.mean().unwrap() - ph.mean().unwrap() / 4.0).abs() < 1e-12);
+        assert!((scaled.variance().unwrap() - ph.variance().unwrap() / 16.0).abs() < 1e-12);
+        assert!(ph.scaled_by(0.0).is_err());
+    }
+
+    #[test]
+    fn to_ctmc_roundtrip_moments() {
+        let ph = PhaseType::hypoexponential(&[2.0, 3.0]).unwrap();
+        let at = ph.to_absorption_times().unwrap();
+        assert!((at.mean().unwrap() - ph.mean().unwrap()).abs() < 1e-12);
+        assert!((at.variance().unwrap() - ph.variance().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_validates_shapes_and_signs() {
+        assert!(PhaseType::new(vec![], vec![]).is_err());
+        assert!(PhaseType::new(vec![1.0], vec![vec![1.0]]).is_err()); // positive diagonal
+        assert!(PhaseType::new(vec![1.0], vec![vec![-1.0, 0.0]]).is_err()); // not square
+        assert!(PhaseType::new(vec![0.5], vec![vec![-1.0]]).is_err()); // alpha sum
+        assert!(PhaseType::new(vec![1.0], vec![vec![-1.0]]).is_ok());
+        // Off-diagonal negative.
+        assert!(PhaseType::new(vec![1.0, 0.0], vec![vec![-1.0, -0.5], vec![0.0, -1.0]]).is_err());
+        // Row sum positive.
+        assert!(PhaseType::new(vec![1.0, 0.0], vec![vec![-1.0, 2.0], vec![0.0, -1.0]]).is_err());
+    }
+
+    #[test]
+    fn moment_zero_is_rejected() {
+        let ph = PhaseType::exponential(1.0).unwrap();
+        assert!(ph.moment(0).is_err());
+        // Third moment of Exp(1) is 3! = 6.
+        assert!((ph.moment(3).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let ph = PhaseType::mixture(
+            &[0.3, 0.7],
+            &[
+                PhaseType::exponential(0.5).unwrap(),
+                PhaseType::hypoexponential(&[1.0, 2.0]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let at = ph.to_absorption_times().unwrap();
+        let h = 1e-5;
+        for t in [0.5, 1.0, 2.0] {
+            let num = (at.cdf(t + h).unwrap() - at.cdf(t - h).unwrap()) / (2.0 * h);
+            assert!((num - at.pdf(t).unwrap()).abs() < 1e-6, "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Steady-state distributions of irreducible CTMCs.
+//!
+//! Solves the global balance equations `π Q = 0`, `Σ πᵢ = 1` by dense
+//! LU factorization (replacing one redundant balance equation with the
+//! normalization constraint). Chains in this workspace have at most a
+//! few hundred states, so the dense path is simple and fast.
+
+use crate::linalg::solve_dense;
+use crate::{Ctmc, CtmcError};
+
+/// Computes the steady-state probability vector of `ctmc`.
+///
+/// The chain must be irreducible (a single closed communicating class
+/// covering all states); chains with absorbing states or multiple
+/// recurrent classes make the balance system singular or produce a
+/// vector with negative entries, both reported as errors.
+///
+/// # Errors
+///
+/// * [`CtmcError::NoAbsorbingState`] is **not** used here — instead:
+/// * [`CtmcError::Singular`] if the balance system is singular
+///   (reducible chain), and
+/// * [`CtmcError::InvalidInitialDistribution`] if the solution is not a
+///   probability vector (multiple recurrent classes).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ctmc::{steady_state, Ctmc};
+///
+/// // Two-state chain 0 <-> 1 with rates 1 and 2: π = (2/3, 1/3).
+/// let mut c = Ctmc::new(2);
+/// c.add_transition(0, 1, 1.0)?;
+/// c.add_transition(1, 0, 2.0)?;
+/// let pi = steady_state(&c)?;
+/// assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), rejuv_ctmc::CtmcError>(())
+/// ```
+pub fn steady_state(ctmc: &Ctmc) -> Result<Vec<f64>, CtmcError> {
+    let n = ctmc.states();
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Build Qᵀ with the last row replaced by the normalization 1ᵀ.
+    // Row i of the system (i < n−1): Σ_j π_j q_{ji} = 0.
+    let mut a = vec![vec![0.0; n]; n];
+    for (i, row) in a.iter_mut().enumerate().take(n - 1) {
+        row[i] = -ctmc.exit_rate(i);
+    }
+    // Indexing two coordinates of `a` at once; an iterator form would
+    // obscure the transposition.
+    #[allow(clippy::needless_range_loop)]
+    for from in 0..n {
+        for &(to, rate) in ctmc.outgoing(from) {
+            if to < n - 1 {
+                a[to][from] += rate;
+            }
+        }
+    }
+    for v in a[n - 1].iter_mut() {
+        *v = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+
+    let pi = solve_dense(a, b)?;
+    if pi.iter().any(|&p| !(p.is_finite() && p >= -1e-9)) {
+        return Err(CtmcError::InvalidInitialDistribution(
+            "steady-state solution is not a probability vector (chain not irreducible?)".into(),
+        ));
+    }
+    Ok(pi.into_iter().map(|p| p.max(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_state() {
+        let c = Ctmc::new(1);
+        assert_eq!(steady_state(&c).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn two_state_closed_form() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 3.0).unwrap();
+        c.add_transition(1, 0, 1.0).unwrap();
+        let pi = steady_state(&c).unwrap();
+        assert!((pi[0] - 0.25).abs() < 1e-12);
+        assert!((pi[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_death_matches_detailed_balance() {
+        // M/M/1/5: birth rate 2, death rate 3 -> pi_k proportional to (2/3)^k.
+        let mut c = Ctmc::new(6);
+        for k in 0..5 {
+            c.add_transition(k, k + 1, 2.0).unwrap();
+            c.add_transition(k + 1, k, 3.0).unwrap();
+        }
+        let pi = steady_state(&c).unwrap();
+        let rho: f64 = 2.0 / 3.0;
+        let norm: f64 = (0..6).map(|k| rho.powi(k)).sum();
+        for (k, &p) in pi.iter().enumerate() {
+            let expected = rho.powi(k as i32) / norm;
+            assert!((p - expected).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_long_run_transient() {
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 2, 2.0).unwrap();
+        c.add_transition(2, 0, 0.5).unwrap();
+        c.add_transition(1, 0, 0.3).unwrap();
+        let pi = steady_state(&c).unwrap();
+        let p_inf = crate::TransientSolver::default()
+            .solve(&c, &[1.0, 0.0, 0.0], 500.0)
+            .unwrap();
+        for (a, b) in pi.iter().zip(&p_inf) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_is_rejected() {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).unwrap();
+        // State 1 absorbing: solution concentrates there, which is fine
+        // mathematically, but the balance system is singular for the
+        // reducible direction; accept either error or the point mass.
+        match steady_state(&c) {
+            Ok(pi) => {
+                assert!((pi[1] - 1.0).abs() < 1e-9);
+                assert!(pi[0].abs() < 1e-9);
+            }
+            Err(e) => {
+                assert!(matches!(
+                    e,
+                    CtmcError::Singular | CtmcError::InvalidInitialDistribution(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut c = Ctmc::new(5);
+        for i in 0..5usize {
+            for j in 0..5usize {
+                if i != j {
+                    c.add_transition(i, j, 0.3 + (i * 5 + j) as f64 * 0.1)
+                        .unwrap();
+                }
+            }
+        }
+        let pi = steady_state(&c).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Transient analysis by uniformization (randomization).
+//!
+//! Uniformization converts the CTMC transient problem
+//! `p(t) = p(0) · e^{Qt}` into a weighted sum of DTMC powers:
+//!
+//! ```text
+//! p(t) = Σ_k  Poisson(Λt; k) · p(0) · P^k,    P = I + Q/Λ
+//! ```
+//!
+//! with `Λ ≥ max_i |q_ii|`. The Poisson weights are truncated on both
+//! sides (see `rejuv_stats::special::poisson_weights`), so the result is
+//! accurate to the requested tolerance even when `Λt` is large — the
+//! regime the Fig. 4 chains of the paper live in (`Λt` in the hundreds).
+
+use crate::{Ctmc, CtmcError};
+use rejuv_stats::special::poisson_weights;
+
+/// Transient solver configuration.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ctmc::{Ctmc, TransientSolver};
+///
+/// let mut c = Ctmc::new(2);
+/// c.add_transition(0, 1, 2.0)?;
+/// let p = TransientSolver::new(1e-12)?.solve(&c, &[1.0, 0.0], 0.5)?;
+/// assert!((p[0] - (-1.0f64).exp()).abs() < 1e-10);
+/// # Ok::<(), rejuv_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSolver {
+    epsilon: f64,
+}
+
+impl TransientSolver {
+    /// Creates a solver with the given truncation tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidTolerance`] unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Result<Self, CtmcError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CtmcError::InvalidTolerance(epsilon));
+        }
+        Ok(TransientSolver { epsilon })
+    }
+
+    /// The truncation tolerance.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Computes the state-probability vector at time `t` from the initial
+    /// distribution `p0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::InvalidInitialDistribution`] if `p0` is invalid,
+    /// * [`CtmcError::InvalidRate`] if `t` is negative or non-finite.
+    pub fn solve(&self, ctmc: &Ctmc, p0: &[f64], t: f64) -> Result<Vec<f64>, CtmcError> {
+        ctmc.validate_initial(p0)?;
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(CtmcError::InvalidRate(t));
+        }
+        if t == 0.0 {
+            return Ok(p0.to_vec());
+        }
+        let lambda = ctmc.max_exit_rate();
+        if lambda == 0.0 {
+            // No transitions at all: the chain never moves.
+            return Ok(p0.to_vec());
+        }
+
+        let m = lambda * t;
+        let (left, weights) = poisson_weights(m, self.epsilon)
+            .map_err(|_| CtmcError::InvalidTolerance(self.epsilon))?;
+
+        let n = ctmc.states();
+        let mut cur = p0.to_vec();
+        let mut next = vec![0.0; n];
+        let mut result = vec![0.0; n];
+
+        // Powers below the left truncation point contribute nothing.
+        let mut k: u64 = 0;
+        while k < left {
+            ctmc.uniformized_step(lambda, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+            k += 1;
+        }
+        for &w in &weights {
+            for (r, &c) in result.iter_mut().zip(&cur) {
+                *r += w * c;
+            }
+            ctmc.uniformized_step(lambda, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+
+        // Compensate the truncated Poisson mass so the vector still sums
+        // to ~1; distribute it proportionally.
+        let total: f64 = result.iter().sum();
+        if total > 0.0 {
+            for r in result.iter_mut() {
+                *r /= total;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Solves for several time points at once, reusing DTMC powers.
+    ///
+    /// `times` need not be sorted; the result preserves their order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::solve`].
+    pub fn solve_many(
+        &self,
+        ctmc: &Ctmc,
+        p0: &[f64],
+        times: &[f64],
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
+        // Solving each point independently is O(Σ Λt_i · nnz); sharing
+        // powers across points would complicate the weight bookkeeping for
+        // little gain at the sizes used here.
+        times.iter().map(|&t| self.solve(ctmc, p0, t)).collect()
+    }
+}
+
+impl Default for TransientSolver {
+    /// A solver with tolerance `1e-12`.
+    fn default() -> Self {
+        TransientSolver { epsilon: 1e-12 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_chain(rate: f64) -> Ctmc {
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, rate).unwrap();
+        c
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        assert!(TransientSolver::new(0.0).is_err());
+        assert!(TransientSolver::new(1.0).is_err());
+        assert!(TransientSolver::new(1e-10).is_ok());
+    }
+
+    #[test]
+    fn exponential_decay_exact() {
+        let c = two_state_chain(1.5);
+        let s = TransientSolver::default();
+        for t in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            let p = s.solve(&c, &[1.0, 0.0], t).unwrap();
+            assert!((p[0] - (-1.5 * t).exp()).abs() < 1e-10, "t = {t}");
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_time_returns_initial() {
+        let c = two_state_chain(1.0);
+        let s = TransientSolver::default();
+        let p = s.solve(&c, &[0.25, 0.75], 0.0).unwrap();
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn chain_without_transitions_is_static() {
+        let c = Ctmc::new(3);
+        let s = TransientSolver::default();
+        let p = s.solve(&c, &[0.2, 0.3, 0.5], 100.0).unwrap();
+        assert_eq!(p, vec![0.2, 0.3, 0.5]);
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let c = two_state_chain(1.0);
+        let s = TransientSolver::default();
+        assert!(s.solve(&c, &[1.0, 0.0], -1.0).is_err());
+        assert!(s.solve(&c, &[1.0, 0.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn hypoexponential_absorption_probability() {
+        // 0 -(a)-> 1 -(b)-> 2; P(absorbed by t) has a closed form.
+        let (a, b) = (2.0, 3.0);
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, a).unwrap();
+        c.add_transition(1, 2, b).unwrap();
+        let s = TransientSolver::default();
+        for t in [0.2, 1.0, 2.5] {
+            let p = s.solve(&c, &[1.0, 0.0, 0.0], t).unwrap();
+            let cdf = 1.0 - (b * (-a * t).exp() - a * (-b * t).exp()) / (b - a);
+            assert!((p[2] - cdf).abs() < 1e-10, "t = {t}: {} vs {cdf}", p[2]);
+        }
+    }
+
+    #[test]
+    fn two_state_back_and_forth_reaches_steady_state() {
+        // 0 <-> 1 with rates 1 and 2: steady state (2/3, 1/3).
+        let mut c = Ctmc::new(2);
+        c.add_transition(0, 1, 1.0).unwrap();
+        c.add_transition(1, 0, 2.0).unwrap();
+        let s = TransientSolver::default();
+        let p = s.solve(&c, &[1.0, 0.0], 50.0).unwrap();
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p[1] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_lambda_t_stays_stochastic() {
+        // Λt = 500: exercises the truncated-weights path.
+        let mut c = Ctmc::new(3);
+        c.add_transition(0, 1, 100.0).unwrap();
+        c.add_transition(1, 0, 100.0).unwrap();
+        c.add_transition(1, 2, 50.0).unwrap();
+        let s = TransientSolver::default();
+        let p = s.solve(&c, &[1.0, 0.0, 0.0], 5.0).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p[2] > 0.999, "should be almost surely absorbed, p = {p:?}");
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let c = two_state_chain(0.7);
+        let s = TransientSolver::default();
+        let times = [2.0, 0.5, 1.0];
+        let many = s.solve_many(&c, &[1.0, 0.0], &times).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let single = s.solve(&c, &[1.0, 0.0], t).unwrap();
+            assert_eq!(many[i], single);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the CTMC and phase-type machinery.
+
+use proptest::prelude::*;
+use rejuv_ctmc::{AbsorptionTimes, Ctmc, PhaseType, TransientSolver};
+
+/// Strategy: a random birth-chain-with-shortcuts absorbing CTMC of
+/// 2–8 states where state `n − 1` is absorbing and every state can
+/// reach it.
+fn absorbing_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..8, proptest::collection::vec(0.01f64..20.0, 7 * 7)).prop_map(|(n, rates)| {
+        let mut c = Ctmc::new(n);
+        let mut idx = 0;
+        for i in 0..n - 1 {
+            // Guaranteed forward edge keeps absorption reachable.
+            c.add_transition(i, i + 1, rates[idx % rates.len()])
+                .unwrap();
+            idx += 1;
+            // Optional extra edge to a random other state.
+            let j = (i + 1 + (idx * 7) % (n - i)) % n;
+            if j != i {
+                let r = rates[idx % rates.len()];
+                if idx % 3 == 0 {
+                    c.add_transition(i, j, r).unwrap();
+                }
+            }
+            idx += 1;
+        }
+        c
+    })
+}
+
+fn positive_rates(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..50.0, 1..max_len)
+}
+
+proptest! {
+    /// Uniformization conserves probability mass and non-negativity for
+    /// arbitrary chains and times.
+    #[test]
+    fn transient_solution_is_stochastic(ctmc in absorbing_chain(), t in 0.0f64..50.0) {
+        let n = ctmc.states();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let p = TransientSolver::default().solve(&ctmc, &p0, t).unwrap();
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        prop_assert!(p.iter().all(|&x| x >= -1e-15));
+    }
+
+    /// Chapman–Kolmogorov: solving to `t1 + t2` equals solving to `t1`
+    /// and restarting for `t2`.
+    #[test]
+    fn chapman_kolmogorov(ctmc in absorbing_chain(), t1 in 0.0f64..10.0, t2 in 0.0f64..10.0) {
+        let n = ctmc.states();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let solver = TransientSolver::default();
+        let direct = solver.solve(&ctmc, &p0, t1 + t2).unwrap();
+        let mid = solver.solve(&ctmc, &p0, t1).unwrap();
+        let two_step = solver.solve(&ctmc, &mid, t2).unwrap();
+        for (a, b) in direct.iter().zip(&two_step) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    /// The absorption CDF is monotone non-decreasing and approaches 1.
+    #[test]
+    fn absorption_cdf_monotone(ctmc in absorbing_chain()) {
+        let n = ctmc.states();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let at = AbsorptionTimes::new(ctmc, p0).unwrap();
+        let mut last = -1e-12;
+        for i in 0..30 {
+            let t = i as f64 * 0.5;
+            let c = at.cdf(t).unwrap();
+            prop_assert!(c >= last - 1e-10);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            last = c;
+        }
+    }
+
+    /// Moment identities against the known hypoexponential closed forms.
+    #[test]
+    fn hypoexp_moments_closed_form(rates in positive_rates(6)) {
+        let ph = PhaseType::hypoexponential(&rates).unwrap();
+        let mean: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        let var: f64 = rates.iter().map(|r| 1.0 / (r * r)).sum();
+        prop_assert!((ph.mean().unwrap() - mean).abs() < 1e-8 * (1.0 + mean));
+        prop_assert!((ph.variance().unwrap() - var).abs() < 1e-8 * (1.0 + var));
+    }
+
+    /// Convolution adds means and variances for arbitrary stage sets.
+    #[test]
+    fn convolution_adds_moments(a in positive_rates(4), b in positive_rates(4)) {
+        let x = PhaseType::hypoexponential(&a).unwrap();
+        let y = PhaseType::hypoexponential(&b).unwrap();
+        let c = x.convolve(&y);
+        let mean = x.mean().unwrap() + y.mean().unwrap();
+        let var = x.variance().unwrap() + y.variance().unwrap();
+        prop_assert!((c.mean().unwrap() - mean).abs() < 1e-7 * (1.0 + mean));
+        prop_assert!((c.variance().unwrap() - var).abs() < 1e-7 * (1.0 + var));
+    }
+
+    /// Mixture mean is the weighted mean of component means.
+    #[test]
+    fn mixture_mean_is_weighted(
+        r1 in 0.05f64..20.0,
+        r2 in 0.05f64..20.0,
+        w in 0.0f64..=1.0,
+    ) {
+        let a = PhaseType::exponential(r1).unwrap();
+        let b = PhaseType::exponential(r2).unwrap();
+        let mix = PhaseType::mixture(&[w, 1.0 - w], &[a, b]).unwrap();
+        let expected = w / r1 + (1.0 - w) / r2;
+        prop_assert!((mix.mean().unwrap() - expected).abs() < 1e-9 * (1.0 + expected));
+    }
+
+    /// Scaling by r divides the mean by r and the variance by r².
+    #[test]
+    fn scaling_laws(rates in positive_rates(4), r in 0.1f64..100.0) {
+        let ph = PhaseType::hypoexponential(&rates).unwrap();
+        let scaled = ph.scaled_by(r).unwrap();
+        prop_assert!(
+            (scaled.mean().unwrap() - ph.mean().unwrap() / r).abs()
+                < 1e-8 * (1.0 + ph.mean().unwrap())
+        );
+        prop_assert!(
+            (scaled.variance().unwrap() - ph.variance().unwrap() / (r * r)).abs()
+                < 1e-8 * (1.0 + ph.variance().unwrap())
+        );
+    }
+
+    /// The absorption-time view of a PH agrees with its closed-form
+    /// moments (CTMC path = linear-algebra path).
+    #[test]
+    fn absorption_times_agree_with_ph_moments(rates in positive_rates(5)) {
+        let ph = PhaseType::hypoexponential(&rates).unwrap();
+        let at = ph.to_absorption_times().unwrap();
+        prop_assert!((at.mean().unwrap() - ph.mean().unwrap()).abs() < 1e-8);
+        prop_assert!((at.variance().unwrap() - ph.variance().unwrap()).abs() < 1e-7);
+    }
+
+    /// Quantile inverts the absorption CDF.
+    #[test]
+    fn absorption_quantile_inverts_cdf(rates in positive_rates(4), p in 0.01f64..0.99) {
+        let ph = PhaseType::hypoexponential(&rates).unwrap();
+        let at = ph.to_absorption_times().unwrap();
+        let t = at.quantile(p).unwrap();
+        prop_assert!((at.cdf(t).unwrap() - p).abs() < 1e-6);
+    }
+}

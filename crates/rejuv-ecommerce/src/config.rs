@@ -1,0 +1,314 @@
+//! Configuration of the e-commerce system model.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating a [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SystemConfigError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemConfigError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}: expected {expected}"),
+        }
+    }
+}
+
+impl Error for SystemConfigError {}
+
+/// The parameters of the §3 simulation model.
+///
+/// Use [`SystemConfig::paper`] for the paper's system and
+/// [`SystemConfig::mmc`] for the abstracted M/M/c variant of §4.1
+/// (no kernel overhead, no memory/GC).
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ecommerce::SystemConfig;
+///
+/// let c = SystemConfig::paper(1.6)?;
+/// assert_eq!(c.cpus(), 16);
+/// assert_eq!(c.service_rate(), 0.2);
+/// assert!((c.offered_load_cpus() - 8.0).abs() < 1e-12);
+/// # Ok::<(), rejuv_ecommerce::config::SystemConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    cpus: usize,
+    arrival_rate: f64,
+    service_rate: f64,
+    kernel_threshold: Option<usize>,
+    kernel_factor: f64,
+    memory: Option<MemoryConfig>,
+}
+
+/// Heap / garbage-collection parameters of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Total JVM heap, in MB (paper: 3 GB = 3072 MB).
+    pub heap_mb: f64,
+    /// Memory allocated by each transaction when it obtains a CPU
+    /// (paper: 10 MB).
+    pub alloc_mb: f64,
+    /// A full GC is scheduled when the free heap drops below this
+    /// (paper: 100 MB).
+    pub gc_free_threshold_mb: f64,
+    /// Duration of a full GC, during which every running thread is
+    /// delayed (paper: 60 s for the 3 GB heap).
+    pub gc_pause_secs: f64,
+}
+
+impl MemoryConfig {
+    /// The paper's heap parameters.
+    pub fn paper() -> Self {
+        MemoryConfig {
+            heap_mb: 3072.0,
+            alloc_mb: 10.0,
+            gc_free_threshold_mb: 100.0,
+            gc_pause_secs: 60.0,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The full §3 system at the given arrival rate `λ` (tx/s): 16 CPUs,
+    /// `µ = 0.2`, kernel overhead ×2 above 50 active threads, and the
+    /// paper's heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError`] if `lambda` is not positive and
+    /// finite.
+    pub fn paper(lambda: f64) -> Result<Self, SystemConfigError> {
+        SystemConfig::new(16, lambda, 0.2, Some(50), 2.0, Some(MemoryConfig::paper()))
+    }
+
+    /// The full §3 system at an offered load expressed in "CPUs"
+    /// (`λ = load · µ`), the x-axis of the paper's Figs. 9–16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError`] if the resulting `λ` is invalid.
+    pub fn paper_at_load(load_cpus: f64) -> Result<Self, SystemConfigError> {
+        SystemConfig::paper(load_cpus * 0.2)
+    }
+
+    /// The abstracted M/M/16 system of §4.1: no kernel overhead, no
+    /// memory or GC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError`] if `lambda` is invalid.
+    pub fn mmc(lambda: f64) -> Result<Self, SystemConfigError> {
+        SystemConfig::new(16, lambda, 0.2, None, 1.0, None)
+    }
+
+    /// Fully general constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError`] if any parameter is out of domain.
+    pub fn new(
+        cpus: usize,
+        arrival_rate: f64,
+        service_rate: f64,
+        kernel_threshold: Option<usize>,
+        kernel_factor: f64,
+        memory: Option<MemoryConfig>,
+    ) -> Result<Self, SystemConfigError> {
+        if cpus == 0 {
+            return Err(SystemConfigError::InvalidParameter {
+                name: "cpus",
+                value: 0.0,
+                expected: "at least one CPU",
+            });
+        }
+        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+            return Err(SystemConfigError::InvalidParameter {
+                name: "arrival_rate",
+                value: arrival_rate,
+                expected: "a positive finite rate",
+            });
+        }
+        if !(service_rate.is_finite() && service_rate > 0.0) {
+            return Err(SystemConfigError::InvalidParameter {
+                name: "service_rate",
+                value: service_rate,
+                expected: "a positive finite rate",
+            });
+        }
+        if !(kernel_factor.is_finite() && kernel_factor >= 1.0) {
+            return Err(SystemConfigError::InvalidParameter {
+                name: "kernel_factor",
+                value: kernel_factor,
+                expected: "a multiplier >= 1",
+            });
+        }
+        if let Some(m) = &memory {
+            if !(m.heap_mb.is_finite() && m.heap_mb > 0.0) {
+                return Err(SystemConfigError::InvalidParameter {
+                    name: "heap_mb",
+                    value: m.heap_mb,
+                    expected: "a positive heap size",
+                });
+            }
+            if !(m.alloc_mb.is_finite() && m.alloc_mb > 0.0 && m.alloc_mb <= m.heap_mb) {
+                return Err(SystemConfigError::InvalidParameter {
+                    name: "alloc_mb",
+                    value: m.alloc_mb,
+                    expected: "a positive allocation not exceeding the heap",
+                });
+            }
+            if !(m.gc_free_threshold_mb.is_finite() && m.gc_free_threshold_mb >= 0.0) {
+                return Err(SystemConfigError::InvalidParameter {
+                    name: "gc_free_threshold_mb",
+                    value: m.gc_free_threshold_mb,
+                    expected: "a non-negative threshold",
+                });
+            }
+            if !(m.gc_pause_secs.is_finite() && m.gc_pause_secs >= 0.0) {
+                return Err(SystemConfigError::InvalidParameter {
+                    name: "gc_pause_secs",
+                    value: m.gc_pause_secs,
+                    expected: "a non-negative pause",
+                });
+            }
+        }
+        Ok(SystemConfig {
+            cpus,
+            arrival_rate,
+            service_rate,
+            kernel_threshold,
+            kernel_factor,
+            memory,
+        })
+    }
+
+    /// Number of CPUs (servers).
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// Arrival rate `λ` (tx/s).
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Per-CPU service rate `µ` (tx/s).
+    pub fn service_rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// Offered load `λ/µ` in CPUs — the x-axis of the paper's figures.
+    pub fn offered_load_cpus(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// Active-thread count above which the kernel-overhead multiplier
+    /// applies, if enabled.
+    pub fn kernel_threshold(&self) -> Option<usize> {
+        self.kernel_threshold
+    }
+
+    /// Processing-time multiplier applied above the kernel threshold.
+    pub fn kernel_factor(&self) -> f64 {
+        self.kernel_factor
+    }
+
+    /// Heap/GC parameters, or `None` for the abstracted M/M/c mode.
+    pub fn memory(&self) -> Option<&MemoryConfig> {
+        self.memory.as_ref()
+    }
+
+    /// Returns a copy with a different arrival rate (for load sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError`] if `lambda` is invalid.
+    pub fn with_arrival_rate(&self, lambda: f64) -> Result<Self, SystemConfigError> {
+        SystemConfig::new(
+            self.cpus,
+            lambda,
+            self.service_rate,
+            self.kernel_threshold,
+            self.kernel_factor,
+            self.memory,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SystemConfig::paper(1.6).unwrap();
+        assert_eq!(c.cpus(), 16);
+        assert_eq!(c.service_rate(), 0.2);
+        assert_eq!(c.kernel_threshold(), Some(50));
+        assert_eq!(c.kernel_factor(), 2.0);
+        let m = c.memory().unwrap();
+        assert_eq!(m.heap_mb, 3072.0);
+        assert_eq!(m.alloc_mb, 10.0);
+        assert_eq!(m.gc_free_threshold_mb, 100.0);
+        assert_eq!(m.gc_pause_secs, 60.0);
+    }
+
+    #[test]
+    fn load_conversion() {
+        let c = SystemConfig::paper_at_load(9.0).unwrap();
+        assert!((c.arrival_rate() - 1.8).abs() < 1e-12);
+        assert!((c.offered_load_cpus() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_mode_disables_everything() {
+        let c = SystemConfig::mmc(1.6).unwrap();
+        assert_eq!(c.kernel_threshold(), None);
+        assert!(c.memory().is_none());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SystemConfig::paper(0.0).is_err());
+        assert!(SystemConfig::paper(f64::NAN).is_err());
+        assert!(SystemConfig::new(0, 1.0, 1.0, None, 1.0, None).is_err());
+        assert!(SystemConfig::new(1, 1.0, 1.0, None, 0.5, None).is_err());
+        let bad_mem = MemoryConfig {
+            heap_mb: 100.0,
+            alloc_mb: 200.0,
+            gc_free_threshold_mb: 10.0,
+            gc_pause_secs: 1.0,
+        };
+        assert!(SystemConfig::new(1, 1.0, 1.0, None, 1.0, Some(bad_mem)).is_err());
+    }
+
+    #[test]
+    fn with_arrival_rate_preserves_everything_else() {
+        let c = SystemConfig::paper(1.6).unwrap();
+        let c2 = c.with_arrival_rate(0.4).unwrap();
+        assert_eq!(c2.arrival_rate(), 0.4);
+        assert_eq!(c2.cpus(), c.cpus());
+        assert_eq!(c2.memory(), c.memory());
+        assert!(c.with_arrival_rate(-1.0).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! The abstracted M/M/c mode and the §4.1 autocorrelation study.
+//!
+//! For the applicability argument of the central limit theorem, the
+//! paper simulates the plain M/M/16 system (no kernel overhead, no
+//! memory, no rejuvenation — steps 4–6 and 8 removed), runs five
+//! replications of 100 000 transactions, discards the first 10 000
+//! response times of each, and tests the lag-1 autocorrelation against
+//! the 95 % white-noise band. Only one of the five replications came out
+//! significant.
+
+use crate::config::{SystemConfig, SystemConfigError};
+use crate::runner::Runner;
+use rejuv_stats::autocorr::AutocorrResult;
+use rejuv_stats::{AutocorrStudy, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the §4.1 autocorrelation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutocorrStudyOutcome {
+    /// Arrival rate used (tx/s).
+    pub lambda: f64,
+    /// Per-replication estimates.
+    pub replications: Vec<AutocorrResult>,
+    /// How many replications were significant at the study's confidence
+    /// level.
+    pub significant: usize,
+}
+
+/// Runs the §4.1 autocorrelation study.
+///
+/// * `lambda` — arrival rate (the paper uses the maximum of interest,
+///   1.6 tx/s),
+/// * `runner` — replication protocol (the paper's is
+///   [`Runner::paper`]),
+/// * `study` — warm-up and confidence (the paper's is
+///   [`AutocorrStudy::paper`]).
+///
+/// # Errors
+///
+/// Returns [`SystemConfigError`] for an invalid `lambda` (via the model
+/// configuration) wrapped in [`AutocorrError`], or a statistics error if
+/// a replication is shorter than the warm-up.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ecommerce::mmc_mode::{autocorrelation_study, AutocorrError};
+/// use rejuv_ecommerce::Runner;
+/// use rejuv_stats::AutocorrStudy;
+///
+/// // Scaled-down smoke version of the paper's study.
+/// let outcome = autocorrelation_study(
+///     1.6,
+///     Runner::new(2, 5_000, 42),
+///     AutocorrStudy::new(500, 0.95)?,
+/// )?;
+/// assert_eq!(outcome.replications.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn autocorrelation_study(
+    lambda: f64,
+    runner: Runner,
+    study: AutocorrStudy,
+) -> Result<AutocorrStudyOutcome, AutocorrError> {
+    let config = SystemConfig::mmc(lambda)?;
+    let raw = runner.run_point_raw_recording(config, &|| None, true);
+    let mut replications = Vec::with_capacity(raw.len());
+    let mut significant = 0;
+    for metrics in &raw {
+        let result = study.analyze(&metrics.response_times)?;
+        if result.significant {
+            significant += 1;
+        }
+        replications.push(result);
+    }
+    Ok(AutocorrStudyOutcome {
+        lambda,
+        replications,
+        significant,
+    })
+}
+
+/// Errors from the autocorrelation study.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AutocorrError {
+    /// The model configuration was invalid.
+    Config(SystemConfigError),
+    /// A statistics error (replication shorter than the warm-up, …).
+    Stats(StatsError),
+}
+
+impl std::fmt::Display for AutocorrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutocorrError::Config(e) => write!(f, "config error: {e}"),
+            AutocorrError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutocorrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutocorrError::Config(e) => Some(e),
+            AutocorrError::Stats(e) => Some(e),
+        }
+    }
+}
+
+impl From<SystemConfigError> for AutocorrError {
+    fn from(e: SystemConfigError) -> Self {
+        AutocorrError::Config(e)
+    }
+}
+
+impl From<StatsError> for AutocorrError {
+    fn from(e: StatsError) -> Self {
+        AutocorrError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_runs() {
+        let outcome = autocorrelation_study(
+            1.6,
+            Runner::new(3, 8_000, 17),
+            AutocorrStudy::new(1_000, 0.95).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(outcome.replications.len(), 3);
+        assert!(outcome.significant <= 3);
+        for r in &outcome.replications {
+            assert_eq!(r.retained, 7_000);
+            // At rho = 0.5 the lag-1 autocorrelation is small.
+            assert!(r.gamma_hat.abs() < 0.2, "gamma = {}", r.gamma_hat);
+        }
+    }
+
+    #[test]
+    fn low_load_is_effectively_uncorrelated() {
+        // With almost no queueing, response times are iid Exp(µ): the
+        // autocorrelation must hug zero.
+        let outcome = autocorrelation_study(
+            0.2,
+            Runner::new(2, 10_000, 23),
+            AutocorrStudy::new(1_000, 0.95).unwrap(),
+        )
+        .unwrap();
+        for r in &outcome.replications {
+            assert!(r.gamma_hat.abs() < 0.05, "gamma = {}", r.gamma_hat);
+        }
+    }
+
+    #[test]
+    fn warm_up_longer_than_run_is_an_error() {
+        let err = autocorrelation_study(
+            1.0,
+            Runner::new(1, 100, 3),
+            AutocorrStudy::new(1_000, 0.95).unwrap(),
+        );
+        assert!(matches!(err, Err(AutocorrError::Stats(_))));
+    }
+
+    #[test]
+    fn invalid_lambda_is_a_config_error() {
+        let err = autocorrelation_study(
+            -1.0,
+            Runner::new(1, 100, 3),
+            AutocorrStudy::new(10, 0.95).unwrap(),
+        );
+        assert!(matches!(err, Err(AutocorrError::Config(_))));
+    }
+}

@@ -1,0 +1,421 @@
+//! Replication runner and parallel load sweeps (the §5 experimental
+//! protocol).
+//!
+//! Every experiment in the paper runs "500,000 transactions divided into
+//! five replications of 100,000 transactions each" and reports, per
+//! offered-load point, the cross-replication average response time and
+//! fraction of transactions lost.
+
+use crate::config::SystemConfig;
+use crate::model::EcommerceSystem;
+use crate::RunMetrics;
+use rejuv_core::RejuvenationDetector;
+use rejuv_sim::RngStreams;
+use rejuv_stats::ReplicationSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A factory producing one fresh detector per replication, or `None` to
+/// run without rejuvenation.
+pub type DetectorFactory<'a> = &'a (dyn Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync);
+
+/// Cross-replication result for one experiment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Offered load in CPUs (`λ/µ`).
+    pub offered_load_cpus: f64,
+    /// Per-replication mean response times.
+    pub response_time: ReplicationSet,
+    /// Per-replication loss fractions.
+    pub loss_fraction: ReplicationSet,
+    /// Per-replication rejuvenation counts.
+    pub rejuvenations: ReplicationSet,
+    /// Per-replication GC counts.
+    pub gc_events: ReplicationSet,
+}
+
+impl ExperimentResult {
+    /// Cross-replication average response time — one y-value of the
+    /// paper's response-time figures.
+    pub fn mean_response_time(&self) -> f64 {
+        self.response_time.mean()
+    }
+
+    /// Cross-replication average loss fraction — one y-value of the
+    /// paper's transaction-loss figures.
+    pub fn mean_loss_fraction(&self) -> f64 {
+        self.loss_fraction.mean()
+    }
+
+    /// Student-t confidence interval for the mean response time — the
+    /// honest interval for few-replication protocols.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rejuv_stats::StatsError`] for fewer than two
+    /// replications or an invalid confidence level.
+    pub fn response_time_interval(
+        &self,
+        confidence: f64,
+    ) -> Result<(f64, f64), rejuv_stats::StatsError> {
+        self.response_time.t_confidence_interval(confidence)
+    }
+
+    /// Student-t confidence interval for the loss fraction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::response_time_interval`].
+    pub fn loss_fraction_interval(
+        &self,
+        confidence: f64,
+    ) -> Result<(f64, f64), rejuv_stats::StatsError> {
+        self.loss_fraction.t_confidence_interval(confidence)
+    }
+}
+
+/// One point of a load sweep, pairing the load with its result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load in CPUs.
+    pub load_cpus: f64,
+    /// The replicated result at this load.
+    pub result: ExperimentResult,
+}
+
+/// Runs replicated experiments of the §3 model.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ecommerce::{Runner, SystemConfig};
+///
+/// // A small smoke-scale version of the paper's protocol.
+/// let runner = Runner::new(2, 2_000, 42);
+/// let cfg = SystemConfig::paper_at_load(4.0)?;
+/// let result = runner.run_point(cfg, &|| None);
+/// assert_eq!(result.response_time.len(), 2);
+/// assert_eq!(result.loss_fraction.mean(), 0.0); // no detector, no loss
+/// # Ok::<(), rejuv_ecommerce::config::SystemConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    replications: usize,
+    transactions_per_replication: u64,
+    master_seed: u64,
+    /// Transactions discarded at the start of every replication before
+    /// metrics are collected (transient removal).
+    warmup_transactions: u64,
+}
+
+impl Runner {
+    /// Creates a runner with the given number of replications, each of
+    /// `transactions_per_replication` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(replications: usize, transactions_per_replication: u64, master_seed: u64) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        assert!(
+            transactions_per_replication > 0,
+            "need at least one transaction"
+        );
+        Runner {
+            replications,
+            transactions_per_replication,
+            master_seed,
+            warmup_transactions: 0,
+        }
+    }
+
+    /// The paper's protocol: 5 replications × 100 000 transactions.
+    pub fn paper(master_seed: u64) -> Self {
+        Runner::new(5, 100_000, master_seed)
+    }
+
+    /// Discards the first `transactions` of every replication before
+    /// measuring — the standard transient-removal step of steady-state
+    /// output analysis. The detector (if any) still observes the warm-up
+    /// traffic, exactly as a monitor attached at system start would.
+    pub fn with_warmup(mut self, transactions: u64) -> Self {
+        self.warmup_transactions = transactions;
+        self
+    }
+
+    /// Warm-up transactions discarded per replication.
+    pub fn warmup_transactions(&self) -> u64 {
+        self.warmup_transactions
+    }
+
+    /// Number of replications per point.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Transactions per replication.
+    pub fn transactions_per_replication(&self) -> u64 {
+        self.transactions_per_replication
+    }
+
+    /// Runs all replications at one configuration and aggregates.
+    ///
+    /// Replication `r` derives its RNG streams from
+    /// `(master_seed, point label, r)`, so results are deterministic and
+    /// two detector policies evaluated at the same load see identical
+    /// arrival/service randomness (common random numbers).
+    pub fn run_point(
+        &self,
+        config: SystemConfig,
+        factory: DetectorFactory<'_>,
+    ) -> ExperimentResult {
+        let mut response_time = ReplicationSet::new();
+        let mut loss_fraction = ReplicationSet::new();
+        let mut rejuvenations = ReplicationSet::new();
+        let mut gc_events = ReplicationSet::new();
+
+        for metrics in self.run_point_raw(config, factory) {
+            response_time.push(metrics.mean_response_time);
+            loss_fraction.push(metrics.loss_fraction());
+            rejuvenations.push(metrics.rejuvenation_count as f64);
+            gc_events.push(metrics.gc_count as f64);
+        }
+
+        ExperimentResult {
+            offered_load_cpus: config.offered_load_cpus(),
+            response_time,
+            loss_fraction,
+            rejuvenations,
+            gc_events,
+        }
+    }
+
+    /// Runs all replications at one configuration and returns the raw
+    /// per-replication metrics (used by the autocorrelation study, which
+    /// needs the full response-time series).
+    pub fn run_point_raw(
+        &self,
+        config: SystemConfig,
+        factory: DetectorFactory<'_>,
+    ) -> Vec<RunMetrics> {
+        self.run_point_raw_recording(config, factory, false)
+    }
+
+    /// Like [`Self::run_point_raw`] but optionally recording every
+    /// response time.
+    pub fn run_point_raw_recording(
+        &self,
+        config: SystemConfig,
+        factory: DetectorFactory<'_>,
+        record: bool,
+    ) -> Vec<RunMetrics> {
+        let streams = RngStreams::new(self.master_seed);
+        // A label derived from the load keeps replication streams for
+        // different sweep points distinct.
+        let point_label = (config.offered_load_cpus() * 1_000.0).round() as u64;
+        (0..self.replications)
+            .map(|r| {
+                let seed = streams
+                    .substreams(point_label)
+                    .substreams(r as u64)
+                    .master_seed();
+                let mut system = EcommerceSystem::new(config, seed);
+                system.record_response_times(record);
+                if let Some(detector) = factory() {
+                    system.attach_detector(detector);
+                }
+                if self.warmup_transactions > 0 {
+                    // Warm-up metrics are discarded; the system (and its
+                    // detector) carry their state into the measured run.
+                    let _ = system.run(self.warmup_transactions);
+                }
+                system.run(self.transactions_per_replication)
+            })
+            .collect()
+    }
+
+    /// Sweeps the offered load (in CPUs) over `loads`, running the full
+    /// replication protocol at every point. Points run in parallel, one
+    /// thread per point (capped by the machine), and results keep the
+    /// order of `loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some load yields an invalid configuration (e.g. zero).
+    pub fn load_sweep(
+        &self,
+        base: &SystemConfig,
+        loads: &[f64],
+        factory: DetectorFactory<'_>,
+    ) -> Vec<LoadPoint> {
+        let mut results: Vec<Option<LoadPoint>> = Vec::new();
+        results.resize_with(loads.len(), || None);
+
+        crossbeam::thread::scope(|scope| {
+            for (slot, &load) in results.iter_mut().zip(loads) {
+                let runner = *self;
+                let config = base
+                    .with_arrival_rate(load * base.service_rate())
+                    .expect("load sweep produced an invalid arrival rate");
+                scope.spawn(move |_| {
+                    *slot = Some(LoadPoint {
+                        load_cpus: load,
+                        result: runner.run_point(config, factory),
+                    });
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+
+        results
+            .into_iter()
+            .map(|p| p.expect("every slot was filled"))
+            .collect()
+    }
+}
+
+impl fmt::Display for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} replications x {} transactions (seed {})",
+            self.replications, self.transactions_per_replication, self.master_seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rejuv_core::{Sraa, SraaConfig};
+
+    fn sraa_factory(
+        n: usize,
+        k: usize,
+        d: u32,
+    ) -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+        move || {
+            Some(Box::new(Sraa::new(
+                SraaConfig::builder(5.0, 5.0)
+                    .sample_size(n)
+                    .buckets(k)
+                    .depth(d)
+                    .build()
+                    .unwrap(),
+            )))
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_panics() {
+        let _ = Runner::new(0, 10, 0);
+    }
+
+    #[test]
+    fn paper_protocol_shape() {
+        let r = Runner::paper(1);
+        assert_eq!(r.replications(), 5);
+        assert_eq!(r.transactions_per_replication(), 100_000);
+    }
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let runner = Runner::new(2, 2_000, 99);
+        let cfg = SystemConfig::paper_at_load(6.0).unwrap();
+        let f = sraa_factory(2, 5, 3);
+        let a = runner.run_point(cfg, &f);
+        let b = runner.run_point(cfg, &f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replications_differ_from_each_other() {
+        let runner = Runner::new(3, 2_000, 7);
+        let cfg = SystemConfig::paper_at_load(6.0).unwrap();
+        let res = runner.run_point(cfg, &|| None);
+        let v = res.response_time.values();
+        assert_eq!(v.len(), 3);
+        assert!(v[0] != v[1] || v[1] != v[2], "replications must not repeat");
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_parallel_matches_serial() {
+        let runner = Runner::new(2, 1_500, 5);
+        let base = SystemConfig::paper_at_load(1.0).unwrap();
+        let loads = [0.5, 4.0, 8.0];
+        let f = sraa_factory(3, 2, 5);
+        let sweep = runner.load_sweep(&base, &loads, &f);
+        assert_eq!(sweep.len(), 3);
+        for (point, &load) in sweep.iter().zip(&loads) {
+            assert_eq!(point.load_cpus, load);
+            let direct = runner.run_point(
+                base.with_arrival_rate(load * base.service_rate()).unwrap(),
+                &f,
+            );
+            assert_eq!(point.result, direct, "load {load}");
+        }
+    }
+
+    #[test]
+    fn higher_load_means_higher_response_time() {
+        let runner = Runner::new(2, 4_000, 11);
+        let base = SystemConfig::paper_at_load(1.0).unwrap();
+        let sweep = runner.load_sweep(&base, &[1.0, 9.0], &|| None);
+        assert!(
+            sweep[1].result.mean_response_time() > sweep[0].result.mean_response_time(),
+            "9 CPUs must be slower than 1 CPU"
+        );
+    }
+
+    #[test]
+    fn warmup_discards_the_transient() {
+        // At high load the system starts empty, so early transactions are
+        // unrepresentatively fast; warm-up removal should therefore not
+        // *lower* the measured mean RT.
+        let cfg = SystemConfig::paper_at_load(9.0).unwrap();
+        let cold = Runner::new(3, 8_000, 19).run_point(cfg, &|| None);
+        let warm = Runner::new(3, 8_000, 19)
+            .with_warmup(4_000)
+            .run_point(cfg, &|| None);
+        assert!(
+            warm.mean_response_time() >= cold.mean_response_time() * 0.9,
+            "warm {} vs cold {}",
+            warm.mean_response_time(),
+            cold.mean_response_time()
+        );
+        assert_eq!(Runner::new(1, 10, 0).with_warmup(5).warmup_transactions(), 5);
+    }
+
+    #[test]
+    fn warmup_preserves_common_random_numbers() {
+        // Same seed, same warm-up: identical results.
+        let cfg = SystemConfig::paper_at_load(5.0).unwrap();
+        let runner = Runner::new(2, 3_000, 23).with_warmup(1_000);
+        assert_eq!(runner.run_point(cfg, &|| None), runner.run_point(cfg, &|| None));
+    }
+
+    #[test]
+    fn t_intervals_bracket_the_point_estimates() {
+        let runner = Runner::new(4, 3_000, 17);
+        let cfg = SystemConfig::paper_at_load(6.0).unwrap();
+        let res = runner.run_point(cfg, &|| None);
+        let (lo, hi) = res.response_time_interval(0.95).unwrap();
+        assert!(lo <= res.mean_response_time() && res.mean_response_time() <= hi);
+        let (lo, hi) = res.loss_fraction_interval(0.95).unwrap();
+        assert!(lo <= res.mean_loss_fraction() && res.mean_loss_fraction() <= hi);
+    }
+
+    #[test]
+    fn recording_returns_series() {
+        let runner = Runner::new(2, 500, 3);
+        let cfg = SystemConfig::mmc(1.6).unwrap();
+        let raw = runner.run_point_raw_recording(cfg, &|| None, true);
+        assert_eq!(raw.len(), 2);
+        for m in &raw {
+            assert_eq!(m.response_times.len(), 500);
+        }
+        // Different replications, different series.
+        assert_ne!(raw[0].response_times, raw[1].response_times);
+    }
+}

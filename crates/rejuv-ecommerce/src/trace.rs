@@ -1,0 +1,218 @@
+//! Structured event tracing for the e-commerce model.
+//!
+//! Production monitoring needs to answer *why* a rejuvenation fired:
+//! did a GC pause push the system over the kernel-overhead knee, or did
+//! a burst do it alone? [`EventTrace`] is a bounded ring buffer of the
+//! model's state-change events (GC start/end, overhead-regime entry and
+//! exit, rejuvenations) with lifetime counters, cheap enough to leave
+//! enabled.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One state-change event of the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemEvent {
+    /// A full garbage collection began.
+    GcStarted {
+        /// Simulation time, seconds.
+        at: f64,
+        /// Heap in use when the collection was triggered.
+        heap_used_mb: f64,
+    },
+    /// A full garbage collection finished.
+    GcEnded {
+        /// Simulation time, seconds.
+        at: f64,
+        /// Megabytes of garbage reclaimed.
+        reclaimed_mb: f64,
+    },
+    /// The active-thread count rose above the kernel-overhead threshold.
+    OverheadEntered {
+        /// Simulation time, seconds.
+        at: f64,
+        /// Active threads at the crossing.
+        active_threads: usize,
+    },
+    /// The active-thread count fell back to the threshold or below.
+    OverheadLeft {
+        /// Simulation time, seconds.
+        at: f64,
+        /// Active threads at the crossing.
+        active_threads: usize,
+    },
+    /// A rejuvenation was carried out.
+    Rejuvenated {
+        /// Simulation time, seconds.
+        at: f64,
+        /// Transactions terminated by this rejuvenation.
+        lost: u64,
+    },
+}
+
+impl SystemEvent {
+    /// Simulation time of the event.
+    pub fn at(&self) -> f64 {
+        match *self {
+            SystemEvent::GcStarted { at, .. }
+            | SystemEvent::GcEnded { at, .. }
+            | SystemEvent::OverheadEntered { at, .. }
+            | SystemEvent::OverheadLeft { at, .. }
+            | SystemEvent::Rejuvenated { at, .. } => at,
+        }
+    }
+}
+
+/// Lifetime event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceCounters {
+    /// Garbage collections started.
+    pub gc_started: u64,
+    /// Garbage collections finished.
+    pub gc_ended: u64,
+    /// Times the overhead regime was entered.
+    pub overhead_entered: u64,
+    /// Times the overhead regime was left.
+    pub overhead_left: u64,
+    /// Rejuvenations carried out.
+    pub rejuvenations: u64,
+}
+
+/// A bounded ring buffer of [`SystemEvent`]s plus lifetime counters.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ecommerce::trace::{EventTrace, SystemEvent};
+///
+/// let mut trace = EventTrace::new(2);
+/// trace.record(SystemEvent::Rejuvenated { at: 1.0, lost: 3 });
+/// trace.record(SystemEvent::Rejuvenated { at: 2.0, lost: 4 });
+/// trace.record(SystemEvent::Rejuvenated { at: 3.0, lost: 5 });
+/// assert_eq!(trace.events().count(), 2); // oldest evicted
+/// assert_eq!(trace.counters().rejuvenations, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTrace {
+    capacity: usize,
+    events: VecDeque<SystemEvent>,
+    counters: TraceCounters,
+}
+
+impl EventTrace {
+    /// Creates a trace retaining at most `capacity` recent events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        EventTrace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4_096)),
+            counters: TraceCounters::default(),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn record(&mut self, event: SystemEvent) {
+        match event {
+            SystemEvent::GcStarted { .. } => self.counters.gc_started += 1,
+            SystemEvent::GcEnded { .. } => self.counters.gc_ended += 1,
+            SystemEvent::OverheadEntered { .. } => self.counters.overhead_entered += 1,
+            SystemEvent::OverheadLeft { .. } => self.counters.overhead_left += 1,
+            SystemEvent::Rejuvenated { .. } => self.counters.rejuvenations += 1,
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SystemEvent> {
+        self.events.iter()
+    }
+
+    /// Lifetime counters (never evicted).
+    pub fn counters(&self) -> TraceCounters {
+        self.counters
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops retained events, keeping the counters.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = EventTrace::new(0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = EventTrace::new(3);
+        for i in 0..5 {
+            t.record(SystemEvent::GcStarted {
+                at: i as f64,
+                heap_used_mb: 0.0,
+            });
+        }
+        let times: Vec<f64> = t.events().map(|e| e.at()).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+        assert_eq!(t.counters().gc_started, 5);
+    }
+
+    #[test]
+    fn counters_split_by_kind() {
+        let mut t = EventTrace::new(10);
+        t.record(SystemEvent::GcStarted {
+            at: 0.0,
+            heap_used_mb: 1.0,
+        });
+        t.record(SystemEvent::GcEnded {
+            at: 1.0,
+            reclaimed_mb: 1.0,
+        });
+        t.record(SystemEvent::OverheadEntered {
+            at: 2.0,
+            active_threads: 51,
+        });
+        t.record(SystemEvent::OverheadLeft {
+            at: 3.0,
+            active_threads: 50,
+        });
+        t.record(SystemEvent::Rejuvenated { at: 4.0, lost: 9 });
+        let c = t.counters();
+        assert_eq!(
+            (
+                c.gc_started,
+                c.gc_ended,
+                c.overhead_entered,
+                c.overhead_left,
+                c.rejuvenations
+            ),
+            (1, 1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut t = EventTrace::new(4);
+        t.record(SystemEvent::Rejuvenated { at: 0.0, lost: 1 });
+        t.clear_events();
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.counters().rejuvenations, 1);
+    }
+}

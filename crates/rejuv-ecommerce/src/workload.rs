@@ -1,0 +1,263 @@
+//! Time-varying arrival processes.
+//!
+//! The rejuvenation lineage the paper builds on (Avritzer & Weyuker 1997)
+//! targets telecommunication systems with *predictably periodic traffic*.
+//! This module models such traffic as a non-homogeneous Poisson process
+//! (NHPP) with a [`RateProfile`], sampled exactly by Lewis–Shedler
+//! thinning inside the e-commerce model.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating a [`RateProfile`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A rate was not positive and finite.
+    InvalidRate(f64),
+    /// A piecewise profile was empty, unsorted, or did not start at 0.
+    InvalidSchedule(String),
+    /// A sinusoidal profile dipped to zero or below, or had a bad period.
+    InvalidSinusoid(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::InvalidRate(r) => write!(f, "rate {r} is not positive and finite"),
+            ProfileError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            ProfileError::InvalidSinusoid(msg) => write!(f, "invalid sinusoid: {msg}"),
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+/// An arrival-rate profile `λ(t)`.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_ecommerce::workload::RateProfile;
+///
+/// // A day: quiet nights, busy mid-period.
+/// let day = RateProfile::sinusoidal(1.0, 0.6, 86_400.0)?;
+/// assert!((day.rate_at(0.0) - 1.0).abs() < 1e-12);
+/// assert!(day.max_rate() <= 1.6 + 1e-12);
+/// # Ok::<(), rejuv_ecommerce::workload::ProfileError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// A constant rate — the homogeneous Poisson process of the paper.
+    Constant(f64),
+    /// Piecewise-constant: `(from_time, rate)` segments, sorted by time,
+    /// first segment starting at 0. The last segment extends forever.
+    Piecewise(Vec<(f64, f64)>),
+    /// `base + amplitude · sin(2πt / period)` — a smooth daily cycle.
+    Sinusoidal {
+        /// Mean rate.
+        base: f64,
+        /// Peak deviation from the mean (must stay below `base`).
+        amplitude: f64,
+        /// Cycle length in seconds.
+        period: f64,
+    },
+}
+
+impl RateProfile {
+    /// A validated constant profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidRate`] for a non-positive rate.
+    pub fn constant(rate: f64) -> Result<Self, ProfileError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ProfileError::InvalidRate(rate));
+        }
+        Ok(RateProfile::Constant(rate))
+    }
+
+    /// A validated piecewise-constant profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidSchedule`] if `segments` is empty,
+    /// unsorted, does not start at time 0, or contains an invalid rate.
+    pub fn piecewise(segments: Vec<(f64, f64)>) -> Result<Self, ProfileError> {
+        if segments.is_empty() {
+            return Err(ProfileError::InvalidSchedule("no segments".into()));
+        }
+        if segments[0].0 != 0.0 {
+            return Err(ProfileError::InvalidSchedule(
+                "first segment must start at time 0".into(),
+            ));
+        }
+        let mut last = -1.0;
+        for &(t, rate) in &segments {
+            if !(t.is_finite() && t > last) {
+                return Err(ProfileError::InvalidSchedule(format!(
+                    "segment times must be finite and strictly increasing (got {t} after {last})"
+                )));
+            }
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ProfileError::InvalidRate(rate));
+            }
+            last = t;
+        }
+        Ok(RateProfile::Piecewise(segments))
+    }
+
+    /// A validated sinusoidal profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidSinusoid`] unless
+    /// `0 ≤ amplitude < base` and `period > 0`.
+    pub fn sinusoidal(base: f64, amplitude: f64, period: f64) -> Result<Self, ProfileError> {
+        if !(base.is_finite() && base > 0.0) {
+            return Err(ProfileError::InvalidRate(base));
+        }
+        if !(amplitude.is_finite() && (0.0..base).contains(&amplitude)) {
+            return Err(ProfileError::InvalidSinusoid(format!(
+                "amplitude {amplitude} must satisfy 0 <= amplitude < base"
+            )));
+        }
+        if !(period.is_finite() && period > 0.0) {
+            return Err(ProfileError::InvalidSinusoid(format!(
+                "period {period} must be positive"
+            )));
+        }
+        Ok(RateProfile::Sinusoidal {
+            base,
+            amplitude,
+            period,
+        })
+    }
+
+    /// The instantaneous rate `λ(t)`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match self {
+            RateProfile::Constant(rate) => *rate,
+            RateProfile::Piecewise(segments) => {
+                // Last segment whose start is <= t (validated sorted).
+                segments
+                    .iter()
+                    .take_while(|&&(start, _)| start <= t)
+                    .last()
+                    .map(|&(_, rate)| rate)
+                    .unwrap_or(segments[0].1)
+            }
+            RateProfile::Sinusoidal {
+                base,
+                amplitude,
+                period,
+            } => base + amplitude * (2.0 * std::f64::consts::PI * t / period).sin(),
+        }
+    }
+
+    /// An upper bound on `λ(t)` over all `t` — the majorizing rate for
+    /// Lewis–Shedler thinning.
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            RateProfile::Constant(rate) => *rate,
+            RateProfile::Piecewise(segments) => {
+                segments.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+            }
+            RateProfile::Sinusoidal {
+                base, amplitude, ..
+            } => base + amplitude,
+        }
+    }
+
+    /// Average rate over `[0, horizon]` (by 1 000-point midpoint rule
+    /// for the sinusoid; exact for the other variants).
+    pub fn mean_rate(&self, horizon: f64) -> f64 {
+        match self {
+            RateProfile::Constant(rate) => *rate,
+            RateProfile::Piecewise(segments) => {
+                let mut total = 0.0;
+                for (i, &(start, rate)) in segments.iter().enumerate() {
+                    if start >= horizon {
+                        break;
+                    }
+                    let end = segments
+                        .get(i + 1)
+                        .map(|&(s, _)| s)
+                        .unwrap_or(horizon)
+                        .min(horizon);
+                    total += rate * (end - start);
+                }
+                total / horizon
+            }
+            RateProfile::Sinusoidal { .. } => {
+                let n = 1_000;
+                let h = horizon / n as f64;
+                (0..n)
+                    .map(|i| self.rate_at((i as f64 + 0.5) * h))
+                    .sum::<f64>()
+                    / n as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = RateProfile::constant(1.6).unwrap();
+        assert_eq!(p.rate_at(0.0), 1.6);
+        assert_eq!(p.rate_at(1e9), 1.6);
+        assert_eq!(p.max_rate(), 1.6);
+        assert_eq!(p.mean_rate(100.0), 1.6);
+        assert!(RateProfile::constant(0.0).is_err());
+        assert!(RateProfile::constant(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn piecewise_lookup() {
+        let p = RateProfile::piecewise(vec![(0.0, 1.0), (10.0, 3.0), (20.0, 0.5)]).unwrap();
+        assert_eq!(p.rate_at(0.0), 1.0);
+        assert_eq!(p.rate_at(9.999), 1.0);
+        assert_eq!(p.rate_at(10.0), 3.0);
+        assert_eq!(p.rate_at(19.0), 3.0);
+        assert_eq!(p.rate_at(1e6), 0.5);
+        assert_eq!(p.max_rate(), 3.0);
+        // Mean over [0, 20): (1*10 + 3*10)/20 = 2.
+        assert!((p.mean_rate(20.0) - 2.0).abs() < 1e-12);
+        // Mean over [0, 40): (10 + 30 + 0.5*20)/40 = 1.25.
+        assert!((p.mean_rate(40.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_validation() {
+        assert!(RateProfile::piecewise(vec![]).is_err());
+        assert!(RateProfile::piecewise(vec![(1.0, 1.0)]).is_err());
+        assert!(RateProfile::piecewise(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(RateProfile::piecewise(vec![(0.0, 1.0), (5.0, -1.0)]).is_err());
+        assert!(RateProfile::piecewise(vec![(0.0, 1.0), (5.0, 2.0), (3.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn sinusoid_shape() {
+        let p = RateProfile::sinusoidal(2.0, 1.0, 100.0).unwrap();
+        assert!((p.rate_at(0.0) - 2.0).abs() < 1e-12);
+        assert!((p.rate_at(25.0) - 3.0).abs() < 1e-12); // peak at period/4
+        assert!((p.rate_at(75.0) - 1.0).abs() < 1e-12); // trough
+        assert_eq!(p.max_rate(), 3.0);
+        // Over a whole period the sinusoid averages to its base.
+        assert!((p.mean_rate(100.0) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sinusoid_validation() {
+        assert!(RateProfile::sinusoidal(1.0, 1.0, 10.0).is_err()); // amplitude == base
+        assert!(RateProfile::sinusoidal(1.0, -0.1, 10.0).is_err());
+        assert!(RateProfile::sinusoidal(1.0, 0.5, 0.0).is_err());
+        assert!(RateProfile::sinusoidal(0.0, 0.0, 10.0).is_err());
+        assert!(RateProfile::sinusoidal(1.0, 0.0, 10.0).is_ok());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the cluster and workload subsystems.
+
+use proptest::prelude::*;
+use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
+use rejuv_ecommerce::workload::RateProfile;
+use rejuv_ecommerce::SystemConfig;
+
+fn any_policy() -> impl Strategy<Value = RoutingPolicy> {
+    prop_oneof![
+        Just(RoutingPolicy::RoundRobin),
+        Just(RoutingPolicy::Random),
+        Just(RoutingPolicy::LeastActive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without detectors, every transaction completes and none is
+    /// rejected or lost, for any host count, load and policy.
+    #[test]
+    fn bare_cluster_conserves_transactions(
+        hosts in 1usize..6,
+        lambda in 0.2f64..4.0,
+        policy in any_policy(),
+        seed in 0u64..500,
+    ) {
+        let cfg = SystemConfig::mmc(1.0).unwrap();
+        let mut cluster = ClusterSystem::new(cfg, hosts, lambda, policy, 0.0, seed);
+        let m = cluster.run(1_500);
+        prop_assert_eq!(m.aggregate.completed, 1_500);
+        prop_assert_eq!(m.aggregate.lost, 0);
+        prop_assert_eq!(m.rejected_no_host, 0);
+        prop_assert_eq!(m.rejuvenations_per_host.iter().sum::<u64>(), 0);
+    }
+
+    /// Cluster runs are deterministic in (config, seed, policy).
+    #[test]
+    fn cluster_is_deterministic(
+        hosts in 1usize..5,
+        policy in any_policy(),
+        seed in 0u64..200,
+    ) {
+        let cfg = SystemConfig::paper(1.0).unwrap();
+        let run = || {
+            let mut c = ClusterSystem::new(cfg, hosts, hosts as f64 * 1.2, policy, 15.0, seed);
+            c.run(1_200)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Piecewise profiles look up the correct segment for arbitrary
+    /// schedules.
+    #[test]
+    fn piecewise_rate_lookup(
+        rates in proptest::collection::vec(0.1f64..10.0, 1..8),
+        query in 0.0f64..1_000.0,
+    ) {
+        let segments: Vec<(f64, f64)> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as f64 * 100.0, r))
+            .collect();
+        let profile = RateProfile::piecewise(segments.clone()).unwrap();
+        let expected_idx = ((query / 100.0) as usize).min(rates.len() - 1);
+        prop_assert_eq!(profile.rate_at(query), rates[expected_idx]);
+        // Max rate is the max segment rate.
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        prop_assert_eq!(profile.max_rate(), max);
+    }
+
+    /// Sinusoidal profiles stay within [base − amplitude, base + amplitude]
+    /// and are periodic.
+    #[test]
+    fn sinusoid_bounds_and_periodicity(
+        base in 0.2f64..10.0,
+        frac in 0.0f64..0.99,
+        period in 1.0f64..10_000.0,
+        t in 0.0f64..100_000.0,
+    ) {
+        let amplitude = base * frac;
+        let p = RateProfile::sinusoidal(base, amplitude, period).unwrap();
+        let r = p.rate_at(t);
+        prop_assert!(r >= base - amplitude - 1e-9);
+        prop_assert!(r <= base + amplitude + 1e-9);
+        let r2 = p.rate_at(t + period);
+        prop_assert!((r - r2).abs() < 1e-6 * (1.0 + r.abs()), "not periodic: {r} vs {r2}");
+    }
+}

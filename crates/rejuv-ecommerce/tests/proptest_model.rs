@@ -1,0 +1,122 @@
+//! Property-based tests for the e-commerce model: conservation laws and
+//! determinism over the parameter space.
+
+use proptest::prelude::*;
+use rejuv_core::{Sraa, SraaConfig};
+use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
+
+fn small_run_config() -> impl Strategy<Value = SystemConfig> {
+    // Loads from trivially light to deeply overloaded, with and without
+    // the degradation mechanisms.
+    (0.1f64..2.4, any::<bool>(), any::<bool>()).prop_map(|(lambda, overhead, memory)| {
+        SystemConfig::new(
+            16,
+            lambda,
+            0.2,
+            overhead.then_some(50),
+            if overhead { 2.0 } else { 1.0 },
+            memory.then(rejuv_ecommerce::config::MemoryConfig::paper),
+        )
+        .expect("constructed parameters are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Transaction conservation: completed + lost equals the stop target
+    /// exactly when no detector is attached (nothing is ever lost), and
+    /// is at least the target with one.
+    #[test]
+    fn transaction_conservation(cfg in small_run_config(), seed in 0u64..1_000) {
+        let mut bare = EcommerceSystem::new(cfg, seed);
+        let m = bare.run(2_000);
+        prop_assert_eq!(m.completed, 2_000);
+        prop_assert_eq!(m.lost, 0);
+
+        let detector = Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(1).buckets(1).depth(1).build().unwrap(),
+        );
+        let mut guarded = EcommerceSystem::new(cfg, seed);
+        guarded.attach_detector(Box::new(detector));
+        let m = guarded.run(2_000);
+        prop_assert!(m.completed + m.lost >= 2_000);
+        // Overshoot is bounded by one rejuvenation's worth of threads.
+        prop_assert!(m.completed + m.lost < 2_000 + 10_000);
+    }
+
+    /// Response times are positive and the mean lies between the pure
+    /// service-time floor and the maximum observed value.
+    #[test]
+    fn response_time_sanity(cfg in small_run_config(), seed in 0u64..1_000) {
+        let mut sys = EcommerceSystem::new(cfg, seed);
+        sys.record_response_times(true);
+        let m = sys.run(3_000);
+        prop_assert!(m.response_times.iter().all(|&r| r > 0.0 && r.is_finite()));
+        prop_assert!(m.mean_response_time > 0.0);
+        prop_assert!(m.mean_response_time <= m.max_response_time);
+        // Without degradation mechanisms the mean can't stray far below
+        // the service mean of 5 s.
+        prop_assert!(m.mean_response_time > 3.0, "mean = {}", m.mean_response_time);
+    }
+
+    /// Determinism across the whole parameter space: same config + seed
+    /// => identical metrics.
+    #[test]
+    fn full_determinism(cfg in small_run_config(), seed in 0u64..1_000) {
+        let run = || {
+            let mut sys = EcommerceSystem::new(cfg, seed);
+            sys.record_response_times(true);
+            sys.run(1_500)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Simulated time advances and throughput is bounded by the arrival
+    /// rate.
+    #[test]
+    fn throughput_bounded_by_arrivals(cfg in small_run_config(), seed in 0u64..500) {
+        let mut sys = EcommerceSystem::new(cfg, seed);
+        let m = sys.run(3_000);
+        prop_assert!(m.sim_duration_secs > 0.0);
+        // Long-run throughput can't exceed the arrival rate by more than
+        // the transient in-flight population drain.
+        let arrival_rate = cfg.arrival_rate();
+        prop_assert!(
+            m.throughput() < arrival_rate * 1.5 + 0.5,
+            "throughput {} vs λ {}",
+            m.throughput(),
+            arrival_rate
+        );
+    }
+
+    /// Heap accounting never goes negative; outside a collection it
+    /// never exceeds the GC trigger point (2972 MB + one 10 MB
+    /// allocation). During a collection it may overshoot by what the
+    /// arrival process can start within one 60 s pause.
+    #[test]
+    fn heap_bounds(seed in 0u64..300, lambda in 0.2f64..2.4) {
+        let cfg = SystemConfig::paper(lambda).unwrap();
+        let mut sys = EcommerceSystem::new(cfg, seed);
+        // Poisson(λ·60) arrivals can start mid-GC; allow a generous tail.
+        let in_gc_slack = (lambda * 60.0 * 3.0 + 100.0) * 10.0;
+        for _ in 0..10 {
+            sys.run(400);
+            prop_assert!(sys.heap_used_mb() >= 0.0);
+            if sys.gc_in_progress() {
+                prop_assert!(
+                    sys.heap_used_mb() <= 2982.0 + 160.0 + in_gc_slack,
+                    "in-GC heap = {}",
+                    sys.heap_used_mb()
+                );
+            } else {
+                prop_assert!(
+                    sys.heap_used_mb() <= 2982.0 + 1e-9,
+                    "steady heap = {}",
+                    sys.heap_used_mb()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Queue-length dynamics of the M/M/c queue as a birth–death CTMC.
+//!
+//! The paper's Fig. 1 shows the Markovian state diagram of the number of
+//! jobs in the M/M/c system. This module builds that chain (truncated at
+//! a configurable population) and answers the two questions that matter
+//! for rejuvenation scheduling:
+//!
+//! * the **transient queue-length distribution** `P(N(t) = k)` — how
+//!   congestion builds after a disturbance, and
+//! * the **expected time to congestion**: the mean first-passage time
+//!   from a given population to a threshold (e.g. the 50-thread
+//!   kernel-overhead knee of the §3 model, where the soft failure
+//!   begins).
+
+use crate::{MmcQueue, QueueingError};
+use rejuv_ctmc::{Ctmc, TransientSolver};
+
+/// Builds the Fig. 1 birth–death chain for `queue`, truncated at
+/// `max_jobs` (states `0..=max_jobs`).
+///
+/// Birth rate is `λ` in every state below the truncation point; death
+/// rate from state `k` is `min(k, c)·µ`.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::InvalidParameter`] if `max_jobs == 0`.
+pub fn queue_length_chain(queue: &MmcQueue, max_jobs: usize) -> Result<Ctmc, QueueingError> {
+    if max_jobs == 0 {
+        return Err(QueueingError::InvalidParameter {
+            name: "max_jobs",
+            value: 0.0,
+            expected: "a positive truncation point",
+        });
+    }
+    let lambda = queue.arrival_rate();
+    let mu = queue.service_rate();
+    let c = queue.servers();
+    let mut chain = Ctmc::new(max_jobs + 1);
+    for k in 0..max_jobs {
+        chain
+            .add_transition(k, k + 1, lambda)
+            .expect("indices in range, lambda positive");
+        let death = (k + 1).min(c) as f64 * mu;
+        chain
+            .add_transition(k + 1, k, death)
+            .expect("indices in range, death rate positive");
+    }
+    Ok(chain)
+}
+
+/// Transient queue-length distribution `P(N(t) = k)` for a system that
+/// starts with `initial_jobs` jobs, truncated at `max_jobs`.
+///
+/// The truncation point should be chosen so the probability of hitting
+/// it within `t` is negligible (the returned vector's last entries show
+/// whether it was).
+///
+/// # Errors
+///
+/// * [`QueueingError::InvalidParameter`] if `initial_jobs > max_jobs`
+///   or `max_jobs == 0`,
+/// * propagates CTMC solver errors.
+pub fn queue_length_distribution(
+    queue: &MmcQueue,
+    initial_jobs: usize,
+    t: f64,
+    max_jobs: usize,
+) -> Result<Vec<f64>, QueueingError> {
+    if initial_jobs > max_jobs {
+        return Err(QueueingError::InvalidParameter {
+            name: "initial_jobs",
+            value: initial_jobs as f64,
+            expected: "at most max_jobs",
+        });
+    }
+    let chain = queue_length_chain(queue, max_jobs)?;
+    let mut p0 = vec![0.0; max_jobs + 1];
+    p0[initial_jobs] = 1.0;
+    Ok(TransientSolver::default().solve(&chain, &p0, t)?)
+}
+
+/// Expected first-passage time from `initial_jobs` jobs to a population
+/// of `threshold` jobs — e.g. the §3 kernel-overhead knee at 50.
+///
+/// Built by making the threshold state absorbing and computing the mean
+/// absorption time; for a stable queue below saturation this grows
+/// nearly exponentially in the threshold, which is why soft failures
+/// are rare at low loads and frequent near saturation.
+///
+/// # Errors
+///
+/// * [`QueueingError::InvalidParameter`] unless
+///   `initial_jobs < threshold`,
+/// * propagates CTMC errors.
+pub fn expected_time_to_congestion(
+    queue: &MmcQueue,
+    initial_jobs: usize,
+    threshold: usize,
+) -> Result<f64, QueueingError> {
+    if initial_jobs >= threshold {
+        return Err(QueueingError::InvalidParameter {
+            name: "initial_jobs",
+            value: initial_jobs as f64,
+            expected: "strictly below the congestion threshold",
+        });
+    }
+    // Exact birth–death first-passage recursion, numerically stable even
+    // when the answer is astronomically large (it is a sum of positive
+    // terms, unlike the alternating elimination of a dense solve):
+    //   E[T_{k→k+1}] = 1/λ + (d_k/λ)·E[T_{k−1→k}],  d_k = min(k, c)·µ.
+    let lambda = queue.arrival_rate();
+    let mu = queue.service_rate();
+    let c = queue.servers();
+    let mut step = 0.0f64; // E[T_{k−1→k}] from the previous iteration.
+    let mut total = 0.0f64;
+    for k in 0..threshold {
+        let death = k.min(c) as f64 * mu;
+        step = 1.0 / lambda + death / lambda * step;
+        if k >= initial_jobs {
+            total += step;
+        }
+        if !total.is_finite() {
+            break; // saturate at +inf rather than overflowing to NaN
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rejuv_ctmc::{steady_state, AbsorptionTimes};
+
+    #[test]
+    fn truncation_validated() {
+        let q = MmcQueue::new(2, 1.0, 1.0).unwrap();
+        assert!(queue_length_chain(&q, 0).is_err());
+        assert!(queue_length_distribution(&q, 5, 1.0, 4).is_err());
+        assert!(expected_time_to_congestion(&q, 5, 5).is_err());
+    }
+
+    #[test]
+    fn chain_structure() {
+        let q = MmcQueue::new(3, 2.0, 1.0).unwrap();
+        let chain = queue_length_chain(&q, 6).unwrap();
+        assert_eq!(chain.states(), 7);
+        // Births everywhere below the cap, deaths everywhere above 0.
+        assert_eq!(chain.transitions(), 12);
+        // Death rate saturates at c·µ = 3.
+        assert_eq!(
+            chain.outgoing(5).iter().find(|(to, _)| *to == 4).unwrap().1,
+            3.0
+        );
+        assert_eq!(
+            chain.outgoing(2).iter().find(|(to, _)| *to == 1).unwrap().1,
+            2.0
+        );
+    }
+
+    #[test]
+    fn steady_state_of_truncated_chain_matches_pmf() {
+        // With a truncation far beyond the bulk of the distribution, the
+        // chain's steady state reproduces the analytic M/M/c pmf.
+        let q = MmcQueue::new(4, 2.0, 1.0).unwrap();
+        let chain = queue_length_chain(&q, 60).unwrap();
+        let pi = steady_state(&chain).unwrap();
+        for k in 0..20 {
+            let expected = q.queue_length_pmf(k).unwrap();
+            assert!(
+                (pi[k] - expected).abs() < 1e-8,
+                "k = {k}: {} vs {expected}",
+                pi[k]
+            );
+        }
+    }
+
+    #[test]
+    fn transient_distribution_is_stochastic_and_converges() {
+        let q = MmcQueue::new(16, 1.6, 0.2).unwrap();
+        let p = queue_length_distribution(&q, 0, 2_000.0, 80).unwrap();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // After a long horizon the transient matches the steady pmf.
+        for k in 0..20 {
+            let expected = q.queue_length_pmf(k).unwrap();
+            assert!((p[k] - expected).abs() < 1e-6, "k = {k}");
+        }
+        // Truncation unused.
+        assert!(p[79] < 1e-12);
+    }
+
+    #[test]
+    fn short_horizon_stays_near_initial_state() {
+        let q = MmcQueue::new(16, 1.6, 0.2).unwrap();
+        let p = queue_length_distribution(&q, 10, 0.01, 40).unwrap();
+        assert!(p[10] > 0.95, "p[10] = {}", p[10]);
+    }
+
+    #[test]
+    fn first_passage_matches_absorbing_ctmc() {
+        // Independent cross-check against the generic CTMC machinery on
+        // a threshold small enough for the dense solve to stay accurate.
+        let q = MmcQueue::new(3, 1.5, 1.0).unwrap();
+        let threshold = 12;
+        let lambda = q.arrival_rate();
+        let mut chain = Ctmc::new(threshold + 1);
+        for k in 0..threshold {
+            chain.add_transition(k, k + 1, lambda).unwrap();
+            if k > 0 {
+                chain
+                    .add_transition(k, k - 1, k.min(3) as f64 * q.service_rate())
+                    .unwrap();
+            }
+        }
+        let mut p0 = vec![0.0; threshold + 1];
+        p0[0] = 1.0;
+        let expected = AbsorptionTimes::new(chain, p0).unwrap().mean().unwrap();
+        let measured = expected_time_to_congestion(&q, 0, threshold).unwrap();
+        assert!(
+            (measured - expected).abs() < 1e-6 * (1.0 + expected),
+            "{measured} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn first_passage_from_nonzero_start() {
+        // Starting higher removes exactly the first `initial` steps of
+        // the recursion: E[T_{5→N}] = E[T_{0→N}] − E[T_{0→5}].
+        let q = MmcQueue::new(4, 2.0, 1.0).unwrap();
+        let full = expected_time_to_congestion(&q, 0, 20).unwrap();
+        let head = expected_time_to_congestion(&q, 0, 5).unwrap();
+        let tail = expected_time_to_congestion(&q, 5, 20).unwrap();
+        assert!((full - (head + tail)).abs() < 1e-9 * (1.0 + full));
+    }
+
+    #[test]
+    fn congestion_time_explodes_as_load_falls() {
+        // At 9 CPUs of load the 50-thread knee is minutes away; at 4 CPUs
+        // it is astronomically far — the analytic version of "soft
+        // failures only happen at high load".
+        let t_high =
+            expected_time_to_congestion(&MmcQueue::new(16, 1.8, 0.2).unwrap(), 0, 50).unwrap();
+        let t_low =
+            expected_time_to_congestion(&MmcQueue::new(16, 0.8, 0.2).unwrap(), 0, 50).unwrap();
+        assert!(t_low > 1e3 * t_high, "low {t_low} vs high {t_high}");
+    }
+
+    #[test]
+    fn closer_start_means_shorter_passage() {
+        let q = MmcQueue::new(16, 1.8, 0.2).unwrap();
+        let from0 = expected_time_to_congestion(&q, 0, 50).unwrap();
+        let from30 = expected_time_to_congestion(&q, 30, 50).unwrap();
+        assert!(from30 < from0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the queueing crate.
+
+use rejuv_ctmc::CtmcError;
+use rejuv_stats::StatsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by queueing-model construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// The queue is unstable (`ρ ≥ 1`); steady-state quantities do not
+    /// exist.
+    Unstable {
+        /// The traffic intensity `ρ = λ / (cµ)`.
+        rho: f64,
+    },
+    /// An error bubbled up from the CTMC layer.
+    Ctmc(CtmcError),
+    /// An error bubbled up from the statistics layer.
+    Stats(StatsError),
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}: expected {expected}"),
+            QueueingError::Unstable { rho } => {
+                write!(f, "queue is unstable: traffic intensity rho = {rho} >= 1")
+            }
+            QueueingError::Ctmc(e) => write!(f, "ctmc error: {e}"),
+            QueueingError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl Error for QueueingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueueingError::Ctmc(e) => Some(e),
+            QueueingError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for QueueingError {
+    fn from(e: CtmcError) -> Self {
+        QueueingError::Ctmc(e)
+    }
+}
+
+impl From<StatsError> for QueueingError {
+    fn from(e: StatsError) -> Self {
+        QueueingError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QueueingError::Unstable { rho: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.source().is_none());
+        let e: QueueingError = CtmcError::Singular.into();
+        assert!(e.source().is_some());
+        let e: QueueingError = StatsError::ZeroVariance.into();
+        assert!(e.to_string().contains("variance"));
+    }
+}

@@ -1,0 +1,45 @@
+//! M/M/c queueing analytics for the DSN 2006 rejuvenation paper.
+//!
+//! §4.1 of the paper grounds its rejuvenation algorithms in the analytic
+//! response-time distribution of an FCFS M/M/c queue (Gross & Harris):
+//! its eq. (1) CDF, eq. (2) mean and eq. (3) variance, the phase-type
+//! representation of the response time (the paper's Figs. 2 and 3), and
+//! the *exact* distribution of the sample mean `X̄n` as the absorption
+//! time of a concatenated CTMC (Fig. 4), which the paper solved with
+//! SHARPE and this crate solves with `rejuv-ctmc`.
+//!
+//! * [`mmc::MmcQueue`] — the queue model and its steady-state quantities,
+//! * [`response_time::ResponseTimeDistribution`] — eq. (1)–(3) plus the
+//!   phase-type view,
+//! * [`sample_mean::SampleMean`] — the Fig. 4 chain, the exact density of
+//!   `X̄n`, its normal approximation, and the §4.1 tail-mass comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_queueing::MmcQueue;
+//!
+//! // The paper's system: c = 16 CPUs, µ = 0.2 tx/s, λ = 1.6 tx/s.
+//! let q = MmcQueue::new(16, 1.6, 0.2)?;
+//! assert!(q.is_stable());
+//! // At ρ = 0.5 the response time is almost a pure Exp(µ): mean ≈ 5 s.
+//! let rt = q.response_time()?;
+//! assert!((rt.mean() - 5.0).abs() < 0.01);
+//! assert!((rt.std_dev() - 5.0).abs() < 0.01);
+//! # Ok::<(), rejuv_queueing::QueueingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod birth_death;
+pub mod error;
+pub mod mmc;
+pub mod response_time;
+pub mod sample_mean;
+
+pub use birth_death::{expected_time_to_congestion, queue_length_chain, queue_length_distribution};
+pub use error::QueueingError;
+pub use mmc::MmcQueue;
+pub use response_time::ResponseTimeDistribution;
+pub use sample_mean::SampleMean;

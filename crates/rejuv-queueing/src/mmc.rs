@@ -1,0 +1,368 @@
+//! The FCFS M/M/c queue.
+
+use crate::{QueueingError, ResponseTimeDistribution};
+use serde::{Deserialize, Serialize};
+
+/// An M/M/c queue: Poisson arrivals at rate `λ`, `c` identical
+/// exponential servers at rate `µ`, unbounded FCFS queue.
+///
+/// This is the "abstracted" model of §4.1 of the paper — the e-commerce
+/// simulation with garbage collection and kernel overhead stripped away.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_queueing::MmcQueue;
+///
+/// let q = MmcQueue::new(16, 1.6, 0.2)?;
+/// assert_eq!(q.servers(), 16);
+/// assert!((q.rho() - 0.5).abs() < 1e-12);
+/// assert!((q.offered_load() - 8.0).abs() < 1e-12);
+/// # Ok::<(), rejuv_queueing::QueueingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmcQueue {
+    c: usize,
+    lambda: f64,
+    mu: f64,
+}
+
+impl MmcQueue {
+    /// Creates an M/M/c queue with `c` servers, arrival rate `lambda` and
+    /// per-server service rate `mu`.
+    ///
+    /// Stability (`ρ < 1`) is *not* required at construction; transient
+    /// questions make sense for overloaded queues too. Steady-state
+    /// methods return [`QueueingError::Unstable`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] if `c == 0` or a rate
+    /// is not positive and finite.
+    pub fn new(c: usize, lambda: f64, mu: f64) -> Result<Self, QueueingError> {
+        if c == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "c",
+                value: 0.0,
+                expected: "at least one server",
+            });
+        }
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                expected: "a positive finite arrival rate",
+            });
+        }
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                expected: "a positive finite service rate",
+            });
+        }
+        Ok(MmcQueue { c, lambda, mu })
+    }
+
+    /// The paper's system: `c = 16` servers at `µ = 0.2` tx/s with the
+    /// given arrival rate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn paper_system(lambda: f64) -> Result<Self, QueueingError> {
+        MmcQueue::new(16, lambda, 0.2)
+    }
+
+    /// Number of servers `c`.
+    pub fn servers(&self) -> usize {
+        self.c
+    }
+
+    /// Arrival rate `λ`.
+    pub fn arrival_rate(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-server service rate `µ`.
+    pub fn service_rate(&self) -> f64 {
+        self.mu
+    }
+
+    /// Traffic intensity `ρ = λ / (cµ)`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / (self.c as f64 * self.mu)
+    }
+
+    /// Offered load `λ / µ`, in units of busy servers ("CPUs" in the
+    /// paper's figures).
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Returns `true` if the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Steady-state probability that fewer than `c` jobs are in the
+    /// system — `Wc` in the paper's eq. (1): the probability an arriving
+    /// job does *not* have to wait (by PASTA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn wc(&self) -> Result<f64, QueueingError> {
+        Ok(1.0 - self.erlang_c()?)
+    }
+
+    /// The Erlang-C delay probability `C(c, a)` with `a = λ/µ`: the
+    /// steady-state probability an arriving job must queue.
+    ///
+    /// Computed through the numerically robust Erlang-B recurrence
+    /// `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))`, then
+    /// `C = B / (1 − ρ(1 − B))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn erlang_c(&self) -> Result<f64, QueueingError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueingError::Unstable { rho });
+        }
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for k in 1..=self.c {
+            b = a * b / (k as f64 + a * b);
+        }
+        Ok(b / (1.0 - rho * (1.0 - b)))
+    }
+
+    /// Steady-state probability of exactly `k` jobs in the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn queue_length_pmf(&self, k: usize) -> Result<f64, QueueingError> {
+        let p0 = self.empty_probability()?;
+        let a = self.offered_load();
+        let c = self.c as f64;
+        // p_k = p0 a^k / k!            for k < c
+        //     = p0 a^k / (c! c^{k-c})  for k >= c,
+        // computed multiplicatively to avoid factorial overflow.
+        let mut p = p0;
+        for j in 1..=k {
+            let denom = if j <= self.c { j as f64 } else { c };
+            p *= a / denom;
+        }
+        Ok(p)
+    }
+
+    /// Steady-state probability the system is empty, `p₀`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn empty_probability(&self) -> Result<f64, QueueingError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueingError::Unstable { rho });
+        }
+        let a = self.offered_load();
+        // Σ_{k<c} a^k/k! + a^c/c! · 1/(1−ρ), accumulated multiplicatively.
+        let mut term = 1.0;
+        let mut sum = 1.0;
+        for k in 1..self.c {
+            term *= a / k as f64;
+            sum += term;
+        }
+        term *= a / self.c as f64;
+        sum += term / (1.0 - rho);
+        Ok(1.0 / sum)
+    }
+
+    /// Mean number of jobs in the system `L` (Little's law applied to
+    /// eq. (2)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn mean_jobs(&self) -> Result<f64, QueueingError> {
+        Ok(self.lambda * self.response_time()?.mean())
+    }
+
+    /// Mean waiting time in queue `Wq = (1 − Wc)/(cµ − λ)` (excludes
+    /// service).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn mean_waiting_time(&self) -> Result<f64, QueueingError> {
+        let wc = self.wc()?;
+        Ok((1.0 - wc) / (self.c as f64 * self.mu - self.lambda))
+    }
+
+    /// Mean number of jobs waiting in queue `Lq = λ·Wq` (Little's law).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn mean_queue_length(&self) -> Result<f64, QueueingError> {
+        Ok(self.lambda * self.mean_waiting_time()?)
+    }
+
+    /// Waiting-time survival function
+    /// `P(Wq > t) = (1 − Wc)·e^{−(cµ−λ)t}` — the delay a job suffers
+    /// before any CPU frees up (a point mass `Wc` sits at zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn waiting_time_survival(&self, t: f64) -> Result<f64, QueueingError> {
+        let wc = self.wc()?;
+        if t < 0.0 {
+            return Ok(1.0);
+        }
+        let drain = self.c as f64 * self.mu - self.lambda;
+        Ok((1.0 - wc) * (-drain * t).exp())
+    }
+
+    /// The response-time distribution of this queue (eq. (1)–(3) of the
+    /// paper, plus the phase-type view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn response_time(&self) -> Result<ResponseTimeDistribution, QueueingError> {
+        ResponseTimeDistribution::for_queue(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(MmcQueue::new(0, 1.0, 1.0).is_err());
+        assert!(MmcQueue::new(1, 0.0, 1.0).is_err());
+        assert!(MmcQueue::new(1, 1.0, -1.0).is_err());
+        assert!(MmcQueue::new(1, f64::NAN, 1.0).is_err());
+        assert!(MmcQueue::new(1, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn unstable_queue_is_constructible_but_guarded() {
+        let q = MmcQueue::new(2, 5.0, 1.0).unwrap();
+        assert!(!q.is_stable());
+        assert!(matches!(q.wc(), Err(QueueingError::Unstable { .. })));
+        assert!(q.empty_probability().is_err());
+        assert!(q.response_time().is_err());
+    }
+
+    #[test]
+    fn mm1_known_formulas() {
+        // M/M/1: Erlang C = rho, p0 = 1 - rho, p_k = (1-rho) rho^k.
+        let q = MmcQueue::new(1, 0.6, 1.0).unwrap();
+        assert!((q.erlang_c().unwrap() - 0.6).abs() < 1e-12);
+        assert!((q.empty_probability().unwrap() - 0.4).abs() < 1e-12);
+        for k in 0..8 {
+            let expected = 0.4 * 0.6f64.powi(k as i32);
+            assert!((q.queue_length_pmf(k).unwrap() - expected).abs() < 1e-12);
+        }
+        // Mean jobs L = rho / (1 - rho).
+        assert!((q.mean_jobs().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm2_erlang_c_closed_form() {
+        // M/M/2: C = 2 rho^2 / (1 + rho).
+        let q = MmcQueue::new(2, 1.2, 1.0).unwrap();
+        let rho: f64 = 0.6;
+        let expected = 2.0 * rho * rho / (1.0 + rho);
+        assert!((q.erlang_c().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_system_at_half_load() {
+        let q = MmcQueue::paper_system(1.6).unwrap();
+        assert_eq!(q.servers(), 16);
+        assert!((q.rho() - 0.5).abs() < 1e-12);
+        assert!((q.offered_load() - 8.0).abs() < 1e-12);
+        // Erlang C for c = 16, a = 8 is ≈ 0.0088.
+        let c = q.erlang_c().unwrap();
+        assert!(c > 0.007 && c < 0.011, "erlang_c = {c}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let q = MmcQueue::new(4, 3.0, 1.0).unwrap();
+        let total: f64 = (0..500).map(|k| q.queue_length_pmf(k).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-10, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_matches_birth_death_balance() {
+        // Local balance: lambda p_k = min(k+1, c) mu p_{k+1}.
+        let q = MmcQueue::new(3, 2.0, 1.0).unwrap();
+        for k in 0..10 {
+            let pk = q.queue_length_pmf(k).unwrap();
+            let pk1 = q.queue_length_pmf(k + 1).unwrap();
+            let service = (k + 1).min(3) as f64;
+            assert!((2.0 * pk - service * pk1).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn littles_law_identities() {
+        let q = MmcQueue::new(16, 2.4, 0.2).unwrap();
+        // W = Wq + 1/µ.
+        let w = q.response_time().unwrap().mean();
+        let wq = q.mean_waiting_time().unwrap();
+        assert!((w - (wq + 5.0)).abs() < 1e-12);
+        // L = Lq + λ/µ (servers hold λ/µ jobs on average).
+        let l = q.mean_jobs().unwrap();
+        let lq = q.mean_queue_length().unwrap();
+        assert!((l - (lq + q.offered_load())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mm1_waiting_time_closed_form() {
+        // M/M/1: Wq = rho / (mu - lambda), P(Wq > t) = rho e^{-(mu-lambda)t}.
+        let q = MmcQueue::new(1, 0.5, 1.0).unwrap();
+        assert!((q.mean_waiting_time().unwrap() - 1.0).abs() < 1e-12);
+        for t in [0.0, 1.0, 3.0] {
+            let expected = 0.5 * (-0.5f64 * t).exp();
+            assert!((q.waiting_time_survival(t).unwrap() - expected).abs() < 1e-12);
+        }
+        assert_eq!(q.waiting_time_survival(-1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn wait_survival_at_zero_is_delay_probability() {
+        let q = MmcQueue::new(16, 1.6, 0.2).unwrap();
+        assert!((q.waiting_time_survival(0.0).unwrap() - q.erlang_c().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_server_count_is_stable_numerically() {
+        // a = 100 with c = 128: factorial-free recurrences must not blow up.
+        let q = MmcQueue::new(128, 100.0, 1.0).unwrap();
+        let c = q.erlang_c().unwrap();
+        assert!(c > 0.0 && c < 1.0, "erlang_c = {c}");
+        let p0 = q.empty_probability().unwrap();
+        assert!(p0 > 0.0 && p0 < 1.0);
+    }
+
+    #[test]
+    fn erlang_c_increases_with_load() {
+        let mut last = 0.0;
+        for i in 1..10 {
+            let q = MmcQueue::new(16, i as f64 * 0.3, 0.2).unwrap();
+            let c = q.erlang_c().unwrap();
+            assert!(c > last);
+            last = c;
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The steady-state response-time distribution of an M/M/c queue.
+//!
+//! Implements eq. (1) (CDF), eq. (2) (mean) and eq. (3) (variance) of the
+//! paper, plus the phase-type representation of its Figs. 2 and 3: with
+//! probability `Wc` the job never queues and its response time is
+//! `Exp(µ)`; with probability `1 − Wc` it is the hypoexponential
+//! `Exp(µ) + Exp(cµ − λ)`.
+
+use crate::{MmcQueue, QueueingError};
+use rejuv_ctmc::{Ctmc, PhaseType};
+use serde::{Deserialize, Serialize};
+
+/// The response-time distribution `Xi` of a stable FCFS M/M/c queue.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_queueing::MmcQueue;
+///
+/// let rt = MmcQueue::new(16, 1.6, 0.2)?.response_time()?;
+/// // Eq. (2): mean = 1/µ + (1 − Wc)/(cµ − λ).
+/// assert!((rt.mean() - 5.0055).abs() < 1e-3);
+/// // Eq. (1) CDF at the mean is a proper probability.
+/// let f = rt.cdf(rt.mean());
+/// assert!(f > 0.6 && f < 0.7);
+/// # Ok::<(), rejuv_queueing::QueueingError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTimeDistribution {
+    mu: f64,
+    /// `cµ − λ`, the rate of the queueing stage.
+    drain_rate: f64,
+    /// `Wc`, the probability of not queueing.
+    wc: f64,
+}
+
+impl ResponseTimeDistribution {
+    /// Builds the response-time distribution for a stable queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::Unstable`] if `ρ ≥ 1`.
+    pub fn for_queue(queue: &MmcQueue) -> Result<Self, QueueingError> {
+        let wc = queue.wc()?;
+        Ok(ResponseTimeDistribution {
+            mu: queue.service_rate(),
+            drain_rate: queue.servers() as f64 * queue.service_rate() - queue.arrival_rate(),
+            wc,
+        })
+    }
+
+    /// The per-server service rate `µ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The queueing-stage rate `cµ − λ`.
+    pub fn drain_rate(&self) -> f64 {
+        self.drain_rate
+    }
+
+    /// `Wc`: the steady-state probability an arriving job does not queue.
+    pub fn wc(&self) -> f64 {
+        self.wc
+    }
+
+    /// Eq. (2): `E(Xi) = 1/µ + (1 − Wc)/(cµ − λ)`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.mu + (1.0 - self.wc) / self.drain_rate
+    }
+
+    /// Eq. (3): `Var(Xi) = 1/µ² + (1 − Wc²)/(cµ − λ)²`.
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.mu * self.mu) + (1.0 - self.wc * self.wc) / (self.drain_rate * self.drain_rate)
+    }
+
+    /// Standard deviation of the response time.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Eq. (1): the CDF of the response time.
+    ///
+    /// The closed form has a removable singularity at `λ = (c − 1)µ`
+    /// (where the two stage rates coincide); this implementation switches
+    /// to the Erlang limit there, so it is valid for every stable queue.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let mu = self.mu;
+        let d = self.drain_rate;
+        let exp_mu = 1.0 - (-mu * x).exp();
+        let hypo = if (d - mu).abs() > 1e-9 * mu {
+            // CDF of Exp(µ) + Exp(d) with distinct rates, as in eq. (1):
+            // d/(d−µ)·(1−e^{−µx}) − µ/(d−µ)·(1−e^{−dx}).
+            (d * exp_mu - mu * (1.0 - (-d * x).exp())) / (d - mu)
+        } else {
+            // Erlang-2 limit: 1 − e^{−µx}(1 + µx).
+            1.0 - (-mu * x).exp() * (1.0 + mu * x)
+        };
+        self.wc * exp_mu + (1.0 - self.wc) * hypo
+    }
+
+    /// Probability density of the response time.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let mu = self.mu;
+        let d = self.drain_rate;
+        let f_exp = mu * (-mu * x).exp();
+        let f_hypo = if (d - mu).abs() > 1e-9 * mu {
+            mu * d / (d - mu) * ((-mu * x).exp() - (-d * x).exp())
+        } else {
+            mu * mu * x * (-mu * x).exp()
+        };
+        self.wc * f_exp + (1.0 - self.wc) * f_hypo
+    }
+
+    /// Upper-tail probability `P(Xi > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Quantile of the response time by bisection on [`Self::cdf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, QueueingError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(QueueingError::InvalidParameter {
+                name: "p",
+                value: p,
+                expected: "a probability in (0, 1)",
+            });
+        }
+        let mut hi = self.mean();
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-13 * (1.0 + hi) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// The phase-type representation of Fig. 2: entry phase `Exp(µ)`,
+    /// which with probability `1 − Wc` is followed by the queueing phase
+    /// `Exp(cµ − λ)`.
+    pub fn phase_type(&self) -> PhaseType {
+        let mu = self.mu;
+        let d = self.drain_rate;
+        PhaseType::new(
+            vec![1.0, 0.0],
+            vec![vec![-mu, (1.0 - self.wc) * mu], vec![0.0, -d]],
+        )
+        .expect("response-time PH parameters are valid by construction")
+    }
+
+    /// The 3-state absorbing CTMC of Fig. 3 (states `1`, `2` and the
+    /// absorbing state `3`, zero-indexed here), together with its initial
+    /// distribution (all mass on state 0).
+    pub fn to_ctmc(&self) -> (Ctmc, Vec<f64>) {
+        self.phase_type().to_ctmc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_rt() -> ResponseTimeDistribution {
+        MmcQueue::new(16, 1.6, 0.2)
+            .unwrap()
+            .response_time()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq2_eq3_against_phase_type_moments() {
+        let rt = paper_rt();
+        let ph = rt.phase_type();
+        assert!((ph.mean().unwrap() - rt.mean()).abs() < 1e-10);
+        assert!((ph.variance().unwrap() - rt.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn low_load_is_nearly_exponential() {
+        // §4.1: below λ = 1 tx/s both mean and std dev sit at ~5.
+        for lambda in [0.1, 0.5, 1.0] {
+            let rt = MmcQueue::new(16, lambda, 0.2)
+                .unwrap()
+                .response_time()
+                .unwrap();
+            assert!(
+                (rt.mean() - 5.0).abs() < 0.01,
+                "λ = {lambda}: {}",
+                rt.mean()
+            );
+            assert!(
+                (rt.std_dev() - 5.0).abs() < 0.01,
+                "λ = {lambda}: {}",
+                rt.std_dev()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_and_std_diverge_at_high_load() {
+        let rt = MmcQueue::new(16, 3.0, 0.2)
+            .unwrap()
+            .response_time()
+            .unwrap();
+        assert!(rt.mean() > 5.3);
+        assert!(rt.std_dev() > 5.3);
+    }
+
+    #[test]
+    fn cdf_matches_phase_type_cdf() {
+        let rt = paper_rt();
+        let at = rt.phase_type().to_absorption_times().unwrap();
+        for x in [0.5, 2.0, 5.0, 10.0, 20.0] {
+            let closed = rt.cdf(x);
+            let numeric = at.cdf(x).unwrap();
+            assert!(
+                (closed - numeric).abs() < 1e-9,
+                "x = {x}: {closed} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_is_derivative_of_cdf() {
+        let rt = paper_rt();
+        let h = 1e-6;
+        for x in [1.0, 5.0, 12.0] {
+            let num = (rt.cdf(x + h) - rt.cdf(x - h)) / (2.0 * h);
+            assert!((num - rt.pdf(x)).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_limits() {
+        let rt = paper_rt();
+        assert_eq!(rt.cdf(0.0), 0.0);
+        assert_eq!(rt.cdf(-5.0), 0.0);
+        assert!(rt.cdf(200.0) > 0.999999);
+        assert!((rt.survival(200.0) + rt.cdf(200.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_rate_singularity_is_removable() {
+        // λ = (c − 1)µ makes cµ − λ = µ: the Erlang-2 branch.
+        let rt = MmcQueue::new(4, 3.0, 1.0).unwrap().response_time().unwrap();
+        assert!((rt.drain_rate() - rt.mu()).abs() < 1e-12);
+        // CDF must still be a valid, monotone distribution.
+        let mut last = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let f = rt.cdf(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= last);
+            last = f;
+        }
+        // And it must agree with the phase-type numeric CDF.
+        let at = rt.phase_type().to_absorption_times().unwrap();
+        for x in [0.5, 1.0, 3.0] {
+            assert!((rt.cdf(x) - at.cdf(x).unwrap()).abs() < 1e-8, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn near_singular_rates_stay_accurate() {
+        // λ very close to (c−1)µ stresses the cancellation in eq. (1).
+        let mu = 1.0;
+        let lambda = 3.0 - 1e-7;
+        let rt = MmcQueue::new(4, lambda, mu)
+            .unwrap()
+            .response_time()
+            .unwrap();
+        let at = rt.phase_type().to_absorption_times().unwrap();
+        for x in [0.5, 1.5, 4.0] {
+            assert!((rt.cdf(x) - at.cdf(x).unwrap()).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let rt = paper_rt();
+        for p in [0.1, 0.5, 0.9, 0.975, 0.999] {
+            let x = rt.quantile(p).unwrap();
+            assert!((rt.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+        assert!(rt.quantile(0.0).is_err());
+        assert!(rt.quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn mm1_response_time_is_exponential() {
+        // Classic result: M/M/1 response time ~ Exp(µ − λ).
+        let rt = MmcQueue::new(1, 0.5, 1.0).unwrap().response_time().unwrap();
+        let rate: f64 = 0.5;
+        for x in [0.5, 1.0, 3.0, 8.0] {
+            let expected = 1.0 - (-rate * x).exp();
+            assert!((rt.cdf(x) - expected).abs() < 1e-10, "x = {x}");
+        }
+        assert!((rt.mean() - 2.0).abs() < 1e-10);
+    }
+}

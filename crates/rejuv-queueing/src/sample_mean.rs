@@ -1,0 +1,304 @@
+//! The exact distribution of the sample-mean response time `X̄n`
+//! (the paper's Figs. 4 and 5).
+//!
+//! §4.1 of the paper derives the distribution of
+//! `X̄n = (1/n) Σ Xi` by
+//!
+//! 1. multiplying every rate of the Fig. 3 response-time chain by `n`
+//!    (giving the distribution of `Xi / n`), and
+//! 2. concatenating `n` copies of that chain, fusing the absorbing state
+//!    of copy `j` with the entry state of copy `j + 1` — the `2n + 1`-
+//!    state chain of Fig. 4.
+//!
+//! The time to absorption of that chain is distributed exactly as `X̄n`.
+//! The paper evaluated it with SHARPE; here [`rejuv_ctmc`] does the job.
+
+use crate::{QueueingError, ResponseTimeDistribution};
+use rejuv_ctmc::{AbsorptionTimes, Ctmc};
+use rejuv_stats::Normal;
+use serde::{Deserialize, Serialize};
+
+/// The exact and approximate distribution of the average of `n`
+/// independent response times.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_queueing::{MmcQueue, SampleMean};
+///
+/// let rt = MmcQueue::new(16, 1.6, 0.2)?.response_time()?;
+/// let sm = SampleMean::new(&rt, 30)?;
+/// // The exact mean of X̄n equals the single-observation mean …
+/// assert!((sm.exact().mean()? - rt.mean()).abs() < 1e-8);
+/// // … while the variance shrinks by a factor of n.
+/// assert!((sm.exact().variance()? - rt.variance() / 30.0).abs() < 1e-8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SampleMean {
+    n: usize,
+    rt_mean: f64,
+    rt_variance: f64,
+    exact: AbsorptionTimes,
+}
+
+impl SampleMean {
+    /// Builds the Fig. 4 chain for sample size `n` over the given
+    /// response-time distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidParameter`] if `n == 0`, and
+    /// propagates CTMC construction errors.
+    pub fn new(rt: &ResponseTimeDistribution, n: usize) -> Result<Self, QueueingError> {
+        if n == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                expected: "a positive sample size",
+            });
+        }
+        let ctmc = build_fig4_chain(rt, n)?;
+        let mut p0 = vec![0.0; 2 * n + 1];
+        p0[0] = 1.0;
+        let exact = AbsorptionTimes::new(ctmc, p0)?;
+        Ok(SampleMean {
+            n,
+            rt_mean: rt.mean(),
+            rt_variance: rt.variance(),
+            exact,
+        })
+    }
+
+    /// The sample size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exact distribution of `X̄n` as an absorption-time object
+    /// (CDF, PDF, moments, quantiles).
+    pub fn exact(&self) -> &AbsorptionTimes {
+        &self.exact
+    }
+
+    /// The CLT normal approximation: `N(µX, σX²/n)`.
+    pub fn normal_approximation(&self) -> Normal {
+        Normal::new(self.rt_mean, (self.rt_variance / self.n as f64).sqrt())
+            .expect("moments of a stable queue are positive and finite")
+    }
+
+    /// Evaluates the exact density and the approximating normal density
+    /// on a uniform grid — the data behind one panel of Fig. 5.
+    ///
+    /// Returns `(x, exact pdf, normal pdf)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver errors.
+    pub fn density_comparison(
+        &self,
+        lo: f64,
+        hi: f64,
+        points: usize,
+    ) -> Result<Vec<DensityPoint>, QueueingError> {
+        let normal = self.normal_approximation();
+        let grid = self.exact.pdf_grid(lo, hi, points)?;
+        Ok(grid
+            .into_iter()
+            .map(|(x, exact)| DensityPoint {
+                x,
+                exact,
+                normal: normal.pdf(x),
+            })
+            .collect())
+    }
+
+    /// The §4.1 tail-mass check: the probability that `X̄n` exceeds the
+    /// `p`-quantile of its normal approximation.
+    ///
+    /// If the CLT approximation were perfect this would equal `1 − p`;
+    /// the paper reports 3.69 % for `n = 15` and 3.37 % for `n = 30`
+    /// against the 97.5 % quantile (so the real false-alarm rate of the
+    /// CLTA detector is somewhat above the nominal 2.5 %).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantile/solver errors.
+    pub fn tail_mass_beyond_normal_quantile(&self, p: f64) -> Result<f64, QueueingError> {
+        let q = self.normal_approximation().quantile(p)?;
+        Ok(1.0 - self.exact.cdf(q)?)
+    }
+
+    /// Maximum absolute difference between the exact CDF and the normal
+    /// CDF over a grid — a simple Kolmogorov-style distance quantifying
+    /// "how good" the CLT approximation is for this `n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn normal_approximation_distance(&self, points: usize) -> Result<f64, QueueingError> {
+        let normal = self.normal_approximation();
+        let lo = (self.rt_mean - 6.0 * normal.std_dev()).max(0.0);
+        let hi = self.rt_mean + 6.0 * normal.std_dev();
+        let mut worst = 0.0f64;
+        for i in 0..points.max(2) {
+            let x = lo + (hi - lo) * i as f64 / (points.max(2) - 1) as f64;
+            let d = (self.exact.cdf(x)? - normal.cdf(x)).abs();
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+}
+
+/// One grid point of the Fig. 5 density comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityPoint {
+    /// Abscissa (average response time).
+    pub x: f64,
+    /// Exact density of `X̄n` from the Fig. 4 chain.
+    pub exact: f64,
+    /// Density of the approximating normal `N(µX, σX²/n)`.
+    pub normal: f64,
+}
+
+/// Builds the `2n + 1`-state Fig. 4 chain: `n` copies of the Fig. 3
+/// response-time chain with all rates multiplied by `n`, concatenated.
+fn build_fig4_chain(rt: &ResponseTimeDistribution, n: usize) -> Result<Ctmc, QueueingError> {
+    let nf = n as f64;
+    let mu = rt.mu();
+    let wc = rt.wc();
+    let drain = rt.drain_rate();
+
+    let mut ctmc = Ctmc::new(2 * n + 1);
+    for j in 0..n {
+        let entry = 2 * j; // the Exp(µ) phase of copy j
+        let queued = 2 * j + 1; // the Exp(cµ − λ) phase of copy j
+        let next = 2 * (j + 1); // entry of copy j+1, or the absorbing state
+                                // Service completes without queueing: straight to the next copy.
+        ctmc.add_transition(entry, next, nf * mu * wc)?;
+        // Job had queued: pass through the drain phase first.
+        if wc < 1.0 {
+            ctmc.add_transition(entry, queued, nf * mu * (1.0 - wc))?;
+        }
+        ctmc.add_transition(queued, next, nf * drain)?;
+    }
+    Ok(ctmc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MmcQueue;
+
+    fn paper_rt() -> ResponseTimeDistribution {
+        MmcQueue::new(16, 1.6, 0.2)
+            .unwrap()
+            .response_time()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_sample_size() {
+        assert!(SampleMean::new(&paper_rt(), 0).is_err());
+    }
+
+    #[test]
+    fn chain_has_expected_shape() {
+        let rt = paper_rt();
+        let sm = SampleMean::new(&rt, 5).unwrap();
+        let ctmc = sm.exact().ctmc();
+        assert_eq!(ctmc.states(), 11);
+        assert!(ctmc.is_absorbing(10));
+        assert_eq!(ctmc.absorbing_states(), vec![10]);
+        // Each copy contributes 3 transitions (entry→next, entry→queued,
+        // queued→next).
+        assert_eq!(ctmc.transitions(), 15);
+    }
+
+    #[test]
+    fn n_equals_one_recovers_single_response_time() {
+        let rt = paper_rt();
+        let sm = SampleMean::new(&rt, 1).unwrap();
+        assert!((sm.exact().mean().unwrap() - rt.mean()).abs() < 1e-10);
+        assert!((sm.exact().variance().unwrap() - rt.variance()).abs() < 1e-10);
+        for x in [2.0, 5.0, 10.0] {
+            assert!(
+                (sm.exact().cdf(x).unwrap() - rt.cdf(x)).abs() < 1e-8,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_invariant_and_variance_scales() {
+        let rt = paper_rt();
+        for n in [2, 5, 15] {
+            let sm = SampleMean::new(&rt, n).unwrap();
+            assert!(
+                (sm.exact().mean().unwrap() - rt.mean()).abs() < 1e-8,
+                "n = {n}"
+            );
+            assert!(
+                (sm.exact().variance().unwrap() - rt.variance() / n as f64).abs() < 1e-8,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_approximation_parameters() {
+        let rt = paper_rt();
+        let sm = SampleMean::new(&rt, 25).unwrap();
+        let normal = sm.normal_approximation();
+        assert!((normal.mean() - rt.mean()).abs() < 1e-12);
+        assert!((normal.std_dev() - rt.std_dev() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let rt = paper_rt();
+        let sm = SampleMean::new(&rt, 5).unwrap();
+        let grid = sm.density_comparison(0.0, 30.0, 601).unwrap();
+        let h = 0.05;
+        let exact_mass: f64 = grid
+            .windows(2)
+            .map(|w| 0.5 * h * (w[0].exact + w[1].exact))
+            .sum();
+        assert!((exact_mass - 1.0).abs() < 1e-3, "mass = {exact_mass}");
+    }
+
+    #[test]
+    fn approximation_improves_with_n() {
+        let rt = paper_rt();
+        let d5 = SampleMean::new(&rt, 5)
+            .unwrap()
+            .normal_approximation_distance(101)
+            .unwrap();
+        let d30 = SampleMean::new(&rt, 30)
+            .unwrap()
+            .normal_approximation_distance(101)
+            .unwrap();
+        assert!(
+            d30 < d5,
+            "normal distance should shrink with n: d5 = {d5}, d30 = {d30}"
+        );
+    }
+
+    #[test]
+    fn paper_tail_masses_are_reproduced() {
+        // §4.1: mass right of the normal 97.5 % quantile is 3.69 % for
+        // n = 15 and 3.37 % for n = 30 (λ = 1.6, µ = 0.2, c = 16).
+        let rt = paper_rt();
+        let t15 = SampleMean::new(&rt, 15)
+            .unwrap()
+            .tail_mass_beyond_normal_quantile(0.975)
+            .unwrap();
+        let t30 = SampleMean::new(&rt, 30)
+            .unwrap()
+            .tail_mass_beyond_normal_quantile(0.975)
+            .unwrap();
+        assert!((t15 - 0.0369).abs() < 0.005, "n = 15 tail = {t15}");
+        assert!((t30 - 0.0337).abs() < 0.005, "n = 30 tail = {t30}");
+        assert!(t30 < t15, "approximation should tighten with n");
+    }
+}

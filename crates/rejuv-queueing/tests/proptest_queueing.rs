@@ -1,0 +1,118 @@
+//! Property-based tests for the M/M/c analytics.
+
+use proptest::prelude::*;
+use rejuv_queueing::{MmcQueue, SampleMean};
+
+/// Strategy: a random *stable* M/M/c queue.
+fn stable_queue() -> impl Strategy<Value = MmcQueue> {
+    (1usize..32, 0.05f64..10.0, 0.01f64..0.99).prop_map(|(c, mu, rho)| {
+        let lambda = rho * c as f64 * mu;
+        MmcQueue::new(c, lambda, mu).expect("constructed parameters are valid")
+    })
+}
+
+proptest! {
+    /// Erlang C and Wc are complementary probabilities in (0, 1).
+    #[test]
+    fn erlang_c_is_a_probability(q in stable_queue()) {
+        let c = q.erlang_c().unwrap();
+        let wc = q.wc().unwrap();
+        prop_assert!((0.0..1.0).contains(&c), "C = {c}");
+        prop_assert!((c + wc - 1.0).abs() < 1e-12);
+    }
+
+    /// Eq. (1) is a genuine CDF: zero at 0, monotone, bounded, → 1.
+    #[test]
+    fn response_time_cdf_is_valid(q in stable_queue()) {
+        let rt = q.response_time().unwrap();
+        prop_assert_eq!(rt.cdf(0.0), 0.0);
+        let horizon = rt.mean() + 30.0 * rt.std_dev();
+        let mut last = 0.0;
+        for i in 1..=50 {
+            let x = horizon * i as f64 / 50.0;
+            let f = rt.cdf(x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f), "x = {x}, F = {f}");
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+        prop_assert!(last > 0.999, "F({horizon}) = {last}");
+    }
+
+    /// Eq. (2)/(3) agree with the phase-type (Fig. 2) representation for
+    /// every stable queue.
+    #[test]
+    fn closed_form_moments_match_phase_type(q in stable_queue()) {
+        let rt = q.response_time().unwrap();
+        let ph = rt.phase_type();
+        prop_assert!((ph.mean().unwrap() - rt.mean()).abs() < 1e-7 * (1.0 + rt.mean()));
+        prop_assert!(
+            (ph.variance().unwrap() - rt.variance()).abs() < 1e-6 * (1.0 + rt.variance())
+        );
+    }
+
+    /// The mean response time is at least the mean service time and
+    /// decreases toward it as servers are added at fixed λ and µ.
+    #[test]
+    fn more_servers_reduce_response_time(
+        mu in 0.05f64..5.0,
+        rho in 0.05f64..0.9,
+        c1 in 1usize..16,
+        extra in 1usize..16,
+    ) {
+        let lambda = rho * c1 as f64 * mu;
+        let small = MmcQueue::new(c1, lambda, mu).unwrap().response_time().unwrap();
+        let big = MmcQueue::new(c1 + extra, lambda, mu).unwrap().response_time().unwrap();
+        prop_assert!(small.mean() >= big.mean() - 1e-12);
+        prop_assert!(big.mean() >= 1.0 / mu - 1e-12);
+    }
+
+    /// The queue-length pmf is a probability distribution.
+    #[test]
+    fn queue_length_pmf_sums_to_one(q in stable_queue()) {
+        // Truncation horizon: the geometric tail decays at rho.
+        let mut total = 0.0;
+        let mut k = 0;
+        while total < 1.0 - 1e-9 && k < 100_000 {
+            total += q.queue_length_pmf(k).unwrap();
+            k += 1;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "total = {total} after {k} terms");
+    }
+
+    /// Quantile inverts eq. (1) for arbitrary stable queues.
+    #[test]
+    fn quantile_inverts_cdf(q in stable_queue(), p in 0.01f64..0.99) {
+        let rt = q.response_time().unwrap();
+        let x = rt.quantile(p).unwrap();
+        prop_assert!((rt.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Sample-mean law: E[X̄n] = E[X], Var(X̄n) = Var(X)/n, exactly, via
+    /// the Fig. 4 chain.
+    #[test]
+    fn sample_mean_moment_laws(
+        rho in 0.1f64..0.9,
+        n in 1usize..12,
+    ) {
+        let q = MmcQueue::new(16, rho * 16.0 * 0.2, 0.2).unwrap();
+        let rt = q.response_time().unwrap();
+        let sm = SampleMean::new(&rt, n).unwrap();
+        let mean = sm.exact().mean().unwrap();
+        let var = sm.exact().variance().unwrap();
+        prop_assert!((mean - rt.mean()).abs() < 1e-6 * (1.0 + rt.mean()));
+        prop_assert!((var - rt.variance() / n as f64).abs() < 1e-6 * (1.0 + rt.variance()));
+    }
+
+    /// The exact CDF of X̄n is closer to the normal CDF for larger n
+    /// (CLT convergence, monotone along a doubling ladder).
+    #[test]
+    fn normal_distance_shrinks_with_n(rho in 0.2f64..0.8) {
+        let q = MmcQueue::new(16, rho * 16.0 * 0.2, 0.2).unwrap();
+        let rt = q.response_time().unwrap();
+        let d4 = SampleMean::new(&rt, 4).unwrap()
+            .normal_approximation_distance(61).unwrap();
+        let d16 = SampleMean::new(&rt, 16).unwrap()
+            .normal_approximation_distance(61).unwrap();
+        prop_assert!(d16 < d4 + 1e-9, "d4 = {d4}, d16 = {d16}");
+    }
+}

@@ -1,0 +1,250 @@
+//! A stable, cancellable event queue.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ties on time break by insertion order (seq), giving deterministic
+        // FIFO behaviour for simultaneous events.
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A time-ordered queue of events with stable FIFO tie-breaking and
+/// O(log n) lazy cancellation.
+///
+/// Cancellation records the [`EventId`] in a tombstone set; the event is
+/// physically discarded when it reaches the head of the heap. This keeps
+/// both scheduling and cancellation logarithmic without intrusive
+/// handles.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_secs(2.0), "late");
+/// let _b = q.schedule(SimTime::from_secs(1.0), "early");
+/// q.cancel(a);
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_secs(), e), (1.0, "early"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Seqs scheduled but neither delivered nor cancelled.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time` and returns a
+    /// handle that can later be passed to [`Self::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { time, seq, payload }));
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Cancelling an already-delivered or already-cancelled event is a
+    /// no-op returning `false` (ids are never reused, so this is always
+    /// safe).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if self.live.remove(&ev.seq) {
+                return Some((ev.time, ev.payload));
+            }
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event without
+    /// removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if self.live.contains(&ev.seq) {
+                return Some(ev.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending events, *excluding* lazily cancelled ones.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns `true` if no non-cancelled event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Discards every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("heap_size", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), 'c');
+        q.schedule(t(1.0), 'a');
+        q.schedule(t(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        let b = q.schedule(t(2.0), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(!q.cancel(b), "cancel after delivery is a no-op");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        let b = q.schedule(t(2.0), 2);
+        q.cancel(b);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ids_are_unique_across_pops() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.pop();
+        let b = q.schedule(t(1.0), ());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), 5);
+        q.schedule(t(1.0), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.schedule(t(3.0), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(5));
+    }
+}

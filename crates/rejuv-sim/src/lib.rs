@@ -1,0 +1,43 @@
+//! A small, deterministic discrete-event simulation (DES) engine.
+//!
+//! This crate is the simulation substrate under `rejuv-ecommerce`, the
+//! model of the DSN 2006 e-commerce system. It provides:
+//!
+//! * [`time::SimTime`] — a total-ordered simulation clock value,
+//! * [`event::EventQueue`] — a stable priority queue of scheduled events
+//!   with O(log n) scheduling and cancellation,
+//! * [`engine::Engine`] — clock + queue + run loop with stop conditions,
+//! * [`rng::RngStreams`] — independent, reproducible random-number streams
+//!   derived from a single master seed (one stream per model component, so
+//!   adding a consumer never perturbs the others).
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_sim::{Engine, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_in(SimTime::from_secs(1.0), Ev::Ping);
+//! engine.schedule_in(SimTime::from_secs(2.0), Ev::Pong);
+//!
+//! let (t1, e1) = engine.next_event().unwrap();
+//! assert_eq!((t1.as_secs(), e1), (1.0, Ev::Ping));
+//! assert_eq!(engine.now().as_secs(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use event::{EventId, EventQueue};
+pub use rng::RngStreams;
+pub use time::SimTime;

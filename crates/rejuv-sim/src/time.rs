@@ -1,0 +1,183 @@
+//! Simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulation clock, in seconds.
+///
+/// `SimTime` is a thin newtype over `f64` that guarantees the value is
+/// finite and non-negative, which in turn makes it totally ordered —
+/// event queues must never see a NaN timestamp.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_sim::SimTime;
+///
+/// let t = SimTime::from_secs(1.5) + SimTime::from_secs(2.5);
+/// assert_eq!(t.as_secs(), 4.0);
+/// assert!(SimTime::ZERO < t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time value from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or infinite. Simulation times
+    /// come from validated distributions; a bad value here is a model bug
+    /// that must fail fast.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "simulation time must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of going negative.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are finite by construction, so partial_cmp cannot fail.
+        self.0.partial_cmp(&other.0).expect("SimTime is finite")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`SimTime::saturating_sub`] when that is expected.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(3.25).as_secs(), 3.25);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(f64::from(SimTime::from_secs(2.0)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn infinite_time_panics() {
+        let _ = SimTime::from_secs(f64::INFINITY);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(5.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!((a + b).as_secs(), 7.0);
+        assert_eq!((a - b).as_secs(), 3.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let _ = SimTime::from_secs(1.0) - SimTime::from_secs(2.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_secs(), 1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the DES engine.
+
+use proptest::prelude::*;
+use rejuv_sim::{Engine, EventQueue, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal timestamps preserve insertion (FIFO) order.
+    #[test]
+    fn queue_ties_are_fifo(
+        groups in proptest::collection::vec((0.0f64..100.0, 1usize..6), 1..30),
+    ) {
+        let mut q = EventQueue::new();
+        let mut id = 0usize;
+        for &(t, cnt) in &groups {
+            for _ in 0..cnt {
+                q.schedule(SimTime::from_secs(t), id);
+                id += 1;
+            }
+        }
+        let mut seen_per_time: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        while let Some((t, payload)) = q.pop() {
+            seen_per_time
+                .entry(t.as_secs().to_bits())
+                .or_default()
+                .push(payload);
+        }
+        for ids in seen_per_time.values() {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ids, &sorted, "FIFO violated within a timestamp");
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_subset(
+        times in proptest::collection::vec(0.0f64..1e4, 1..200),
+        mask in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_secs(t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, (&id, &kill)) in ids.iter().zip(mask.iter().cycle()).enumerate() {
+            if kill {
+                prop_assert!(q.cancel(id));
+                cancelled.insert(i);
+            }
+        }
+        prop_assert_eq!(q.len(), times.len() - cancelled.len());
+        while let Some((_, payload)) = q.pop() {
+            prop_assert!(!cancelled.contains(&payload), "cancelled event delivered");
+        }
+    }
+
+    /// The engine clock is monotone over any schedule of relative delays,
+    /// including handler-scheduled follow-ups.
+    #[test]
+    fn engine_clock_is_monotone(delays in proptest::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut engine = Engine::new();
+        for &d in &delays {
+            engine.schedule_in(SimTime::from_secs(d), d);
+        }
+        let mut last = SimTime::ZERO;
+        let mut spawned = 0u32;
+        engine.run(10_000, |eng, payload| {
+            assert!(eng.now() >= last);
+            last = eng.now();
+            if spawned < 50 && payload > 50.0 {
+                spawned += 1;
+                eng.schedule_in(SimTime::from_secs(payload / 2.0), payload / 2.0);
+            }
+        });
+        prop_assert_eq!(engine.pending(), 0);
+    }
+
+    /// SimTime arithmetic is consistent: (a + b) − b == a.
+    #[test]
+    fn simtime_roundtrip(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let s = SimTime::from_secs(a) + SimTime::from_secs(b);
+        let back = s - SimTime::from_secs(b);
+        prop_assert!((back.as_secs() - a).abs() <= 1e-6 * (1.0 + a));
+    }
+}

@@ -1,0 +1,284 @@
+//! Autocorrelation estimation (§4.1 of the paper).
+//!
+//! The paper checks whether response times of an M/M/16 system at the
+//! maximum load of interest are "too correlated" for the central limit
+//! theorem to be useful. It estimates the first-order autocorrelation
+//! coefficient over five replications of 100 000 transactions each,
+//! discarding the first 10 000 observations of every replication as
+//! warm-up, and calls the coefficient significant at the 95 % level when
+//! its absolute value exceeds `1.96 / sqrt(m)` where `m` is the number of
+//! retained observations.
+
+use crate::{Normal, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Estimates the lag-`k` autocorrelation coefficient of `data`.
+///
+/// This is the standard time-series estimator (Shumway & Stoffer, eq. 1.37):
+/// the lag-`k` sample autocovariance divided by the sample variance, both
+/// computed around the overall sample mean.
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if fewer than `k + 2` observations
+///   are supplied.
+/// * [`StatsError::ZeroVariance`] if all observations are equal.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::autocorrelation;
+///
+/// // A strongly alternating series has lag-1 autocorrelation near −1.
+/// let data: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let g = autocorrelation(&data, 1)?;
+/// assert!(g < -0.9);
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+pub fn autocorrelation(data: &[f64], k: usize) -> Result<f64, StatsError> {
+    if data.len() < k + 2 {
+        return Err(StatsError::InsufficientData {
+            required: k + 2,
+            actual: data.len(),
+        });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let num: f64 = (0..n - k)
+        .map(|i| (data[i + k] - mean) * (data[i] - mean))
+        .sum();
+    Ok(num / denom)
+}
+
+/// Lag-1 autocorrelation, the statistic used in §4.1.
+///
+/// # Errors
+///
+/// Same as [`autocorrelation`].
+pub fn lag1_autocorrelation(data: &[f64]) -> Result<f64, StatsError> {
+    autocorrelation(data, 1)
+}
+
+/// Result of the §4.1 autocorrelation study on one replication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutocorrResult {
+    /// Estimated lag-1 autocorrelation coefficient.
+    pub gamma_hat: f64,
+    /// Number of observations retained after the warm-up trim.
+    pub retained: usize,
+    /// Two-sided significance threshold `z / sqrt(retained)`.
+    pub threshold: f64,
+    /// Whether `|gamma_hat|` exceeds the threshold.
+    pub significant: bool,
+}
+
+/// The §4.1 autocorrelation study: trims a warm-up prefix, estimates the
+/// lag-1 autocorrelation of what remains, and tests it against the
+/// `z / sqrt(m)` white-noise band.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::AutocorrStudy;
+///
+/// let study = AutocorrStudy::new(100, 0.95)?;
+/// let data: Vec<f64> = (0..1_000).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
+/// let result = study.analyze(&data)?;
+/// assert_eq!(result.retained, 900);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutocorrStudy {
+    warmup: usize,
+    confidence: f64,
+    z: f64,
+}
+
+impl AutocorrStudy {
+    /// Creates a study that discards the first `warmup` observations and
+    /// tests at the given two-sided `confidence` level (e.g. `0.95`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < confidence < 1`.
+    pub fn new(warmup: usize, confidence: f64) -> Result<Self, StatsError> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidProbability(confidence));
+        }
+        let z = Normal::standard().quantile(0.5 + confidence / 2.0)?;
+        Ok(AutocorrStudy {
+            warmup,
+            confidence,
+            z,
+        })
+    }
+
+    /// The study used in the paper: 10 000-observation warm-up, 95 %
+    /// confidence (`z = 1.96`).
+    pub fn paper() -> Self {
+        AutocorrStudy::new(10_000, 0.95).expect("paper parameters are valid")
+    }
+
+    /// Number of warm-up observations discarded.
+    pub fn warmup(&self) -> usize {
+        self.warmup
+    }
+
+    /// Two-sided confidence level of the significance test.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Analyzes one replication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] if fewer than
+    /// `warmup + 3` observations are supplied, and propagates errors from
+    /// [`autocorrelation`].
+    pub fn analyze(&self, data: &[f64]) -> Result<AutocorrResult, StatsError> {
+        if data.len() < self.warmup + 3 {
+            return Err(StatsError::InsufficientData {
+                required: self.warmup + 3,
+                actual: data.len(),
+            });
+        }
+        let retained_slice = &data[self.warmup..];
+        let gamma_hat = lag1_autocorrelation(retained_slice)?;
+        let retained = retained_slice.len();
+        let threshold = self.z / (retained as f64).sqrt();
+        Ok(AutocorrResult {
+            gamma_hat,
+            retained,
+            threshold,
+            significant: gamma_hat.abs() > threshold,
+        })
+    }
+
+    /// Analyzes several replications and returns the per-replication
+    /// results together with the count of significant ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Self::analyze`].
+    pub fn analyze_replications(
+        &self,
+        replications: &[Vec<f64>],
+    ) -> Result<(Vec<AutocorrResult>, usize), StatsError> {
+        let results: Result<Vec<_>, _> = replications.iter().map(|r| self.analyze(r)).collect();
+        let results = results?;
+        let significant = results.iter().filter(|r| r.significant).count();
+        Ok((results, significant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_uniform_stream(seed: u64, len: usize) -> Vec<f64> {
+        // 64-bit LCG (Knuth MMIX constants); high 53 bits as a uniform in [0, 1).
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_noise_is_insignificant() {
+        let data = lcg_uniform_stream(7, 50_000);
+        let g = lag1_autocorrelation(&data).unwrap();
+        assert!(g.abs() < 0.02, "gamma = {g}");
+    }
+
+    #[test]
+    fn ar1_process_recovers_coefficient() {
+        // x_{t+1} = phi * x_t + noise.
+        let phi = 0.8;
+        let mut x = 0.0;
+        let mut data = Vec::with_capacity(100_000);
+        for u in lcg_uniform_stream(42, 100_000) {
+            x = phi * x + (u - 0.5);
+            data.push(x);
+        }
+        let g = lag1_autocorrelation(&data).unwrap();
+        assert!((g - phi).abs() < 0.03, "gamma = {g}");
+    }
+
+    #[test]
+    fn constant_series_is_zero_variance() {
+        let data = vec![5.0; 100];
+        assert_eq!(lag1_autocorrelation(&data), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 1).is_ok());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 5).is_err());
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        assert!((autocorrelation(&data, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn study_trims_warmup() {
+        let study = AutocorrStudy::new(10, 0.95).unwrap();
+        // 10 wild warm-up values followed by an alternating tail: the
+        // estimate must reflect only the tail.
+        let mut data = vec![1e6; 10];
+        data.extend((0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }));
+        let r = study.analyze(&data).unwrap();
+        assert_eq!(r.retained, 1000);
+        assert!(r.gamma_hat < -0.9);
+        assert!(r.significant);
+    }
+
+    #[test]
+    fn paper_study_parameters() {
+        let study = AutocorrStudy::paper();
+        assert_eq!(study.warmup(), 10_000);
+        assert!((study.confidence() - 0.95).abs() < 1e-12);
+        // Threshold over 90 000 retained observations ~ 1.96 / 300.
+        let data: Vec<f64> = (0..100_000u64)
+            .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64)
+            .collect();
+        let r = study.analyze(&data).unwrap();
+        assert_eq!(r.retained, 90_000);
+        assert!((r.threshold - 1.959963984540054 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_counting() {
+        let study = AutocorrStudy::new(0, 0.95).unwrap();
+        let correlated: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let alternating: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let (results, significant) = study
+            .analyze_replications(&[correlated, alternating])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(significant, 2);
+    }
+
+    #[test]
+    fn invalid_confidence_rejected() {
+        assert!(AutocorrStudy::new(0, 0.0).is_err());
+        assert!(AutocorrStudy::new(0, 1.0).is_err());
+        assert!(AutocorrStudy::new(0, f64::NAN).is_err());
+    }
+}

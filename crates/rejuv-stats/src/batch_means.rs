@@ -1,0 +1,176 @@
+//! Batch-means analysis for steady-state simulation output.
+//!
+//! A single long replication of a queueing simulation produces
+//! *autocorrelated* response times, so the naive standard error of the
+//! mean is biased low. The method of batch means (the standard DES
+//! output-analysis technique; see Law & Kelton) divides the series into
+//! contiguous batches, treats batch averages as approximately
+//! independent, and builds the confidence interval from them — valid
+//! when the batch size comfortably exceeds the autocorrelation time,
+//! which [`crate::autocorr`] can check.
+
+use crate::{Normal, OnlineStats, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a batch-means analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    /// Grand mean over all used observations.
+    pub mean: f64,
+    /// Number of batches formed.
+    pub batches: usize,
+    /// Batch size in observations.
+    pub batch_size: usize,
+    /// Sample standard deviation of the batch means.
+    pub batch_std_dev: f64,
+    /// Standard error of the grand mean, `s_batch / sqrt(batches)`.
+    pub std_error: f64,
+    /// Lag-1 autocorrelation *of the batch means* — should hug zero if
+    /// the batch size is large enough.
+    pub batch_lag1: f64,
+}
+
+impl BatchMeans {
+    /// Normal-theory two-sided confidence interval for the steady-state
+    /// mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < confidence < 1`.
+    pub fn confidence_interval(&self, confidence: f64) -> Result<(f64, f64), StatsError> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidProbability(confidence));
+        }
+        let z = Normal::standard().quantile(0.5 + confidence / 2.0)?;
+        Ok((
+            self.mean - z * self.std_error,
+            self.mean + z * self.std_error,
+        ))
+    }
+}
+
+/// Runs a batch-means analysis of `data` with `batches` equal batches
+/// (trailing observations that do not fill a batch are discarded).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] unless at least `2·batches`
+///   observations are supplied (so every batch has ≥ 2 points) —
+///   and `batches ≥ 2`.
+pub fn batch_means(data: &[f64], batches: usize) -> Result<BatchMeans, StatsError> {
+    if batches < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: batches,
+        });
+    }
+    let batch_size = data.len() / batches;
+    if batch_size < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2 * batches,
+            actual: data.len(),
+        });
+    }
+
+    let used = batch_size * batches;
+    let means: Vec<f64> = data[..used]
+        .chunks_exact(batch_size)
+        .map(|b| b.iter().sum::<f64>() / batch_size as f64)
+        .collect();
+
+    let stats: OnlineStats = means.iter().copied().collect();
+    let batch_lag1 = crate::autocorr::lag1_autocorrelation(&means).unwrap_or(0.0);
+    Ok(BatchMeans {
+        mean: data[..used].iter().sum::<f64>() / used as f64,
+        batches,
+        batch_size,
+        batch_std_dev: stats.sample_std_dev(),
+        std_error: stats.sample_std_dev() / (batches as f64).sqrt(),
+        batch_lag1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(batch_means(&[1.0; 100], 1).is_err());
+        assert!(batch_means(&[1.0; 3], 2).is_err());
+        assert!(batch_means(&[1.0; 4], 2).is_ok());
+    }
+
+    #[test]
+    fn iid_data_matches_naive_standard_error() {
+        // For iid data, batch means and the naive SE agree (in
+        // expectation): check they are within a factor ~1.5.
+        let data = lcg_stream(3, 40_000);
+        let bm = batch_means(&data, 40).unwrap();
+        let stats: OnlineStats = data.iter().copied().collect();
+        let naive_se = stats.sample_std_dev() / (data.len() as f64).sqrt();
+        assert!(
+            (bm.std_error / naive_se) > 0.6 && (bm.std_error / naive_se) < 1.6,
+            "batch SE {} vs naive {naive_se}",
+            bm.std_error
+        );
+        assert!((bm.mean - 0.5).abs() < 0.01);
+        assert!(bm.batch_lag1.abs() < 0.35);
+    }
+
+    #[test]
+    fn correlated_data_widens_the_interval() {
+        // AR(1) with phi = 0.95: naive SE underestimates badly; batch
+        // means with large batches must produce a much wider interval.
+        let mut x = 0.0;
+        let data: Vec<f64> = lcg_stream(7, 100_000)
+            .into_iter()
+            .map(|u| {
+                x = 0.95 * x + (u - 0.5);
+                x
+            })
+            .collect();
+        let bm = batch_means(&data, 25).unwrap();
+        let stats: OnlineStats = data.iter().copied().collect();
+        let naive_se = stats.sample_std_dev() / (data.len() as f64).sqrt();
+        assert!(
+            bm.std_error > 2.0 * naive_se,
+            "batch SE {} should dwarf naive {naive_se}",
+            bm.std_error
+        );
+    }
+
+    #[test]
+    fn trailing_observations_are_discarded() {
+        let mut data = vec![1.0; 100];
+        data.extend_from_slice(&[1_000.0; 7]); // would poison the mean
+        let bm = batch_means(&data, 10).unwrap();
+        assert_eq!(bm.batch_size, 10);
+        assert_eq!(bm.batches, 10);
+        assert_eq!(bm.mean, 1.0, "trailing partial batch must be dropped");
+    }
+
+    #[test]
+    fn interval_contains_mean_and_scales() {
+        let data = lcg_stream(11, 10_000);
+        let bm = batch_means(&data, 20).unwrap();
+        let (lo95, hi95) = bm.confidence_interval(0.95).unwrap();
+        let (lo80, hi80) = bm.confidence_interval(0.80).unwrap();
+        assert!(lo95 < bm.mean && bm.mean < hi95);
+        assert!(hi80 - lo80 < hi95 - lo95);
+        assert!(bm.confidence_interval(1.0).is_err());
+    }
+}

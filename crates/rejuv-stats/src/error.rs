@@ -1,0 +1,85 @@
+//! Error type shared across the statistics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Too few observations to compute the requested statistic.
+    ///
+    /// Carries the number of observations required and the number given.
+    InsufficientData {
+        /// Minimum number of observations the statistic needs.
+        required: usize,
+        /// Number of observations actually supplied.
+        actual: usize,
+    },
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        expected: &'static str,
+    },
+    /// A probability argument was outside `(0, 1)` (or `[0, 1]` where noted).
+    InvalidProbability(f64),
+    /// The data had zero variance where a positive variance was required
+    /// (e.g. as the denominator of an autocorrelation estimate).
+    ZeroVariance,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InsufficientData { required, actual } => write!(
+                f,
+                "insufficient data: need at least {required} observations, got {actual}"
+            ),
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}: expected {expected}"),
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside the open unit interval")
+            }
+            StatsError::ZeroVariance => write!(f, "data has zero variance"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InsufficientData {
+            required: 2,
+            actual: 0,
+        };
+        assert!(e.to_string().contains("at least 2"));
+        let e = StatsError::InvalidParameter {
+            name: "rate",
+            value: -1.0,
+            expected: "a positive real",
+        };
+        assert!(e.to_string().contains("rate"));
+        assert!(StatsError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
+        assert!(StatsError::ZeroVariance.to_string().contains("variance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

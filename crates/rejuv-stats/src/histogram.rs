@@ -1,0 +1,214 @@
+//! Fixed-bin histograms for empirical density estimation.
+//!
+//! Used by the Fig. 5 reproduction to compare the *exact* density of the
+//! sample-mean response time (computed analytically from a CTMC) with an
+//! empirical density simulated from the queueing model.
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// A histogram with equal-width bins over `[lo, hi)`.
+///
+/// Observations outside the range are counted separately as underflow /
+/// overflow so that densities stay honest.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10)?;
+/// for x in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);      // -1.0 underflows, 10.0 overflows
+/// assert_eq!(h.bin_count(1), 2); // 1.5 and 1.7
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total_in_range: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0`, the bounds
+    /// are not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                expected: "a positive bin count",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+                expected: "finite bounds with lo < hi",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total_in_range: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+            self.total_in_range += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Count recorded in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Total observations that landed in range.
+    pub fn count(&self) -> u64 {
+        self.total_in_range
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Empirical probability density at the midpoint of each bin,
+    /// normalized over *all* recorded observations (in-range plus out-of-
+    /// range), so the integral over the range equals the in-range mass.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let total = self.total_in_range + self.underflow + self.overflow;
+        if total == 0 {
+            return self
+                .counts
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (self.bin_center(i), 0.0))
+                .collect();
+        }
+        let norm = total as f64 * self.bin_width();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c as f64 / norm))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(0.0);
+        h.record(0.999);
+        h.record(1.0);
+        h.record(3.999);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        h.record(f64::NAN); // ignored entirely
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 20).unwrap();
+        for i in 0..1000 {
+            h.record((i % 12) as f64); // values 10, 11 overflow
+        }
+        let density = h.density();
+        let integral: f64 = density.iter().map(|(_, d)| d * h.bin_width()).sum();
+        let expected = h.count() as f64 / 1000.0;
+        assert!((integral - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 10).unwrap();
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_density_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.density().iter().all(|&(_, d)| d == 0.0));
+    }
+}

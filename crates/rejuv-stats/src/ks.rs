@@ -1,0 +1,183 @@
+//! Kolmogorov–Smirnov distance and one-sample test.
+//!
+//! Quantifies "how normal is the sample mean" (Fig. 5 of the paper)
+//! properly: the KS distance between the empirical distribution of
+//! simulated window means and the exact / normal CDFs, with the
+//! asymptotic Kolmogorov p-value.
+
+use crate::StatsError;
+
+/// The one-sample Kolmogorov–Smirnov statistic
+/// `D_n = sup_x |F_n(x) − F(x)|` of `data` against the CDF `cdf`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `data` is empty.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::ks::ks_statistic;
+///
+/// // A perfectly uniform grid against the uniform CDF: D = 1/(2n).
+/// let data: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let d = ks_statistic(&data, |x| x.clamp(0.0, 1.0))?;
+/// assert!((d - 0.005).abs() < 1e-12);
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+pub fn ks_statistic<F>(data: &[f64], cdf: F) -> Result<f64, StatsError>
+where
+    F: Fn(f64) -> f64,
+{
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let before = i as f64 / n;
+        let after = (i + 1) as f64 / n;
+        d = d.max((f - before).abs()).max((after - f).abs());
+    }
+    Ok(d)
+}
+
+/// Asymptotic Kolmogorov distribution survival function:
+/// `P(sqrt(n)·D_n > x) ≈ 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²x²}`.
+///
+/// Accurate for `n ≳ 35`; used as the p-value of the one-sample test.
+pub fn kolmogorov_survival(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < 1.18 {
+        // The direct alternating series converges too slowly for small
+        // x; use the theta-function dual form of the CDF instead
+        // (Marsaglia, Tsang & Wang 2003):
+        //   P(K <= x) = sqrt(2π)/x · Σ_{k>=1} e^{−(2k−1)²π²/(8x²)}.
+        let factor = (2.0 * std::f64::consts::PI).sqrt() / x;
+        let t = std::f64::consts::PI * std::f64::consts::PI / (8.0 * x * x);
+        let mut cdf_sum = 0.0;
+        for k in 1..=20u32 {
+            let odd = (2 * k - 1) as f64;
+            let term = (-odd * odd * t).exp();
+            if term < 1e-300 {
+                break;
+            }
+            cdf_sum += term;
+        }
+        return (1.0 - factor * cdf_sum).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * x * x).exp();
+        if term < 1e-16 {
+            break;
+        }
+        sum += sign * term;
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D_n`.
+    pub statistic: f64,
+    /// Asymptotic p-value `P(D > observed | H0)`.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// One-sample KS test of `data` against `cdf`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `data` is empty.
+pub fn ks_test<F>(data: &[f64], cdf: F) -> Result<KsTest, StatsError>
+where
+    F: Fn(f64) -> f64,
+{
+    let statistic = ks_statistic(data, cdf)?;
+    let n = data.len();
+    let p_value = kolmogorov_survival((n as f64).sqrt() * statistic);
+    Ok(KsTest {
+        statistic,
+        p_value,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_data_is_rejected() {
+        assert!(ks_statistic(&[], |x| x).is_err());
+    }
+
+    #[test]
+    fn exact_grid_has_minimal_distance() {
+        let n = 1_000;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&data, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!((d - 0.5 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_distribution_is_detected() {
+        // Exponential samples tested against a normal CDF: tiny p-value.
+        let e = Exponential::new(0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f64> = (0..2_000).map(|_| e.sample(&mut rng)).collect();
+        let normal = Normal::new(5.0, 5.0).unwrap();
+        let t = ks_test(&data, |x| normal.cdf(x)).unwrap();
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn right_distribution_is_accepted() {
+        let e = Exponential::new(0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let data: Vec<f64> = (0..2_000).map(|_| e.sample(&mut rng)).collect();
+        let t = ks_test(&data, |x| e.cdf(x)).unwrap();
+        assert!(t.p_value > 0.01, "p = {}", t.p_value);
+        assert!(t.statistic < 0.05);
+    }
+
+    #[test]
+    fn kolmogorov_survival_known_points() {
+        assert_eq!(kolmogorov_survival(0.0), 1.0);
+        assert_eq!(kolmogorov_survival(-1.0), 1.0);
+        // K(1.36) ≈ 0.049 (the classic 5% critical value).
+        let p = kolmogorov_survival(1.36);
+        assert!((p - 0.049).abs() < 0.002, "p = {p}");
+        // K(1.63) ≈ 0.010.
+        let p = kolmogorov_survival(1.63);
+        assert!((p - 0.010).abs() < 0.002, "p = {p}");
+        assert!(kolmogorov_survival(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn survival_is_monotone() {
+        let mut last = 1.0;
+        for i in 1..50 {
+            let p = kolmogorov_survival(i as f64 * 0.1);
+            assert!(p <= last + 1e-15);
+            last = p;
+        }
+    }
+}

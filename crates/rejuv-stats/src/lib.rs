@@ -1,0 +1,52 @@
+//! Statistics substrate for the software-rejuvenation workspace.
+//!
+//! This crate provides the numerical building blocks used by the
+//! rejuvenation detectors (`rejuv-core`), the queueing analytics
+//! (`rejuv-queueing`) and the e-commerce simulator (`rejuv-ecommerce`):
+//!
+//! * [`online`] — numerically stable single-pass (Welford) statistics,
+//! * [`summary`] — batch summaries and empirical quantiles,
+//! * [`autocorr`] — the lag-k autocorrelation estimator of §4.1 of the
+//!   paper, including the warm-up trim used there,
+//! * [`normal`] — the normal distribution (pdf, cdf, quantile),
+//! * [`exponential`] — the exponential distribution and sampling,
+//! * [`histogram`] — fixed-bin histograms for density estimation,
+//! * [`timeseries`] — replication aggregation and confidence intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_stats::online::OnlineStats;
+//!
+//! let mut stats = OnlineStats::new();
+//! for x in [4.0, 5.0, 6.0] {
+//!     stats.push(x);
+//! }
+//! assert_eq!(stats.mean(), 5.0);
+//! assert_eq!(stats.sample_variance(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod autocorr;
+pub mod batch_means;
+pub mod error;
+pub mod exponential;
+pub mod histogram;
+pub mod ks;
+pub mod normal;
+pub mod online;
+pub mod special;
+pub mod student_t;
+pub mod summary;
+pub mod timeseries;
+
+pub use autocorr::{autocorrelation, lag1_autocorrelation, AutocorrStudy};
+pub use error::StatsError;
+pub use exponential::Exponential;
+pub use histogram::Histogram;
+pub use normal::Normal;
+pub use online::OnlineStats;
+pub use summary::Summary;
+pub use timeseries::ReplicationSet;

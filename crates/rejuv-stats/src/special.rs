@@ -1,0 +1,230 @@
+//! Special functions: log-gamma and Poisson probability weights.
+//!
+//! The uniformization solver in `rejuv-ctmc` needs Poisson point masses
+//! with large means (`Λ·t` can be in the hundreds for the Fig. 4 chains),
+//! where naive `e^{-m} m^k / k!` under- and overflows. The implementation
+//! here starts at the distribution's mode and walks outward with the
+//! multiplicative recurrence, which is exact in floating point up to
+//! rounding.
+
+use crate::StatsError;
+
+/// Natural log of the gamma function for `x > 0` (Lanczos approximation,
+/// g = 7, n = 9; ~15 significant digits).
+///
+/// # Panics
+///
+/// Panics if `x` is not a positive finite number.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Poisson point mass `P(N = k)` for mean `m`, computed in log space.
+///
+/// # Panics
+///
+/// Panics if `m` is negative or non-finite.
+pub fn poisson_pmf(m: f64, k: u64) -> f64 {
+    assert!(
+        m.is_finite() && m >= 0.0,
+        "poisson mean must be >= 0, got {m}"
+    );
+    if m == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    (k as f64 * m.ln() - m - ln_factorial(k)).exp()
+}
+
+/// The truncated Poisson weight vector used by uniformization.
+///
+/// Returns `(left, weights)` such that `weights[i]` is `P(N = left + i)`
+/// for a Poisson distribution with mean `m`, and the *omitted* mass on
+/// both sides together is at most `epsilon`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `m` is negative/non-finite
+/// or `epsilon` is not in `(0, 1)`.
+pub fn poisson_weights(m: f64, epsilon: f64) -> Result<(u64, Vec<f64>), StatsError> {
+    if !(m.is_finite() && m >= 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "m",
+            value: m,
+            expected: "a non-negative finite mean",
+        });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            expected: "a tolerance in (0, 1)",
+        });
+    }
+    if m == 0.0 {
+        return Ok((0, vec![1.0]));
+    }
+
+    let mode = m.floor() as u64;
+    let w_mode = poisson_pmf(m, mode);
+
+    // Walk right from the mode.
+    let mut right = vec![w_mode];
+    let mut k = mode;
+    let mut w = w_mode;
+    let mut tail_bound = epsilon / 2.0;
+    loop {
+        k += 1;
+        w *= m / k as f64;
+        right.push(w);
+        // Geometric-decay bound on the remaining right tail.
+        let ratio = m / (k + 1) as f64;
+        if ratio < 1.0 && w * ratio / (1.0 - ratio) < tail_bound {
+            break;
+        }
+        if w == 0.0 {
+            break;
+        }
+    }
+
+    // Walk left from the mode.
+    let mut left_weights = Vec::new();
+    let mut k = mode;
+    let mut w = w_mode;
+    tail_bound = epsilon / 2.0;
+    while k > 0 {
+        w *= k as f64 / m;
+        k -= 1;
+        left_weights.push(w);
+        // Remaining left mass is at most (k+1) * w (k+1 more terms, each <= w).
+        if w * (k as f64 + 1.0) < tail_bound {
+            break;
+        }
+    }
+
+    let left = k;
+    left_weights.reverse();
+    left_weights.extend(right);
+    Ok((left, left_weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-13);
+        assert!((ln_gamma(2.0)).abs() < 1e-13);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // Gamma(11) = 10! = 3628800.
+        assert!((ln_gamma(11.0) - 3628800f64.ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let mut f = 1.0f64;
+        for n in 1..=20u64 {
+            f *= n as f64;
+            assert!((ln_factorial(n) - f.ln()).abs() < 1e-10, "n = {n}");
+        }
+        assert!(ln_factorial(0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn poisson_pmf_small_mean() {
+        // P(N=0) = e^{-2}, P(N=2) = 2 e^{-2}.
+        assert!((poisson_pmf(2.0, 0) - (-2f64).exp()).abs() < 1e-14);
+        assert!((poisson_pmf(2.0, 2) - 2.0 * (-2f64).exp()).abs() < 1e-13);
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn poisson_pmf_huge_mean_no_overflow() {
+        let p = poisson_pmf(500.0, 500);
+        // Stirling: pmf at the mode of Poisson(m) ~ 1/sqrt(2 pi m).
+        let approx = 1.0 / (2.0 * std::f64::consts::PI * 500.0).sqrt();
+        assert!((p / approx - 1.0).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn weights_sum_to_one_within_epsilon() {
+        for &m in &[0.1, 1.0, 5.0, 50.0, 480.0, 5000.0] {
+            let (left, w) = poisson_weights(m, 1e-12).unwrap();
+            let sum: f64 = w.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-10,
+                "m = {m}: sum = {sum}, left = {left}, len = {}",
+                w.len()
+            );
+        }
+    }
+
+    #[test]
+    fn weights_match_pmf() {
+        let (left, w) = poisson_weights(10.0, 1e-10).unwrap();
+        for (i, &wi) in w.iter().enumerate() {
+            let k = left + i as u64;
+            assert!((wi - poisson_pmf(10.0, k)).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn weights_zero_mean() {
+        let (left, w) = poisson_weights(0.0, 1e-10).unwrap();
+        assert_eq!(left, 0);
+        assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    fn weights_reject_bad_input() {
+        assert!(poisson_weights(-1.0, 1e-10).is_err());
+        assert!(poisson_weights(f64::NAN, 1e-10).is_err());
+        assert!(poisson_weights(1.0, 0.0).is_err());
+        assert!(poisson_weights(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn truncation_window_is_reasonable() {
+        // For large m the window should be O(sqrt(m) * z), far below m.
+        let (left, w) = poisson_weights(10_000.0, 1e-12).unwrap();
+        assert!(left > 9_000);
+        assert!(w.len() < 2_000, "window = {}", w.len());
+    }
+}

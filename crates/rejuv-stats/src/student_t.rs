@@ -1,0 +1,296 @@
+//! Student's t distribution.
+//!
+//! The paper's protocol uses five replications per experiment point;
+//! with so few replications a normal-theory confidence interval is
+//! noticeably too narrow. This module provides the t CDF (via the
+//! regularized incomplete beta function, evaluated by Lentz's continued
+//! fraction) and quantile (Newton refinement from a Cornish–Fisher
+//! start), so [`crate::ReplicationSet`] can offer honest small-sample
+//! intervals.
+
+use crate::special::ln_gamma;
+use crate::{Normal, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::student_t::StudentT;
+///
+/// let t4 = StudentT::new(4.0)?;
+/// // The classic table value: t_{0.975, 4} = 2.776.
+/// assert!((t4.quantile(0.975)? - 2.7764).abs() < 1e-3);
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution with `nu > 0` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `nu` is positive
+    /// and finite.
+    pub fn new(nu: f64) -> Result<Self, StatsError> {
+        if !(nu.is_finite() && nu > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "nu",
+                value: nu,
+                expected: "positive finite degrees of freedom",
+            });
+        }
+        Ok(StudentT { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn degrees_of_freedom(&self) -> f64 {
+        self.nu
+    }
+
+    /// Probability density function at `t`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        let nu = self.nu;
+        let ln_coef = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_coef - (nu + 1.0) / 2.0 * (1.0 + t * t / nu).ln()).exp()
+    }
+
+    /// Cumulative distribution function at `t`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let nu = self.nu;
+        let x = nu / (nu + t * t);
+        let p = 0.5 * regularized_incomplete_beta(nu / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - p
+        } else {
+            p
+        }
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidProbability(p));
+        }
+        if (p - 0.5).abs() < 1e-15 {
+            return Ok(0.0);
+        }
+        // Cornish–Fisher start from the normal quantile.
+        let z = Normal::standard().quantile(p)?;
+        let nu = self.nu;
+        let g1 = (z.powi(3) + z) / 4.0;
+        let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
+        let mut t = z + g1 / nu + g2 / (nu * nu);
+
+        // Newton iterations on the CDF.
+        for _ in 0..60 {
+            let f = self.cdf(t) - p;
+            let d = self.pdf(t);
+            if d <= 0.0 {
+                break;
+            }
+            let step = f / d;
+            t -= step;
+            if step.abs() < 1e-13 * (1.0 + t.abs()) {
+                break;
+            }
+        }
+        Ok(t)
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by Lentz's modified
+/// continued fraction (Numerical Recipes `betai`).
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is not positive or `x` is outside `[0, 1]`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must lie in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// The continued fraction for the incomplete beta (Lentz's algorithm).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-1.0).is_err());
+        assert!(StudentT::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cdf_symmetry_and_center() {
+        let t = StudentT::new(7.0).unwrap();
+        assert_eq!(t.cdf(0.0), 0.5);
+        for x in [0.5, 1.0, 2.5] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn classic_table_values() {
+        // t_{0.975, ν} from standard tables.
+        let table = [
+            (1.0, 12.706),
+            (2.0, 4.3027),
+            (4.0, 2.7764),
+            (5.0, 2.5706),
+            (10.0, 2.2281),
+            (30.0, 2.0423),
+        ];
+        for (nu, expected) in table {
+            let t = StudentT::new(nu).unwrap();
+            let q = t.quantile(0.975).unwrap();
+            assert!((q - expected).abs() < 2e-3, "nu = {nu}: {q} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        for nu in [1.0, 3.0, 8.0, 25.0] {
+            let t = StudentT::new(nu).unwrap();
+            for p in [0.01, 0.1, 0.4, 0.6, 0.9, 0.99] {
+                let x = t.quantile(p).unwrap();
+                assert!((t.cdf(x) - p).abs() < 1e-9, "nu = {nu}, p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let t = StudentT::new(5.0).unwrap();
+        // Trapezoid from -40 to x.
+        let x_target: f64 = 1.3;
+        let n = 400_000;
+        let lo = -40.0;
+        let h = (x_target - lo) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let a = lo + i as f64 * h;
+            integral += 0.5 * h * (t.pdf(a) + t.pdf(a + h));
+        }
+        assert!((integral - t.cdf(x_target)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_nu() {
+        let t = StudentT::new(10_000.0).unwrap();
+        let n = Normal::standard();
+        for p in [0.05, 0.5, 0.95, 0.975] {
+            let tq = t.quantile(p).unwrap();
+            let nq = if p == 0.5 {
+                0.0
+            } else {
+                n.quantile(p).unwrap()
+            };
+            assert!((tq - nq).abs() < 1e-3, "p = {p}: {tq} vs {nq}");
+        }
+    }
+
+    #[test]
+    fn nu_one_is_cauchy() {
+        // t with ν = 1 is the Cauchy distribution: CDF = 1/2 + atan(x)/π.
+        let t = StudentT::new(1.0).unwrap();
+        for x in [-3.0f64, -0.5, 0.7, 4.0] {
+            let expected = 0.5 + x.atan() / std::f64::consts::PI;
+            assert!((t.cdf(x) - expected).abs() < 1e-10, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(1, 1) = x (uniform).
+        for x in [0.0, 0.25, 0.5, 1.0] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // I_x(1, b) = 1 − (1 − x)^b.
+        let (b, x): (f64, f64) = (3.0, 0.4);
+        let expected = 1.0 - (1.0 - x).powf(b);
+        assert!((regularized_incomplete_beta(1.0, b, x) - expected).abs() < 1e-12);
+        // Symmetry: I_x(a, b) = 1 − I_{1−x}(b, a).
+        let (a, b, x) = (2.5, 4.0, 0.3);
+        let lhs = regularized_incomplete_beta(a, b, x);
+        let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Batch summary statistics and empirical quantiles.
+
+use crate::{OnlineStats, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A batch summary of a data set: count, mean, variance, extremes and
+/// selected empirical quantiles.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::Summary;
+///
+/// let s = Summary::from_data(&[1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.median(), 3.0);
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    sample_variance: f64,
+    min: f64,
+    max: f64,
+    median: f64,
+    p90: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] if `data` is empty.
+    pub fn from_data(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData {
+                required: 1,
+                actual: 0,
+            });
+        }
+        let stats: OnlineStats = data.iter().copied().collect();
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        if sorted.is_empty() {
+            return Err(StatsError::InsufficientData {
+                required: 1,
+                actual: 0,
+            });
+        }
+        Ok(Summary {
+            count: sorted.len(),
+            mean: stats.mean(),
+            sample_variance: stats.sample_variance(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+
+    /// Number of (finite) observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn sample_variance(&self) -> f64 {
+        self.sample_variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance.sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Empirical median (linear interpolation).
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Empirical 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.p90
+    }
+
+    /// Empirical 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+
+    /// Empirical 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+}
+
+/// Empirical quantile of *unsorted* data with linear interpolation
+/// (type-7 estimator, the default of R and NumPy).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if `data` is empty and
+/// [`StatsError::InvalidProbability`] unless `0 ≤ p ≤ 1`.
+pub fn quantile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            actual: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let h = (sorted.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_data_is_an_error() {
+        assert!(Summary::from_data(&[]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_data(&[7.0]).unwrap();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.median(), 7.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(s.p99(), 7.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 2.5);
+        // Type-7: h = 3 * 0.25 = 0.75 -> 1 + 0.75*(2-1) = 1.75.
+        assert_eq!(quantile(&data, 0.25).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(quantile(&data, 0.5).unwrap(), 5.0);
+        let s = Summary::from_data(&data).unwrap();
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let data = [1.0, 2.0];
+        assert!(quantile(&data, -0.1).is_err());
+        assert!(quantile(&data, 1.1).is_err());
+        assert!(quantile(&data, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn summary_matches_online_stats() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_data(&data).unwrap();
+        assert_eq!(s.mean(), 50.5);
+        assert!((s.std_dev() - 29.011491975882016).abs() < 1e-10);
+        assert!((s.p90() - 90.1).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,222 @@
+//! Aggregation of independent simulation replications.
+//!
+//! The paper's experiments run "500,000 transactions divided into five
+//! replications of 100,000 transactions each" and report per-load-point
+//! averages. [`ReplicationSet`] collects one scalar metric per replication
+//! and produces the cross-replication mean together with a normal-theory
+//! confidence interval.
+
+use crate::{Normal, OnlineStats, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A set of per-replication scalar results for one experiment point.
+///
+/// # Example
+///
+/// ```
+/// use rejuv_stats::ReplicationSet;
+///
+/// let mut reps = ReplicationSet::new();
+/// for v in [5.1, 4.9, 5.0, 5.2, 4.8] {
+///     reps.push(v);
+/// }
+/// assert_eq!(reps.len(), 5);
+/// assert!((reps.mean() - 5.0).abs() < 1e-12);
+/// let (lo, hi) = reps.confidence_interval(0.95)?;
+/// assert!(lo < 5.0 && 5.0 < hi);
+/// # Ok::<(), rejuv_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReplicationSet {
+    values: Vec<f64>,
+}
+
+impl ReplicationSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ReplicationSet { values: Vec::new() }
+    }
+
+    /// Adds one replication's result.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of replications collected.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no replication has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw per-replication values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Cross-replication mean (`0.0` if empty).
+    pub fn mean(&self) -> f64 {
+        let stats: OnlineStats = self.values.iter().copied().collect();
+        stats.mean()
+    }
+
+    /// Cross-replication sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let stats: OnlineStats = self.values.iter().copied().collect();
+        stats.sample_std_dev()
+    }
+
+    /// Standard error of the mean, `s / sqrt(r)`.
+    pub fn std_error(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.std_dev() / (self.values.len() as f64).sqrt()
+        }
+    }
+
+    /// Normal-theory two-sided confidence interval for the mean.
+    ///
+    /// With the paper's five replications a t-interval would be slightly
+    /// wider; the normal interval is used for consistency with the paper's
+    /// own normal-quantile machinery and documented as approximate.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientData`] if fewer than two replications
+    ///   were collected.
+    /// * [`StatsError::InvalidProbability`] unless `0 < confidence < 1`.
+    pub fn confidence_interval(&self, confidence: f64) -> Result<(f64, f64), StatsError> {
+        if self.values.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                required: 2,
+                actual: self.values.len(),
+            });
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidProbability(confidence));
+        }
+        let z = Normal::standard().quantile(0.5 + confidence / 2.0)?;
+        let half = z * self.std_error();
+        let m = self.mean();
+        Ok((m - half, m + half))
+    }
+
+    /// Student-t two-sided confidence interval for the mean — the honest
+    /// interval for the paper's five-replication protocol (wider than
+    /// [`Self::confidence_interval`] by the `t_{ν}/z` ratio, ≈ 1.42 for
+    /// ν = 4 at 95 %).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::confidence_interval`].
+    pub fn t_confidence_interval(&self, confidence: f64) -> Result<(f64, f64), StatsError> {
+        if self.values.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                required: 2,
+                actual: self.values.len(),
+            });
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidProbability(confidence));
+        }
+        let t = crate::student_t::StudentT::new((self.values.len() - 1) as f64)?
+            .quantile(0.5 + confidence / 2.0)?;
+        let half = t * self.std_error();
+        let m = self.mean();
+        Ok((m - half, m + half))
+    }
+}
+
+impl FromIterator<f64> for ReplicationSet {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        ReplicationSet {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for ReplicationSet {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let r = ReplicationSet::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std_error(), 0.0);
+        assert!(r.confidence_interval(0.95).is_err());
+    }
+
+    #[test]
+    fn single_replication_has_no_interval() {
+        let r: ReplicationSet = [5.0].into_iter().collect();
+        assert_eq!(r.mean(), 5.0);
+        assert!(matches!(
+            r.confidence_interval(0.95),
+            Err(StatsError::InsufficientData {
+                required: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn interval_shrinks_with_confidence() {
+        let r: ReplicationSet = [4.0, 5.0, 6.0, 5.0, 5.0].into_iter().collect();
+        let (lo95, hi95) = r.confidence_interval(0.95).unwrap();
+        let (lo80, hi80) = r.confidence_interval(0.80).unwrap();
+        assert!(hi80 - lo80 < hi95 - lo95);
+        assert!(lo95 < r.mean() && r.mean() < hi95);
+    }
+
+    #[test]
+    fn interval_is_symmetric() {
+        let r: ReplicationSet = [1.0, 2.0, 3.0].into_iter().collect();
+        let (lo, hi) = r.confidence_interval(0.9).unwrap();
+        assert!(((r.mean() - lo) - (hi - r.mean())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_confidence() {
+        let r: ReplicationSet = [1.0, 2.0].into_iter().collect();
+        assert!(r.confidence_interval(0.0).is_err());
+        assert!(r.confidence_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn t_interval_is_wider_than_normal() {
+        let r: ReplicationSet = [4.0, 5.0, 6.0, 5.5, 4.5].into_iter().collect();
+        let (nl, nh) = r.confidence_interval(0.95).unwrap();
+        let (tl, th) = r.t_confidence_interval(0.95).unwrap();
+        assert!(th - tl > nh - nl);
+        // For ν = 4 at 95 % the widening factor is 2.776 / 1.960 ≈ 1.417.
+        let ratio = (th - tl) / (nh - nl);
+        assert!((ratio - 1.4165).abs() < 1e-3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn t_interval_validates_like_normal() {
+        let r: ReplicationSet = [1.0].into_iter().collect();
+        assert!(r.t_confidence_interval(0.95).is_err());
+        let r: ReplicationSet = [1.0, 2.0].into_iter().collect();
+        assert!(r.t_confidence_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn std_error_definition() {
+        let r: ReplicationSet = [2.0, 4.0, 6.0, 8.0].into_iter().collect();
+        let expected = r.std_dev() / 2.0;
+        assert!((r.std_error() - expected).abs() < 1e-12);
+    }
+}

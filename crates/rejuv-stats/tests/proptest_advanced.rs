@@ -1,0 +1,87 @@
+//! Property-based tests for the second wave of statistics modules:
+//! Student's t, batch means and the KS machinery.
+
+use proptest::prelude::*;
+use rejuv_stats::batch_means::batch_means;
+use rejuv_stats::ks::{kolmogorov_survival, ks_statistic};
+use rejuv_stats::student_t::{regularized_incomplete_beta, StudentT};
+use rejuv_stats::Normal;
+
+fn finite_vec(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e4f64..1.0e4, min_len..max_len)
+}
+
+proptest! {
+    /// t CDF is a valid, symmetric distribution for any ν.
+    #[test]
+    fn t_cdf_is_valid(nu in 0.5f64..200.0, x in -50.0f64..50.0) {
+        let t = StudentT::new(nu).unwrap();
+        let f = t.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+        // Monotone in x.
+        prop_assert!(t.cdf(x + 0.1) >= f - 1e-12);
+    }
+
+    /// Quantile inverts the CDF over the parameter space.
+    #[test]
+    fn t_quantile_inverts_cdf(nu in 0.5f64..100.0, p in 0.005f64..0.995) {
+        let t = StudentT::new(nu).unwrap();
+        let x = t.quantile(p).unwrap();
+        prop_assert!((t.cdf(x) - p).abs() < 1e-8, "nu = {nu}, p = {p}, x = {x}");
+    }
+
+    /// t quantiles are wider than normal quantiles in the tails and
+    /// approach them as ν grows.
+    #[test]
+    fn t_tails_are_heavier_than_normal(nu in 1.0f64..100.0, p in 0.75f64..0.995) {
+        let t = StudentT::new(nu).unwrap().quantile(p).unwrap();
+        let z = Normal::standard().quantile(p).unwrap();
+        prop_assert!(t >= z - 1e-9, "nu = {nu}, p = {p}: t = {t} < z = {z}");
+    }
+
+    /// Incomplete beta is a CDF in x: monotone, 0 at 0, 1 at 1.
+    #[test]
+    fn incomplete_beta_monotone(
+        a in 0.1f64..50.0,
+        b in 0.1f64..50.0,
+        x1 in 0.0f64..=1.0,
+        x2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = regularized_incomplete_beta(a, b, lo);
+        let f_hi = regularized_incomplete_beta(a, b, hi);
+        prop_assert!(f_lo <= f_hi + 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_lo));
+    }
+
+    /// Batch means: the grand mean equals the plain mean of the used
+    /// prefix, for any batching.
+    #[test]
+    fn batch_means_grand_mean(data in finite_vec(16, 400), batches in 2usize..8) {
+        if data.len() / batches >= 2 {
+            let bm = batch_means(&data, batches).unwrap();
+            let used = bm.batch_size * bm.batches;
+            let direct = data[..used].iter().sum::<f64>() / used as f64;
+            prop_assert!((bm.mean - direct).abs() < 1e-7 * (1.0 + direct.abs()));
+            prop_assert!(bm.std_error >= 0.0);
+        }
+    }
+
+    /// KS statistic lies in (0, 1] and is zero only for a perfect fit.
+    #[test]
+    fn ks_statistic_bounds(data in finite_vec(1, 300)) {
+        // Compare against a CDF that is definitely wrong (a constant),
+        // exercising the sup over jumps.
+        let d = ks_statistic(&data, |_| 0.5).unwrap();
+        prop_assert!(d > 0.0 && d <= 1.0, "d = {d}");
+    }
+
+    /// Kolmogorov survival is a survival function: monotone from 1 to 0.
+    #[test]
+    fn kolmogorov_survival_monotone(x1 in 0.0f64..5.0, x2 in 0.0f64..5.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(kolmogorov_survival(lo) >= kolmogorov_survival(hi) - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&kolmogorov_survival(lo)));
+    }
+}

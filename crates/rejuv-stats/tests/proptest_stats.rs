@@ -1,0 +1,136 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rejuv_stats::special::{ln_factorial, poisson_weights};
+use rejuv_stats::summary::quantile;
+use rejuv_stats::{autocorrelation, Exponential, Histogram, Normal, OnlineStats};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..max_len)
+}
+
+proptest! {
+    /// Welford matches the two-pass computation on arbitrary data.
+    #[test]
+    fn online_stats_match_two_pass(data in finite_vec(300)) {
+        let stats: OnlineStats = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if data.len() > 1 {
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((stats.sample_variance() - var).abs() < 1e-4 * (1.0 + var));
+        }
+    }
+
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn merge_is_concatenation(a in finite_vec(200), b in finite_vec(200)) {
+        let mut merged: OnlineStats = a.iter().copied().collect();
+        merged.merge(&b.iter().copied().collect());
+        let full: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), full.count());
+        prop_assert!((merged.mean() - full.mean()).abs() < 1e-6 * (1.0 + full.mean().abs()));
+        prop_assert!(
+            (merged.sample_variance() - full.sample_variance()).abs()
+                < 1e-4 * (1.0 + full.sample_variance())
+        );
+    }
+
+    /// The normal quantile inverts the CDF across the open unit interval
+    /// and all parameterizations.
+    #[test]
+    fn normal_quantile_inverts_cdf(
+        mu in -100.0f64..100.0,
+        sigma in 0.01f64..50.0,
+        p in 0.0001f64..0.9999,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let x = n.quantile(p).unwrap();
+        prop_assert!((n.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// CDF is monotone and bounded for arbitrary normals.
+    #[test]
+    fn normal_cdf_monotone(
+        mu in -10.0f64..10.0,
+        sigma in 0.1f64..10.0,
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(n.cdf(lo) <= n.cdf(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&n.cdf(lo)));
+    }
+
+    /// Exponential quantile inverts its CDF.
+    #[test]
+    fn exponential_quantile_inverts_cdf(rate in 0.001f64..100.0, p in 0.0f64..0.999) {
+        let e = Exponential::new(rate).unwrap();
+        let x = e.quantile(p).unwrap();
+        prop_assert!((e.cdf(x) - p).abs() < 1e-9);
+    }
+
+    /// Lag-k autocorrelation always lies in [−1, 1] (Cauchy–Schwarz).
+    #[test]
+    fn autocorrelation_is_bounded(
+        data in proptest::collection::vec(-1000.0f64..1000.0, 10..500),
+        k in 1usize..5,
+    ) {
+        if let Ok(g) = autocorrelation(&data, k) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&g), "gamma = {g}");
+        }
+    }
+
+    /// Histogram conservation: in-range + underflow + overflow = total.
+    #[test]
+    fn histogram_conserves_mass(
+        lo in -100.0f64..0.0,
+        width in 1.0f64..200.0,
+        bins in 1usize..64,
+        data in proptest::collection::vec(-500.0f64..500.0, 0..500),
+    ) {
+        let mut h = Histogram::new(lo, lo + width, bins).unwrap();
+        for &x in &data {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count() + h.underflow() + h.overflow(), data.len() as u64);
+        let bin_total: u64 = (0..h.bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(bin_total, h.count());
+    }
+
+    /// Empirical quantiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(
+        data in finite_vec(200),
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let qlo = quantile(&data, lo).unwrap();
+        let qhi = quantile(&data, hi).unwrap();
+        prop_assert!(qlo <= qhi);
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(qlo >= min && qhi <= max);
+    }
+
+    /// ln n! satisfies the recurrence ln (n+1)! = ln n! + ln(n+1).
+    #[test]
+    fn ln_factorial_recurrence(n in 0u64..300) {
+        let lhs = ln_factorial(n + 1);
+        let rhs = ln_factorial(n) + ((n + 1) as f64).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    /// Truncated Poisson weights are a sub-probability vector summing to
+    /// 1 within the tolerance, with non-negative entries.
+    #[test]
+    fn poisson_weights_are_probabilities(m in 0.0f64..2_000.0) {
+        let (_, w) = poisson_weights(m, 1e-10).unwrap();
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+    }
+}

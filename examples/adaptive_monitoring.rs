@@ -1,0 +1,92 @@
+//! Adaptive monitoring: commissioning a detector without SLA numbers.
+//!
+//! The paper assumes the service-level agreement supplies the baseline
+//! `(µX, σX)`; its conclusion proposes estimating parameters online.
+//! This example wires the [`Calibrating`] adaptor (learn the baseline
+//! from the live system) and the [`Cooldown`] adaptor (bound the
+//! rejuvenation frequency) around SRAA and runs the full e-commerce
+//! model at a high load.
+//!
+//! ```text
+//! cargo run --release --example adaptive_monitoring
+//! ```
+
+use software_rejuvenation::detectors::{Calibrating, Cooldown, Sraa, SraaConfig};
+use software_rejuvenation::ecommerce::{EcommerceSystem, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Commissioning happens during a healthy traffic window (4 CPUs of
+    // load); production then ramps to 8.5 CPUs, past the soft-failure
+    // knee. Calibrating *during* an overload would poison the baseline —
+    // which is exactly why the estimator trims the upper tail and why
+    // operators calibrate off-peak.
+    let calm = SystemConfig::paper_at_load(4.0)?;
+    println!("commissioning at 4 CPUs of load; no SLA baseline given");
+
+    // Learn (µX, σX) from the first 5 000 transactions with a 3σ outlier
+    // trim, then run SRAA(2, 5, 3) on the learned baseline, capped at
+    // one rejuvenation per 200 observations.
+    let calibrated = Calibrating::new(5_000, 3.0, |mu, sigma| {
+        println!("  learned baseline: µX = {mu:.2} s, σX = {sigma:.2} s (SLA values are 5/5)");
+        Sraa::new(
+            SraaConfig::builder(mu, sigma)
+                .sample_size(2)
+                .buckets(5)
+                .depth(3)
+                .build()
+                .expect("learned baseline is finite"),
+        )
+    });
+    let guarded = Cooldown::new(calibrated, 200);
+
+    let mut sys = EcommerceSystem::new(calm, 4242);
+    sys.attach_detector(Box::new(guarded));
+    let calib = sys.run(6_000);
+    println!(
+        "calibration window done: RT {:.2} s, {} rejuvenations\n",
+        calib.mean_response_time, calib.rejuvenation_count
+    );
+
+    println!("ramping load to 8.5 CPUs; monitoring timeline:");
+    sys.set_arrival_rate(8.5 * 0.2)?;
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>8}",
+        "segment", "avg RT(s)", "GCs", "rejuv", "lost"
+    );
+    let mut totals = (0u64, 0u64);
+    let mut weighted_rt = 0.0;
+    let mut completed = 0u64;
+    for segment in 0..10 {
+        let m = sys.run(10_000);
+        totals.0 += m.rejuvenation_count;
+        totals.1 += m.lost;
+        weighted_rt += m.mean_response_time * m.completed as f64;
+        completed += m.completed;
+        println!(
+            "{:>8} {:>10.2} {:>8} {:>8} {:>8}",
+            segment, m.mean_response_time, m.gc_count, m.rejuvenation_count, m.lost
+        );
+    }
+    println!(
+        "\nself-calibrated: RT {:.2} s, {} rejuvenations, {} lost over 100,000 processed",
+        weighted_rt / completed as f64,
+        totals.0,
+        totals.1
+    );
+
+    // Reference run with the known SLA baseline for comparison.
+    let mut reference = EcommerceSystem::new(SystemConfig::paper_at_load(8.5)?, 4242);
+    reference.attach_detector(Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()?,
+    )));
+    let ref_m = reference.run(100_000);
+    println!(
+        "SLA-configured:  RT {:.2} s, {} rejuvenations, {} lost",
+        ref_m.mean_response_time, ref_m.rejuvenation_count, ref_m.lost
+    );
+    Ok(())
+}

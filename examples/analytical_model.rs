@@ -1,0 +1,107 @@
+//! The §4.1 analytical pipeline end to end: M/M/16 response-time
+//! moments, the exact density of the sample mean X̄n from the Fig. 4
+//! CTMC, the quality of the CLT normal approximation, and the tail
+//! masses behind the CLTA false-alarm discussion.
+//!
+//! ```text
+//! cargo run --release --example analytical_model
+//! ```
+
+use software_rejuvenation::detectors::analysis::{
+    clta_expected_windows, expected_windows_to_trigger, windows_to_observations,
+};
+use software_rejuvenation::queueing::{MmcQueue, SampleMean};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's maximum load of interest: λ = 1.6 tx/s on M/M/16.
+    let queue = MmcQueue::paper_system(1.6)?;
+    let rt = queue.response_time()?;
+
+    println!(
+        "M/M/16 with µ = 0.2 tx/s, λ = 1.6 tx/s (ρ = {:.2})",
+        queue.rho()
+    );
+    println!("  Wc (no-wait probability, eq. 1) = {:.6}", rt.wc());
+    println!("  E[Xi]  (eq. 2) = {:.4} s", rt.mean());
+    println!("  sd[Xi] (eq. 3) = {:.4} s", rt.std_dev());
+    println!(
+        "  95th / 97.5th / 99th percentile = {:.2} / {:.2} / {:.2} s",
+        rt.quantile(0.95)?,
+        rt.quantile(0.975)?,
+        rt.quantile(0.99)?
+    );
+
+    // Low-load check: below λ = 1 tx/s the RT is essentially Exp(0.2).
+    println!("\nbaseline across loads (the µX = σX = 5 justification):");
+    println!("  {:>6} {:>10} {:>10}", "λ", "E[Xi]", "sd[Xi]");
+    for lambda in [0.2, 0.6, 1.0, 1.4, 1.6, 2.4, 3.0] {
+        let r = MmcQueue::paper_system(lambda)?.response_time()?;
+        println!("  {:>6.1} {:>10.4} {:>10.4}", lambda, r.mean(), r.std_dev());
+    }
+
+    // Fig. 5: how fast does the density of X̄n approach the normal?
+    println!("\nFig. 5 reproduction — exact density of X̄n vs N(µX, σX²/n):");
+    println!(
+        "  {:>4} {:>22} {:>26}",
+        "n", "max |F_exact − F_norm|", "tail mass beyond z₀.₉₇₅"
+    );
+    for n in [1usize, 5, 15, 30] {
+        let sm = SampleMean::new(&rt, n)?;
+        let distance = sm.normal_approximation_distance(201)?;
+        let tail = sm.tail_mass_beyond_normal_quantile(0.975)?;
+        println!("  {:>4} {:>22.4} {:>25.2}%", n, distance, tail * 100.0);
+    }
+    println!(
+        "\npaper values: tail mass 3.69% at n = 15 and 3.37% at n = 30\n\
+         (so CLTA's real false-alarm rate exceeds the nominal 2.5%)."
+    );
+
+    // A slice of the n = 30 density, exact vs normal.
+    let sm = SampleMean::new(&rt, 30)?;
+    println!("\nexact vs normal density of X̄₃₀ (x, f_exact, f_normal):");
+    for point in sm.density_comparison(3.0, 8.0, 11)? {
+        println!(
+            "  {:>5.1} {:>10.5} {:>10.5}",
+            point.x, point.exact, point.normal
+        );
+    }
+
+    // Average run length: how often does each configuration false-alarm
+    // on a *healthy* system at the maximum load of interest? Exact, via
+    // the birth-death linearization of the bucket chain fed with exact
+    // tail probabilities from the Fig. 4 CTMC.
+    println!("\nhealthy-system false-alarm interval (ARL₀ in observations, λ = 1.6):");
+    println!("  {:<22} {:>16}", "configuration", "observations");
+    for (n, k, d) in [
+        (15usize, 1usize, 1u32),
+        (3, 1, 5),
+        (3, 5, 1),
+        (2, 5, 3),
+        (3, 2, 5),
+    ] {
+        let sm_n = SampleMean::new(&rt, n)?;
+        let probs: Vec<f64> = (0..k)
+            .map(|b| {
+                Ok::<_, Box<dyn std::error::Error>>(1.0 - sm_n.exact().cdf(5.0 + b as f64 * 5.0)?)
+            })
+            .collect::<Result<_, _>>()?;
+        let windows = expected_windows_to_trigger(&probs, k, d)?;
+        let obs = windows_to_observations(windows, n);
+        let shown = if obs.is_finite() && obs < 1e12 {
+            format!("{obs:.0}")
+        } else {
+            "≈ ∞".to_string()
+        };
+        println!("  SRAA(n={n:<2} K={k:<2} D={d:<2})  {shown:>16}");
+    }
+    let tail30 = SampleMean::new(&rt, 30)?.tail_mass_beyond_normal_quantile(0.975)?;
+    let clta_obs = windows_to_observations(clta_expected_windows(tail30)?, 30);
+    println!("  CLTA(n=30, N=1.96)    {clta_obs:>16.0}");
+    println!(
+        "\nreading: K = 1 configurations false-alarm every few hundred observations\n\
+         (their Fig. 10 low-load loss); one extra bucket pushes the interval beyond\n\
+         any practical horizon, which is why K > 1 loses nothing at low loads."
+    );
+
+    Ok(())
+}

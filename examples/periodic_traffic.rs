@@ -1,0 +1,78 @@
+//! Periodic traffic: the telecommunication scenario that motivated the
+//! rejuvenation lineage (Avritzer & Weyuker 1997) — predictably periodic
+//! load with a daily peak — driven through the e-commerce model as a
+//! non-homogeneous Poisson process.
+//!
+//! Shows that a burst-tolerant SRAA configuration rides the daily peak
+//! while still catching the soft failure that develops when the peak
+//! pushes the system over the kernel-overhead knee.
+//!
+//! ```text
+//! cargo run --release --example periodic_traffic
+//! ```
+
+use software_rejuvenation::detectors::{Sraa, SraaConfig};
+use software_rejuvenation::ecommerce::{EcommerceSystem, RateProfile, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compressed "day" of 4 000 s: base 1.0 tx/s (5 CPUs), peaking at
+    // 1.8 tx/s (9 CPUs) — above the soft-failure knee — each midday.
+    let day = 4_000.0;
+    let profile = RateProfile::sinusoidal(1.0, 0.8, day)?;
+    println!(
+        "sinusoidal load: base 1.0 tx/s, peak {} tx/s, period {} s",
+        profile.max_rate(),
+        day
+    );
+
+    let config = SystemConfig::paper(1.0)?;
+    let detector = SraaConfig::builder(5.0, 5.0)
+        .sample_size(3)
+        .buckets(2)
+        .depth(5)
+        .build()?;
+
+    println!("\n== guarded by SRAA(3, 2, 5) — the paper's best-tradeoff configuration ==");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "phase", "avg RT(s)", "p-max RT", "GCs", "rejuv", "lost"
+    );
+    let mut sys = EcommerceSystem::new(config, 77);
+    sys.set_rate_profile(profile.clone());
+    sys.attach_detector(Box::new(Sraa::new(detector)));
+
+    // Walk several days in quarter-day segments.
+    for segment in 0..16 {
+        let m = sys.run(1_000);
+        let phase = match segment % 4 {
+            0 => "dawn",
+            1 => "peak",
+            2 => "dusk",
+            _ => "night",
+        };
+        println!(
+            "{:>5} {:>10.2} {:>10.1} {:>8} {:>8} {:>8}",
+            phase,
+            m.mean_response_time,
+            m.max_response_time,
+            m.gc_count,
+            m.rejuvenation_count,
+            m.lost
+        );
+    }
+
+    println!("\n== same traffic, no rejuvenation ==");
+    let mut bare = EcommerceSystem::new(config, 77);
+    bare.set_rate_profile(profile);
+    let mut worst = 0.0f64;
+    for _ in 0..16 {
+        let m = bare.run(1_000);
+        worst = worst.max(m.mean_response_time);
+    }
+    println!("worst quarter-day average response time without rejuvenation: {worst:.1} s");
+    println!(
+        "the guarded system confines the damage of each daily peak to the peak itself;\n\
+         the bare system carries the backlog from one peak into the next."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Quickstart: monitor a synthetic response-time stream with SRAA.
+//!
+//! Demonstrates the core API without any simulation machinery: build a
+//! detector, feed it observations, and act on its decisions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use software_rejuvenation::detectors::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Service-level baseline: under normal behaviour the response time
+    // has mean 5 s and standard deviation 5 s (the paper's e-commerce
+    // system).
+    let config = SraaConfig::builder(5.0, 5.0)
+        .sample_size(2)
+        .buckets(5)
+        .depth(3)
+        .build()?;
+    let mut detector = Sraa::new(config);
+
+    println!(
+        "SRAA detector: n = 2, K = 5, D = 3 (n*K*D = {})",
+        detector.config().nkd()
+    );
+    println!("bucket N target values: µX + N·σX = 5, 10, 15, 20, 25\n");
+
+    // Phase 1: healthy traffic. A deterministic sawtooth around the mean
+    // keeps the first bucket hovering near empty.
+    let mut fired_during_health = false;
+    for i in 0..10_000 {
+        let rt = 3.0 + (i % 5) as f64; // 3..7 s, mean 5
+        if detector.observe(rt) == Decision::Rejuvenate {
+            fired_during_health = true;
+        }
+    }
+    println!(
+        "after 10,000 healthy observations: bucket N = {}, count d = {}, rejuvenations = {}",
+        detector.bucket(),
+        detector.count(),
+        detector.rejuvenation_count()
+    );
+    assert!(
+        !fired_during_health,
+        "no false alarm expected on healthy traffic"
+    );
+
+    // Phase 2: a short burst — twenty observations at 4x the mean.
+    // Averaging and the bucket chain absorb it.
+    for _ in 0..20 {
+        assert_eq!(detector.observe(20.0), Decision::Continue);
+    }
+    println!(
+        "after a 20-observation burst at 20 s: bucket N = {}, count d = {} (no rejuvenation)",
+        detector.bucket(),
+        detector.count()
+    );
+
+    // Let the detector recover on healthy traffic.
+    for _ in 0..200 {
+        detector.observe(4.0);
+    }
+
+    // Phase 3: sustained degradation — the distribution has shifted far
+    // to the right. The detector must fire, and quickly.
+    let mut observations_until_trigger = 0u32;
+    loop {
+        observations_until_trigger += 1;
+        if detector.observe(45.0) == Decision::Rejuvenate {
+            break;
+        }
+        assert!(
+            observations_until_trigger < 10_000,
+            "detector failed to fire under sustained degradation"
+        );
+    }
+    println!(
+        "\nsustained degradation at 45 s: rejuvenation triggered after {} observations",
+        observations_until_trigger
+    );
+    println!("total rejuvenations: {}", detector.rejuvenation_count());
+
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! API-contract tests across the workspace: thread-safety markers,
+//! serde round-trips of every serializable public configuration, and
+//! trait-object usability — the C-SEND-SYNC / C-SERDE items of the Rust
+//! API Guidelines, enforced.
+
+use software_rejuvenation::detectors::{
+    AccelerationSchedule, Calibrating, Clta, CltaConfig, Cooldown, Cusum, CusumConfig,
+    DynamicSraa, DynamicSraaConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa, SaraaConfig,
+    Sraa, SraaConfig, StaticRejuvenation,
+};
+use software_rejuvenation::ecommerce::{
+    cluster::RoutingPolicy, config::MemoryConfig, RateProfile, RunMetrics, SystemConfig,
+};
+use software_rejuvenation::queueing::MmcQueue;
+use software_rejuvenation::stats::{Exponential, Normal, OnlineStats, ReplicationSet};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+
+#[test]
+fn core_types_are_thread_safe() {
+    assert_send_sync::<Sraa>();
+    assert_send_sync::<Saraa>();
+    assert_send_sync::<Clta>();
+    assert_send_sync::<StaticRejuvenation>();
+    assert_send_sync::<DynamicSraa>();
+    assert_send_sync::<Ewma>();
+    assert_send_sync::<Cusum>();
+    assert_send::<Cooldown<Sraa>>();
+    assert_send::<Calibrating<Sraa>>();
+    assert_send_sync::<SraaConfig>();
+    assert_send_sync::<OnlineStats>();
+    assert_send_sync::<Normal>();
+    assert_send_sync::<MmcQueue>();
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<RunMetrics>();
+}
+
+#[test]
+fn detectors_box_as_trait_objects() {
+    let detectors: Vec<Box<dyn RejuvenationDetector>> = vec![
+        Box::new(Sraa::new(
+            SraaConfig::builder(5.0, 5.0).build().unwrap(),
+        )),
+        Box::new(Saraa::new(
+            SaraaConfig::builder(5.0, 5.0).build().unwrap(),
+        )),
+        Box::new(Clta::new(CltaConfig::builder(5.0, 5.0).build().unwrap())),
+        Box::new(StaticRejuvenation::new(5.0, 5.0, 2, 2).unwrap()),
+        Box::new(DynamicSraa::new(
+            DynamicSraaConfig::new(5.0, 5.0, 1, vec![2, 1]).unwrap(),
+        )),
+        Box::new(Ewma::new(EwmaConfig::new(5.0, 5.0, 0.2, 3.0).unwrap())),
+        Box::new(Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 5.0).unwrap())),
+    ];
+    for mut d in detectors {
+        d.observe(1.0);
+        d.reset();
+        assert!(!d.name().is_empty());
+        let _ = d.rejuvenation_count();
+    }
+}
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn configs_roundtrip_through_serde() {
+    roundtrip(
+        &SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    );
+    roundtrip(
+        &SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(10)
+            .buckets(3)
+            .schedule(AccelerationSchedule::Quadratic)
+            .build()
+            .unwrap(),
+    );
+    roundtrip(
+        &CltaConfig::builder(5.0, 5.0)
+            .sample_size(30)
+            .quantile_factor(1.96)
+            .build()
+            .unwrap(),
+    );
+    roundtrip(&DynamicSraaConfig::new(5.0, 5.0, 2, vec![5, 3, 1]).unwrap());
+    roundtrip(&EwmaConfig::new(5.0, 5.0, 0.2, 3.0).unwrap());
+    roundtrip(&CusumConfig::new(5.0, 5.0, 0.5, 5.0).unwrap());
+    roundtrip(&SystemConfig::paper(1.6).unwrap());
+    roundtrip(&MemoryConfig::paper());
+    roundtrip(&RateProfile::sinusoidal(1.0, 0.5, 3_600.0).unwrap());
+    roundtrip(&RateProfile::piecewise(vec![(0.0, 1.0), (60.0, 2.0)]).unwrap());
+    roundtrip(&RoutingPolicy::LeastActive);
+    roundtrip(&Normal::new(5.0, 2.0).unwrap());
+    roundtrip(&Exponential::new(0.2).unwrap());
+    let reps: ReplicationSet = [1.0, 2.0, 3.0].into_iter().collect();
+    roundtrip(&reps);
+}
+
+#[test]
+fn run_metrics_roundtrip_through_serde() {
+    let mut sys = software_rejuvenation::ecommerce::EcommerceSystem::new(
+        SystemConfig::paper(1.0).unwrap(),
+        3,
+    );
+    sys.record_response_times(true);
+    let metrics = sys.run(500);
+    roundtrip(&metrics);
+}
+
+#[test]
+fn errors_implement_std_error() {
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<software_rejuvenation::detectors::ConfigError>();
+    assert_error::<software_rejuvenation::stats::StatsError>();
+    assert_error::<software_rejuvenation::ctmc::CtmcError>();
+    assert_error::<software_rejuvenation::queueing::QueueingError>();
+    assert_error::<software_rejuvenation::ecommerce::config::SystemConfigError>();
+    assert_error::<software_rejuvenation::ecommerce::workload::ProfileError>();
+}

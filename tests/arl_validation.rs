@@ -1,0 +1,137 @@
+//! End-to-end ARL validation: the exact run-length theory
+//! (`rejuv-core::analysis`), fed with exact window-average tail
+//! probabilities from the Fig. 4 CTMC (`rejuv-queueing::SampleMean`),
+//! must predict the false-alarm rate of the real SRAA detector on the
+//! simulated M/M/16 system.
+
+use software_rejuvenation::detectors::analysis::{
+    clta_expected_windows, expected_windows_to_trigger, windows_to_observations,
+};
+use software_rejuvenation::detectors::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+use software_rejuvenation::ecommerce::{Runner, SystemConfig};
+use software_rejuvenation::queueing::{MmcQueue, SampleMean};
+
+/// Exact per-bucket exceed probabilities for SRAA targets `µX + N·σX`
+/// (with the paper's µX = σX = 5) under the true M/M/16 window-average
+/// distribution at arrival rate `lambda`.
+fn exact_exceed_probs(lambda: f64, n: usize, buckets: usize) -> Vec<f64> {
+    let rt = MmcQueue::paper_system(lambda)
+        .unwrap()
+        .response_time()
+        .unwrap();
+    let sm = SampleMean::new(&rt, n).unwrap();
+    (0..buckets)
+        .map(|b| 1.0 - sm.exact().cdf(5.0 + b as f64 * 5.0).unwrap())
+        .collect()
+}
+
+/// Mean observations between SRAA triggers on the *simulated* healthy
+/// M/M/16 stream (no GC, no overhead, the detector observing passively).
+fn simulated_mean_observations_between_triggers(lambda: f64, n: usize, k: usize, d: u32) -> f64 {
+    let runner = Runner::new(3, 150_000, 4711);
+    let raw = runner.run_point_raw_recording(SystemConfig::mmc(lambda).unwrap(), &|| None, true);
+    let cfg = SraaConfig::builder(5.0, 5.0)
+        .sample_size(n)
+        .buckets(k)
+        .depth(d)
+        .build()
+        .unwrap();
+    let mut observations = 0u64;
+    let mut triggers = 0u64;
+    for m in &raw {
+        // Fresh detector per replication; triggers within a replication
+        // renew the process, matching the ARL renewal argument.
+        let mut det = Sraa::new(cfg);
+        for &rt in &m.response_times {
+            observations += 1;
+            if det.observe(rt) == Decision::Rejuvenate {
+                triggers += 1;
+            }
+        }
+    }
+    assert!(triggers > 30, "need enough renewals, got {triggers}");
+    observations as f64 / triggers as f64
+}
+
+#[test]
+fn sraa_false_alarm_rate_matches_renewal_theory() {
+    // (n, K, D) = (3, 1, 2) at 8 CPUs: false alarms are frequent enough
+    // to measure yet non-trivial.
+    let (lambda, n, k, d) = (1.6, 3usize, 1usize, 2u32);
+    let probs = exact_exceed_probs(lambda, n, k);
+    let analytic_windows = expected_windows_to_trigger(&probs, k, d).unwrap();
+    let analytic_obs = windows_to_observations(analytic_windows, n);
+
+    let simulated = simulated_mean_observations_between_triggers(lambda, n, k, d);
+    let ratio = simulated / analytic_obs;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "simulated {simulated} vs analytic {analytic_obs} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn two_bucket_arl_is_dramatically_larger() {
+    // Adding a second bucket multiplies the healthy ARL by orders of
+    // magnitude — the quantitative version of the paper's "multiple
+    // buckets tolerate bursts".
+    let (lambda, n) = (1.6, 3usize);
+    let p1 = exact_exceed_probs(lambda, n, 1);
+    let p2 = exact_exceed_probs(lambda, n, 2);
+    let one = expected_windows_to_trigger(&p1, 1, 2).unwrap();
+    let two = expected_windows_to_trigger(&p2, 2, 2).unwrap();
+    assert!(
+        two > 100.0 * one,
+        "1 bucket: {one} windows; 2 buckets: {two} windows"
+    );
+}
+
+#[test]
+fn clta_false_alarm_interval_matches_tail_mass() {
+    // CLTA at n = 30, N = 1.96: the §4.1 tail mass (≈ 3.4 %) implies a
+    // false alarm roughly every 30 / 0.034 ≈ 880 observations.
+    let rt = MmcQueue::paper_system(1.6)
+        .unwrap()
+        .response_time()
+        .unwrap();
+    let sm = SampleMean::new(&rt, 30).unwrap();
+    let tail = sm.tail_mass_beyond_normal_quantile(0.975).unwrap();
+    let analytic_obs = windows_to_observations(clta_expected_windows(tail).unwrap(), 30);
+    assert!(
+        (analytic_obs - 880.0).abs() < 60.0,
+        "analytic interval = {analytic_obs}"
+    );
+
+    // And the simulated M/M/16 stream confirms it.
+    let runner = Runner::new(2, 120_000, 4713);
+    let raw = runner.run_point_raw_recording(SystemConfig::mmc(1.6).unwrap(), &|| None, true);
+    let threshold = 5.0 + 1.96 * 5.0 / 30f64.sqrt();
+    let mut windows = 0u64;
+    let mut exceed = 0u64;
+    for m in &raw {
+        for w in m.response_times.chunks_exact(30) {
+            windows += 1;
+            if w.iter().sum::<f64>() / 30.0 > threshold {
+                exceed += 1;
+            }
+        }
+    }
+    let simulated_interval = 30.0 * windows as f64 / exceed as f64;
+    assert!(
+        (simulated_interval / analytic_obs - 1.0).abs() < 0.25,
+        "simulated {simulated_interval} vs analytic {analytic_obs}"
+    );
+}
+
+#[test]
+fn detection_delay_shrinks_under_load_shift() {
+    // ARL₁: at 9.5 CPUs the exceed probabilities rise, so the predicted
+    // windows-to-trigger falls well below the healthy value.
+    let n = 3usize;
+    let healthy = expected_windows_to_trigger(&exact_exceed_probs(1.0, n, 2), 2, 2).unwrap();
+    let loaded = expected_windows_to_trigger(&exact_exceed_probs(1.9, n, 2), 2, 2).unwrap();
+    assert!(
+        loaded < healthy,
+        "loaded {loaded} should be below healthy {healthy}"
+    );
+}

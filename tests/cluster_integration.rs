@@ -1,0 +1,157 @@
+//! Integration tests for the cluster substrate: routing, downtime and
+//! per-host detection interacting across crates.
+
+use software_rejuvenation::detectors::{
+    Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig, RejuvenationDetector, Sraa, SraaConfig,
+};
+use software_rejuvenation::ecommerce::{ClusterSystem, RateProfile, RoutingPolicy, SystemConfig};
+use software_rejuvenation::queueing::MmcQueue;
+
+fn sraa_253() -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+#[test]
+fn random_split_cluster_matches_mmc_theory() {
+    // Bernoulli splitting of a Poisson stream yields independent Poisson
+    // streams, so an H-host M/M/c cluster under Random routing behaves
+    // like H independent M/M/c queues: the aggregate mean response time
+    // must match eq. (2) at the per-host rate.
+    let per_host_lambda = 1.6;
+    let hosts = 3;
+    let cfg = SystemConfig::mmc(per_host_lambda).unwrap();
+    let mut cluster = ClusterSystem::new(
+        cfg,
+        hosts,
+        per_host_lambda * hosts as f64,
+        RoutingPolicy::Random,
+        0.0,
+        31,
+    );
+    let m = cluster.run(120_000);
+    let analytic = MmcQueue::new(16, per_host_lambda, 0.2)
+        .unwrap()
+        .response_time()
+        .unwrap()
+        .mean();
+    assert!(
+        (m.aggregate.mean_response_time - analytic).abs() < 0.15,
+        "cluster {} vs analytic {analytic}",
+        m.aggregate.mean_response_time
+    );
+}
+
+#[test]
+fn detectors_on_every_host_beat_detectors_on_half() {
+    // Partial deployment: guarding only half the hosts leaves the other
+    // half to age and collapse, dragging the aggregate RT up.
+    let cfg = SystemConfig::paper(1.0).unwrap();
+    let total = 4.0 * 1.8;
+
+    let mut all = ClusterSystem::new(cfg, 4, total, RoutingPolicy::RoundRobin, 60.0, 33);
+    all.attach_detectors(|_| sraa_253());
+    let all_m = all.run(60_000);
+
+    let mut half = ClusterSystem::new(cfg, 4, total, RoutingPolicy::RoundRobin, 60.0, 33);
+    half.attach_detector(0, sraa_253());
+    half.attach_detector(1, sraa_253());
+    let half_m = half.run(60_000);
+
+    assert!(
+        all_m.aggregate.mean_response_time < half_m.aggregate.mean_response_time,
+        "all {} vs half {}",
+        all_m.aggregate.mean_response_time,
+        half_m.aggregate.mean_response_time
+    );
+}
+
+#[test]
+fn cluster_survives_periodic_peaks_with_detectors() {
+    let cfg = SystemConfig::paper(1.0).unwrap();
+    // Base 4 tx/s, peaks at 7.2 tx/s (9 CPUs per host at peak).
+    let profile = RateProfile::sinusoidal(4.0, 3.2, 2_000.0).unwrap();
+    let mut cluster = ClusterSystem::new(cfg, 4, 8.0, RoutingPolicy::LeastActive, 60.0, 35);
+    cluster.set_rate_profile(profile);
+    cluster.attach_detectors(|_| sraa_253());
+    let m = cluster.run(60_000);
+    assert!(
+        m.aggregate.mean_response_time < 60.0,
+        "RT = {}",
+        m.aggregate.mean_response_time
+    );
+    assert!(m.aggregate.loss_fraction() < 0.35);
+}
+
+#[test]
+fn heterogeneous_detectors_per_host() {
+    // Different algorithm on every host — the trait-object plumbing the
+    // cluster API promises.
+    let cfg = SystemConfig::paper(1.0).unwrap();
+    let mut cluster = ClusterSystem::new(cfg, 4, 7.2, RoutingPolicy::RoundRobin, 30.0, 37);
+    cluster.attach_detector(0, sraa_253());
+    cluster.attach_detector(
+        1,
+        Box::new(Clta::new(
+            CltaConfig::builder(5.0, 5.0)
+                .sample_size(30)
+                .quantile_factor(1.96)
+                .build()
+                .unwrap(),
+        )),
+    );
+    cluster.attach_detector(
+        2,
+        Box::new(Ewma::new(EwmaConfig::new(5.0, 5.0, 0.2, 3.0).unwrap())),
+    );
+    cluster.attach_detector(
+        3,
+        Box::new(Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 5.0).unwrap())),
+    );
+    let m = cluster.run(40_000);
+    // Every host's detector must have fired at this load.
+    for (h, &r) in m.rejuvenations_per_host.iter().enumerate() {
+        assert!(
+            r > 0,
+            "host {h} never rejuvenated: {:?}",
+            m.rejuvenations_per_host
+        );
+    }
+    assert!(m.aggregate.mean_response_time < 60.0);
+}
+
+#[test]
+fn zero_downtime_cluster_never_rejects() {
+    let cfg = SystemConfig::paper(1.0).unwrap();
+    let mut cluster = ClusterSystem::new(cfg, 2, 3.6, RoutingPolicy::LeastActive, 0.0, 39);
+    cluster.attach_detectors(|_| sraa_253());
+    let m = cluster.run(30_000);
+    assert_eq!(m.rejected_no_host, 0);
+}
+
+#[test]
+fn longer_downtime_costs_more_capacity() {
+    // The downtime knob: same detectors, same load, downtime 0 vs 300 s.
+    // Longer downtime means fewer available hosts on average, so the
+    // survivors run hotter.
+    let cfg = SystemConfig::paper(1.0).unwrap();
+    let run = |downtime: f64| {
+        let mut c = ClusterSystem::new(cfg, 4, 7.2, RoutingPolicy::RoundRobin, downtime, 41);
+        c.attach_detectors(|_| sraa_253());
+        c.run(50_000)
+    };
+    let instant = run(0.0);
+    let slow = run(300.0);
+    assert!(
+        slow.aggregate.mean_response_time > instant.aggregate.mean_response_time,
+        "downtime should hurt RT: {} vs {}",
+        slow.aggregate.mean_response_time,
+        instant.aggregate.mean_response_time
+    );
+}

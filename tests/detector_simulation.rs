@@ -1,0 +1,193 @@
+//! Integration tests: detectors driving the full e-commerce model.
+//!
+//! These exercise the cross-crate path the paper's evaluation depends
+//! on: simulation → response times → detector → rejuvenation → metrics.
+
+use software_rejuvenation::detectors::{
+    Clta, CltaConfig, RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig,
+};
+use software_rejuvenation::ecommerce::{EcommerceSystem, Runner, SystemConfig};
+
+fn sraa_box(n: usize, k: usize, d: u32) -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(n)
+            .buckets(k)
+            .depth(d)
+            .build()
+            .unwrap(),
+    ))
+}
+
+#[test]
+fn rejuvenation_controls_response_time_at_high_load() {
+    // The paper's headline: at 9 CPUs of offered load the unmanaged
+    // system drifts into the soft-failure regime while a monitored one
+    // stays responsive.
+    let cfg = SystemConfig::paper_at_load(9.0).unwrap();
+
+    let mut bare = EcommerceSystem::new(cfg, 1);
+    let bare_rt = bare.run(100_000).mean_response_time;
+
+    let mut managed = EcommerceSystem::new(cfg, 1);
+    managed.attach_detector(sraa_box(2, 5, 3));
+    let managed_metrics = managed.run(100_000);
+
+    assert!(
+        managed_metrics.mean_response_time * 3.0 < bare_rt,
+        "managed {} vs bare {bare_rt}",
+        managed_metrics.mean_response_time
+    );
+    assert!(managed_metrics.rejuvenation_count > 0);
+    assert!(
+        managed_metrics.loss_fraction() < 0.35,
+        "paper's Fig. 10 ceiling"
+    );
+}
+
+#[test]
+fn no_detector_low_load_is_clean() {
+    let cfg = SystemConfig::paper_at_load(0.5).unwrap();
+    let mut sys = EcommerceSystem::new(cfg, 2);
+    let m = sys.run(50_000);
+    assert_eq!(m.lost, 0);
+    // Even with occasional GC pauses, the mean stays near 5 s at 0.5 CPUs.
+    assert!(
+        (m.mean_response_time - 5.0).abs() < 0.6,
+        "{}",
+        m.mean_response_time
+    );
+}
+
+#[test]
+fn multi_bucket_configs_do_not_false_alarm_at_low_load() {
+    // Fig. 10: K > 1 configurations lose (almost) nothing at 0.5 CPUs.
+    let runner = Runner::new(3, 30_000, 3);
+    let cfg = SystemConfig::paper_at_load(0.5).unwrap();
+    for (n, k, d) in [(1usize, 3usize, 5u32), (1, 5, 3), (3, 5, 1), (5, 3, 1)] {
+        let f = move || -> Option<Box<dyn RejuvenationDetector>> { Some(sraa_box(n, k, d)) };
+        let res = runner.run_point(cfg, &f);
+        assert!(
+            res.mean_loss_fraction() < 0.001,
+            "({n},{k},{d}) lost {}",
+            res.mean_loss_fraction()
+        );
+    }
+}
+
+#[test]
+fn single_bucket_configs_do_false_alarm_at_low_load() {
+    // Fig. 10's other half: K = 1 loses a measurable fraction at 0.5 CPUs.
+    let runner = Runner::new(3, 30_000, 3);
+    let cfg = SystemConfig::paper_at_load(0.5).unwrap();
+    for (n, k, d) in [(3usize, 1usize, 5u32), (5, 1, 3), (15, 1, 1)] {
+        let f = move || -> Option<Box<dyn RejuvenationDetector>> { Some(sraa_box(n, k, d)) };
+        let res = runner.run_point(cfg, &f);
+        assert!(
+            res.mean_loss_fraction() > 0.0005,
+            "({n},{k},{d}) lost only {}",
+            res.mean_loss_fraction()
+        );
+    }
+}
+
+#[test]
+fn saraa_beats_sraa_on_high_load_response_time() {
+    // Fig. 15: sampling acceleration improves high-load RT at equal
+    // (n, K, D).
+    let runner = Runner::new(3, 50_000, 5);
+    let cfg = SystemConfig::paper_at_load(9.0).unwrap();
+
+    let sraa = |n: usize, k: usize, d: u32| {
+        move || -> Option<Box<dyn RejuvenationDetector>> { Some(sraa_box(n, k, d)) }
+    };
+    let saraa = |n: usize, k: usize, d: u32| {
+        move || -> Option<Box<dyn RejuvenationDetector>> {
+            Some(Box::new(Saraa::new(
+                SaraaConfig::builder(5.0, 5.0)
+                    .initial_sample_size(n)
+                    .buckets(k)
+                    .depth(d)
+                    .build()
+                    .unwrap(),
+            )))
+        }
+    };
+
+    let mut wins = 0;
+    for (n, k, d) in [(2usize, 5usize, 3u32), (2, 3, 5), (6, 5, 1), (10, 3, 1)] {
+        let sr = runner.run_point(cfg, &sraa(n, k, d)).mean_response_time();
+        let sa = runner.run_point(cfg, &saraa(n, k, d)).mean_response_time();
+        if sa < sr {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 3,
+        "SARAA should win on most configurations, won {wins}/4"
+    );
+}
+
+#[test]
+fn clta_loses_more_than_bucketed_algorithms_at_low_load() {
+    // §5.6: at 0.5 CPUs CLTA drops ≈ 0.14% while SRAA/SARAA drop nothing.
+    let runner = Runner::new(3, 50_000, 7);
+    let cfg = SystemConfig::paper_at_load(0.5).unwrap();
+
+    let clta = || -> Option<Box<dyn RejuvenationDetector>> {
+        Some(Box::new(Clta::new(
+            CltaConfig::builder(5.0, 5.0)
+                .sample_size(30)
+                .quantile_factor(1.96)
+                .build()
+                .unwrap(),
+        )))
+    };
+    let sraa = || -> Option<Box<dyn RejuvenationDetector>> { Some(sraa_box(2, 5, 3)) };
+
+    let clta_loss = runner.run_point(cfg, &clta).mean_loss_fraction();
+    let sraa_loss = runner.run_point(cfg, &sraa).mean_loss_fraction();
+    assert!(clta_loss > 0.0002, "clta loss = {clta_loss}");
+    assert!(clta_loss < 0.01, "clta loss = {clta_loss} (paper: 0.0014)");
+    assert!(
+        sraa_loss < clta_loss,
+        "sraa {sraa_loss} vs clta {clta_loss}"
+    );
+}
+
+#[test]
+fn common_random_numbers_make_policies_comparable() {
+    // Two different policies at the same seed see the same arrival
+    // process: with no detector the runs must be bitwise identical, so
+    // any metric difference between policies is attributable to the
+    // policy alone.
+    let cfg = SystemConfig::paper_at_load(5.0).unwrap();
+    let m1 = EcommerceSystem::new(cfg, 99).run(20_000);
+    let m2 = EcommerceSystem::new(cfg, 99).run(20_000);
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn doubling_sample_size_hurts_more_than_doubling_depth() {
+    // §5.2 vs §5.3: at 9.0 CPUs, (n→2n) degrades RT more than (D→2D).
+    let runner = Runner::new(3, 50_000, 13);
+    let cfg = SystemConfig::paper_at_load(9.0).unwrap();
+
+    let rt = |n: usize, k: usize, d: u32| {
+        let f = move || -> Option<Box<dyn RejuvenationDetector>> { Some(sraa_box(n, k, d)) };
+        runner.run_point(cfg, &f).mean_response_time()
+    };
+
+    // Compare against the (3, 5, 1) base configuration of Fig. 9.
+    let base = rt(3, 5, 1);
+    let n_doubled = rt(6, 5, 1);
+    let d_doubled = rt(3, 5, 2);
+    assert!(
+        n_doubled > base,
+        "doubling n must hurt: {n_doubled} vs {base}"
+    );
+    assert!(
+        n_doubled > d_doubled,
+        "doubling n ({n_doubled}) should hurt more than doubling D ({d_doubled})"
+    );
+}

@@ -1,0 +1,225 @@
+//! Failure-injection integration tests: arrival bursts and heap
+//! exhaustion scenarios from DESIGN.md.
+//!
+//! The paper's central design goal is *distinguishing* burst-induced
+//! degradation (tolerate) from aging/soft-failure degradation
+//! (rejuvenate). These tests inject each disturbance explicitly and
+//! check the detectors' discrimination.
+
+use software_rejuvenation::detectors::{Calibrating, Cooldown, Sraa, SraaConfig};
+use software_rejuvenation::ecommerce::{EcommerceSystem, SystemConfig};
+
+fn sraa(n: usize, k: usize, d: u32) -> Sraa {
+    Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(n)
+            .buckets(k)
+            .depth(d)
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn multi_bucket_sraa_is_more_burst_tolerant_than_single_bucket() {
+    // The design claim of §1: multiple buckets distinguish arrival
+    // bursts from aging. Inject the *same* burst into two systems that
+    // differ only in the bucket count and compare rejuvenation counts.
+    let run_with = |detector: Sraa| {
+        let cfg = SystemConfig::paper_at_load(4.0).unwrap();
+        let mut sys = EcommerceSystem::new(cfg, 41);
+        sys.attach_detector(Box::new(detector));
+        sys.run(20_000);
+        sys.set_arrival_rate(2.4).unwrap(); // burst: 12 CPUs offered
+        let burst = sys.run(2_000);
+        sys.set_arrival_rate(0.8).unwrap(); // recovery
+        let after = sys.run(10_000);
+        burst.rejuvenation_count + after.rejuvenation_count
+    };
+
+    let k5 = run_with(sraa(2, 5, 3));
+    let k1 = run_with(sraa(3, 1, 5));
+    assert!(k1 > 0, "the single-bucket design must react to the burst");
+    assert!(
+        k5 < k1,
+        "K = 5 ({k5} rejuvenations) must tolerate the burst better than K = 1 ({k1})"
+    );
+}
+
+#[test]
+fn multi_bucket_sraa_absorbs_a_brief_burst_entirely() {
+    // A pure arrival-process disturbance: memory/GC disabled so the
+    // burst cannot interact with a collection and escalate into a soft
+    // failure. The K = 5 design must stay silent throughout.
+    let cfg = SystemConfig::new(16, 0.8, 0.2, Some(50), 2.0, None).unwrap();
+    let mut sys = EcommerceSystem::new(cfg, 42);
+    sys.attach_detector(Box::new(sraa(2, 5, 3)));
+
+    let before = sys.run(10_000);
+    assert_eq!(before.rejuvenation_count, 0, "healthy phase must be quiet");
+
+    sys.set_arrival_rate(2.4).unwrap();
+    let burst = sys.run(150);
+    sys.set_arrival_rate(0.8).unwrap();
+    let after = sys.run(10_000);
+
+    assert_eq!(
+        burst.rejuvenation_count + after.rejuvenation_count,
+        0,
+        "a 150-transaction burst must be absorbed (burst RT {})",
+        burst.mean_response_time
+    );
+}
+
+#[test]
+fn single_bucket_sraa_fires_during_the_same_burst() {
+    // The discrimination claim has two sides: the burst that K = 5
+    // tolerates must be caught by the hair-triggered K = 1 design.
+    let cfg = SystemConfig::paper_at_load(4.0).unwrap();
+    let mut sys = EcommerceSystem::new(cfg, 41);
+    sys.attach_detector(Box::new(sraa(3, 1, 5)));
+
+    sys.run(20_000);
+    sys.set_arrival_rate(2.4).unwrap();
+    let burst = sys.run(2_000);
+    assert!(
+        burst.rejuvenation_count > 0,
+        "K = 1 should treat the burst as degradation"
+    );
+}
+
+#[test]
+fn sustained_overload_fires_even_with_many_buckets() {
+    // A *sustained* shift (soft failure) must fire even the
+    // burst-tolerant configuration.
+    let cfg = SystemConfig::paper_at_load(4.0).unwrap();
+    let mut sys = EcommerceSystem::new(cfg, 43);
+    sys.attach_detector(Box::new(sraa(2, 5, 3)));
+
+    sys.run(10_000);
+    sys.set_arrival_rate(2.0).unwrap(); // 10 CPUs offered — past the soft-failure knee
+    let overload = sys.run(60_000);
+    assert!(
+        overload.rejuvenation_count > 0,
+        "sustained overload must trigger rejuvenation"
+    );
+}
+
+#[test]
+fn heap_exhaustion_without_detector_freezes_throughput() {
+    // Heap exhaustion scenario: a tiny heap makes GC nearly continuous;
+    // the 60-second pauses dominate and the mean RT explodes relative
+    // to the same system with a healthy heap.
+    let small_heap = SystemConfig::new(
+        16,
+        1.6,
+        0.2,
+        Some(50),
+        2.0,
+        Some(software_rejuvenation::ecommerce::config::MemoryConfig {
+            heap_mb: 200.0,
+            alloc_mb: 10.0,
+            gc_free_threshold_mb: 100.0,
+            gc_pause_secs: 60.0,
+        }),
+    )
+    .unwrap();
+    let mut sick = EcommerceSystem::new(small_heap, 47);
+    let sick_m = sick.run(5_000);
+
+    let healthy = SystemConfig::paper(1.6).unwrap();
+    let mut well = EcommerceSystem::new(healthy, 47);
+    let well_m = well.run(5_000);
+
+    assert!(
+        sick_m.mean_response_time > 5.0 * well_m.mean_response_time,
+        "sick {} vs well {}",
+        sick_m.mean_response_time,
+        well_m.mean_response_time
+    );
+    assert!(sick_m.gc_count > 10 * well_m.gc_count.max(1));
+}
+
+#[test]
+fn detector_rescues_the_exhausted_heap_system() {
+    let small_heap = SystemConfig::new(
+        16,
+        1.6,
+        0.2,
+        Some(50),
+        2.0,
+        Some(software_rejuvenation::ecommerce::config::MemoryConfig {
+            heap_mb: 200.0,
+            alloc_mb: 10.0,
+            gc_free_threshold_mb: 100.0,
+            gc_pause_secs: 60.0,
+        }),
+    )
+    .unwrap();
+
+    let mut bare = EcommerceSystem::new(small_heap, 49);
+    let bare_m = bare.run(20_000);
+
+    let mut guarded = EcommerceSystem::new(small_heap, 49);
+    guarded.attach_detector(Box::new(sraa(3, 1, 5)));
+    let guarded_m = guarded.run(20_000);
+
+    // Rejuvenation empties the leaked heap, so collections become rarer
+    // and the response time drops sharply.
+    assert!(
+        guarded_m.mean_response_time * 2.0 < bare_m.mean_response_time,
+        "guarded {} vs bare {}",
+        guarded_m.mean_response_time,
+        bare_m.mean_response_time
+    );
+    assert!(guarded_m.rejuvenation_count > 0);
+}
+
+#[test]
+fn calibrating_detector_learns_baseline_from_the_live_system() {
+    // Commissioning flow: no SLA numbers — learn (µX, σX) from the first
+    // 5 000 transactions, then protect the system.
+    let cfg = SystemConfig::paper_at_load(8.0).unwrap();
+    let mut sys = EcommerceSystem::new(cfg, 53);
+    sys.attach_detector(Box::new(Calibrating::new(5_000, 3.0, |mu, sigma| {
+        Sraa::new(
+            SraaConfig::builder(mu, sigma)
+                .sample_size(2)
+                .buckets(5)
+                .depth(3)
+                .build()
+                .expect("learned baseline is finite"),
+        )
+    })));
+    let m = sys.run(80_000);
+    // The learned baseline sits near the SLA values (5, 5), so behaviour
+    // should resemble the fixed-baseline detector: some rejuvenations at
+    // this load, bounded loss.
+    assert!(m.rejuvenation_count > 0);
+    assert!(m.loss_fraction() < 0.35);
+    assert!(m.mean_response_time < 60.0);
+}
+
+#[test]
+fn cooldown_bounds_rejuvenation_frequency_in_the_full_system() {
+    let cfg = SystemConfig::paper_at_load(9.0).unwrap();
+
+    let mut eager = EcommerceSystem::new(cfg, 59);
+    eager.attach_detector(Box::new(sraa(3, 1, 5)));
+    let eager_m = eager.run(50_000);
+
+    let mut damped = EcommerceSystem::new(cfg, 59);
+    damped.attach_detector(Box::new(Cooldown::new(sraa(3, 1, 5), 2_000)));
+    let damped_m = damped.run(50_000);
+
+    assert!(
+        damped_m.rejuvenation_count < eager_m.rejuvenation_count,
+        "cooldown {} vs eager {}",
+        damped_m.rejuvenation_count,
+        eager_m.rejuvenation_count
+    );
+    // Hard bound: at most one rejuvenation per 2 000 observed completions.
+    assert!(damped_m.rejuvenation_count <= 50_000 / 2_000 + 1);
+    // (Total transaction loss can move either way: rarer rejuvenations
+    // each flush a deeper queue, so no assertion on loss here.)
+}
