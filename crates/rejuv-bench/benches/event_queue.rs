@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the [`rejuv_sim::EventQueue`] hot path:
+//! schedule/pop throughput with and without pending cancellations, and
+//! the cancel operation itself.
+//!
+//! The DES loop performs exactly one schedule and one pop per event, so
+//! these numbers bound the simulator's event overhead. The
+//! `schedule_pop_clean` case exercises the fast path (no cancellation
+//! tombstones in the heap); `schedule_cancel_pop` forces the tombstone
+//! slow path on half the events.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rejuv_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random event times (an LCG; no RNG dependency).
+fn times(len: usize) -> Vec<SimTime> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            SimTime::from_secs((state >> 11) as f64 / (1u64 << 53) as f64 * 1_000.0)
+        })
+        .collect()
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let ts = times(N);
+
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(N as u64));
+
+    // The DES hot loop: schedule then pop, never cancelling. Stays on
+    // the `cancelled_in_heap == 0` fast path throughout.
+    group.bench_function("schedule_pop_clean", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in ts.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, payload)) = q.pop() {
+                acc = acc.wrapping_add(payload);
+            }
+            black_box(acc)
+        });
+    });
+
+    // Interleaved schedule/pop with a bounded backlog, mimicking a
+    // steady-state simulation where the queue stays small.
+    group.bench_function("schedule_pop_interleaved", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut acc = 0usize;
+            for chunk in ts.chunks(16) {
+                for (i, &t) in chunk.iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                for _ in 0..chunk.len() {
+                    if let Some((_, payload)) = q.pop() {
+                        acc = acc.wrapping_add(payload);
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    // Half the scheduled events are cancelled before draining — the GC
+    // reschedule / rejuvenation pattern that leaves tombstones in the
+    // heap and exercises the slow path.
+    group.bench_function("schedule_cancel_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = ts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.schedule(t, i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut acc = 0usize;
+            while let Some((_, payload)) = q.pop() {
+                acc = acc.wrapping_add(payload);
+            }
+            black_box(acc)
+        });
+    });
+
+    // Cancellation cost in isolation (schedule + cancel, nothing popped).
+    group.bench_function("schedule_cancel", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = ts
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| q.schedule(t, i))
+                .collect();
+            let mut cancelled = 0usize;
+            for id in ids {
+                cancelled += usize::from(q.cancel(id));
+            }
+            black_box(cancelled)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

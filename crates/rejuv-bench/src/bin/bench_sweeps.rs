@@ -1,0 +1,137 @@
+//! Wall-clock benchmark of the parallel sweep executor.
+//!
+//! Times one fixed reference workload — the Fig. 9 SRAA sweep over the
+//! full load grid — twice: once on a single worker and once on the full
+//! worker pool. Verifies that both runs produce bitwise-identical
+//! results (the executor's determinism guarantee) and writes the
+//! timings to `BENCH_sweeps.json`.
+//!
+//! ```text
+//! cargo run --release -p rejuv-bench --bin bench_sweeps -- [options]
+//!
+//! options:
+//!   --out FILE           output path (default BENCH_sweeps.json)
+//!   --workers N          parallel worker count (default: REJUV_WORKERS
+//!                        or the number of available cores)
+//!   --replications R     replications per point (default 5)
+//!   --transactions T     transactions per replication (default 10000)
+//!   --seed S             master seed (default 2006)
+//! ```
+
+use rejuv_bench::{sraa_response_time_with, SweepSeries, FIG9_CONFIGS, LOAD_GRID};
+use rejuv_ecommerce::Runner;
+use rejuv_sim::Executor;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    out: PathBuf,
+    workers: usize,
+    replications: usize,
+    transactions: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut out = PathBuf::from("BENCH_sweeps.json");
+    let mut workers = Executor::from_env().workers();
+    let mut replications = 5usize;
+    let mut transactions = 10_000u64;
+    let mut seed = 2006u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value("--out")),
+            "--workers" => workers = value("--workers").parse().expect("usize"),
+            "--replications" => replications = value("--replications").parse().expect("usize"),
+            "--transactions" => transactions = value("--transactions").parse().expect("u64"),
+            "--seed" => seed = value("--seed").parse().expect("u64"),
+            other => panic!("unknown option {other}"),
+        }
+    }
+    Options {
+        out,
+        workers,
+        replications,
+        transactions,
+        seed,
+    }
+}
+
+/// Runs the reference sweep on the given executor, returning the result
+/// and the elapsed wall-clock seconds.
+fn timed_sweep(runner: &Runner, executor: &Executor) -> (Vec<SweepSeries>, f64) {
+    let start = Instant::now();
+    let series = sraa_response_time_with(runner, executor, &FIG9_CONFIGS, &LOAD_GRID);
+    (series, start.elapsed().as_secs_f64())
+}
+
+fn identical(a: &[SweepSeries], b: &[SweepSeries]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.label == y.label && x.points == y.points)
+}
+
+fn main() {
+    let opts = parse_args();
+    let runner = Runner::new(opts.replications, opts.transactions, opts.seed);
+    let cells = FIG9_CONFIGS.len() * LOAD_GRID.len() * opts.replications;
+    println!(
+        "reference sweep: {} series x {} loads x {} replications = {} cells, {} transactions each",
+        FIG9_CONFIGS.len(),
+        LOAD_GRID.len(),
+        opts.replications,
+        cells,
+        opts.transactions
+    );
+
+    // Warm-up: touch the allocator and page in the code on a tiny run.
+    let warmup = Runner::new(1, 500, opts.seed);
+    let _ = timed_sweep(&warmup, &Executor::serial());
+
+    println!("serial run (1 worker)...");
+    let (serial_series, serial_secs) = timed_sweep(&runner, &Executor::serial());
+    println!("  {serial_secs:.2} s");
+
+    println!("parallel run ({} workers)...", opts.workers);
+    let (parallel_series, parallel_secs) = timed_sweep(&runner, &Executor::new(opts.workers));
+    println!("  {parallel_secs:.2} s");
+
+    let bitwise_identical = identical(&serial_series, &parallel_series);
+    let speedup = serial_secs / parallel_secs;
+    println!("speedup: {speedup:.2}x, bitwise identical: {bitwise_identical}");
+    assert!(
+        bitwise_identical,
+        "parallel sweep diverged from the serial reference"
+    );
+
+    let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = serde_json::json!({
+        "benchmark": "fig09_sraa_sweep",
+        "available_cores": available_cores,
+        "protocol": {
+            "series": FIG9_CONFIGS.len(),
+            "loads": LOAD_GRID.len(),
+            "replications": opts.replications,
+            "transactions_per_replication": opts.transactions,
+            "seed": opts.seed,
+            "cells": cells,
+        },
+        "serial": { "workers": 1u32, "wall_secs": serial_secs },
+        "parallel": { "workers": opts.workers, "wall_secs": parallel_secs },
+        "speedup": speedup,
+        "bitwise_identical": bitwise_identical,
+    });
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&json).expect("render json") + "\n",
+    )
+    .expect("write benchmark json");
+    println!("wrote {}", opts.out.display());
+}

@@ -19,6 +19,7 @@
 
 use rejuv_bench::*;
 use rejuv_ecommerce::Runner;
+use rejuv_sim::Executor;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
@@ -153,6 +154,11 @@ fn main() {
     let opts = parse_args();
     fs::create_dir_all(&opts.out).expect("create output directory");
     let runner = Runner::new(opts.replications, opts.transactions, opts.seed);
+    let executor = Executor::from_env();
+    println!(
+        "parallel executor: {} worker threads (set REJUV_WORKERS to override)",
+        executor.workers()
+    );
     let loads = LOAD_GRID;
     let mut report = String::new();
     let mut json_summary: std::collections::BTreeMap<String, serde_json::Value> =
@@ -233,7 +239,7 @@ fn main() {
     // ---- Figs. 9/10: SRAA, n·K·D = 15. --------------------------------
     if want(&opts, 9) || want(&opts, 10) {
         println!("figs 9/10: SRAA sweep, n·K·D = 15");
-        let series = sraa_response_time(&runner, &FIG9_CONFIGS, &loads);
+        let series = sraa_response_time_with(&runner, &executor, &FIG9_CONFIGS, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig09_response_time.csv"),
@@ -263,7 +269,7 @@ fn main() {
     // ---- Fig. 11: sample size doubled. --------------------------------
     if want(&opts, 11) {
         println!("fig 11: SRAA sweep, sample size doubled");
-        let series = sraa_response_time(&runner, &FIG11_CONFIGS, &loads);
+        let series = sraa_response_time_with(&runner, &executor, &FIG11_CONFIGS, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig11_response_time.csv"),
@@ -281,7 +287,7 @@ fn main() {
     // ---- Figs. 12/13: depth doubled. -----------------------------------
     if want(&opts, 12) || want(&opts, 13) {
         println!("figs 12/13: SRAA sweep, bucket depth doubled");
-        let series = sraa_response_time(&runner, &FIG12_CONFIGS, &loads);
+        let series = sraa_response_time_with(&runner, &executor, &FIG12_CONFIGS, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig12_response_time.csv"),
@@ -311,7 +317,7 @@ fn main() {
     // ---- Fig. 14: buckets doubled. -------------------------------------
     if want(&opts, 14) {
         println!("fig 14: SRAA sweep, number of buckets doubled");
-        let series = sraa_response_time(&runner, &FIG14_CONFIGS, &loads);
+        let series = sraa_response_time_with(&runner, &executor, &FIG14_CONFIGS, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig14_response_time.csv"),
@@ -329,7 +335,7 @@ fn main() {
     // ---- Fig. 15: SARAA. ------------------------------------------------
     if want(&opts, 15) {
         println!("fig 15: SARAA sweep");
-        let series = saraa_response_time(&runner, &FIG15_CONFIGS, &loads);
+        let series = saraa_response_time_with(&runner, &executor, &FIG15_CONFIGS, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig15_response_time.csv"),
@@ -338,7 +344,7 @@ fn main() {
         );
         summarize(&mut report, "Fig. 15 — SARAA avg RT (s)", &series, "rt");
         // SRAA-vs-SARAA deltas at 9.0 CPUs (the §5.5 comparison).
-        let sraa_series = sraa_response_time(&runner, &FIG15_CONFIGS, &[9.0]);
+        let sraa_series = sraa_response_time_with(&runner, &executor, &FIG15_CONFIGS, &[9.0]);
         writeln!(report, "\n§5.5 SRAA vs SARAA at 9.0 CPUs:\n").unwrap();
         writeln!(report, "| (n,K,D) | SRAA RT | SARAA RT |").unwrap();
         writeln!(report, "|---|---|---|").unwrap();
@@ -357,7 +363,7 @@ fn main() {
     // ---- Fig. 16: the three algorithms head to head. --------------------
     if want(&opts, 16) {
         println!("fig 16: SRAA vs SARAA vs CLTA (+ static baseline, no-rejuvenation control)");
-        let series = fig16_comparison(&runner, &loads);
+        let series = fig16_comparison_with(&runner, &executor, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("fig16_response_time.csv"),
@@ -387,7 +393,7 @@ fn main() {
     // ---- EWMA / CUSUM baseline comparison (beyond the paper). ----------
     if opts.baselines {
         println!("baselines: SRAA / SARAA vs EWMA / CUSUM charts");
-        let series = baseline_comparison(&runner, &loads);
+        let series = baseline_comparison_with(&runner, &executor, &loads);
         write_sweep_csv(
             &mut json_summary,
             &opts.out.join("baselines_response_time.csv"),
@@ -417,7 +423,7 @@ fn main() {
     // ---- Mechanism ablation (beyond the paper). -------------------------
     if opts.ablation {
         println!("ablation: kernel overhead x memory/GC x detector");
-        let rows = mechanism_ablation(&runner, &[5.0, 9.0]);
+        let rows = mechanism_ablation_with(&runner, &executor, &[5.0, 9.0]);
         let mut csv = String::from(
             "load_cpus,kernel_overhead,memory_gc,detector,mean_rt,loss_fraction,gc_events,rejuvenations\n",
         );

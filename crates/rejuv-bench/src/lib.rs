@@ -29,8 +29,9 @@ use rejuv_core::{
     RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
 };
 use rejuv_ecommerce::mmc_mode::{autocorrelation_study, AutocorrStudyOutcome};
-use rejuv_ecommerce::{LoadPoint, Runner, SystemConfig};
+use rejuv_ecommerce::{aggregate_point, DetectorFactory, LoadPoint, Runner, SystemConfig};
 use rejuv_queueing::{MmcQueue, QueueingError, SampleMean};
+use rejuv_sim::Executor;
 use rejuv_stats::AutocorrStudy;
 use serde::Serialize;
 
@@ -174,6 +175,60 @@ fn base_config() -> SystemConfig {
     SystemConfig::paper_at_load(1.0).expect("paper system is valid")
 }
 
+/// A labelled detector factory, the unit from which multi-series sweeps
+/// are assembled.
+type LabelledFactory<'a> = (
+    String,
+    Box<dyn Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync + 'a>,
+);
+
+/// Runs every series of a multi-series sweep through one executor.
+///
+/// The whole figure flattens into `series × loads × replications`
+/// cells, so the worker pool stays busy across series boundaries
+/// instead of draining once per series. Results are gathered by cell
+/// index and reduced with [`aggregate_point`], which keeps the output
+/// bitwise identical to running each series serially.
+fn run_labelled_sweeps(
+    runner: &Runner,
+    executor: &Executor,
+    base: &SystemConfig,
+    loads: &[f64],
+    series: Vec<LabelledFactory<'_>>,
+) -> Vec<SweepSeries> {
+    let configs: Vec<SystemConfig> = loads
+        .iter()
+        .map(|&load| {
+            base.with_arrival_rate(load * base.service_rate())
+                .expect("sweep produced an invalid arrival rate")
+        })
+        .collect();
+    let (points, reps) = (loads.len(), runner.replications());
+    let metrics = executor.run(series.len() * points * reps, |cell| {
+        let (s, rest) = (cell / (points * reps), cell % (points * reps));
+        let (point, replication) = (rest / reps, rest % reps);
+        runner.replication_metrics(configs[point], replication, &*series[s].1, false)
+    });
+    series
+        .into_iter()
+        .enumerate()
+        .map(|(s, (label, _))| SweepSeries {
+            label,
+            points: loads
+                .iter()
+                .enumerate()
+                .map(|(p, &load)| {
+                    let start = (s * points + p) * reps;
+                    LoadPoint {
+                        load_cpus: load,
+                        result: aggregate_point(&configs[p], &metrics[start..start + reps]),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 /// Runs an SRAA load sweep for each `(n, K, D)` in `configs` — the data
 /// behind Figs. 9–14.
 pub fn sraa_response_time(
@@ -181,16 +236,26 @@ pub fn sraa_response_time(
     configs: &[(usize, usize, u32)],
     loads: &[f64],
 ) -> Vec<SweepSeries> {
-    configs
+    sraa_response_time_with(runner, &Executor::from_env(), configs, loads)
+}
+
+/// [`sraa_response_time`] with an explicit executor.
+pub fn sraa_response_time_with(
+    runner: &Runner,
+    executor: &Executor,
+    configs: &[(usize, usize, u32)],
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    let series = configs
         .iter()
         .map(|&(n, k, d)| {
-            let factory = sraa_factory(n, k, d);
-            SweepSeries {
-                label: format!("SRAA(n={n},K={k},D={d})"),
-                points: runner.load_sweep(&base_config(), loads, &factory),
-            }
+            (
+                format!("SRAA(n={n},K={k},D={d})"),
+                Box::new(sraa_factory(n, k, d)) as _,
+            )
         })
-        .collect()
+        .collect();
+    run_labelled_sweeps(runner, executor, &base_config(), loads, series)
 }
 
 /// Runs a SARAA load sweep for each `(n, K, D)` in `configs` (Fig. 15).
@@ -199,56 +264,69 @@ pub fn saraa_response_time(
     configs: &[(usize, usize, u32)],
     loads: &[f64],
 ) -> Vec<SweepSeries> {
-    configs
+    saraa_response_time_with(runner, &Executor::from_env(), configs, loads)
+}
+
+/// [`saraa_response_time`] with an explicit executor.
+pub fn saraa_response_time_with(
+    runner: &Runner,
+    executor: &Executor,
+    configs: &[(usize, usize, u32)],
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    let series = configs
         .iter()
         .map(|&(n, k, d)| {
-            let factory = saraa_factory(n, k, d);
-            SweepSeries {
-                label: format!("SARAA(n={n},K={k},D={d})"),
-                points: runner.load_sweep(&base_config(), loads, &factory),
-            }
+            (
+                format!("SARAA(n={n},K={k},D={d})"),
+                Box::new(saraa_factory(n, k, d)) as _,
+            )
         })
-        .collect()
+        .collect();
+    run_labelled_sweeps(runner, executor, &base_config(), loads, series)
 }
 
 /// Fig. 16: SRAA (2, 5, 3) vs SARAA (2, 5, 3) vs CLTA (30, N = 1.96),
 /// plus two reproductions beyond the paper — the WOSP 2005 static
 /// baseline and a no-rejuvenation control.
 pub fn fig16_comparison(runner: &Runner, loads: &[f64]) -> Vec<SweepSeries> {
-    let base = base_config();
-    let sraa = sraa_factory(2, 5, 3);
-    let saraa = saraa_factory(2, 5, 3);
-    let clta = clta_factory(30, 1.96);
-    let static_alg = || {
-        Some(
-            Box::new(StaticRejuvenation::new(5.0, 5.0, 5, 3).expect("valid baseline"))
-                as Box<dyn RejuvenationDetector>,
-        )
-    };
-    let none = || None;
+    fig16_comparison_with(runner, &Executor::from_env(), loads)
+}
 
-    vec![
-        SweepSeries {
-            label: "SRAA(n=2,K=5,D=3)".into(),
-            points: runner.load_sweep(&base, loads, &sraa),
-        },
-        SweepSeries {
-            label: "SARAA(n=2,K=5,D=3)".into(),
-            points: runner.load_sweep(&base, loads, &saraa),
-        },
-        SweepSeries {
-            label: "CLTA(n=30,N=1.96)".into(),
-            points: runner.load_sweep(&base, loads, &clta),
-        },
-        SweepSeries {
-            label: "Static(K=5,D=3) [baseline]".into(),
-            points: runner.load_sweep(&base, loads, &static_alg),
-        },
-        SweepSeries {
-            label: "no rejuvenation [control]".into(),
-            points: runner.load_sweep(&base, loads, &none),
-        },
-    ]
+/// [`fig16_comparison`] with an explicit executor.
+pub fn fig16_comparison_with(
+    runner: &Runner,
+    executor: &Executor,
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    let series: Vec<LabelledFactory<'_>> = vec![
+        (
+            "SRAA(n=2,K=5,D=3)".into(),
+            Box::new(sraa_factory(2, 5, 3)) as _,
+        ),
+        (
+            "SARAA(n=2,K=5,D=3)".into(),
+            Box::new(saraa_factory(2, 5, 3)) as _,
+        ),
+        (
+            "CLTA(n=30,N=1.96)".into(),
+            Box::new(clta_factory(30, 1.96)) as _,
+        ),
+        (
+            "Static(K=5,D=3) [baseline]".into(),
+            Box::new(|| {
+                Some(
+                    Box::new(StaticRejuvenation::new(5.0, 5.0, 5, 3).expect("valid baseline"))
+                        as Box<dyn RejuvenationDetector>,
+                )
+            }) as _,
+        ),
+        (
+            "no rejuvenation [control]".into(),
+            Box::new(|| -> Option<Box<dyn RejuvenationDetector>> { None }) as _,
+        ),
+    ];
+    run_labelled_sweeps(runner, executor, &base_config(), loads, series)
 }
 
 /// One panel of Fig. 5: `(x, exact density, normal density)` triples for
@@ -307,48 +385,51 @@ pub fn autocorr_study(
 /// classical change-detection charts (EWMA, one-sided CUSUM) at
 /// conventional settings, on the same simulation and the same loads.
 pub fn baseline_comparison(runner: &Runner, loads: &[f64]) -> Vec<SweepSeries> {
-    let base = base_config();
-    let sraa = sraa_factory(2, 5, 3);
-    let saraa = saraa_factory(2, 5, 3);
-    let ewma = || {
-        Some(Box::new(Ewma::new(
-            EwmaConfig::new(5.0, 5.0, 0.2, 3.0).expect("conventional EWMA settings"),
-        )) as Box<dyn RejuvenationDetector>)
-    };
-    let cusum = || {
-        Some(Box::new(Cusum::new(
-            CusumConfig::new(5.0, 5.0, 0.5, 5.0).expect("conventional CUSUM settings"),
-        )) as Box<dyn RejuvenationDetector>)
-    };
-    let dynamic = || {
-        Some(Box::new(DynamicSraa::new(
-            DynamicSraaConfig::new(5.0, 5.0, 2, vec![5, 4, 3, 2, 1])
-                .expect("valid decreasing-depth profile"),
-        )) as Box<dyn RejuvenationDetector>)
-    };
+    baseline_comparison_with(runner, &Executor::from_env(), loads)
+}
 
-    vec![
-        SweepSeries {
-            label: "SRAA(n=2,K=5,D=3)".into(),
-            points: runner.load_sweep(&base, loads, &sraa),
-        },
-        SweepSeries {
-            label: "SARAA(n=2,K=5,D=3)".into(),
-            points: runner.load_sweep(&base, loads, &saraa),
-        },
-        SweepSeries {
-            label: "EWMA(w=0.2,L=3.0)".into(),
-            points: runner.load_sweep(&base, loads, &ewma),
-        },
-        SweepSeries {
-            label: "CUSUM(k=0.5,h=5.0)".into(),
-            points: runner.load_sweep(&base, loads, &cusum),
-        },
-        SweepSeries {
-            label: "DynamicSRAA(n=2,D=[5..1])".into(),
-            points: runner.load_sweep(&base, loads, &dynamic),
-        },
-    ]
+/// [`baseline_comparison`] with an explicit executor.
+pub fn baseline_comparison_with(
+    runner: &Runner,
+    executor: &Executor,
+    loads: &[f64],
+) -> Vec<SweepSeries> {
+    let series: Vec<LabelledFactory<'_>> = vec![
+        (
+            "SRAA(n=2,K=5,D=3)".into(),
+            Box::new(sraa_factory(2, 5, 3)) as _,
+        ),
+        (
+            "SARAA(n=2,K=5,D=3)".into(),
+            Box::new(saraa_factory(2, 5, 3)) as _,
+        ),
+        (
+            "EWMA(w=0.2,L=3.0)".into(),
+            Box::new(|| {
+                Some(Box::new(Ewma::new(
+                    EwmaConfig::new(5.0, 5.0, 0.2, 3.0).expect("conventional EWMA settings"),
+                )) as Box<dyn RejuvenationDetector>)
+            }) as _,
+        ),
+        (
+            "CUSUM(k=0.5,h=5.0)".into(),
+            Box::new(|| {
+                Some(Box::new(Cusum::new(
+                    CusumConfig::new(5.0, 5.0, 0.5, 5.0).expect("conventional CUSUM settings"),
+                )) as Box<dyn RejuvenationDetector>)
+            }) as _,
+        ),
+        (
+            "DynamicSRAA(n=2,D=[5..1])".into(),
+            Box::new(|| {
+                Some(Box::new(DynamicSraa::new(
+                    DynamicSraaConfig::new(5.0, 5.0, 2, vec![5, 4, 3, 2, 1])
+                        .expect("valid decreasing-depth profile"),
+                )) as Box<dyn RejuvenationDetector>)
+            }) as _,
+        ),
+    ];
+    run_labelled_sweeps(runner, executor, &base_config(), loads, series)
 }
 
 /// One row of the degradation-mechanism ablation.
@@ -377,7 +458,24 @@ pub struct AblationRow {
 /// detector at each load. Shows which mechanism produces the soft
 /// failure and what rejuvenation buys against each.
 pub fn mechanism_ablation(runner: &Runner, loads: &[f64]) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
+    mechanism_ablation_with(runner, &Executor::from_env(), loads)
+}
+
+/// [`mechanism_ablation`] with an explicit executor. The ablation grid
+/// flattens into `rows × replications` cells.
+pub fn mechanism_ablation_with(
+    runner: &Runner,
+    executor: &Executor,
+    loads: &[f64],
+) -> Vec<AblationRow> {
+    struct Spec {
+        overhead: bool,
+        memory: bool,
+        detector: bool,
+        load: f64,
+        config: SystemConfig,
+    }
+    let mut specs = Vec::new();
     for &load in loads {
         for (overhead, memory) in [(false, false), (true, false), (false, true), (true, true)] {
             let config = SystemConfig::new(
@@ -390,27 +488,48 @@ pub fn mechanism_ablation(runner: &Runner, loads: &[f64]) -> Vec<AblationRow> {
             )
             .expect("ablation parameters are valid");
             for detector in [false, true] {
-                let factory = sraa_factory(2, 5, 3);
-                let none = || None;
-                let result = if detector {
-                    runner.run_point(config, &factory)
-                } else {
-                    runner.run_point(config, &none)
-                };
-                rows.push(AblationRow {
-                    kernel_overhead: overhead,
-                    memory_gc: memory,
+                specs.push(Spec {
+                    overhead,
+                    memory,
                     detector,
-                    load_cpus: load,
-                    mean_response_time: result.mean_response_time(),
-                    loss_fraction: result.mean_loss_fraction(),
-                    gc_events: result.gc_events.mean(),
-                    rejuvenations: result.rejuvenations.mean(),
+                    load,
+                    config,
                 });
             }
         }
     }
-    rows
+
+    let reps = runner.replications();
+    let metrics = executor.run(specs.len() * reps, |cell| {
+        let (s, replication) = (cell / reps, cell % reps);
+        let spec = &specs[s];
+        let with_detector = sraa_factory(2, 5, 3);
+        let without = || -> Option<Box<dyn RejuvenationDetector>> { None };
+        let factory: DetectorFactory<'_> = if spec.detector {
+            &with_detector
+        } else {
+            &without
+        };
+        runner.replication_metrics(spec.config, replication, factory, false)
+    });
+
+    specs
+        .iter()
+        .zip(metrics.chunks_exact(reps))
+        .map(|(spec, point_metrics)| {
+            let result = aggregate_point(&spec.config, point_metrics);
+            AblationRow {
+                kernel_overhead: spec.overhead,
+                memory_gc: spec.memory,
+                detector: spec.detector,
+                load_cpus: spec.load,
+                mean_response_time: result.mean_response_time(),
+                loss_fraction: result.mean_loss_fraction(),
+                gc_events: result.gc_events.mean(),
+                rejuvenations: result.rejuvenations.mean(),
+            }
+        })
+        .collect()
 }
 
 /// A tiny two-series sweep used by the `emit` unit tests (one

@@ -12,8 +12,10 @@
 
 use crate::LOAD_GRID;
 use rejuv_core::{RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig};
-use rejuv_ecommerce::{Runner, SystemConfig};
+use rejuv_ecommerce::{aggregate_point, Runner, SystemConfig};
+use rejuv_sim::Executor;
 use serde::Serialize;
+use std::cmp::Ordering;
 
 /// Which algorithm a candidate uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -51,13 +53,25 @@ impl Candidate {
 
     /// Returns `true` if `self` dominates `other` on the paper's two
     /// objectives (no worse on both, strictly better on one).
+    ///
+    /// A NaN objective (a failed or degenerate evaluation) is ranked as
+    /// the worst possible value: a NaN candidate never dominates a
+    /// finite one, and any candidate finite on that objective is at
+    /// least as good there.
     pub fn dominates(&self, other: &Candidate) -> bool {
-        let no_worse =
-            self.high_load_rt <= other.high_load_rt && self.low_load_loss <= other.low_load_loss;
-        let better =
-            self.high_load_rt < other.high_load_rt || self.low_load_loss < other.low_load_loss;
+        let rt = objective_cmp(self.high_load_rt, other.high_load_rt);
+        let loss = objective_cmp(self.low_load_loss, other.low_load_loss);
+        let no_worse = rt != Ordering::Greater && loss != Ordering::Greater;
+        let better = rt == Ordering::Less || loss == Ordering::Less;
         no_worse && better
     }
+}
+
+/// Total order on a minimized objective with NaN ranked as worst
+/// (equivalent to +∞; two NaNs compare equal).
+fn objective_cmp(a: f64, b: f64) -> Ordering {
+    let key = |x: f64| if x.is_nan() { f64::INFINITY } else { x };
+    key(a).total_cmp(&key(b))
 }
 
 /// Options for [`parameter_search`].
@@ -102,77 +116,122 @@ pub fn factorizations(budget: u64) -> Vec<(usize, usize, u32)> {
     out
 }
 
+/// One detector factory for a grid point.
+fn candidate_factory(
+    algorithm: Algorithm,
+    n: usize,
+    k: usize,
+    d: u32,
+) -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+    move || {
+        Some(match algorithm {
+            Algorithm::Sraa => Box::new(Sraa::new(
+                SraaConfig::builder(5.0, 5.0)
+                    .sample_size(n)
+                    .buckets(k)
+                    .depth(d)
+                    .build()
+                    .expect("grid parameters are valid"),
+            )) as Box<dyn RejuvenationDetector>,
+            Algorithm::Saraa => Box::new(Saraa::new(
+                SaraaConfig::builder(5.0, 5.0)
+                    .initial_sample_size(n)
+                    .buckets(k)
+                    .depth(d)
+                    .build()
+                    .expect("grid parameters are valid"),
+            )),
+        })
+    }
+}
+
 /// Runs the grid search and returns all evaluated candidates sorted by
-/// high-load response time.
+/// high-load response time (using the default executor).
 pub fn parameter_search(runner: &Runner, options: &SearchOptions) -> Vec<Candidate> {
+    parameter_search_with(runner, &Executor::from_env(), options)
+}
+
+/// [`parameter_search`] with an explicit executor.
+///
+/// The whole grid flattens into `candidates × 2 loads × replications`
+/// cells drained by one worker pool, so small per-candidate sweeps do
+/// not serialize the search. Seeding (and therefore output) is
+/// identical for every worker count.
+pub fn parameter_search_with(
+    runner: &Runner,
+    executor: &Executor,
+    options: &SearchOptions,
+) -> Vec<Candidate> {
     let base = SystemConfig::paper_at_load(1.0).expect("paper system is valid");
     let loads = [options.low_load, options.high_load];
-    let mut candidates = Vec::new();
+    let configs: Vec<SystemConfig> = loads
+        .iter()
+        .map(|&load| {
+            base.with_arrival_rate(load * base.service_rate())
+                .expect("search loads are valid")
+        })
+        .collect();
 
+    let mut specs: Vec<(Algorithm, usize, usize, u32)> = Vec::new();
     for &budget in options.budgets {
         for (n, k, d) in factorizations(budget) {
-            let algorithms: &[Algorithm] = if options.include_saraa && n > 1 {
-                &[Algorithm::Sraa, Algorithm::Saraa]
-            } else {
-                &[Algorithm::Sraa]
-            };
-            for &algorithm in algorithms {
-                let factory = move || -> Option<Box<dyn RejuvenationDetector>> {
-                    Some(match algorithm {
-                        Algorithm::Sraa => Box::new(Sraa::new(
-                            SraaConfig::builder(5.0, 5.0)
-                                .sample_size(n)
-                                .buckets(k)
-                                .depth(d)
-                                .build()
-                                .expect("grid parameters are valid"),
-                        )),
-                        Algorithm::Saraa => Box::new(Saraa::new(
-                            SaraaConfig::builder(5.0, 5.0)
-                                .initial_sample_size(n)
-                                .buckets(k)
-                                .depth(d)
-                                .build()
-                                .expect("grid parameters are valid"),
-                        )),
-                    })
-                };
-                let sweep = runner.load_sweep(&base, &loads, &factory);
-                candidates.push(Candidate {
-                    algorithm,
-                    n,
-                    k,
-                    d,
-                    low_load_loss: sweep[0].result.mean_loss_fraction(),
-                    high_load_rt: sweep[1].result.mean_response_time(),
-                    high_load_loss: sweep[1].result.mean_loss_fraction(),
-                });
+            specs.push((Algorithm::Sraa, n, k, d));
+            if options.include_saraa && n > 1 {
+                specs.push((Algorithm::Saraa, n, k, d));
             }
         }
     }
-    candidates.sort_by(|a, b| {
-        a.high_load_rt
-            .partial_cmp(&b.high_load_rt)
-            .expect("finite response times")
+
+    let (points, reps) = (loads.len(), runner.replications());
+    let metrics = executor.run(specs.len() * points * reps, |cell| {
+        let (s, rest) = (cell / (points * reps), cell % (points * reps));
+        let (point, replication) = (rest / reps, rest % reps);
+        let (algorithm, n, k, d) = specs[s];
+        let factory = candidate_factory(algorithm, n, k, d);
+        runner.replication_metrics(configs[point], replication, &factory, false)
     });
+
+    let mut candidates: Vec<Candidate> = specs
+        .iter()
+        .enumerate()
+        .map(|(s, &(algorithm, n, k, d))| {
+            let start = s * points * reps;
+            let low = aggregate_point(&configs[0], &metrics[start..start + reps]);
+            let high = aggregate_point(&configs[1], &metrics[start + reps..start + 2 * reps]);
+            Candidate {
+                algorithm,
+                n,
+                k,
+                d,
+                low_load_loss: low.mean_loss_fraction(),
+                high_load_rt: high.mean_response_time(),
+                high_load_loss: high.mean_loss_fraction(),
+            }
+        })
+        .collect();
+    candidates.sort_by(|a, b| objective_cmp(a.high_load_rt, b.high_load_rt));
     candidates
 }
 
 /// Extracts the Pareto-optimal candidates under the paper's two
 /// objectives (minimize high-load RT, minimize low-load loss).
+///
+/// Candidates with a NaN objective are excluded outright: a failed
+/// evaluation can never be optimal, and under the NaN-as-worst order of
+/// [`Candidate::dominates`] an all-NaN set would otherwise survive
+/// undominated.
 pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
     let mut front: Vec<Candidate> = Vec::new();
     for c in candidates {
+        if c.high_load_rt.is_nan() || c.low_load_loss.is_nan() {
+            continue;
+        }
         if candidates.iter().any(|other| other.dominates(c)) {
             continue;
         }
         front.push(c.clone());
     }
-    front.sort_by(|a, b| {
-        a.high_load_rt
-            .partial_cmp(&b.high_load_rt)
-            .expect("finite response times")
-    });
+    front.sort_by(|a, b| objective_cmp(a.high_load_rt, b.high_load_rt));
     front
 }
 
@@ -234,6 +293,53 @@ mod tests {
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&a), "irreflexive");
+    }
+
+    #[test]
+    fn nan_objectives_rank_as_worst() {
+        let mk = |rt: f64, loss: f64| Candidate {
+            algorithm: Algorithm::Sraa,
+            n: 1,
+            k: 1,
+            d: 1,
+            high_load_rt: rt,
+            low_load_loss: loss,
+            high_load_loss: 0.0,
+        };
+        let fine = mk(5.0, 0.01);
+        let broken_rt = mk(f64::NAN, 0.01);
+        let broken_both = mk(f64::NAN, f64::NAN);
+
+        // A finite candidate dominates one that is NaN on an objective
+        // and otherwise tied; the converse never holds.
+        assert!(fine.dominates(&broken_rt));
+        assert!(!broken_rt.dominates(&fine));
+        assert!(fine.dominates(&broken_both));
+        assert!(!broken_both.dominates(&fine));
+        // Two all-NaN candidates tie: irreflexive, no domination.
+        assert!(!broken_both.dominates(&broken_both));
+    }
+
+    #[test]
+    fn pareto_front_excludes_nan_candidates() {
+        let mk = |rt: f64, loss: f64| Candidate {
+            algorithm: Algorithm::Sraa,
+            n: 1,
+            k: 1,
+            d: 1,
+            high_load_rt: rt,
+            low_load_loss: loss,
+            high_load_loss: 0.0,
+        };
+        // A NaN candidate with the best loss would survive domination
+        // checks; the explicit filter must still drop it.
+        let candidates = vec![mk(5.0, 0.01), mk(f64::NAN, 0.0), mk(6.0, f64::NAN)];
+        let front = pareto_front(&candidates);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].high_load_rt, 5.0);
+        // Degenerate case: every candidate NaN -> empty front, no panic.
+        let all_nan = vec![mk(f64::NAN, f64::NAN), mk(f64::NAN, 0.0)];
+        assert!(pareto_front(&all_nan).is_empty());
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use cluster::{ClusterMetrics, ClusterSystem, RoutingPolicy};
 pub use config::SystemConfig;
 pub use metrics::RunMetrics;
 pub use model::EcommerceSystem;
-pub use runner::{DetectorFactory, ExperimentResult, LoadPoint, Runner};
+pub use runner::{aggregate_point, DetectorFactory, ExperimentResult, LoadPoint, Runner};
 pub use workload::RateProfile;

@@ -67,13 +67,24 @@ pub(crate) struct MetricsCollector {
 
 impl MetricsCollector {
     pub fn new(record: bool) -> Self {
+        MetricsCollector::with_capacity(record, 0)
+    }
+
+    /// Like [`Self::new`], pre-sizing the response-time buffer for
+    /// `expected` completions so recording runs never reallocate
+    /// mid-simulation.
+    pub fn with_capacity(record: bool, expected: usize) -> Self {
         MetricsCollector {
             stats: OnlineStats::new(),
             lost: 0,
             gc_count: 0,
             rejuvenation_count: 0,
             record,
-            response_times: Vec::new(),
+            response_times: if record {
+                Vec::with_capacity(expected)
+            } else {
+                Vec::new()
+            },
         }
     }
 

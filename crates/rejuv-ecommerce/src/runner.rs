@@ -10,7 +10,7 @@ use crate::config::SystemConfig;
 use crate::model::EcommerceSystem;
 use crate::RunMetrics;
 use rejuv_core::RejuvenationDetector;
-use rejuv_sim::RngStreams;
+use rejuv_sim::{Executor, RngStreams};
 use rejuv_stats::ReplicationSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -169,25 +169,7 @@ impl Runner {
         config: SystemConfig,
         factory: DetectorFactory<'_>,
     ) -> ExperimentResult {
-        let mut response_time = ReplicationSet::new();
-        let mut loss_fraction = ReplicationSet::new();
-        let mut rejuvenations = ReplicationSet::new();
-        let mut gc_events = ReplicationSet::new();
-
-        for metrics in self.run_point_raw(config, factory) {
-            response_time.push(metrics.mean_response_time);
-            loss_fraction.push(metrics.loss_fraction());
-            rejuvenations.push(metrics.rejuvenation_count as f64);
-            gc_events.push(metrics.gc_count as f64);
-        }
-
-        ExperimentResult {
-            offered_load_cpus: config.offered_load_cpus(),
-            response_time,
-            loss_fraction,
-            rejuvenations,
-            gc_events,
-        }
+        aggregate_point(&config, &self.run_point_raw(config, factory))
     }
 
     /// Runs all replications at one configuration and returns the raw
@@ -209,35 +191,57 @@ impl Runner {
         factory: DetectorFactory<'_>,
         record: bool,
     ) -> Vec<RunMetrics> {
-        let streams = RngStreams::new(self.master_seed);
-        // A label derived from the load keeps replication streams for
-        // different sweep points distinct.
-        let point_label = (config.offered_load_cpus() * 1_000.0).round() as u64;
         (0..self.replications)
-            .map(|r| {
-                let seed = streams
-                    .substreams(point_label)
-                    .substreams(r as u64)
-                    .master_seed();
-                let mut system = EcommerceSystem::new(config, seed);
-                system.record_response_times(record);
-                if let Some(detector) = factory() {
-                    system.attach_detector(detector);
-                }
-                if self.warmup_transactions > 0 {
-                    // Warm-up metrics are discarded; the system (and its
-                    // detector) carry their state into the measured run.
-                    let _ = system.run(self.warmup_transactions);
-                }
-                system.run(self.transactions_per_replication)
-            })
+            .map(|r| self.replication_metrics(config, r, factory, record))
             .collect()
     }
 
+    /// Runs exactly one replication — the unit cell of the parallel
+    /// executor — and returns its raw metrics.
+    ///
+    /// Replication `r` at configuration `config` always derives its RNG
+    /// streams from `(master_seed, point label, r)`, never from the
+    /// calling thread, so a cell's result is a pure function of its
+    /// coordinates. This is what makes sweep output bitwise identical
+    /// for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication >= self.replications()`.
+    pub fn replication_metrics(
+        &self,
+        config: SystemConfig,
+        replication: usize,
+        factory: DetectorFactory<'_>,
+        record: bool,
+    ) -> RunMetrics {
+        assert!(
+            replication < self.replications,
+            "replication index {replication} out of range"
+        );
+        // A label derived from the load keeps replication streams for
+        // different sweep points distinct.
+        let point_label = (config.offered_load_cpus() * 1_000.0).round() as u64;
+        let seed = RngStreams::new(self.master_seed)
+            .substreams(point_label)
+            .substreams(replication as u64)
+            .master_seed();
+        let mut system = EcommerceSystem::new(config, seed);
+        system.record_response_times(record);
+        if let Some(detector) = factory() {
+            system.attach_detector(detector);
+        }
+        if self.warmup_transactions > 0 {
+            // Warm-up metrics are discarded; the system (and its
+            // detector) carry their state into the measured run.
+            let _ = system.run(self.warmup_transactions);
+        }
+        system.run(self.transactions_per_replication)
+    }
+
     /// Sweeps the offered load (in CPUs) over `loads`, running the full
-    /// replication protocol at every point. Points run in parallel, one
-    /// thread per point (capped by the machine), and results keep the
-    /// order of `loads`.
+    /// replication protocol at every point with the default executor
+    /// (see [`rejuv_sim::exec`]); results keep the order of `loads`.
     ///
     /// # Panics
     ///
@@ -248,29 +252,77 @@ impl Runner {
         loads: &[f64],
         factory: DetectorFactory<'_>,
     ) -> Vec<LoadPoint> {
-        let mut results: Vec<Option<LoadPoint>> = Vec::new();
-        results.resize_with(loads.len(), || None);
+        self.load_sweep_with(&Executor::from_env(), base, loads, factory)
+    }
 
-        crossbeam::thread::scope(|scope| {
-            for (slot, &load) in results.iter_mut().zip(loads) {
-                let runner = *self;
-                let config = base
-                    .with_arrival_rate(load * base.service_rate())
-                    .expect("load sweep produced an invalid arrival rate");
-                scope.spawn(move |_| {
-                    *slot = Some(LoadPoint {
-                        load_cpus: load,
-                        result: runner.run_point(config, factory),
-                    });
-                });
-            }
-        })
-        .expect("sweep worker panicked");
+    /// Like [`Self::load_sweep`] with an explicit executor.
+    ///
+    /// The sweep flattens into `loads.len() × replications` independent
+    /// cells — every `(load point, replication)` pair — which the
+    /// executor drains with its fixed worker pool. Results are gathered
+    /// by cell index, so the output is identical for every worker
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some load yields an invalid configuration (e.g. zero).
+    pub fn load_sweep_with(
+        &self,
+        executor: &Executor,
+        base: &SystemConfig,
+        loads: &[f64],
+        factory: DetectorFactory<'_>,
+    ) -> Vec<LoadPoint> {
+        let configs: Vec<SystemConfig> = loads
+            .iter()
+            .map(|&load| {
+                base.with_arrival_rate(load * base.service_rate())
+                    .expect("load sweep produced an invalid arrival rate")
+            })
+            .collect();
 
-        results
-            .into_iter()
-            .map(|p| p.expect("every slot was filled"))
+        let reps = self.replications;
+        let metrics = executor.run(configs.len() * reps, |cell| {
+            let (point, replication) = (cell / reps, cell % reps);
+            self.replication_metrics(configs[point], replication, factory, false)
+        });
+
+        loads
+            .iter()
+            .zip(configs.iter().zip(metrics.chunks_exact(reps)))
+            .map(|(&load, (config, point_metrics))| LoadPoint {
+                load_cpus: load,
+                result: aggregate_point(config, point_metrics),
+            })
             .collect()
+    }
+}
+
+/// Aggregates one point's per-replication metrics (in replication
+/// order) into an [`ExperimentResult`].
+///
+/// Public so callers that flatten their own cell lists over a
+/// [`rejuv_sim::Executor`] (e.g. multi-series sweeps) can reduce raw
+/// metrics exactly as [`Runner::run_point`] does.
+pub fn aggregate_point(config: &SystemConfig, metrics: &[RunMetrics]) -> ExperimentResult {
+    let mut response_time = ReplicationSet::new();
+    let mut loss_fraction = ReplicationSet::new();
+    let mut rejuvenations = ReplicationSet::new();
+    let mut gc_events = ReplicationSet::new();
+
+    for m in metrics {
+        response_time.push(m.mean_response_time);
+        loss_fraction.push(m.loss_fraction());
+        rejuvenations.push(m.rejuvenation_count as f64);
+        gc_events.push(m.gc_count as f64);
+    }
+
+    ExperimentResult {
+        offered_load_cpus: config.offered_load_cpus(),
+        response_time,
+        loss_fraction,
+        rejuvenations,
+        gc_events,
     }
 }
 
@@ -384,7 +436,10 @@ mod tests {
             warm.mean_response_time(),
             cold.mean_response_time()
         );
-        assert_eq!(Runner::new(1, 10, 0).with_warmup(5).warmup_transactions(), 5);
+        assert_eq!(
+            Runner::new(1, 10, 0).with_warmup(5).warmup_transactions(),
+            5
+        );
     }
 
     #[test]
@@ -392,7 +447,10 @@ mod tests {
         // Same seed, same warm-up: identical results.
         let cfg = SystemConfig::paper_at_load(5.0).unwrap();
         let runner = Runner::new(2, 3_000, 23).with_warmup(1_000);
-        assert_eq!(runner.run_point(cfg, &|| None), runner.run_point(cfg, &|| None));
+        assert_eq!(
+            runner.run_point(cfg, &|| None),
+            runner.run_point(cfg, &|| None)
+        );
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Regression tests for the executor's determinism guarantee: a sweep's
+//! output must be bitwise identical for every worker count, because each
+//! `(load point, replication)` cell derives its RNG streams from its
+//! coordinates, never from the thread that happens to run it.
+
+use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_ecommerce::{LoadPoint, Runner, SystemConfig};
+use rejuv_sim::Executor;
+
+fn sraa_factory() -> impl Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync {
+    || {
+        Some(Box::new(Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(2)
+                .buckets(5)
+                .depth(3)
+                .build()
+                .unwrap(),
+        )))
+    }
+}
+
+fn sweep_with(
+    workers: usize,
+    factory: &(dyn Fn() -> Option<Box<dyn RejuvenationDetector>> + Sync),
+) -> Vec<LoadPoint> {
+    let runner = Runner::new(3, 2_000, 2006);
+    let base = SystemConfig::paper_at_load(1.0).unwrap();
+    // Low, moderate and saturated points so cells have unequal runtimes
+    // and a racy executor would be likely to misorder them.
+    let loads = [0.5, 4.0, 8.0, 9.5];
+    runner.load_sweep_with(&Executor::new(workers), &base, &loads, factory)
+}
+
+#[test]
+fn sweep_is_bitwise_identical_for_any_worker_count() {
+    let factory = sraa_factory();
+    let serial = sweep_with(1, &factory);
+    for workers in [2, 8] {
+        let parallel = sweep_with(workers, &factory);
+        assert_eq!(
+            serial, parallel,
+            "sweep output changed with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn sweep_without_detector_is_bitwise_identical_for_any_worker_count() {
+    let none = || None;
+    let serial = sweep_with(1, &none);
+    for workers in [2, 8] {
+        assert_eq!(serial, sweep_with(workers, &none));
+    }
+}
+
+#[test]
+fn env_override_does_not_change_results() {
+    // `from_env` picks a machine-dependent worker count; whatever it is,
+    // the result must match the single-worker reference.
+    let factory = sraa_factory();
+    let runner = Runner::new(2, 1_500, 7);
+    let base = SystemConfig::paper_at_load(1.0).unwrap();
+    let loads = [1.0, 9.0];
+    let reference = runner.load_sweep_with(&Executor::serial(), &base, &loads, &factory);
+    let default = runner.load_sweep(&base, &loads, &factory);
+    assert_eq!(reference, default);
+}

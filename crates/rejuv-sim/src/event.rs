@@ -3,7 +3,7 @@
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Opaque handle to a scheduled event, used for cancellation.
@@ -49,10 +49,15 @@ impl<E> Ord for Scheduled<E> {
 /// A time-ordered queue of events with stable FIFO tie-breaking and
 /// O(log n) lazy cancellation.
 ///
-/// Cancellation records the [`EventId`] in a tombstone set; the event is
-/// physically discarded when it reaches the head of the heap. This keeps
-/// both scheduling and cancellation logarithmic without intrusive
-/// handles.
+/// Cancellation is tracked in a dense per-sequence ledger (a
+/// `VecDeque<bool>` indexed by `seq - base`) instead of a hash set, so
+/// scheduling, cancelling and delivering never hash. A count of
+/// not-yet-collected cancellation tombstones lets [`Self::pop`] and
+/// [`Self::peek_time`] skip the ledger probe entirely on the common
+/// path where nothing is cancelled — the DES hot loop then costs
+/// exactly one heap operation per event. Resolved entries are compacted
+/// off the front of the ledger, keeping it as small as the window of
+/// outstanding sequence numbers.
 ///
 /// # Example
 ///
@@ -69,9 +74,18 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
-    /// Seqs scheduled but neither delivered nor cancelled.
-    live: HashSet<u64>,
+    /// `pending[seq - base]` is `true` while that event is scheduled but
+    /// neither delivered nor cancelled. Entries below `base` are
+    /// resolved and compacted away.
+    pending: VecDeque<bool>,
+    /// Sequence number of `pending[0]`.
+    base: u64,
     next_seq: u64,
+    /// Number of `true` entries in `pending`.
+    live: usize,
+    /// Cancelled events whose tombstones still sit in the heap. While
+    /// zero, every heap entry is live and pop/peek take the fast path.
+    cancelled_in_heap: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -79,8 +93,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            pending: VecDeque::new(),
+            base: 0,
             next_seq: 0,
+            live: 0,
+            cancelled_in_heap: 0,
         }
     }
 
@@ -90,7 +107,8 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Scheduled { time, seq, payload }));
-        self.live.insert(seq);
+        self.pending.push_back(true);
+        self.live += 1;
         EventId(seq)
     }
 
@@ -101,14 +119,36 @@ impl<E> EventQueue<E> {
     /// no-op returning `false` (ids are never reused, so this is always
     /// safe).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        match self.slot_mut(id.0) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.live -= 1;
+                self.cancelled_in_heap += 1;
+                self.compact_front();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Removes and returns the earliest non-cancelled event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.cancelled_in_heap == 0 {
+            // Fast path: no tombstones, the heap head is live by
+            // construction.
+            let Reverse(ev) = self.heap.pop()?;
+            self.mark_delivered(ev.seq);
+            return Some((ev.time, ev.payload));
+        }
         while let Some(Reverse(ev)) = self.heap.pop() {
-            if self.live.remove(&ev.seq) {
+            if self.is_pending(ev.seq) {
+                self.mark_delivered(ev.seq);
                 return Some((ev.time, ev.payload));
+            }
+            // Collected a cancellation tombstone.
+            self.cancelled_in_heap -= 1;
+            if self.cancelled_in_heap == 0 {
+                return self.pop();
             }
         }
         None
@@ -118,28 +158,62 @@ impl<E> EventQueue<E> {
     /// removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(ev)) = self.heap.peek() {
-            if self.live.contains(&ev.seq) {
+            if self.cancelled_in_heap == 0 || self.is_pending(ev.seq) {
                 return Some(ev.time);
             }
             self.heap.pop();
+            self.cancelled_in_heap -= 1;
         }
         None
     }
 
     /// Number of pending events, *excluding* lazily cancelled ones.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Returns `true` if no non-cancelled event is pending.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 
     /// Discards every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.live.clear();
+        self.pending.clear();
+        self.base = self.next_seq;
+        self.live = 0;
+        self.cancelled_in_heap = 0;
+    }
+
+    fn slot_mut(&mut self, seq: u64) -> Option<&mut bool> {
+        let idx = seq.checked_sub(self.base)?;
+        self.pending.get_mut(idx as usize)
+    }
+
+    fn is_pending(&self, seq: u64) -> bool {
+        seq.checked_sub(self.base)
+            .and_then(|idx| self.pending.get(idx as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn mark_delivered(&mut self, seq: u64) {
+        if let Some(slot) = self.slot_mut(seq) {
+            debug_assert!(*slot, "delivered an event that was not pending");
+            *slot = false;
+            self.live -= 1;
+        }
+        self.compact_front();
+    }
+
+    /// Drops resolved entries off the front of the ledger so it only
+    /// spans outstanding sequence numbers. Amortised O(1).
+    fn compact_front(&mut self) {
+        while self.pending.front() == Some(&false) {
+            self.pending.pop_front();
+            self.base += 1;
+        }
     }
 }
 

@@ -9,7 +9,10 @@
 //! * [`engine::Engine`] — clock + queue + run loop with stop conditions,
 //! * [`rng::RngStreams`] — independent, reproducible random-number streams
 //!   derived from a single master seed (one stream per model component, so
-//!   adding a consumer never perturbs the others).
+//!   adding a consumer never perturbs the others),
+//! * [`exec::Executor`] — a fixed-size worker pool that runs independent
+//!   experiment cells in parallel with bitwise-deterministic, index-ordered
+//!   results regardless of worker count.
 //!
 //! # Example
 //!
@@ -33,11 +36,13 @@
 
 pub mod engine;
 pub mod event;
+pub mod exec;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
 pub use event::{EventId, EventQueue};
+pub use exec::Executor;
 pub use rng::RngStreams;
 pub use time::SimTime;

@@ -4,9 +4,9 @@
 //! API Guidelines, enforced.
 
 use software_rejuvenation::detectors::{
-    AccelerationSchedule, Calibrating, Clta, CltaConfig, Cooldown, Cusum, CusumConfig,
-    DynamicSraa, DynamicSraaConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa, SaraaConfig,
-    Sraa, SraaConfig, StaticRejuvenation,
+    AccelerationSchedule, Calibrating, Clta, CltaConfig, Cooldown, Cusum, CusumConfig, DynamicSraa,
+    DynamicSraaConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa, SaraaConfig, Sraa,
+    SraaConfig, StaticRejuvenation,
 };
 use software_rejuvenation::ecommerce::{
     cluster::RoutingPolicy, config::MemoryConfig, RateProfile, RunMetrics, SystemConfig,
@@ -39,12 +39,8 @@ fn core_types_are_thread_safe() {
 #[test]
 fn detectors_box_as_trait_objects() {
     let detectors: Vec<Box<dyn RejuvenationDetector>> = vec![
-        Box::new(Sraa::new(
-            SraaConfig::builder(5.0, 5.0).build().unwrap(),
-        )),
-        Box::new(Saraa::new(
-            SaraaConfig::builder(5.0, 5.0).build().unwrap(),
-        )),
+        Box::new(Sraa::new(SraaConfig::builder(5.0, 5.0).build().unwrap())),
+        Box::new(Saraa::new(SaraaConfig::builder(5.0, 5.0).build().unwrap())),
         Box::new(Clta::new(CltaConfig::builder(5.0, 5.0).build().unwrap())),
         Box::new(StaticRejuvenation::new(5.0, 5.0, 2, 2).unwrap()),
         Box::new(DynamicSraa::new(
