@@ -1,0 +1,205 @@
+//! Throughput benchmark of the sharded monitoring runtime.
+//!
+//! Spawns one lossless producer thread per shard, each pushing a
+//! deterministic synthetic observation stream through its
+//! `ShardSender`, while the main thread drains all shards in batches.
+//! Reports sustained observations per second, verifies the run is
+//! deterministic (per-shard decision digests match a serial reference)
+//! and writes the numbers to `BENCH_monitor.json`.
+//!
+//! ```text
+//! cargo run --release -p rejuv-bench --bin bench_monitor -- [options]
+//!
+//! options:
+//!   --out FILE           output path (default BENCH_monitor.json)
+//!   --shards N           producer threads / monitored streams (default 4)
+//!   --observations N     observations per shard (default 1000000)
+//!   --queue-capacity N   per-shard queue capacity (default 8192)
+//!   --drain-batch N      max observations per drain (default 512)
+//! ```
+
+use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_monitor::{Supervisor, SupervisorConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    out: PathBuf,
+    shards: usize,
+    observations: u64,
+    queue_capacity: usize,
+    drain_batch: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        out: PathBuf::from("BENCH_monitor.json"),
+        shards: 4,
+        observations: 1_000_000,
+        queue_capacity: 8_192,
+        drain_batch: 512,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--shards" => opts.shards = value("--shards").parse().expect("usize"),
+            "--observations" => opts.observations = value("--observations").parse().expect("u64"),
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity").parse().expect("usize");
+            }
+            "--drain-batch" => opts.drain_batch = value("--drain-batch").parse().expect("usize"),
+            other => panic!("unknown option {other}"),
+        }
+    }
+    assert!(opts.shards > 0, "--shards must be positive");
+    opts
+}
+
+fn detector() -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+/// The synthetic stream for one shard: mostly healthy values with a
+/// slow upward drift so detectors do real bucket work, plus periodic
+/// spikes. Purely a function of `(shard, i)` — every run sees the same
+/// stream.
+fn synthetic(shard: u64, i: u64) -> f64 {
+    let base = 3.0 + (i % 7) as f64 * 0.5;
+    let drift = (i / 10_000) as f64 * 0.05;
+    let spike = if (i + shard * 13).is_multiple_of(997) {
+        45.0
+    } else {
+        0.0
+    };
+    base + drift + spike
+}
+
+/// Runs the workload with threaded producers; returns (elapsed seconds,
+/// per-shard digests).
+fn timed_run(opts: &Options) -> (f64, Vec<String>) {
+    let config = SupervisorConfig {
+        queue_capacity: opts.queue_capacity,
+        drain_batch: opts.drain_batch,
+        snapshot_every: None,
+    };
+    let mut supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
+    let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
+    let per_shard = opts.observations;
+    let total = per_shard * opts.shards as u64;
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (shard, sender) in senders.into_iter().enumerate() {
+            scope.spawn(move || {
+                for i in 0..per_shard {
+                    sender.send_blocking(synthetic(shard as u64, i));
+                }
+            });
+        }
+        let mut processed = 0u64;
+        while processed < total {
+            let n = supervisor.poll_all().expect("no log attached") as u64;
+            processed += n;
+            if n == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let report = supervisor.report();
+    assert_eq!(report.total_processed, total);
+    assert_eq!(report.total_dropped, 0, "blocking producers never drop");
+    let digests = report.shards.iter().map(|s| s.digest.clone()).collect();
+    (elapsed, digests)
+}
+
+/// Serial reference: same streams fed synchronously, no threads. Its
+/// digests are the ground truth the threaded run must reproduce.
+fn reference_digests(opts: &Options) -> Vec<String> {
+    let config = SupervisorConfig {
+        queue_capacity: opts.queue_capacity,
+        drain_batch: opts.drain_batch,
+        snapshot_every: None,
+    };
+    let mut supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
+    for shard in 0..opts.shards {
+        for i in 0..opts.observations {
+            supervisor
+                .process_sync(shard, synthetic(shard as u64, i))
+                .expect("no log attached");
+        }
+    }
+    supervisor
+        .report()
+        .shards
+        .iter()
+        .map(|s| s.digest.clone())
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let total = opts.observations * opts.shards as u64;
+    println!(
+        "monitor throughput: {} shards x {} observations = {} total",
+        opts.shards, opts.observations, total
+    );
+
+    // Warm-up pass to page in code and touch the allocator.
+    let warmup = Options {
+        observations: 50_000,
+        out: opts.out.clone(),
+        ..opts
+    };
+    let _ = timed_run(&warmup);
+
+    let (elapsed, digests) = timed_run(&opts);
+    let throughput = total as f64 / elapsed;
+    println!("  {elapsed:.2} s, {:.2} M obs/s", throughput / 1e6);
+
+    println!("serial reference for digest check...");
+    let reference = reference_digests(&opts);
+    let deterministic = digests == reference;
+    println!("digests match serial reference: {deterministic}");
+    assert!(
+        deterministic,
+        "threaded run diverged from the serial reference"
+    );
+
+    let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = serde_json::json!({
+        "benchmark": "monitor_throughput",
+        "available_cores": available_cores,
+        "protocol": {
+            "shards": opts.shards,
+            "observations_per_shard": opts.observations,
+            "total_observations": total,
+            "queue_capacity": opts.queue_capacity,
+            "drain_batch": opts.drain_batch,
+            "detector": "SRAA",
+        },
+        "wall_secs": elapsed,
+        "observations_per_sec": throughput,
+        "deterministic": deterministic,
+        "per_shard_digests": digests,
+    });
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&json).expect("render json") + "\n",
+    )
+    .expect("write benchmark json");
+    println!("wrote {}", opts.out.display());
+}

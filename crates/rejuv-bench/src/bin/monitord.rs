@@ -1,0 +1,319 @@
+//! `monitord` — the online monitoring runtime attached to simulated
+//! live traffic, plus deterministic replay of a recorded run.
+//!
+//! In **live** mode the daemon builds a sharded [`Supervisor`] (one
+//! shard per host), wires each shard into the traffic source through a
+//! [`MonitorBridge`], and drives either the single-host §3 e-commerce
+//! model (`--hosts 1`) or the load-balanced cluster. Every response time
+//! flows through the shard's ingestion queue and detector; the run ends
+//! with a serialised [`MonitorReport`].
+//!
+//! In **replay** mode (`--replay FILE`) the daemon reads a monitor event
+//! log recorded by a live run, rebuilds an identical supervisor from the
+//! `Start` header and re-ingests every observation batch. Decisions are
+//! recomputed, not trusted from the log — and the resulting report must
+//! be byte-identical to the live run's (`cmp live.json replay.json`),
+//! which CI checks.
+//!
+//! ```text
+//! cargo run --release -p rejuv-bench --bin monitord -- [options]
+//!
+//! options:
+//!   --hosts N            monitored hosts/shards (default 1; >1 runs the
+//!                        cluster with least-active routing)
+//!   --load L             per-host offered load in CPUs of GC work
+//!                        (default 8.0, the paper's moderate-load point)
+//!   --transactions T     total transactions to simulate (default 20000)
+//!   --detector NAME      sraa|saraa|clta|static|cusum|ewma (default sraa)
+//!   --mu M, --sigma S    detector baseline (default 5.0 / 5.0, the SLA)
+//!   --seed S             master seed (default 2006)
+//!   --downtime D         cluster host downtime after rejuvenation,
+//!                        seconds (default 30)
+//!   --snapshot-every K   checkpoint each shard's detector state every K
+//!                        observations (default off)
+//!   --trace FILE         write the monitor event log (JSONL)
+//!   --system-trace FILE  write the model's system-event trace (JSONL,
+//!                        single-host mode only)
+//!   --report FILE        write the final report JSON (default stdout)
+//!   --replay FILE        replay a recorded monitor event log instead of
+//!                        running live (detector baseline flags must
+//!                        match the recording invocation)
+//! ```
+
+use rejuv_core::{
+    Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa,
+    SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
+use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
+use rejuv_monitor::{
+    read_events, replay_events, EventLog, MonitorEvent, MonitorReport, SharedSupervisor,
+    Supervisor, SupervisorConfig,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+
+struct Options {
+    hosts: usize,
+    load: f64,
+    transactions: u64,
+    detector: String,
+    mu: f64,
+    sigma: f64,
+    seed: u64,
+    downtime: f64,
+    snapshot_every: Option<u64>,
+    trace: Option<PathBuf>,
+    system_trace: Option<PathBuf>,
+    report: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        hosts: 1,
+        load: 8.0,
+        transactions: 20_000,
+        detector: "sraa".to_owned(),
+        mu: 5.0,
+        sigma: 5.0,
+        seed: 2006,
+        downtime: 30.0,
+        snapshot_every: None,
+        trace: None,
+        system_trace: None,
+        report: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--hosts" => opts.hosts = value("--hosts").parse().expect("usize"),
+            "--load" => opts.load = value("--load").parse().expect("f64"),
+            "--transactions" => opts.transactions = value("--transactions").parse().expect("u64"),
+            "--detector" => opts.detector = value("--detector").to_lowercase(),
+            "--mu" => opts.mu = value("--mu").parse().expect("f64"),
+            "--sigma" => opts.sigma = value("--sigma").parse().expect("f64"),
+            "--seed" => opts.seed = value("--seed").parse().expect("u64"),
+            "--downtime" => opts.downtime = value("--downtime").parse().expect("f64"),
+            "--snapshot-every" => {
+                opts.snapshot_every = Some(value("--snapshot-every").parse().expect("u64"));
+            }
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
+            "--system-trace" => opts.system_trace = Some(PathBuf::from(value("--system-trace"))),
+            "--report" => opts.report = Some(PathBuf::from(value("--report"))),
+            "--replay" => opts.replay = Some(PathBuf::from(value("--replay"))),
+            other => panic!("unknown option {other}"),
+        }
+    }
+    assert!(opts.hosts > 0, "--hosts must be positive");
+    opts
+}
+
+/// Builds a detector from its CLI name (or a `RejuvenationDetector::name`
+/// read back from a `Start` header) with bench-grade parameters.
+fn make_detector(name: &str, mu: f64, sigma: f64) -> Box<dyn RejuvenationDetector> {
+    match name.to_lowercase().as_str() {
+        "sraa" => Box::new(Sraa::new(
+            SraaConfig::builder(mu, sigma)
+                .sample_size(2)
+                .buckets(5)
+                .depth(3)
+                .build()
+                .expect("valid SRAA config"),
+        )),
+        "saraa" => Box::new(Saraa::new(
+            SaraaConfig::builder(mu, sigma)
+                .initial_sample_size(4)
+                .buckets(5)
+                .depth(3)
+                .build()
+                .expect("valid SARAA config"),
+        )),
+        "clta" => Box::new(Clta::new(
+            CltaConfig::builder(mu, sigma)
+                .build()
+                .expect("valid CLTA config"),
+        )),
+        "static" => Box::new(StaticRejuvenation::new(mu, sigma, 5, 3).expect("valid config")),
+        "cusum" => Box::new(Cusum::new(
+            CusumConfig::new(mu, sigma, 0.5, 5.0).expect("valid CUSUM config"),
+        )),
+        "ewma" => Box::new(Ewma::new(
+            EwmaConfig::new(mu, sigma, 0.25, 3.0).expect("valid EWMA config"),
+        )),
+        other => panic!("unknown detector {other} (sraa|saraa|clta|static|cusum|ewma)"),
+    }
+}
+
+fn write_report(report: &MonitorReport, path: Option<&PathBuf>) {
+    let text = serde_json::to_string_pretty(report).expect("render report") + "\n";
+    match path {
+        Some(path) => {
+            std::fs::write(path, text).expect("write report");
+            println!("wrote report {}", path.display());
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn summarize(report: &MonitorReport) {
+    println!(
+        "processed {} observations over {} shards, {} rejuvenations, {} dropped",
+        report.total_processed,
+        report.shards.len(),
+        report.total_rejuvenations,
+        report.total_dropped
+    );
+    for shard in &report.shards {
+        println!(
+            "  shard {} [{}]: {} processed, {} rejuvenations, digest {}",
+            shard.shard, shard.detector, shard.processed, shard.rejuvenations, shard.digest
+        );
+    }
+}
+
+fn run_replay(opts: &Options, log_path: &PathBuf) {
+    let file =
+        File::open(log_path).unwrap_or_else(|e| panic!("cannot open {}: {e}", log_path.display()));
+    let events = read_events(BufReader::new(file)).expect("parse event log");
+    let header = events.first().unwrap_or_else(|| panic!("empty event log"));
+    let MonitorEvent::Start {
+        shards,
+        detector,
+        queue_capacity,
+        drain_batch,
+        snapshot_every,
+    } = header
+    else {
+        panic!("event log does not begin with a Start header");
+    };
+    let config = SupervisorConfig {
+        queue_capacity: *queue_capacity as usize,
+        drain_batch: *drain_batch as usize,
+        snapshot_every: *snapshot_every,
+    };
+    println!(
+        "replaying {}: {} shards, detector {}, {} events",
+        log_path.display(),
+        shards,
+        detector,
+        events.len()
+    );
+    let supervisor = replay_events(&events, config, *shards as usize, |_| {
+        make_detector(detector, opts.mu, opts.sigma)
+    })
+    .expect("replay");
+    let report = supervisor.report();
+    summarize(&report);
+    write_report(&report, opts.report.as_ref());
+}
+
+fn run_live(opts: &Options) {
+    let config = SupervisorConfig {
+        snapshot_every: opts.snapshot_every,
+        ..SupervisorConfig::default()
+    };
+    let mut supervisor = Supervisor::with_shards(config, opts.hosts, |_| {
+        make_detector(&opts.detector, opts.mu, opts.sigma)
+    });
+    let detector_name = make_detector(&opts.detector, opts.mu, opts.sigma)
+        .name()
+        .to_owned();
+
+    if let Some(path) = &opts.trace {
+        let file =
+            File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        let mut log = EventLog::new(Box::new(BufWriter::new(file)));
+        log.record(&MonitorEvent::Start {
+            shards: opts.hosts as u32,
+            detector: detector_name.clone(),
+            queue_capacity: config.queue_capacity as u64,
+            drain_batch: config.drain_batch as u64,
+            snapshot_every: config.snapshot_every,
+        })
+        .expect("write run header");
+        supervisor.set_log(log);
+    }
+
+    let host_config = SystemConfig::paper_at_load(opts.load).expect("valid load");
+    let shared = SharedSupervisor::new(supervisor);
+
+    println!(
+        "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}",
+        opts.hosts, opts.load, opts.transactions, detector_name, opts.seed
+    );
+
+    if opts.hosts == 1 {
+        let mut system = EcommerceSystem::new(host_config, opts.seed);
+        system.attach_detector(Box::new(shared.bridge(0)));
+        if opts.system_trace.is_some() {
+            system.enable_trace(65_536);
+        }
+        let metrics = system.run(opts.transactions);
+        println!(
+            "model: {} completed, {} lost, mean response {:.3}s, {} GCs",
+            metrics.completed, metrics.lost, metrics.mean_response_time, metrics.gc_count
+        );
+        if let Some(path) = &opts.system_trace {
+            let trace = system.take_trace().expect("trace was enabled");
+            let mut writer = BufWriter::new(
+                File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display())),
+            );
+            let lines = trace.write_jsonl(&mut writer).expect("write system trace");
+            writer.flush().expect("flush system trace");
+            println!("wrote {} system events to {}", lines, path.display());
+        }
+        drop(system);
+    } else {
+        if opts.system_trace.is_some() {
+            panic!("--system-trace is only available with --hosts 1");
+        }
+        let cluster_rate = host_config.arrival_rate() * opts.hosts as f64;
+        let mut cluster = ClusterSystem::new(
+            host_config,
+            opts.hosts,
+            cluster_rate,
+            RoutingPolicy::LeastActive,
+            opts.downtime,
+            opts.seed,
+        );
+        cluster.attach_detectors(|h| Box::new(shared.bridge(h)));
+        let metrics = cluster.run(opts.transactions);
+        println!(
+            "cluster: {} completed, {} lost, mean response {:.3}s, {} rejected (no host)",
+            metrics.aggregate.completed,
+            metrics.aggregate.lost,
+            metrics.aggregate.mean_response_time,
+            metrics.rejected_no_host
+        );
+        drop(cluster);
+    }
+
+    let mut supervisor = shared
+        .try_into_inner()
+        .expect("all bridges dropped with the system");
+    if let Some(mut log) = supervisor.take_log() {
+        log.flush().expect("flush event log");
+    }
+    let report = supervisor.report();
+    summarize(&report);
+    write_report(&report, opts.report.as_ref());
+    if let Some(path) = &opts.trace {
+        println!("wrote event log {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    match &opts.replay {
+        Some(path) => run_replay(&opts, path),
+        None => run_live(&opts),
+    }
+}

@@ -1,7 +1,9 @@
 //! CLTA — the central-limit-theorem rejuvenation algorithm (the paper's
 //! Fig. 8).
 
-use crate::{AveragingWindow, CltaConfig, Decision, RejuvenationDetector};
+use crate::{
+    AveragingWindow, CltaConfig, Decision, DetectorSnapshot, RejuvenationDetector, SnapshotError,
+};
 
 /// The central-limit-theorem rejuvenation detector.
 ///
@@ -95,6 +97,36 @@ impl RejuvenationDetector for Clta {
 
     fn rejuvenation_count(&self) -> u64 {
         self.triggers
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        Some(DetectorSnapshot::Clta {
+            config: self.config,
+            window: self.window,
+            windows_seen: self.windows_seen,
+            triggers: self.triggers,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Clta {
+                config,
+                window,
+                windows_seen,
+                triggers,
+            } => {
+                self.config = *config;
+                self.window = *window;
+                self.windows_seen = *windows_seen;
+                self.triggers = *triggers;
+                Ok(())
+            }
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! *reference value* `k` (half the shift to detect, in σ units); the
 //! chart signals when `s_t > h·σX` (the *decision interval*).
 
-use crate::{ConfigError, Decision, RejuvenationDetector};
+use crate::{ConfigError, Decision, DetectorSnapshot, RejuvenationDetector, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Cusum`] detector.
@@ -163,6 +163,33 @@ impl RejuvenationDetector for Cusum {
 
     fn rejuvenation_count(&self) -> u64 {
         self.triggers
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        Some(DetectorSnapshot::Cusum {
+            config: self.config,
+            statistic: self.s,
+            triggers: self.triggers,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Cusum {
+                config,
+                statistic,
+                triggers,
+            } => {
+                self.config = *config;
+                self.s = *statistic;
+                self.triggers = *triggers;
+                Ok(())
+            }
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

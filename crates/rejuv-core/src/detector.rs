@@ -1,5 +1,6 @@
 //! The detector abstraction shared by all rejuvenation algorithms.
 
+use crate::snapshot::{DetectorSnapshot, SnapshotError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -53,6 +54,32 @@ pub trait RejuvenationDetector: Send {
 
     /// The number of rejuvenations this detector has triggered so far.
     fn rejuvenation_count(&self) -> u64;
+
+    /// Captures the complete internal state (configuration included) as
+    /// a serialisable [`DetectorSnapshot`], or `None` for detectors that
+    /// do not support checkpointing.
+    ///
+    /// A snapshot taken mid-window must resume *behaviour-identically*:
+    /// restoring it and feeding the same suffix of observations yields
+    /// the same decisions and trigger counts as the uninterrupted run.
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        None
+    }
+
+    /// Replaces the internal state (configuration included) with the
+    /// snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if this detector does not
+    /// implement checkpointing, [`SnapshotError::KindMismatch`] if the
+    /// snapshot belongs to a different detector kind.
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(SnapshotError::Unsupported {
+            detector: self.name(),
+        })
+    }
 }
 
 #[cfg(test)]

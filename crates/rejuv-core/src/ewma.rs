@@ -12,7 +12,7 @@
 //! `µX + L·σX·sqrt(w / (2 − w) · (1 − (1 − w)^{2t}))`
 //! (one-sided: for response times only upward shifts matter).
 
-use crate::{ConfigError, Decision, RejuvenationDetector};
+use crate::{ConfigError, Decision, DetectorSnapshot, RejuvenationDetector, SnapshotError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Ewma`] detector.
@@ -179,6 +179,36 @@ impl RejuvenationDetector for Ewma {
 
     fn rejuvenation_count(&self) -> u64 {
         self.triggers
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        Some(DetectorSnapshot::Ewma {
+            config: self.config,
+            statistic: self.z,
+            decay_sq: self.decay_sq,
+            triggers: self.triggers,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Ewma {
+                config,
+                statistic,
+                decay_sq,
+                triggers,
+            } => {
+                self.config = *config;
+                self.z = *statistic;
+                self.decay_sq = *decay_sq;
+                self.triggers = *triggers;
+                Ok(())
+            }
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

@@ -61,6 +61,7 @@ pub mod dynamic;
 pub mod error;
 pub mod ewma;
 pub mod saraa;
+pub mod snapshot;
 pub mod sraa;
 pub mod static_alg;
 pub mod window;
@@ -76,6 +77,7 @@ pub use dynamic::{DynamicSraa, DynamicSraaConfig};
 pub use error::ConfigError;
 pub use ewma::{Ewma, EwmaConfig};
 pub use saraa::Saraa;
+pub use snapshot::{DetectorSnapshot, SnapshotError};
 pub use sraa::Sraa;
 pub use static_alg::StaticRejuvenation;
 pub use window::AveragingWindow;

@@ -2,7 +2,8 @@
 //! (the paper's Fig. 7).
 
 use crate::{
-    AveragingWindow, BucketChain, BucketEvent, Decision, RejuvenationDetector, SaraaConfig,
+    AveragingWindow, BucketChain, BucketEvent, Decision, DetectorSnapshot, RejuvenationDetector,
+    SaraaConfig, SnapshotError,
 };
 
 /// The sampling-acceleration rejuvenation algorithm with averaging.
@@ -127,6 +128,38 @@ impl RejuvenationDetector for Saraa {
 
     fn rejuvenation_count(&self) -> u64 {
         self.chain.triggers()
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        // The accelerated sample size currently in force is the window's
+        // size, so the window alone carries it across the round trip.
+        Some(DetectorSnapshot::Saraa {
+            config: self.config,
+            window: self.window,
+            chain: self.chain,
+            windows_seen: self.windows_seen,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Saraa {
+                config,
+                window,
+                chain,
+                windows_seen,
+            } => {
+                self.config = *config;
+                self.window = *window;
+                self.chain = *chain;
+                self.windows_seen = *windows_seen;
+                Ok(())
+            }
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

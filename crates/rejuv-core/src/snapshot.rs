@@ -1,0 +1,274 @@
+//! Serialisable detector state snapshots.
+//!
+//! An online monitoring runtime must be able to checkpoint a detector
+//! *mid-epidemic* — half-filled averaging window, partially climbed
+//! bucket chain — and resume later (possibly in another process) with
+//! behaviour identical to an uninterrupted run. [`DetectorSnapshot`]
+//! captures the complete state of each concrete detector, including its
+//! configuration, so a snapshot alone suffices to rebuild the detector
+//! via [`DetectorSnapshot::into_detector`].
+//!
+//! Snapshots are plain serde values: round-tripping through JSON (or any
+//! other format) is lossless because every field is either integral or
+//! an `f64` rendered with shortest-round-trip formatting.
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+//!
+//! let config = SraaConfig::builder(5.0, 5.0).sample_size(3).build()?;
+//! let mut live = Sraa::new(config);
+//! for v in [7.0, 9.0, 11.0, 6.0] {
+//!     live.observe(v);
+//! }
+//!
+//! // Checkpoint, then resume in a brand-new detector.
+//! let snapshot = live.snapshot().expect("SRAA supports snapshots");
+//! let mut resumed = snapshot.into_detector();
+//! for v in [8.0, 40.0, 50.0, 60.0, 70.0, 80.0] {
+//!     assert_eq!(live.observe(v), resumed.observe(v));
+//! }
+//! # Ok::<(), rejuv_core::ConfigError>(())
+//! ```
+
+use crate::{
+    AveragingWindow, BucketChain, Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig,
+    RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The complete state of one concrete detector, configuration included.
+///
+/// Produced by [`RejuvenationDetector::snapshot`]; consumed by
+/// [`RejuvenationDetector::restore`] (same detector kind required) or by
+/// [`DetectorSnapshot::into_detector`] (builds a fresh boxed detector).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DetectorSnapshot {
+    /// State of an [`Sraa`] detector.
+    Sraa {
+        /// Configuration in force when the snapshot was taken.
+        config: SraaConfig,
+        /// The (possibly partially filled) averaging window.
+        window: AveragingWindow,
+        /// The bucket chain, including the lifetime trigger count.
+        chain: BucketChain,
+        /// Completed windows consumed so far.
+        windows_seen: u64,
+    },
+    /// State of a [`Saraa`] detector. The current (possibly accelerated)
+    /// sample size travels inside `window`.
+    Saraa {
+        /// Configuration in force when the snapshot was taken.
+        config: SaraaConfig,
+        /// The averaging window at its *current* (accelerated) size.
+        window: AveragingWindow,
+        /// The bucket chain, including the lifetime trigger count.
+        chain: BucketChain,
+        /// Completed windows consumed so far.
+        windows_seen: u64,
+    },
+    /// State of a [`Clta`] detector.
+    Clta {
+        /// Configuration in force when the snapshot was taken.
+        config: CltaConfig,
+        /// The (possibly partially filled) averaging window.
+        window: AveragingWindow,
+        /// Completed windows consumed so far.
+        windows_seen: u64,
+        /// Lifetime trigger count.
+        triggers: u64,
+    },
+    /// State of a [`StaticRejuvenation`] detector (SRAA with `n = 1`).
+    Static {
+        /// Configuration of the inner SRAA (sample size 1).
+        config: SraaConfig,
+        /// The inner averaging window (always size 1).
+        window: AveragingWindow,
+        /// The bucket chain, including the lifetime trigger count.
+        chain: BucketChain,
+        /// Completed windows consumed so far.
+        windows_seen: u64,
+    },
+    /// State of a [`Cusum`] detector.
+    Cusum {
+        /// Configuration in force when the snapshot was taken.
+        config: CusumConfig,
+        /// The cumulative-sum statistic `s_t`.
+        statistic: f64,
+        /// Lifetime trigger count.
+        triggers: u64,
+    },
+    /// State of an [`Ewma`] detector.
+    Ewma {
+        /// Configuration in force when the snapshot was taken.
+        config: EwmaConfig,
+        /// The chart statistic `z_t`.
+        statistic: f64,
+        /// `(1 − w)^{2t}`, driving the time-varying control limit.
+        decay_sq: f64,
+        /// Lifetime trigger count.
+        triggers: u64,
+    },
+}
+
+impl DetectorSnapshot {
+    /// The detector kind this snapshot belongs to, matching
+    /// [`RejuvenationDetector::name`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DetectorSnapshot::Sraa { .. } => "SRAA",
+            DetectorSnapshot::Saraa { .. } => "SARAA",
+            DetectorSnapshot::Clta { .. } => "CLTA",
+            DetectorSnapshot::Static { .. } => "Static",
+            DetectorSnapshot::Cusum { .. } => "CUSUM",
+            DetectorSnapshot::Ewma { .. } => "EWMA",
+        }
+    }
+
+    /// Builds a fresh boxed detector resuming exactly from this state.
+    ///
+    /// The snapshot carries its own validated configuration, so this
+    /// cannot fail: a supervisor can always rebuild its fleet from a
+    /// checkpoint file.
+    pub fn into_detector(self) -> Box<dyn RejuvenationDetector> {
+        let mut detector: Box<dyn RejuvenationDetector> = match &self {
+            DetectorSnapshot::Sraa { config, .. } => Box::new(Sraa::new(*config)),
+            DetectorSnapshot::Saraa { config, .. } => Box::new(Saraa::new(*config)),
+            DetectorSnapshot::Clta { config, .. } => Box::new(Clta::new(*config)),
+            DetectorSnapshot::Static { config, .. } => {
+                Box::new(StaticRejuvenation::from_config(*config))
+            }
+            DetectorSnapshot::Cusum { config, .. } => Box::new(Cusum::new(*config)),
+            DetectorSnapshot::Ewma { config, .. } => Box::new(Ewma::new(*config)),
+        };
+        detector
+            .restore(&self)
+            .expect("snapshot kind matches the detector it constructed");
+        detector
+    }
+}
+
+/// Why a [`RejuvenationDetector::restore`] (or `snapshot`) call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The detector does not implement state snapshots (composite or
+    /// experimental detectors may not).
+    Unsupported {
+        /// [`RejuvenationDetector::name`] of the detector.
+        detector: &'static str,
+    },
+    /// The snapshot belongs to a different detector kind.
+    KindMismatch {
+        /// [`RejuvenationDetector::name`] of the restoring detector.
+        detector: &'static str,
+        /// [`DetectorSnapshot::kind`] of the offered snapshot.
+        snapshot: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Unsupported { detector } => {
+                write!(f, "detector {detector} does not support state snapshots")
+            }
+            SnapshotError::KindMismatch { detector, snapshot } => write!(
+                f,
+                "cannot restore a {snapshot} snapshot into a {detector} detector"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Decision;
+
+    fn sraa() -> Sraa {
+        Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(2)
+                .buckets(3)
+                .depth(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn kind_matches_detector_name() {
+        let mut d = sraa();
+        d.observe(1.0);
+        let snap = d.snapshot().unwrap();
+        assert_eq!(snap.kind(), d.name());
+    }
+
+    #[test]
+    fn into_detector_resumes_mid_window() {
+        let mut live = sraa();
+        // Leave a half-filled window and a partially climbed chain.
+        for _ in 0..7 {
+            live.observe(50.0);
+        }
+        let mut resumed = live.snapshot().unwrap().into_detector();
+        for _ in 0..200 {
+            assert_eq!(live.observe(50.0), resumed.observe(50.0));
+        }
+        assert_eq!(live.rejuvenation_count(), resumed.rejuvenation_count());
+        assert!(live.rejuvenation_count() > 0);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_kind() {
+        let mut cusum = Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 5.0).unwrap());
+        let snap = sraa().snapshot().unwrap();
+        assert_eq!(
+            cusum.restore(&snap),
+            Err(SnapshotError::KindMismatch {
+                detector: "CUSUM",
+                snapshot: "SRAA",
+            })
+        );
+    }
+
+    #[test]
+    fn default_impl_reports_unsupported() {
+        struct Opaque;
+        impl RejuvenationDetector for Opaque {
+            fn observe(&mut self, _: f64) -> Decision {
+                Decision::Continue
+            }
+            fn reset(&mut self) {}
+            fn name(&self) -> &'static str {
+                "Opaque"
+            }
+            fn rejuvenation_count(&self) -> u64 {
+                0
+            }
+        }
+        let mut d = Opaque;
+        assert!(d.snapshot().is_none());
+        let snap = sraa().snapshot().unwrap();
+        assert_eq!(
+            d.restore(&snap),
+            Err(SnapshotError::Unsupported { detector: "Opaque" })
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut d = sraa();
+        for v in [3.25, 7.5, 41.0, 0.1] {
+            d.observe(v);
+        }
+        let snap = d.snapshot().unwrap();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: DetectorSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+}

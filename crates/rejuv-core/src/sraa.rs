@@ -2,7 +2,8 @@
 //! Fig. 6).
 
 use crate::{
-    AveragingWindow, BucketChain, BucketEvent, Decision, RejuvenationDetector, SraaConfig,
+    AveragingWindow, BucketChain, BucketEvent, Decision, DetectorSnapshot, RejuvenationDetector,
+    SnapshotError, SraaConfig,
 };
 
 /// The static rejuvenation algorithm with averaging.
@@ -99,6 +100,36 @@ impl RejuvenationDetector for Sraa {
 
     fn rejuvenation_count(&self) -> u64 {
         self.chain.triggers()
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        Some(DetectorSnapshot::Sraa {
+            config: self.config,
+            window: self.window,
+            chain: self.chain,
+            windows_seen: self.windows_seen,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Sraa {
+                config,
+                window,
+                chain,
+                windows_seen,
+            } => {
+                self.config = *config;
+                self.window = *window;
+                self.chain = *chain;
+                self.windows_seen = *windows_seen;
+                Ok(())
+            }
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! (*"Ensuring stable performance for systems that degrade"*, WOSP 2005)
 //! — the per-observation predecessor of SRAA, kept as a baseline.
 
-use crate::{Decision, RejuvenationDetector, Sraa, SraaConfig};
+use crate::{Decision, DetectorSnapshot, RejuvenationDetector, SnapshotError, Sraa, SraaConfig};
 
 /// The original static rejuvenation algorithm: the bucket chain fed by
 /// *raw observations* instead of window averages.
@@ -51,6 +51,14 @@ impl StaticRejuvenation {
         })
     }
 
+    /// Rebuilds the detector around an existing inner-SRAA config, used
+    /// when reviving one from a [`DetectorSnapshot::Static`].
+    pub(crate) fn from_config(config: SraaConfig) -> Self {
+        StaticRejuvenation {
+            inner: Sraa::new(config),
+        }
+    }
+
     /// Current bucket index `N`.
     pub fn bucket(&self) -> usize {
         self.inner.bucket()
@@ -77,6 +85,46 @@ impl RejuvenationDetector for StaticRejuvenation {
 
     fn rejuvenation_count(&self) -> u64 {
         self.inner.rejuvenation_count()
+    }
+
+    fn snapshot(&self) -> Option<DetectorSnapshot> {
+        // The inner SRAA owns all the state; re-tag its snapshot so the
+        // lineage survives the round trip (a Static snapshot restores
+        // into a Static detector, not an SRAA).
+        match self.inner.snapshot()? {
+            DetectorSnapshot::Sraa {
+                config,
+                window,
+                chain,
+                windows_seen,
+            } => Some(DetectorSnapshot::Static {
+                config,
+                window,
+                chain,
+                windows_seen,
+            }),
+            _ => unreachable!("SRAA snapshots are always the Sraa variant"),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &DetectorSnapshot) -> Result<(), SnapshotError> {
+        match snapshot {
+            DetectorSnapshot::Static {
+                config,
+                window,
+                chain,
+                windows_seen,
+            } => self.inner.restore(&DetectorSnapshot::Sraa {
+                config: *config,
+                window: *window,
+                chain: *chain,
+                windows_seen: *windows_seen,
+            }),
+            other => Err(SnapshotError::KindMismatch {
+                detector: self.name(),
+                snapshot: other.kind(),
+            }),
+        }
     }
 }
 

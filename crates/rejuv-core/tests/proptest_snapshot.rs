@@ -1,0 +1,174 @@
+//! Property-based tests for detector snapshot/restore: feeding `k`
+//! observations, checkpointing, restoring into a fresh detector (both
+//! directly and through a JSON round trip) and replaying a shared suffix
+//! must yield identical decisions and trigger counts for every detector
+//! that implements the snapshot API.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rejuv_core::{
+    AccelerationSchedule, Clta, CltaConfig, Cusum, CusumConfig, DetectorSnapshot, Ewma, EwmaConfig,
+    RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+
+/// Checkpoints `live` after it consumed a prefix, restores the snapshot
+/// into `fresh` and into a boxed detector rebuilt from a JSON round
+/// trip, then asserts all three agree on every suffix decision.
+fn assert_roundtrip<D: RejuvenationDetector + ?Sized>(
+    live: &mut D,
+    fresh: &mut D,
+    suffix: &[f64],
+) -> Result<(), TestCaseError> {
+    let snapshot = live
+        .snapshot()
+        .expect("detector under test supports snapshots");
+    fresh
+        .restore(&snapshot)
+        .expect("same-kind restore must succeed");
+
+    let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
+    let reparsed: DetectorSnapshot = serde_json::from_str(&json).expect("snapshot deserialises");
+    prop_assert_eq!(&reparsed, &snapshot, "JSON round trip must be lossless");
+    let mut rebuilt = reparsed.into_detector();
+
+    for &v in suffix {
+        let expected = live.observe(v);
+        prop_assert_eq!(expected, fresh.observe(v));
+        prop_assert_eq!(expected, rebuilt.observe(v));
+    }
+    prop_assert_eq!(live.rejuvenation_count(), fresh.rejuvenation_count());
+    prop_assert_eq!(live.rejuvenation_count(), rebuilt.rejuvenation_count());
+    Ok(())
+}
+
+fn streams() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0.0f64..60.0, 0..400),
+        proptest::collection::vec(0.0f64..60.0, 0..400),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sraa_roundtrip(
+        n in 1usize..6,
+        k in 1usize..5,
+        d in 1u32..5,
+        (prefix, suffix) in streams(),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(n).buckets(k).depth(d).build().unwrap();
+        let mut live = Sraa::new(cfg);
+        let mut fresh = Sraa::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    #[test]
+    fn saraa_roundtrip(
+        n in 1usize..8,
+        k in 1usize..5,
+        d in 1u32..4,
+        quadratic in any::<bool>(),
+        (prefix, suffix) in streams(),
+    ) {
+        let schedule = if quadratic {
+            AccelerationSchedule::Quadratic
+        } else {
+            AccelerationSchedule::Linear
+        };
+        let cfg = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(n).buckets(k).depth(d).schedule(schedule)
+            .build().unwrap();
+        let mut live = Saraa::new(cfg);
+        let mut fresh = Saraa::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        // The snapshot must carry the *accelerated* window size, not the
+        // configured initial one, for the suffix to line up.
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    #[test]
+    fn clta_roundtrip(
+        n in 1usize..40,
+        z in 1.0f64..3.0,
+        (prefix, suffix) in streams(),
+    ) {
+        let cfg = CltaConfig::builder(5.0, 5.0)
+            .sample_size(n).quantile_factor(z).build().unwrap();
+        let mut live = Clta::new(cfg);
+        let mut fresh = Clta::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    #[test]
+    fn static_roundtrip(
+        k in 1usize..5,
+        d in 1u32..6,
+        (prefix, suffix) in streams(),
+    ) {
+        let mut live = StaticRejuvenation::new(5.0, 5.0, k, d).unwrap();
+        let mut fresh = StaticRejuvenation::new(5.0, 5.0, k, d).unwrap();
+        for &v in &prefix {
+            live.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    #[test]
+    fn cusum_roundtrip(
+        reference in 0.0f64..1.5,
+        decision in 0.5f64..8.0,
+        (prefix, suffix) in streams(),
+    ) {
+        let cfg = CusumConfig::new(5.0, 5.0, reference, decision).unwrap();
+        let mut live = Cusum::new(cfg);
+        let mut fresh = Cusum::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    #[test]
+    fn ewma_roundtrip(
+        weight in 0.05f64..1.0,
+        limit in 1.0f64..4.0,
+        (prefix, suffix) in streams(),
+    ) {
+        let cfg = EwmaConfig::new(5.0, 5.0, weight, limit).unwrap();
+        let mut live = Ewma::new(cfg);
+        let mut fresh = Ewma::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut fresh, &suffix)?;
+    }
+
+    /// Restoring a snapshot into a detector that has already diverged
+    /// discards the divergent state entirely.
+    #[test]
+    fn restore_overwrites_diverged_state(
+        (prefix, suffix) in streams(),
+        noise in proptest::collection::vec(0.0f64..60.0, 1..200),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(2).buckets(3).depth(2).build().unwrap();
+        let mut live = Sraa::new(cfg);
+        let mut diverged = Sraa::new(cfg);
+        for &v in &prefix {
+            live.observe(v);
+        }
+        for &v in &noise {
+            diverged.observe(v);
+        }
+        assert_roundtrip(&mut live, &mut diverged, &suffix)?;
+    }
+}

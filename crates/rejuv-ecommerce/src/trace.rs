@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io::{self, Write};
 
 /// One state-change event of the simulated system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -148,6 +149,31 @@ impl EventTrace {
     pub fn clear_events(&mut self) {
         self.events.clear();
     }
+
+    /// The retained events rendered as JSON lines, oldest first — the
+    /// interchange format `monitord --replay` and external tooling
+    /// consume.
+    pub fn jsonl_lines(&self) -> impl Iterator<Item = String> + '_ {
+        self.events.iter().map(|event| {
+            serde_json::to_string(event).expect("SystemEvent serialisation cannot fail")
+        })
+    }
+
+    /// Writes the retained events as JSONL (one event per line, oldest
+    /// first) to `writer`, returning the number of lines written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_jsonl<W: Write>(&self, writer: &mut W) -> io::Result<usize> {
+        let mut written = 0;
+        for line in self.jsonl_lines() {
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            written += 1;
+        }
+        Ok(written)
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +231,31 @@ mod tests {
             ),
             (1, 1, 1, 1, 1)
         );
+    }
+
+    #[test]
+    fn jsonl_export_round_trips_each_event() {
+        let mut t = EventTrace::new(8);
+        t.record(SystemEvent::GcStarted {
+            at: 1.5,
+            heap_used_mb: 412.25,
+        });
+        t.record(SystemEvent::Rejuvenated { at: 2.5, lost: 7 });
+        let mut buf = Vec::new();
+        assert_eq!(t.write_jsonl(&mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.ends_with('\n'));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let decoded: Vec<SystemEvent> = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        let originals: Vec<SystemEvent> = t.events().copied().collect();
+        assert_eq!(decoded, originals);
+        // The iterator form matches the writer form line for line.
+        let iterated: Vec<String> = t.jsonl_lines().collect();
+        assert_eq!(iterated, lines);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! coordinates, never from the thread that happens to run it.
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_ecommerce::cluster::{ClusterMetrics, ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{LoadPoint, Runner, SystemConfig};
 use rejuv_sim::Executor;
 
@@ -51,6 +52,50 @@ fn sweep_without_detector_is_bitwise_identical_for_any_worker_count() {
     let serial = sweep_with(1, &none);
     for workers in [2, 8] {
         assert_eq!(serial, sweep_with(workers, &none));
+    }
+}
+
+/// Runs a small cluster experiment grid — (arrival rate × replication)
+/// cells, each a 3-host cluster with an SRAA detector per host — through
+/// an executor with the given worker count. Every cell derives its seed
+/// from its grid coordinates, so the output must not depend on which
+/// worker runs it.
+fn cluster_grid_with(workers: usize) -> Vec<ClusterMetrics> {
+    let rates = [2.0, 6.0, 9.0];
+    let replications = 2usize;
+    let host_config = SystemConfig::paper_at_load(1.0).unwrap();
+    let detector_config = SraaConfig::builder(5.0, 5.0)
+        .sample_size(2)
+        .buckets(5)
+        .depth(3)
+        .build()
+        .unwrap();
+    Executor::new(workers).run(rates.len() * replications, |cell| {
+        let rate = rates[cell / replications];
+        let replication = (cell % replications) as u64;
+        let seed = 0xC1_05_7E_00u64 | (replication << 16) | (cell / replications) as u64;
+        let mut cluster =
+            ClusterSystem::new(host_config, 3, rate, RoutingPolicy::LeastActive, 30.0, seed);
+        cluster.attach_detectors(|_| Box::new(Sraa::new(detector_config)));
+        cluster.run(1_500)
+    })
+}
+
+#[test]
+fn cluster_grid_is_bitwise_identical_for_any_worker_count() {
+    let serial = cluster_grid_with(1);
+    assert!(
+        serial
+            .iter()
+            .any(|m| m.rejuvenations_per_host.iter().sum::<u64>() > 0),
+        "grid should exercise at least one rejuvenation"
+    );
+    for workers in [2, 8] {
+        assert_eq!(
+            serial,
+            cluster_grid_with(workers),
+            "cluster grid output changed with {workers} workers"
+        );
     }
 }
 

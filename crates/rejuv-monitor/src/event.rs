@@ -1,0 +1,210 @@
+//! The structured JSONL event log.
+//!
+//! Every state change the runtime observes — run header, drained
+//! observation batches, rejuvenation decisions, checkpoint points — is
+//! appended as one JSON object per line, the same
+//! one-self-contained-record-per-line format as
+//! `rejuv_ecommerce::trace::EventTrace::write_jsonl`. A recorded log is
+//! a complete replay script: `monitord --replay` re-ingests the `Batch`
+//! lines through a fresh supervisor (rebuilt from the `Start` header)
+//! and must reproduce every decision bit-for-bit.
+
+use rejuv_core::DetectorSnapshot;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One line of the monitor event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorEvent {
+    /// Run header: enough configuration to rebuild an identical
+    /// supervisor for replay. Always the first line of a log.
+    Start {
+        /// Number of monitored shards.
+        shards: u32,
+        /// Detector kind attached to every shard (a
+        /// `RejuvenationDetector::name`).
+        detector: String,
+        /// Per-shard ingestion queue capacity.
+        queue_capacity: u64,
+        /// Maximum observations drained per poll.
+        drain_batch: u64,
+        /// Checkpoint cadence, observations per shard (`None` disabled).
+        snapshot_every: Option<u64>,
+    },
+    /// One drained batch of observations, in processing order. `seq` is
+    /// the shard-local index of the first value.
+    Batch {
+        /// Shard that processed the batch.
+        shard: u32,
+        /// Shard-local sequence number of `values[0]` (0-based).
+        seq: u64,
+        /// The observation values, oldest first.
+        values: Vec<f64>,
+    },
+    /// The shard's detector decided to rejuvenate on observation `seq`.
+    Rejuvenated {
+        /// Shard whose detector fired.
+        shard: u32,
+        /// Shard-local sequence number of the triggering observation.
+        seq: u64,
+    },
+    /// A detector state checkpoint taken after observation `seq`.
+    Snapshot {
+        /// Shard that was checkpointed.
+        shard: u32,
+        /// Shard-local sequence number of the last processed
+        /// observation.
+        seq: u64,
+        /// The complete detector state.
+        state: DetectorSnapshot,
+    },
+}
+
+/// An append-only JSONL writer for [`MonitorEvent`]s.
+pub struct EventLog {
+    sink: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    /// Wraps any writer (a file, a `Vec<u8>` buffer, …).
+    pub fn new(sink: Box<dyn Write + Send>) -> Self {
+        EventLog { sink }
+    }
+
+    /// Appends one event as a JSON line.
+    pub fn record(&mut self, event: &MonitorEvent) -> io::Result<()> {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+/// A cloneable in-memory byte sink for capturing an [`EventLog`]
+/// without touching the filesystem (tests, in-process replay checks).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer {
+    bytes: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// A copy of everything written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.bytes.lock().expect("buffer lock poisoned").clone()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes
+            .lock()
+            .expect("buffer lock poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Reads a full JSONL event log back, skipping blank lines.
+///
+/// # Errors
+///
+/// I/O errors from the reader, or `InvalidData` for unparseable lines.
+pub fn read_events<R: BufRead>(reader: R) -> io::Result<Vec<MonitorEvent>> {
+    let mut events = Vec::new();
+    for (number, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("event log line {}: {e}", number + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+
+    fn events() -> Vec<MonitorEvent> {
+        let mut sraa = Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(2)
+                .build()
+                .unwrap(),
+        );
+        sraa.observe(3.5);
+        vec![
+            MonitorEvent::Start {
+                shards: 2,
+                detector: "SRAA".to_owned(),
+                queue_capacity: 1024,
+                drain_batch: 64,
+                snapshot_every: Some(500),
+            },
+            MonitorEvent::Batch {
+                shard: 0,
+                seq: 0,
+                values: vec![1.25, 40.0, 3.0],
+            },
+            MonitorEvent::Rejuvenated { shard: 0, seq: 2 },
+            MonitorEvent::Snapshot {
+                shard: 1,
+                seq: 7,
+                state: sraa.snapshot().unwrap(),
+            },
+        ]
+    }
+
+    #[test]
+    fn log_round_trips_through_jsonl() {
+        let buffer = SharedBuffer::new();
+        {
+            let mut log = EventLog::new(Box::new(buffer.clone()));
+            for event in &events() {
+                log.record(event).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        let bytes = buffer.contents();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(text.lines().count(), 4, "one JSON object per line");
+        let back = read_events(io::Cursor::new(bytes)).unwrap();
+        assert_eq!(back, events());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_rejected() {
+        let ok = read_events(io::Cursor::new(b"\n\n".to_vec())).unwrap();
+        assert!(ok.is_empty());
+        let err = read_events(io::Cursor::new(b"not json\n".to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 1"));
+    }
+}

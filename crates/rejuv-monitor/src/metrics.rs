@@ -1,0 +1,243 @@
+//! A lightweight, deterministic metrics registry.
+//!
+//! Three instrument kinds, mirroring what a production monitoring stack
+//! exports:
+//!
+//! * **counters** — monotonic `u64` totals (observations processed,
+//!   rejuvenations fired),
+//! * **gauges** — last-write-wins `f64` levels (queue depth, shard
+//!   count),
+//! * **histograms** — fixed-bucket distributions with lifetime count and
+//!   sum (observation values, drain batch sizes).
+//!
+//! The registry is plain data behind `BTreeMap`s: exporting it yields a
+//! [`MetricsReport`] whose JSON rendering is byte-stable across runs —
+//! the property `monitord --replay` relies on to prove a re-analysis
+//! reproduced the live run exactly. Nothing here reads the wall clock.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds[i]` is the *inclusive* upper edge
+/// of bucket `i`, with one extra overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named monotonic counter, creating it at zero.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Registers a histogram with the given bounds if absent; no-op for
+    /// an existing name (the original bounds win).
+    pub fn register_histogram(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records into a registered histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram was never registered — instrument names
+    /// are static, so an unknown name is a programming error.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram {name} was never registered"))
+            .record(value);
+    }
+
+    /// Reads a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Rebuilds a registry from an exported report, resuming every
+    /// instrument at its exported state (the checkpoint-restore path).
+    pub fn from_report(report: &MetricsReport) -> Self {
+        MetricsRegistry {
+            counters: report.counters.clone(),
+            gauges: report.gauges.clone(),
+            histograms: report.histograms.clone(),
+        }
+    }
+
+    /// Exports everything as a serialisable, order-stable report.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// A point-in-time export of a [`MetricsRegistry`].
+///
+/// `BTreeMap`-backed, so serialising the same state always yields the
+/// same bytes — reports are directly `diff`-able.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]); // 1.0 lands inclusively
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 104.5);
+        assert!((h.mean() - 26.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.inc("obs", 3);
+        m.inc("obs", 2);
+        m.set_gauge("depth", 4.0);
+        m.set_gauge("depth", 7.0);
+        assert_eq!(m.counter("obs"), 5);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("depth"), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "never registered")]
+    fn observing_unregistered_histogram_panics() {
+        let mut m = MetricsRegistry::new();
+        m.observe("latency", 1.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut m = MetricsRegistry::new();
+        m.inc("rejuvenations", 2);
+        m.set_gauge("shards", 4.0);
+        m.register_histogram("value", &[1.0, 5.0, 25.0]);
+        m.observe("value", 3.5);
+        m.observe("value", 50.0);
+        let report = m.report();
+        let text = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report, back);
+        // Same state, same bytes: the replay-determinism contract.
+        assert_eq!(text, serde_json::to_string(&m.report()).unwrap());
+    }
+}

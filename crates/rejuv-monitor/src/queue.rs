@@ -1,0 +1,215 @@
+//! Bounded single-producer/single-consumer observation queues.
+//!
+//! Each supervisor shard owns one [`ObsQueue`]: the producer side (a
+//! simulation feed, an instrumented request path) pushes raw `f64`
+//! samples, the consumer side (the supervisor's drain loop) removes them
+//! in batches. The queue is *bounded*: when the consumer falls behind,
+//! pushes fail fast and are counted instead of blocking the producer —
+//! overload degrades monitoring fidelity, never source throughput.
+//!
+//! The implementation is a mutex-guarded ring buffer. Batched drains
+//! amortise the lock so a handful of shards sustain tens of millions of
+//! observations per second (see `BENCH_monitor.json`); a lock-free ring
+//! would need `unsafe`, which this workspace forbids.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct QueueInner {
+    buf: Mutex<VecDeque<f64>>,
+    capacity: usize,
+    /// Samples accepted by `push` over the queue's lifetime.
+    accepted: AtomicU64,
+    /// Samples rejected because the queue was full.
+    dropped: AtomicU64,
+}
+
+/// A bounded queue of observations, cheaply cloneable into producer and
+/// consumer handles (clones share the same buffer and counters).
+#[derive(Clone)]
+pub struct ObsQueue {
+    inner: Arc<QueueInner>,
+}
+
+impl std::fmt::Debug for ObsQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsQueue")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.len())
+            .field("accepted", &self.accepted())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl ObsQueue {
+    /// Creates a queue holding at most `capacity` pending observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        ObsQueue {
+            inner: Arc::new(QueueInner {
+                buf: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
+                capacity,
+                accepted: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Offers one observation; returns `false` (and counts a drop) if
+    /// the queue is full.
+    pub fn push(&self, value: f64) -> bool {
+        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
+        if buf.len() >= self.inner.capacity {
+            drop(buf);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            buf.push_back(value);
+            drop(buf);
+            self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    /// Pushes, spinning (with a scheduler yield) until space frees up.
+    /// For producers that must not lose samples, e.g. the throughput
+    /// bench's load generators.
+    pub fn push_blocking(&self, value: f64) {
+        loop {
+            {
+                let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
+                if buf.len() < self.inner.capacity {
+                    buf.push_back(value);
+                    drop(buf);
+                    self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Moves up to `max` pending observations into `out` (appended in
+    /// FIFO order), returning how many were moved. One lock acquisition
+    /// per batch.
+    pub fn drain_into(&self, out: &mut Vec<f64>, max: usize) -> usize {
+        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
+        let take = buf.len().min(max);
+        out.extend(buf.drain(..take));
+        take
+    }
+
+    /// Pending observations right now.
+    pub fn len(&self) -> usize {
+        self.inner.buf.lock().expect("queue lock poisoned").len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum pending observations.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Resets the lifetime accounting to checkpointed values; used when
+    /// a supervisor restores a snapshot so its report resumes the
+    /// checkpoint's totals.
+    pub(crate) fn resume_counters(&self, accepted: u64, dropped: u64) {
+        self.inner.accepted.store(accepted, Ordering::Relaxed);
+        self.inner.dropped.store(dropped, Ordering::Relaxed);
+    }
+
+    /// Lifetime count of accepted observations.
+    pub fn accepted(&self) -> u64 {
+        self.inner.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of observations dropped to back-pressure.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ObsQueue::bounded(0);
+    }
+
+    #[test]
+    fn push_fails_fast_when_full() {
+        let q = ObsQueue::bounded(2);
+        assert!(q.push(1.0));
+        assert!(q.push(2.0));
+        assert!(!q.push(3.0));
+        assert_eq!((q.accepted(), q.dropped(), q.len()), (2, 1, 2));
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order_and_frees_space() {
+        let q = ObsQueue::bounded(3);
+        for v in [1.0, 2.0, 3.0] {
+            q.push(v);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 2), 2);
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert!(q.push(4.0), "drain must free capacity");
+        assert_eq!(q.drain_into(&mut out, 10), 2);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let q = ObsQueue::bounded(4);
+        let producer = q.clone();
+        producer.push(7.0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.accepted(), 1);
+    }
+
+    #[test]
+    fn threaded_producer_consumer_loses_nothing_with_blocking_push() {
+        let q = ObsQueue::bounded(16);
+        let producer = q.clone();
+        const N: u64 = 10_000;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    producer.push_blocking(i as f64);
+                }
+            });
+            let mut seen = 0u64;
+            let mut batch = Vec::new();
+            let mut expected = 0.0;
+            while seen < N {
+                batch.clear();
+                let n = q.drain_into(&mut batch, 64);
+                for &v in &batch {
+                    assert_eq!(v, expected, "FIFO order must survive threading");
+                    expected += 1.0;
+                }
+                seen += n as u64;
+                if n == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(q.accepted(), N);
+        assert_eq!(q.dropped(), 0);
+    }
+}

@@ -1,0 +1,699 @@
+//! The sharded detector supervisor.
+//!
+//! A [`Supervisor`] owns N independent monitored streams (*shards* — one
+//! per cluster host, service instance, …). Each shard couples a bounded
+//! ingestion queue ([`ObsQueue`]) to a boxed
+//! [`RejuvenationDetector`]: producers push raw observations through a
+//! [`ShardSender`] (possibly from another thread), the supervisor drains
+//! them in batches through the detector and accounts for every sample —
+//! processed, or dropped to back-pressure. All decisions, counters and
+//! the per-shard FNV-1a decision digest are pure functions of each
+//! shard's observation sequence, which is what makes a recorded run
+//! exactly replayable.
+
+use crate::event::{EventLog, MonitorEvent};
+use crate::metrics::{MetricsRegistry, MetricsReport};
+use crate::queue::ObsQueue;
+use rejuv_core::{Decision, DetectorSnapshot, RejuvenationDetector};
+use rejuv_sim::{Observation, ObservationSink};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io;
+
+/// Histogram bounds for observation values (seconds; the paper's SLA
+/// puts µX at 5 s).
+const VALUE_BOUNDS: [f64; 7] = [1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0];
+/// Histogram bounds for drain batch sizes.
+const BATCH_BOUNDS: [f64; 5] = [1.0, 8.0, 64.0, 512.0, 4096.0];
+
+/// Tuning knobs of a [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Capacity of each shard's ingestion queue; pushes beyond it are
+    /// dropped and counted.
+    pub queue_capacity: usize,
+    /// Maximum observations processed per shard per poll.
+    pub drain_batch: usize,
+    /// Checkpoint cadence: emit a [`MonitorEvent::Snapshot`] every this
+    /// many processed observations per shard (`None` disables).
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            queue_capacity: 8_192,
+            drain_batch: 512,
+            snapshot_every: None,
+        }
+    }
+}
+
+struct Shard {
+    detector: Box<dyn RejuvenationDetector>,
+    queue: ObsQueue,
+    /// Observations fed through the detector so far.
+    processed: u64,
+    /// Rejuvenate decisions returned so far.
+    rejuvenations: u64,
+    /// FNV-1a over every (value bits, decision) pair, in order.
+    digest: u64,
+    last_decision: Decision,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+impl Shard {
+    fn apply(&mut self, value: f64) -> Decision {
+        let decision = self.detector.observe(value);
+        self.processed += 1;
+        self.digest = fnv1a(self.digest, &value.to_bits().to_le_bytes());
+        self.digest = fnv1a(self.digest, &[decision.is_rejuvenate() as u8]);
+        if decision.is_rejuvenate() {
+            self.rejuvenations += 1;
+        }
+        self.last_decision = decision;
+        decision
+    }
+}
+
+/// A producer handle for one shard's ingestion queue.
+///
+/// Cheap to clone, safe to move to another thread, and usable as a
+/// [`rejuv_sim::ObservationSink`], so an engine-driven model can feed a
+/// supervisor without depending on this crate's types.
+#[derive(Debug, Clone)]
+pub struct ShardSender {
+    shard: u32,
+    queue: ObsQueue,
+}
+
+impl ShardSender {
+    /// The shard this handle feeds.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Offers one observation; `false` means it was dropped to
+    /// back-pressure (and counted).
+    pub fn send(&self, value: f64) -> bool {
+        self.queue.push(value)
+    }
+
+    /// Sends, spinning until queue space frees up (lossless producers).
+    pub fn send_blocking(&self, value: f64) {
+        self.queue.push_blocking(value);
+    }
+}
+
+impl ObservationSink for ShardSender {
+    fn push(&mut self, observation: Observation) -> bool {
+        self.queue.push(observation.value)
+    }
+}
+
+/// Per-shard slice of a [`MonitorReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: u32,
+    /// Detector kind supervising the shard.
+    pub detector: String,
+    /// Observations fed through the detector.
+    pub processed: u64,
+    /// Observations accepted into the queue over its lifetime.
+    pub accepted: u64,
+    /// Observations dropped to back-pressure.
+    pub dropped: u64,
+    /// Rejuvenate decisions returned.
+    pub rejuvenations: u64,
+    /// Lifetime trigger count reported by the detector itself (survives
+    /// snapshot/restore; equals `rejuvenations` for a fresh supervisor).
+    pub detector_triggers: u64,
+    /// FNV-1a digest over the (value, decision) sequence, hex-encoded.
+    pub digest: String,
+}
+
+/// The final metrics report of a monitoring run.
+///
+/// Serialising this is byte-stable: a replayed run that processed the
+/// same per-shard observation sequences produces an identical report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Per-shard accounting.
+    pub shards: Vec<ShardReport>,
+    /// Sum of `processed` over all shards.
+    pub total_processed: u64,
+    /// Sum of `dropped` over all shards.
+    pub total_dropped: u64,
+    /// Sum of `rejuvenations` over all shards.
+    pub total_rejuvenations: u64,
+    /// The metrics registry export.
+    pub metrics: MetricsReport,
+}
+
+/// A complete supervisor checkpoint: every shard's detector state plus
+/// the run accounting, restorable via [`Supervisor::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorSnapshot {
+    /// Per-shard detector snapshots and counters, by shard index.
+    pub shards: Vec<ShardSnapshot>,
+    /// The metrics registry export at checkpoint time.
+    pub metrics: MetricsReport,
+}
+
+/// One shard's slice of a [`SupervisorSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// The detector's complete state.
+    pub detector: DetectorSnapshot,
+    /// Observations processed when the checkpoint was taken.
+    pub processed: u64,
+    /// Rejuvenate decisions returned when the checkpoint was taken.
+    pub rejuvenations: u64,
+    /// Decision digest when the checkpoint was taken.
+    pub digest: u64,
+    /// Queue-lifetime accepted count when the checkpoint was taken.
+    pub accepted: u64,
+    /// Queue-lifetime dropped count when the checkpoint was taken.
+    pub dropped: u64,
+}
+
+/// Why [`Supervisor::restore`] refused a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint was taken from a supervisor with a different
+    /// number of shards.
+    ShardCountMismatch {
+        /// Shards in this supervisor.
+        expected: usize,
+        /// Shards in the checkpoint.
+        found: usize,
+    },
+    /// A shard's detector rejected its snapshot (wrong kind or
+    /// unsupported).
+    Detector {
+        /// The offending shard.
+        shard: usize,
+        /// The underlying error.
+        source: rejuv_core::SnapshotError,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::ShardCountMismatch { expected, found } => write!(
+                f,
+                "checkpoint has {found} shards but the supervisor has {expected}"
+            ),
+            RestoreError::Detector { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The sharded online monitoring runtime.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    shards: Vec<Shard>,
+    metrics: MetricsRegistry,
+    log: Option<EventLog>,
+    scratch: Vec<f64>,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("config", &self.config)
+            .field("shards", &self.shards.len())
+            .field("logging", &self.log.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// Creates an empty supervisor; add streams with
+    /// [`Supervisor::add_shard`].
+    pub fn new(config: SupervisorConfig) -> Self {
+        assert!(config.drain_batch > 0, "drain batch must be positive");
+        let mut metrics = MetricsRegistry::new();
+        metrics.register_histogram("observation_value", &VALUE_BOUNDS);
+        metrics.register_histogram("drain_batch_size", &BATCH_BOUNDS);
+        metrics.set_gauge("shards", 0.0);
+        Supervisor {
+            scratch: Vec::with_capacity(config.drain_batch),
+            config,
+            shards: Vec::new(),
+            metrics,
+            log: None,
+        }
+    }
+
+    /// Convenience: a supervisor with `shards` streams from a detector
+    /// factory (shard index passed in).
+    pub fn with_shards<F>(config: SupervisorConfig, shards: usize, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn RejuvenationDetector>,
+    {
+        let mut sup = Supervisor::new(config);
+        for i in 0..shards {
+            sup.add_shard(factory(i));
+        }
+        sup
+    }
+
+    /// Adds a monitored stream supervised by `detector`; returns its
+    /// shard index.
+    pub fn add_shard(&mut self, detector: Box<dyn RejuvenationDetector>) -> usize {
+        self.shards.push(Shard {
+            detector,
+            queue: ObsQueue::bounded(self.config.queue_capacity),
+            processed: 0,
+            rejuvenations: 0,
+            digest: FNV_OFFSET,
+            last_decision: Decision::Continue,
+        });
+        self.metrics.set_gauge("shards", self.shards.len() as f64);
+        self.shards.len() - 1
+    }
+
+    /// Number of monitored streams.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Attaches a JSONL event log; subsequent drains append to it.
+    pub fn set_log(&mut self, log: EventLog) {
+        self.log = Some(log);
+    }
+
+    /// Detaches and returns the event log, if any.
+    pub fn take_log(&mut self) -> Option<EventLog> {
+        self.log.take()
+    }
+
+    /// A cloneable producer handle for `shard`'s ingestion queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn sender(&self, shard: usize) -> ShardSender {
+        ShardSender {
+            shard: shard as u32,
+            queue: self.shards[shard].queue.clone(),
+        }
+    }
+
+    /// Offers one observation to `shard`'s queue without draining;
+    /// `false` means dropped to back-pressure.
+    pub fn ingest(&self, shard: usize, value: f64) -> bool {
+        self.shards[shard].queue.push(value)
+    }
+
+    /// Drains up to `drain_batch` pending observations of one shard
+    /// through its detector, logging the batch and any rejuvenations.
+    /// Returns how many observations were processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log write failures; the shard state has already
+    /// advanced past the processed observations.
+    pub fn poll_shard(&mut self, shard: usize) -> io::Result<usize> {
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.clear();
+        let result = self.drain_one(shard, &mut batch);
+        self.scratch = batch;
+        result
+    }
+
+    fn drain_one(&mut self, shard: usize, batch: &mut Vec<f64>) -> io::Result<usize> {
+        let state = &mut self.shards[shard];
+        state.queue.drain_into(batch, self.config.drain_batch);
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let seq_start = state.processed;
+        if let Some(log) = self.log.as_mut() {
+            log.record(&MonitorEvent::Batch {
+                shard: shard as u32,
+                seq: seq_start,
+                values: batch.clone(),
+            })?;
+        }
+        let state = &mut self.shards[shard];
+        let mut fired: Vec<u64> = Vec::new();
+        for &value in batch.iter() {
+            let seq = state.processed;
+            if state.apply(value).is_rejuvenate() {
+                fired.push(seq);
+            }
+            self.metrics.observe("observation_value", value);
+        }
+        self.metrics.observe("drain_batch_size", batch.len() as f64);
+        self.metrics
+            .inc("observations_processed", batch.len() as u64);
+        self.metrics.inc("rejuvenations", fired.len() as u64);
+        if let Some(log) = self.log.as_mut() {
+            for &seq in &fired {
+                log.record(&MonitorEvent::Rejuvenated {
+                    shard: shard as u32,
+                    seq,
+                })?;
+            }
+        }
+        if let Some(every) = self.config.snapshot_every {
+            let state = &self.shards[shard];
+            let crossed = (state.processed / every) > (seq_start / every);
+            if crossed {
+                if let Some(snapshot) = state.detector.snapshot() {
+                    let event = MonitorEvent::Snapshot {
+                        shard: shard as u32,
+                        seq: state.processed - 1,
+                        state: snapshot,
+                    };
+                    if let Some(log) = self.log.as_mut() {
+                        log.record(&event)?;
+                    }
+                    self.metrics.inc("snapshots", 1);
+                }
+            }
+        }
+        Ok(batch.len())
+    }
+
+    /// Polls every shard once, round-robin; returns total observations
+    /// processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log write failures.
+    pub fn poll_all(&mut self) -> io::Result<usize> {
+        let mut total = 0;
+        for shard in 0..self.shards.len() {
+            total += self.poll_shard(shard)?;
+        }
+        Ok(total)
+    }
+
+    /// Synchronously feeds one observation: ingest, then drain the shard
+    /// until its queue is empty, returning the decision for the *last*
+    /// processed observation (i.e. this one, when the queue was empty).
+    ///
+    /// This is the live-attachment path: a model that needs a decision
+    /// per observation degenerates the batched drain to batch size 1,
+    /// while decoupled producers keep the full batching.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log write failures.
+    pub fn process_sync(&mut self, shard: usize, value: f64) -> io::Result<Decision> {
+        if !self.ingest(shard, value) {
+            self.metrics.inc("observations_dropped", 1);
+        }
+        while self.poll_shard(shard)? > 0 {}
+        Ok(self.shards[shard].last_decision)
+    }
+
+    /// Observations processed by `shard` so far.
+    pub fn processed(&self, shard: usize) -> u64 {
+        self.shards[shard].processed
+    }
+
+    /// Rejuvenate decisions returned by `shard` so far.
+    pub fn rejuvenations(&self, shard: usize) -> u64 {
+        self.shards[shard].rejuvenations
+    }
+
+    /// Pending (ingested, not yet drained) observations of `shard`.
+    pub fn backlog(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+
+    /// The metrics registry (for ad-hoc instruments around the runtime).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Exports the final report: per-shard accounting plus the metrics
+    /// registry.
+    pub fn report(&self) -> MonitorReport {
+        let shards: Vec<ShardReport> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardReport {
+                shard: i as u32,
+                detector: s.detector.name().to_owned(),
+                processed: s.processed,
+                accepted: s.queue.accepted(),
+                dropped: s.queue.dropped(),
+                rejuvenations: s.rejuvenations,
+                detector_triggers: s.detector.rejuvenation_count(),
+                digest: format!("{:016x}", s.digest),
+            })
+            .collect();
+        MonitorReport {
+            total_processed: shards.iter().map(|s| s.processed).sum(),
+            total_dropped: shards.iter().map(|s| s.dropped).sum(),
+            total_rejuvenations: shards.iter().map(|s| s.rejuvenations).sum(),
+            shards,
+            metrics: self.metrics.report(),
+        }
+    }
+
+    /// Checkpoints every shard's detector state and the run accounting.
+    ///
+    /// Returns `None` if any shard's detector does not support
+    /// snapshots (all-or-nothing: a partial checkpoint could not be
+    /// restored coherently).
+    pub fn snapshot(&self) -> Option<SupervisorSnapshot> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            shards.push(ShardSnapshot {
+                detector: s.detector.snapshot()?,
+                processed: s.processed,
+                rejuvenations: s.rejuvenations,
+                digest: s.digest,
+                accepted: s.queue.accepted(),
+                dropped: s.queue.dropped(),
+            });
+        }
+        Some(SupervisorSnapshot {
+            shards,
+            metrics: self.metrics.report(),
+        })
+    }
+
+    /// Restores a checkpoint taken by [`Supervisor::snapshot`]:
+    /// detectors resume mid-epidemic, counters and metrics resume their
+    /// totals. Pending queue contents are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] if the shard counts differ or a detector rejects
+    /// its snapshot; the supervisor is unchanged on error.
+    pub fn restore(&mut self, snapshot: &SupervisorSnapshot) -> Result<(), RestoreError> {
+        if snapshot.shards.len() != self.shards.len() {
+            return Err(RestoreError::ShardCountMismatch {
+                expected: self.shards.len(),
+                found: snapshot.shards.len(),
+            });
+        }
+        let mut detectors = Vec::with_capacity(snapshot.shards.len());
+        for shard in &snapshot.shards {
+            detectors.push(shard.detector.clone().into_detector());
+        }
+        for (state, (shard, detector)) in self
+            .shards
+            .iter_mut()
+            .zip(snapshot.shards.iter().zip(detectors))
+        {
+            state.detector = detector;
+            state.processed = shard.processed;
+            state.rejuvenations = shard.rejuvenations;
+            state.digest = shard.digest;
+            state.queue.resume_counters(shard.accepted, shard.dropped);
+            state.last_decision = Decision::Continue;
+        }
+        self.metrics = MetricsRegistry::from_report(&snapshot.metrics);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rejuv_core::{Sraa, SraaConfig};
+
+    fn sraa() -> Box<dyn RejuvenationDetector> {
+        Box::new(Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(2)
+                .buckets(2)
+                .depth(1)
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    fn small() -> Supervisor {
+        Supervisor::with_shards(
+            SupervisorConfig {
+                queue_capacity: 64,
+                drain_batch: 8,
+                snapshot_every: None,
+            },
+            2,
+            |_| sraa(),
+        )
+    }
+
+    #[test]
+    fn batched_drain_processes_in_fifo_order() {
+        let mut sup = small();
+        for i in 0..20 {
+            assert!(sup.ingest(0, i as f64));
+        }
+        assert_eq!(sup.poll_shard(0).unwrap(), 8, "caps at drain_batch");
+        assert_eq!(sup.poll_shard(0).unwrap(), 8);
+        assert_eq!(sup.poll_shard(0).unwrap(), 4);
+        assert_eq!(sup.poll_shard(0).unwrap(), 0);
+        assert_eq!(sup.processed(0), 20);
+        assert_eq!(sup.processed(1), 0, "shards are independent");
+    }
+
+    #[test]
+    fn back_pressure_drops_are_counted_not_blocking() {
+        let sup = Supervisor::with_shards(
+            SupervisorConfig {
+                queue_capacity: 4,
+                drain_batch: 8,
+                snapshot_every: None,
+            },
+            1,
+            |_| sraa(),
+        );
+        let sender = sup.sender(0);
+        let mut accepted = 0;
+        for i in 0..10 {
+            if sender.send(i as f64) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 4);
+        let report = sup.report();
+        assert_eq!(report.shards[0].accepted, 4);
+        assert_eq!(report.shards[0].dropped, 6);
+        assert_eq!(report.total_dropped, 6);
+    }
+
+    #[test]
+    fn process_sync_matches_a_bare_detector() {
+        let mut sup = small();
+        let mut reference = sraa();
+        let values: Vec<f64> = (0..500)
+            .map(|i| {
+                if i % 7 == 0 {
+                    60.0
+                } else {
+                    4.0 + (i % 5) as f64
+                }
+            })
+            .collect();
+        for &v in &values {
+            let expected = reference.observe(v);
+            assert_eq!(sup.process_sync(0, v).unwrap(), expected);
+        }
+        assert_eq!(sup.rejuvenations(0), reference.rejuvenation_count());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_decisions_and_values() {
+        let mut a = small();
+        let mut b = small();
+        for v in [1.0, 2.0, 3.0] {
+            a.process_sync(0, v).unwrap();
+            b.process_sync(0, v).unwrap();
+        }
+        assert_eq!(a.report().shards[0].digest, b.report().shards[0].digest);
+        b.process_sync(0, 4.0).unwrap();
+        assert_ne!(a.report().shards[0].digest, b.report().shards[0].digest);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut live = small();
+        for i in 0..137 {
+            live.process_sync(i % 2, 50.0 + (i % 3) as f64).unwrap();
+        }
+        let checkpoint = live.snapshot().expect("SRAA shards snapshot");
+
+        // A fresh supervisor restored from the checkpoint must agree
+        // with the uninterrupted one on every subsequent decision.
+        let mut resumed = small();
+        resumed.restore(&checkpoint).unwrap();
+        for i in 0..300 {
+            let shard = (i % 2) as usize;
+            let v = 45.0 + (i % 4) as f64;
+            assert_eq!(
+                live.process_sync(shard, v).unwrap(),
+                resumed.process_sync(shard, v).unwrap()
+            );
+        }
+        assert_eq!(live.report(), resumed.report());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shard_count() {
+        let live = small();
+        let checkpoint = live.snapshot().unwrap();
+        let mut other = Supervisor::with_shards(SupervisorConfig::default(), 3, |_| sraa());
+        assert_eq!(
+            other.restore(&checkpoint),
+            Err(RestoreError::ShardCountMismatch {
+                expected: 3,
+                found: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn supervisor_snapshot_round_trips_through_json() {
+        let mut sup = small();
+        for _ in 0..9 {
+            sup.process_sync(0, 30.0).unwrap();
+        }
+        let snap = sup.snapshot().unwrap();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: SupervisorSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn sender_works_as_observation_sink() {
+        use rejuv_sim::Observation;
+        let mut sup = small();
+        let mut sink: Box<dyn ObservationSink> = Box::new(sup.sender(1));
+        assert!(sink.push(Observation::at_secs(0.5, 42.0)));
+        assert_eq!(sup.poll_shard(1).unwrap(), 1);
+        assert_eq!(sup.processed(1), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Live observation feeds — the bridge between a running simulation (or
+//! a real system) and an online monitoring consumer.
+//!
+//! The DES engine drives models that *produce* per-transaction
+//! observations (response times); an online monitoring runtime *consumes*
+//! them. [`ObservationSink`] is the seam between the two: models push
+//! timestamped samples without knowing what sits on the other side, and
+//! consumers (an in-process supervisor shard, a bounded queue feeding
+//! another thread, a file) implement one small object-safe trait.
+//!
+//! A sink push is allowed to fail — bounded consumers shed load instead
+//! of blocking the simulation — and the boolean return value lets the
+//! producer account for dropped samples.
+
+use crate::time::SimTime;
+
+/// One timestamped sample of a monitored metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// When the sample was produced, in simulation time.
+    pub at: SimTime,
+    /// The sampled value (e.g. a response time in seconds).
+    pub value: f64,
+}
+
+impl Observation {
+    /// Creates an observation at `at` seconds of simulation time.
+    pub fn at_secs(at: f64, value: f64) -> Self {
+        Observation {
+            at: SimTime::from_secs(at),
+            value,
+        }
+    }
+}
+
+/// A consumer of live observations.
+///
+/// Object-safe and `Send`, so an engine-driven model can hold one as
+/// `Box<dyn ObservationSink>` and a monitoring runtime can hand out
+/// per-shard sinks backed by bounded queues.
+pub trait ObservationSink: Send {
+    /// Offers one observation. Returns `false` if the sink had to drop
+    /// it (bounded consumers under back-pressure); the producer should
+    /// count, not retry.
+    fn push(&mut self, observation: Observation) -> bool;
+}
+
+/// An unbounded in-memory sink; handy for tests and offline capture.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct VecSink {
+    /// Everything pushed so far, in arrival order.
+    pub observations: Vec<Observation>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The pushed values, discarding timestamps.
+    pub fn values(&self) -> Vec<f64> {
+        self.observations.iter().map(|o| o.value).collect()
+    }
+}
+
+impl ObservationSink for VecSink {
+    fn push(&mut self, observation: Observation) -> bool {
+        self.observations.push(observation);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_accepts_everything() {
+        let mut sink = VecSink::new();
+        for i in 0..10 {
+            assert!(sink.push(Observation::at_secs(i as f64, i as f64 * 2.0)));
+        }
+        assert_eq!(sink.observations.len(), 10);
+        assert_eq!(sink.values()[3], 6.0);
+        assert_eq!(sink.observations[3].at.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn sink_is_object_safe() {
+        fn _takes_boxed(_s: Box<dyn ObservationSink>) {}
+    }
+}

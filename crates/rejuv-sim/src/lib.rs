@@ -12,7 +12,10 @@
 //!   adding a consumer never perturbs the others),
 //! * [`exec::Executor`] — a fixed-size worker pool that runs independent
 //!   experiment cells in parallel with bitwise-deterministic, index-ordered
-//!   results regardless of worker count.
+//!   results regardless of worker count,
+//! * [`feed::ObservationSink`] — the live-feed bridge between
+//!   engine-driven models (producers of timestamped samples) and online
+//!   monitoring consumers such as `rejuv-monitor`'s supervisor shards.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod engine;
 pub mod event;
 pub mod exec;
+pub mod feed;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -44,5 +48,6 @@ pub mod time;
 pub use engine::Engine;
 pub use event::{EventId, EventQueue};
 pub use exec::Executor;
+pub use feed::{Observation, ObservationSink, VecSink};
 pub use rng::RngStreams;
 pub use time::SimTime;

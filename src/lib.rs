@@ -10,7 +10,9 @@
 //!   distributions (the SHARPE substitute),
 //! * [`queueing`] — M/M/c analytics and the exact sample-mean density,
 //! * [`sim`] — the discrete-event simulation engine,
-//! * [`ecommerce`] — the DSN 2006 e-commerce system model.
+//! * [`ecommerce`] — the DSN 2006 e-commerce system model,
+//! * [`monitor`] — the online monitoring runtime (sharded detector
+//!   supervision, snapshots, metrics, replayable event logs).
 //!
 //! # Quickstart
 //!
@@ -72,4 +74,9 @@ pub mod sim {
 /// The e-commerce system model (re-export of `rejuv-ecommerce`).
 pub mod ecommerce {
     pub use rejuv_ecommerce::*;
+}
+
+/// The online monitoring runtime (re-export of `rejuv-monitor`).
+pub mod monitor {
+    pub use rejuv_monitor::*;
 }
