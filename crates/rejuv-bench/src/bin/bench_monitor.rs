@@ -2,10 +2,11 @@
 //!
 //! Spawns one lossless producer thread per shard, each pushing a
 //! deterministic synthetic observation stream through its
-//! `ShardSender`, while the main thread drains all shards in batches.
-//! Reports sustained observations per second, verifies the run is
-//! deterministic (per-shard decision digests match a serial reference)
-//! and writes the numbers to `BENCH_monitor.json`.
+//! `ShardSender`, while a [`ConsumerThread`] drains all shards in
+//! batches (parking, not spinning, whenever the producers outrun it).
+//! Reports sustained observations per second plus park/wait counters,
+//! verifies the run is deterministic (per-shard decision digests match
+//! a serial reference) and writes the numbers to `BENCH_monitor.json`.
 //!
 //! ```text
 //! cargo run --release -p rejuv-bench --bin bench_monitor -- [options]
@@ -19,7 +20,7 @@
 //! ```
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
-use rejuv_monitor::{Supervisor, SupervisorConfig};
+use rejuv_monitor::{ConsumerThread, Supervisor, SupervisorConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -86,44 +87,58 @@ fn synthetic(shard: u64, i: u64) -> f64 {
     base + drift + spike
 }
 
-/// Runs the workload with threaded producers; returns (elapsed seconds,
-/// per-shard digests).
-fn timed_run(opts: &Options) -> (f64, Vec<String>) {
+/// One threaded benchmark pass's outcome.
+struct RunStats {
+    elapsed: f64,
+    digests: Vec<String>,
+    /// Times the consumer thread parked waiting for work.
+    consumer_parks: u64,
+    /// Times a blocking producer parked waiting for queue space.
+    producer_waits: u64,
+}
+
+/// Runs the workload with threaded producers and a parked consumer
+/// thread (no spin loop anywhere: producers park on back-pressure, the
+/// consumer parks when every queue is empty).
+fn timed_run(opts: &Options) -> RunStats {
     let config = SupervisorConfig {
         queue_capacity: opts.queue_capacity,
         drain_batch: opts.drain_batch,
         snapshot_every: None,
     };
-    let mut supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
+    let supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
     let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
     let per_shard = opts.observations;
     let total = per_shard * opts.shards as u64;
 
     let start = Instant::now();
+    let consumer = ConsumerThread::spawn(supervisor);
     std::thread::scope(|scope| {
-        for (shard, sender) in senders.into_iter().enumerate() {
+        for (shard, sender) in senders.iter().enumerate() {
             scope.spawn(move || {
                 for i in 0..per_shard {
                     sender.send_blocking(synthetic(shard as u64, i));
                 }
             });
         }
-        let mut processed = 0u64;
-        while processed < total {
-            let n = supervisor.poll_all().expect("no log attached") as u64;
-            processed += n;
-            if n == 0 {
-                std::thread::yield_now();
-            }
-        }
     });
+    // Producers are done; join performs the final loss-free drain.
+    let consumer_parks = consumer.parks();
+    let supervisor = consumer
+        .join()
+        .expect("no log attached")
+        .expect("owned consumer returns the supervisor");
     let elapsed = start.elapsed().as_secs_f64();
 
     let report = supervisor.report();
     assert_eq!(report.total_processed, total);
     assert_eq!(report.total_dropped, 0, "blocking producers never drop");
-    let digests = report.shards.iter().map(|s| s.digest.clone()).collect();
-    (elapsed, digests)
+    RunStats {
+        elapsed,
+        digests: report.shards.iter().map(|s| s.digest.clone()).collect(),
+        consumer_parks,
+        producer_waits: report.shards.iter().map(|s| s.producer_waits).sum(),
+    }
 }
 
 /// Serial reference: same streams fed synchronously, no threads. Its
@@ -166,13 +181,19 @@ fn main() {
     };
     let _ = timed_run(&warmup);
 
-    let (elapsed, digests) = timed_run(&opts);
-    let throughput = total as f64 / elapsed;
-    println!("  {elapsed:.2} s, {:.2} M obs/s", throughput / 1e6);
+    let stats = timed_run(&opts);
+    let throughput = total as f64 / stats.elapsed;
+    println!(
+        "  {:.2} s, {:.2} M obs/s ({} consumer parks, {} producer waits)",
+        stats.elapsed,
+        throughput / 1e6,
+        stats.consumer_parks,
+        stats.producer_waits
+    );
 
     println!("serial reference for digest check...");
     let reference = reference_digests(&opts);
-    let deterministic = digests == reference;
+    let deterministic = stats.digests == reference;
     println!("digests match serial reference: {deterministic}");
     assert!(
         deterministic,
@@ -191,10 +212,12 @@ fn main() {
             "drain_batch": opts.drain_batch,
             "detector": "SRAA",
         },
-        "wall_secs": elapsed,
+        "wall_secs": stats.elapsed,
         "observations_per_sec": throughput,
+        "consumer_parks": stats.consumer_parks,
+        "producer_waits": stats.producer_waits,
         "deterministic": deterministic,
-        "per_shard_digests": digests,
+        "per_shard_digests": stats.digests,
     });
     std::fs::write(
         &opts.out,

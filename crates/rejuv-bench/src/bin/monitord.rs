@@ -38,7 +38,23 @@
 //!   --replay FILE        replay a recorded monitor event log instead of
 //!                        running live (detector baseline flags must
 //!                        match the recording invocation)
+//!   --checkpoint FILE    persist a full supervisor checkpoint to FILE
+//!                        (atomically: write-temp-then-rename) on a
+//!                        cadence, plus once at clean completion
+//!   --checkpoint-every N checkpoint cadence in total processed
+//!                        observations (default 10000)
+//!   --resume FILE        restore supervisor state from a checkpoint
+//!                        before running; with --replay, observations
+//!                        the checkpoint already covers are skipped and
+//!                        the final report is byte-identical to an
+//!                        uninterrupted replay of the same log
 //! ```
+//!
+//! Crash safety: a SIGKILL mid-run leaves (at worst) a torn final line
+//! in the trace — replay tolerates exactly that — and either the old or
+//! the new checkpoint file, never a torn one. The event log is flushed
+//! before every checkpoint, so the persisted trace always covers the
+//! checkpointed prefix.
 
 use rejuv_core::{
     Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa,
@@ -47,8 +63,9 @@ use rejuv_core::{
 use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
 use rejuv_monitor::{
-    read_events, replay_events, EventLog, MonitorEvent, MonitorReport, SharedSupervisor,
-    Supervisor, SupervisorConfig,
+    load_snapshot, read_events_tolerant, replay_events_resumed, save_snapshot, ConsumerThread,
+    EventLog, MonitorEvent, MonitorReport, SharedSupervisor, Supervisor, SupervisorConfig,
+    SupervisorSnapshot,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -68,6 +85,9 @@ struct Options {
     system_trace: Option<PathBuf>,
     report: Option<PathBuf>,
     replay: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -85,6 +105,9 @@ fn parse_args() -> Options {
         system_trace: None,
         report: None,
         replay: None,
+        checkpoint: None,
+        checkpoint_every: 10_000,
+        resume: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,11 +131,35 @@ fn parse_args() -> Options {
             "--system-trace" => opts.system_trace = Some(PathBuf::from(value("--system-trace"))),
             "--report" => opts.report = Some(PathBuf::from(value("--report"))),
             "--replay" => opts.replay = Some(PathBuf::from(value("--replay"))),
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every").parse().expect("u64");
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
             other => panic!("unknown option {other}"),
         }
     }
     assert!(opts.hosts > 0, "--hosts must be positive");
+    assert!(
+        opts.checkpoint_every > 0,
+        "--checkpoint-every must be positive"
+    );
     opts
+}
+
+/// Loads the checkpoint named by `--resume`, if any.
+fn load_resume(opts: &Options) -> Option<SupervisorSnapshot> {
+    opts.resume.as_ref().map(|path| {
+        let snapshot = load_snapshot(path)
+            .unwrap_or_else(|e| panic!("cannot load checkpoint {}: {e}", path.display()));
+        println!(
+            "resuming from {}: {} shards, {} observations already processed",
+            path.display(),
+            snapshot.shards.len(),
+            snapshot.shards.iter().map(|s| s.processed).sum::<u64>()
+        );
+        snapshot
+    })
 }
 
 /// Builds a detector from its CLI name (or a `RejuvenationDetector::name`
@@ -181,7 +228,13 @@ fn summarize(report: &MonitorReport) {
 fn run_replay(opts: &Options, log_path: &PathBuf) {
     let file =
         File::open(log_path).unwrap_or_else(|e| panic!("cannot open {}: {e}", log_path.display()));
-    let events = read_events(BufReader::new(file)).expect("parse event log");
+    let (events, torn) = read_events_tolerant(BufReader::new(file)).expect("parse event log");
+    if let Some(line) = torn {
+        println!(
+            "dropped a torn final line ({} bytes) — the recording run was killed mid-write",
+            line.len()
+        );
+    }
     let header = events.first().unwrap_or_else(|| panic!("empty event log"));
     let MonitorEvent::Start {
         shards,
@@ -205,9 +258,14 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
         detector,
         events.len()
     );
-    let supervisor = replay_events(&events, config, *shards as usize, |_| {
-        make_detector(detector, opts.mu, opts.sigma)
-    })
+    let snapshot = load_resume(opts);
+    let supervisor = replay_events_resumed(
+        &events,
+        config,
+        *shards as usize,
+        |_| make_detector(detector, opts.mu, opts.sigma),
+        snapshot.as_ref(),
+    )
     .expect("replay");
     let report = supervisor.report();
     summarize(&report);
@@ -226,6 +284,20 @@ fn run_live(opts: &Options) {
         .name()
         .to_owned();
 
+    if let Some(snapshot) = load_resume(opts) {
+        supervisor
+            .restore(&snapshot)
+            .unwrap_or_else(|e| panic!("checkpoint does not fit this invocation: {e}"));
+    }
+
+    if let Some(path) = &opts.checkpoint {
+        let path = path.clone();
+        supervisor.set_checkpoint(
+            opts.checkpoint_every,
+            Box::new(move |snapshot| save_snapshot(&path, snapshot)),
+        );
+    }
+
     if let Some(path) = &opts.trace {
         let file =
             File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
@@ -243,6 +315,10 @@ fn run_live(opts: &Options) {
 
     let host_config = SystemConfig::paper_at_load(opts.load).expect("valid load");
     let shared = SharedSupervisor::new(supervisor);
+    // The bridges feed decisions back synchronously; the consumer thread
+    // coexists to drain anything pushed through decoupled senders and
+    // parks (zero CPU) whenever every queue is empty.
+    let consumer = ConsumerThread::spawn_shared(&shared);
 
     println!(
         "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}",
@@ -296,9 +372,16 @@ fn run_live(opts: &Options) {
         drop(cluster);
     }
 
+    consumer.join().expect("consumer drain");
     let mut supervisor = shared
         .try_into_inner()
         .expect("all bridges dropped with the system");
+    // Clean completion: persist one final checkpoint (flushes the log
+    // first), so a later --resume continues from the very end.
+    supervisor.checkpoint_now().expect("final checkpoint");
+    if let Some(path) = &opts.checkpoint {
+        println!("wrote checkpoint {}", path.display());
+    }
     if let Some(mut log) = supervisor.take_log() {
         log.flush().expect("flush event log");
     }

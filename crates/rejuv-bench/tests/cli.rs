@@ -1,5 +1,6 @@
-//! Smoke tests for the `figures` and `optimize` binaries: they must run
-//! end to end with small parameters and leave well-formed artifacts.
+//! Smoke tests for the `figures`, `optimize` and `monitord` binaries:
+//! they must run end to end with small parameters and leave well-formed
+//! artifacts.
 
 use std::path::Path;
 use std::process::Command;
@@ -10,6 +11,10 @@ fn figures_bin() -> &'static str {
 
 fn optimize_bin() -> &'static str {
     env!("CARGO_BIN_EXE_optimize")
+}
+
+fn monitord_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_monitord")
 }
 
 #[test]
@@ -83,6 +88,56 @@ fn optimize_prints_a_pareto_front() {
     assert!(stdout.contains("Pareto front"));
     assert!(stdout.contains("scalarized winner"));
     assert!(stdout.contains("candidates evaluated"));
+}
+
+#[test]
+fn monitord_checkpoint_then_resume_matches_full_replay() {
+    let out = tempdir("monitord-ckpt");
+    let out = Path::new(&out);
+    let trace = out.join("trace.jsonl");
+    let ckpt = out.join("ckpt.json");
+    let run = |extra: &[&str]| {
+        let status = Command::new(monitord_bin())
+            .args(["--hosts", "2", "--detector", "saraa"])
+            .args(extra)
+            .status()
+            .expect("monitord runs");
+        assert!(status.success());
+    };
+    run(&[
+        "--transactions",
+        "8000",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "2000",
+        "--report",
+        out.join("live.json").to_str().unwrap(),
+    ]);
+    run(&[
+        "--replay",
+        trace.to_str().unwrap(),
+        "--report",
+        out.join("full.json").to_str().unwrap(),
+    ]);
+    run(&[
+        "--replay",
+        trace.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--report",
+        out.join("resumed.json").to_str().unwrap(),
+    ]);
+    let live = std::fs::read(out.join("live.json")).unwrap();
+    let full = std::fs::read(out.join("full.json")).unwrap();
+    let resumed = std::fs::read(out.join("resumed.json")).unwrap();
+    assert_eq!(live, full, "replay must reproduce the live report");
+    assert_eq!(live, resumed, "resumed replay must reproduce it too");
+    let snapshot: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
+    assert_eq!(snapshot["version"], 1, "versioned checkpoint format");
 }
 
 fn tempdir(tag: &str) -> String {

@@ -46,6 +46,17 @@ pub trait RejuvenationDetector: Send {
     /// Feeds one observation and returns the rejuvenation decision.
     fn observe(&mut self, value: f64) -> Decision;
 
+    /// Feeds one observation produced at `at_secs` (seconds of
+    /// simulation or wall-clock time). The paper's algorithms are
+    /// index-based, so the default ignores the timestamp and defers to
+    /// [`RejuvenationDetector::observe`]; monitoring façades override
+    /// this to propagate timestamps into latency instrumentation. The
+    /// decision must never depend on `at_secs`.
+    fn observe_at(&mut self, at_secs: f64, value: f64) -> Decision {
+        let _ = at_secs;
+        self.observe(value)
+    }
+
     /// Clears all internal state back to the post-construction state.
     fn reset(&mut self);
 

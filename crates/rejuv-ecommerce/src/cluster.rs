@@ -427,7 +427,7 @@ impl ClusterSystem {
         self.try_dispatch(host);
 
         let rejuvenate = match &mut self.hosts[host].detector {
-            Some(d) => d.observe(response_time).is_rejuvenate(),
+            Some(d) => d.observe_at(now.as_secs(), response_time).is_rejuvenate(),
             None => false,
         };
         if rejuvenate {

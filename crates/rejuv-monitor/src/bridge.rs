@@ -96,6 +96,14 @@ impl RejuvenationDetector for MonitorBridge {
             .expect("monitor event log write failed")
     }
 
+    fn observe_at(&mut self, at_secs: f64, value: f64) -> Decision {
+        self.inner
+            .lock()
+            .expect("supervisor lock poisoned")
+            .process_sync_at(self.shard, value, at_secs)
+            .expect("monitor event log write failed")
+    }
+
     fn reset(&mut self) {
         // Resetting the façade is not meaningful: the supervisor owns
         // the detector state and its lifetime counters.

@@ -1,0 +1,207 @@
+//! The parked consumer thread — event-driven ingestion.
+//!
+//! The original runtime drained queues from a caller-owned poll loop:
+//! `while supervisor.poll_all()? > 0 {}` plus `yield_now`, which pegs a
+//! core whenever producers go quiet. [`ConsumerThread`] replaces that
+//! with a dedicated thread that *parks* on a [`WorkNotifier`] condvar
+//! whenever every shard queue is empty; the first push into an empty
+//! queue wakes it (see [`crate::queue::ObsQueue::attach_notifier`]).
+//! Between batches the consumer costs zero CPU.
+//!
+//! Shutdown is explicit and loss-free: [`ConsumerThread::join`] signals
+//! the notifier, the thread drains every queue to empty one final time,
+//! and ownership of the supervisor (when the thread owned it) returns
+//! to the caller for the end-of-run report. Producers must stop pushing
+//! before `join` for the final drain to be complete.
+
+use crate::bridge::SharedSupervisor;
+use crate::queue::{Wakeup, WorkNotifier};
+use crate::supervisor::Supervisor;
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the consumer thread reaches the supervisor it drains.
+enum Target {
+    /// Exclusive ownership — the fast path for decoupled producers
+    /// (returned to the caller by [`ConsumerThread::join`]).
+    Owned(Box<Supervisor>),
+    /// Shared with synchronous bridges (`monitord` live mode): the
+    /// consumer competes for the same lock the bridges use, draining
+    /// whatever was pushed through senders and parking otherwise.
+    Shared(SharedSupervisor),
+}
+
+/// A drain thread that sleeps between batches instead of spinning.
+pub struct ConsumerThread {
+    handle: JoinHandle<io::Result<Option<Supervisor>>>,
+    notifier: Arc<WorkNotifier>,
+}
+
+impl std::fmt::Debug for ConsumerThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsumerThread")
+            .field("parks", &self.parks())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConsumerThread {
+    /// Spawns a consumer that owns `supervisor` outright. Clone the
+    /// shard senders *before* calling this; [`ConsumerThread::join`]
+    /// hands the supervisor back.
+    pub fn spawn(supervisor: Supervisor) -> Self {
+        Self::start(Target::Owned(Box::new(supervisor)))
+    }
+
+    /// Spawns a consumer over a [`SharedSupervisor`], coexisting with
+    /// synchronous [`crate::MonitorBridge`]s. `join` returns `None`;
+    /// the shared handle keeps owning the supervisor.
+    pub fn spawn_shared(shared: &SharedSupervisor) -> Self {
+        Self::start(Target::Shared(shared.clone()))
+    }
+
+    fn start(mut target: Target) -> Self {
+        let notifier = Arc::new(WorkNotifier::new());
+        let attach = |sup: &Supervisor, notifier: &Arc<WorkNotifier>| {
+            for shard in 0..sup.shard_count() {
+                sup.queue(shard).attach_notifier(Arc::clone(notifier));
+            }
+        };
+        match &mut target {
+            Target::Owned(sup) => attach(sup, &notifier),
+            Target::Shared(shared) => shared.with(|sup| attach(sup, &notifier)),
+        }
+        let thread_notifier = Arc::clone(&notifier);
+        let handle = std::thread::spawn(move || run(target, &thread_notifier));
+        ConsumerThread { handle, notifier }
+    }
+
+    /// Times the consumer actually went to sleep waiting for work.
+    pub fn parks(&self) -> u64 {
+        self.notifier.parks()
+    }
+
+    /// Signals shutdown, waits for the final loss-free drain, and
+    /// returns the supervisor when the thread owned one
+    /// ([`ConsumerThread::spawn`]); `None` for the shared flavour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log / checkpoint-sink failures from the drain
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consumer thread itself panicked.
+    pub fn join(self) -> io::Result<Option<Supervisor>> {
+        self.notifier.shutdown();
+        self.handle.join().expect("consumer thread panicked")
+    }
+}
+
+fn run(mut target: Target, notifier: &WorkNotifier) -> io::Result<Option<Supervisor>> {
+    let poll = |target: &mut Target| -> io::Result<usize> {
+        match target {
+            Target::Owned(sup) => sup.poll_all(),
+            Target::Shared(shared) => shared.with(|sup| sup.poll_all()),
+        }
+    };
+    loop {
+        if poll(&mut target)? > 0 {
+            continue;
+        }
+        match notifier.wait() {
+            Wakeup::Work => continue,
+            Wakeup::Shutdown => break,
+        }
+    }
+    // Final drain: anything pushed before the producers stopped.
+    while poll(&mut target)? > 0 {}
+    Ok(match target {
+        Target::Owned(sup) => Some(*sup),
+        Target::Shared(_) => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::SupervisorConfig;
+    use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+
+    fn sraa() -> Box<dyn RejuvenationDetector> {
+        Box::new(Sraa::new(
+            SraaConfig::builder(5.0, 5.0)
+                .sample_size(2)
+                .buckets(2)
+                .depth(1)
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn owned_consumer_drains_everything_and_returns_supervisor() {
+        let supervisor = Supervisor::with_shards(
+            SupervisorConfig {
+                queue_capacity: 64,
+                drain_batch: 16,
+                snapshot_every: None,
+            },
+            3,
+            |_| sraa(),
+        );
+        let senders: Vec<_> = (0..3).map(|s| supervisor.sender(s)).collect();
+        let consumer = ConsumerThread::spawn(supervisor);
+        std::thread::scope(|scope| {
+            for sender in &senders {
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        sender.send_blocking(3.0 + (i % 5) as f64);
+                    }
+                });
+            }
+        });
+        let supervisor = consumer.join().unwrap().expect("owned flavour");
+        let report = supervisor.report();
+        assert_eq!(report.total_processed, 15_000);
+        assert_eq!(report.total_dropped, 0);
+    }
+
+    #[test]
+    fn consumer_parks_while_idle_instead_of_spinning() {
+        let supervisor = Supervisor::with_shards(SupervisorConfig::default(), 1, |_| sraa());
+        let sender = supervisor.sender(0);
+        let consumer = ConsumerThread::spawn(supervisor);
+        // Let the consumer find the queues empty and go to sleep.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(consumer.parks() >= 1, "idle consumer parked");
+        // A push into the empty queue wakes it; wait for the drain.
+        sender.send(42.0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while sender.backlog() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(sender.backlog(), 0, "the wakeup drained the push");
+        let supervisor = consumer.join().unwrap().expect("owned");
+        assert_eq!(supervisor.processed(0), 1);
+    }
+
+    #[test]
+    fn shared_consumer_coexists_with_bridges() {
+        let supervisor = Supervisor::with_shards(SupervisorConfig::default(), 2, |_| sraa());
+        let shared = SharedSupervisor::new(supervisor);
+        let consumer = ConsumerThread::spawn_shared(&shared);
+        let mut bridge = shared.bridge(0);
+        let sender = shared.with(|s| s.sender(1));
+        for i in 0..200 {
+            bridge.observe(4.0 + (i % 3) as f64);
+            sender.send(5.0);
+        }
+        assert!(consumer.join().unwrap().is_none(), "shared flavour");
+        let report = shared.report();
+        assert_eq!(report.shards[0].processed, 200, "bridge path");
+        assert_eq!(report.shards[1].processed, 200, "sender path drained");
+    }
+}

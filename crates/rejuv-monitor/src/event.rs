@@ -41,6 +41,23 @@ pub enum MonitorEvent {
         /// The observation values, oldest first.
         values: Vec<f64>,
     },
+    /// Version-2 batch record: a drained batch whose samples carry
+    /// simulation timestamps. Written instead of [`MonitorEvent::Batch`]
+    /// whenever at least one sample in the batch is timed, so replay can
+    /// rebuild the inter-observation latency histogram bit-for-bit.
+    /// Logs written before timestamps existed contain only `Batch`
+    /// records and still replay unchanged.
+    TimedBatch {
+        /// Shard that processed the batch.
+        shard: u32,
+        /// Shard-local sequence number of `values[0]` (0-based).
+        seq: u64,
+        /// The observation values, oldest first.
+        values: Vec<f64>,
+        /// Per-sample timestamps (seconds of simulation time), aligned
+        /// with `values`; untimed samples are `NaN` (serialised `null`).
+        times: Vec<f64>,
+    },
     /// The shard's detector decided to rejuvenate on observation `seq`.
     Rejuvenated {
         /// Shard whose detector fired.
@@ -147,6 +164,48 @@ pub fn read_events<R: BufRead>(reader: R) -> io::Result<Vec<MonitorEvent>> {
     Ok(events)
 }
 
+/// Reads a JSONL event log that may end in a *torn* final line — the
+/// footprint of a crash (or `SIGTERM`) that caught the writer mid-line.
+///
+/// All complete lines are parsed exactly as [`read_events`] would; a
+/// final line that fails to parse is dropped and returned as
+/// `Some(line)` so the caller can report it. A parse failure on any
+/// *non-final* line is still an error: mid-log corruption is never
+/// silently skipped.
+///
+/// # Errors
+///
+/// I/O errors from the reader, or `InvalidData` for an unparseable line
+/// that is not the last line of the log.
+pub fn read_events_tolerant<R: BufRead>(
+    reader: R,
+) -> io::Result<(Vec<MonitorEvent>, Option<String>)> {
+    let lines: Vec<String> = reader.lines().collect::<io::Result<_>>()?;
+    let mut events = Vec::new();
+    let last_content = lines
+        .iter()
+        .rposition(|l| !l.trim().is_empty())
+        .unwrap_or(0);
+    for (number, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str(line) {
+            Ok(event) => events.push(event),
+            Err(_) if number == last_content => {
+                return Ok((events, Some(line.clone())));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("event log line {}: {e}", number + 1),
+                ));
+            }
+        }
+    }
+    Ok((events, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +233,12 @@ mod tests {
                 values: vec![1.25, 40.0, 3.0],
             },
             MonitorEvent::Rejuvenated { shard: 0, seq: 2 },
+            MonitorEvent::TimedBatch {
+                shard: 1,
+                seq: 3,
+                values: vec![2.0, 6.5],
+                times: vec![0.25, 1.75],
+            },
             MonitorEvent::Snapshot {
                 shard: 1,
                 seq: 7,
@@ -194,9 +259,62 @@ mod tests {
         }
         let bytes = buffer.contents();
         let text = String::from_utf8(bytes.clone()).unwrap();
-        assert_eq!(text.lines().count(), 4, "one JSON object per line");
+        assert_eq!(text.lines().count(), 5, "one JSON object per line");
         let back = read_events(io::Cursor::new(bytes)).unwrap();
         assert_eq!(back, events());
+    }
+
+    #[test]
+    fn timed_batch_nan_times_round_trip_as_null() {
+        let event = MonitorEvent::TimedBatch {
+            shard: 0,
+            seq: 0,
+            values: vec![1.0, 2.0],
+            times: vec![0.5, f64::NAN],
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.contains("null"), "untimed entries serialise as null");
+        let back: MonitorEvent = serde_json::from_str(&line).unwrap();
+        let MonitorEvent::TimedBatch { times, values, .. } = back else {
+            panic!("variant survives");
+        };
+        assert_eq!(values, vec![1.0, 2.0]);
+        assert_eq!(times[0], 0.5);
+        assert!(times[1].is_nan());
+    }
+
+    #[test]
+    fn tolerant_reader_drops_only_a_torn_final_line() {
+        let buffer = SharedBuffer::new();
+        {
+            let mut log = EventLog::new(Box::new(buffer.clone()));
+            for event in &events() {
+                log.record(event).unwrap();
+            }
+        }
+        let mut bytes = buffer.contents();
+        // A crash mid-write leaves a truncated trailing line.
+        bytes.extend_from_slice(b"{\"Batch\":{\"shard\":0,\"se");
+        let (parsed, torn) = read_events_tolerant(io::Cursor::new(bytes.clone())).unwrap();
+        assert_eq!(parsed, events());
+        assert!(torn.expect("torn tail reported").starts_with("{\"Batch\""));
+
+        // The same garbage mid-log is corruption, not a torn tail.
+        let mut corrupted = b"not json\n".to_vec();
+        corrupted.extend_from_slice(&bytes);
+        let err = read_events_tolerant(io::Cursor::new(corrupted)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A clean log reports no torn tail.
+        let clean = {
+            let buffer = SharedBuffer::new();
+            let mut log = EventLog::new(Box::new(buffer.clone()));
+            log.record(&events()[0]).unwrap();
+            buffer.contents()
+        };
+        let (parsed, torn) = read_events_tolerant(io::Cursor::new(clean)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(torn.is_none());
     }
 
     #[test]

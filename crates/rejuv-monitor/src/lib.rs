@@ -11,7 +11,15 @@
 //!   so overload drops samples instead of blocking the source,
 //! * **checkpoint/resume** — [`Supervisor::snapshot`] captures every
 //!   detector mid-epidemic via `rejuv_core::DetectorSnapshot`;
-//!   [`Supervisor::restore`] resumes behaviour-identically,
+//!   [`Supervisor::restore`] resumes behaviour-identically. A
+//!   count-based [`supervisor::CheckpointSink`] streams snapshots to
+//!   [`checkpoint::save_snapshot`], which persists them atomically
+//!   (write-temp-then-rename) so a crash never tears the file, and
+//!   [`replay_events_resumed`] continues a recorded run from a
+//!   checkpoint with byte-identical reports,
+//! * [`consumer::ConsumerThread`] — a drain thread that *parks* on a
+//!   condvar whenever every queue is empty (zero idle CPU) and wakes on
+//!   the first push,
 //! * [`metrics::MetricsRegistry`] — counters, gauges and fixed-bucket
 //!   histograms whose exported report is byte-stable,
 //! * [`event::EventLog`] — a JSONL event log (run header, observation
@@ -56,18 +64,22 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod bridge;
+pub mod checkpoint;
+pub mod consumer;
 pub mod event;
 pub mod metrics;
 pub mod queue;
 pub mod supervisor;
 
 pub use bridge::{MonitorBridge, SharedSupervisor};
-pub use event::{read_events, EventLog, MonitorEvent, SharedBuffer};
+pub use checkpoint::{load_snapshot, save_snapshot};
+pub use consumer::ConsumerThread;
+pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
-pub use queue::ObsQueue;
+pub use queue::{ObsQueue, Wakeup, WorkNotifier};
 pub use supervisor::{
-    MonitorReport, RestoreError, ShardReport, ShardSender, ShardSnapshot, Supervisor,
-    SupervisorConfig, SupervisorSnapshot,
+    CheckpointSink, MonitorReport, RestoreError, ShardReport, ShardSender, ShardSnapshot,
+    Supervisor, SupervisorConfig, SupervisorSnapshot, SNAPSHOT_VERSION,
 };
 
 use rejuv_core::RejuvenationDetector;
@@ -75,7 +87,8 @@ use std::io;
 
 /// Deterministically re-analyses a recorded event log: rebuilds a
 /// supervisor with `shards` streams from `factory` and re-ingests every
-/// [`MonitorEvent::Batch`] in recorded order.
+/// [`MonitorEvent::Batch`] / [`MonitorEvent::TimedBatch`] in recorded
+/// order (timestamps included, so latency histograms reproduce too).
 ///
 /// Feeding the resulting supervisor's [`Supervisor::report`] the same
 /// serialisation as the live run's report must yield identical bytes —
@@ -97,15 +110,69 @@ pub fn replay_events<F>(
 where
     F: FnMut(usize) -> Box<dyn RejuvenationDetector>,
 {
+    replay_events_resumed(events, config, shards, factory, None)
+}
+
+/// [`replay_events`] resuming from a mid-run checkpoint: the supervisor
+/// is restored from `snapshot` first, and every observation the
+/// checkpoint already covers (per shard, by sequence number) is skipped
+/// instead of re-ingested.
+///
+/// Because live checkpoints land on drain-batch boundaries, the resumed
+/// run drains exactly the batches the uninterrupted run drained after
+/// the checkpoint — so its final report (digests, counters, histograms)
+/// is byte-identical to an uninterrupted replay of the same log. A
+/// batch the checkpoint covers only partially (possible only for
+/// checkpoints not taken by this crate) is re-ingested from its first
+/// uncovered value.
+///
+/// # Errors
+///
+/// `InvalidData` if the snapshot does not fit the rebuilt supervisor
+/// (see [`Supervisor::restore`]); otherwise as [`replay_events`].
+pub fn replay_events_resumed<F>(
+    events: &[MonitorEvent],
+    config: SupervisorConfig,
+    shards: usize,
+    factory: F,
+    snapshot: Option<&SupervisorSnapshot>,
+) -> io::Result<Supervisor>
+where
+    F: FnMut(usize) -> Box<dyn RejuvenationDetector>,
+{
     let mut supervisor = Supervisor::with_shards(config, shards, factory);
-    for event in events {
-        if let MonitorEvent::Batch { shard, values, .. } = event {
-            let shard = *shard as usize;
-            for &value in values {
-                supervisor.ingest(shard, value);
-            }
-            while supervisor.poll_shard(shard)? > 0 {}
+    let mut covered: Vec<u64> = vec![0; shards];
+    if let Some(snapshot) = snapshot {
+        supervisor
+            .restore(snapshot)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        for (slot, shard) in covered.iter_mut().zip(&snapshot.shards) {
+            *slot = shard.processed;
         }
+    }
+    for event in events {
+        let (shard, seq, values, times) = match event {
+            MonitorEvent::Batch { shard, seq, values } => (*shard as usize, *seq, values, None),
+            MonitorEvent::TimedBatch {
+                shard,
+                seq,
+                values,
+                times,
+            } => (*shard as usize, *seq, values, Some(times)),
+            _ => continue,
+        };
+        let done = covered.get(shard).copied().unwrap_or(0);
+        if seq + values.len() as u64 <= done {
+            continue; // the checkpoint already covers this batch
+        }
+        let offset = done.saturating_sub(seq) as usize;
+        for (i, &value) in values.iter().enumerate().skip(offset) {
+            match times.and_then(|t| t.get(i)).copied() {
+                Some(at) if at.is_finite() => supervisor.ingest_at(shard, value, at),
+                _ => supervisor.ingest(shard, value),
+            };
+        }
+        while supervisor.poll_shard(shard)? > 0 {}
     }
     Ok(supervisor)
 }

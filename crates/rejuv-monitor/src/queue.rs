@@ -1,11 +1,25 @@
 //! Bounded single-producer/single-consumer observation queues.
 //!
 //! Each supervisor shard owns one [`ObsQueue`]: the producer side (a
-//! simulation feed, an instrumented request path) pushes raw `f64`
-//! samples, the consumer side (the supervisor's drain loop) removes them
-//! in batches. The queue is *bounded*: when the consumer falls behind,
+//! simulation feed, an instrumented request path) pushes raw samples,
+//! the consumer side (the supervisor's drain loop) removes them in
+//! batches. The queue is *bounded*: when the consumer falls behind,
 //! pushes fail fast and are counted instead of blocking the producer —
 //! overload degrades monitoring fidelity, never source throughput.
+//!
+//! Samples are `(value, at)` pairs; `at` is a simulation timestamp in
+//! seconds, with `NaN` marking an untimed sample (producers that only
+//! have a value). Timestamps ride along so the supervisor can build
+//! inter-observation latency histograms; they never enter decision
+//! digests.
+//!
+//! Blocking producers ([`ObsQueue::push_blocking`]) spin a bounded
+//! number of times, then *park* on a condvar until the consumer frees
+//! space — a stalled consumer costs a wait counter increment, not a
+//! pegged core. Symmetrically, a [`WorkNotifier`] can be attached so an
+//! empty→non-empty transition wakes a parked consumer thread (see
+//! [`crate::consumer::ConsumerThread`]): between batches, neither side
+//! burns CPU.
 //!
 //! The implementation is a mutex-guarded ring buffer. Batched drains
 //! amortise the lock so a handful of shards sustain tens of millions of
@@ -14,15 +28,110 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Timestamp marker for samples that carry no timestamp.
+pub(crate) const UNTIMED: f64 = f64::NAN;
+
+/// How many scheduler yields a blocking push attempts before parking on
+/// the space condvar. Short stalls resolve without a park; long stalls
+/// sleep instead of spinning.
+const BLOCKING_SPIN_LIMIT: u32 = 64;
+
+/// Wakes a parked consumer when any of its queues gains work.
+///
+/// One notifier is shared by every queue a consumer thread drains; a
+/// push into an *empty* queue signals it (pushes into a non-empty queue
+/// don't need to — the consumer only parks after draining every queue
+/// to empty, so a pending item is never overlooked).
+#[derive(Debug, Default)]
+pub struct WorkNotifier {
+    state: Mutex<NotifyState>,
+    cv: Condvar,
+    /// Times a waiter actually blocked (telemetry for "the consumer
+    /// parks instead of spinning").
+    parks: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct NotifyState {
+    /// Work arrived since the last `wait` returned.
+    pending: bool,
+    /// The consumer should drain what's left and exit.
+    shutdown: bool,
+}
+
+/// What woke a [`WorkNotifier::wait`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wakeup {
+    /// At least one queue gained work; drain and wait again.
+    Work,
+    /// Shutdown was requested; drain remaining work and exit.
+    Shutdown,
+}
+
+impl WorkNotifier {
+    /// Creates an idle notifier.
+    pub fn new() -> Self {
+        WorkNotifier::default()
+    }
+
+    /// Signals that work is available, waking a parked waiter.
+    pub fn notify_work(&self) {
+        let mut state = self.state.lock().expect("notifier lock poisoned");
+        state.pending = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Requests shutdown, waking a parked waiter.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("notifier lock poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until work arrives or shutdown is requested. Consumes the
+    /// pending-work flag; shutdown is sticky and reported only once no
+    /// work signal is pending (so pre-shutdown pushes still drain).
+    pub fn wait(&self) -> Wakeup {
+        let mut state = self.state.lock().expect("notifier lock poisoned");
+        if !state.pending && !state.shutdown {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            state = self
+                .cv
+                .wait_while(state, |s| !s.pending && !s.shutdown)
+                .expect("notifier lock poisoned");
+        }
+        if state.pending {
+            state.pending = false;
+            Wakeup::Work
+        } else {
+            Wakeup::Shutdown
+        }
+    }
+
+    /// Times a waiter actually went to sleep.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+}
 
 struct QueueInner {
-    buf: Mutex<VecDeque<f64>>,
+    buf: Mutex<VecDeque<(f64, f64)>>,
+    /// Producers in `push_blocking` park here when the queue is full;
+    /// `drain_into` notifies after freeing space.
+    space: Condvar,
     capacity: usize,
     /// Samples accepted by `push` over the queue's lifetime.
     accepted: AtomicU64,
     /// Samples rejected because the queue was full.
     dropped: AtomicU64,
+    /// Times a blocking producer had to park waiting for space.
+    waits: AtomicU64,
+    /// Consumer wakeup hook; set once a consumer thread attaches.
+    notifier: Mutex<Option<Arc<WorkNotifier>>>,
 }
 
 /// A bounded queue of observations, cheaply cloneable into producer and
@@ -39,6 +148,7 @@ impl std::fmt::Debug for ObsQueue {
             .field("len", &self.len())
             .field("accepted", &self.accepted())
             .field("dropped", &self.dropped())
+            .field("waits", &self.waits())
             .finish()
     }
 }
@@ -54,54 +164,120 @@ impl ObsQueue {
         ObsQueue {
             inner: Arc::new(QueueInner {
                 buf: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
+                space: Condvar::new(),
                 capacity,
                 accepted: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                waits: AtomicU64::new(0),
+                notifier: Mutex::new(None),
             }),
         }
     }
 
-    /// Offers one observation; returns `false` (and counts a drop) if
-    /// the queue is full.
+    /// Attaches a consumer wakeup hook: pushes that make the queue
+    /// non-empty will signal it. Replaces any previous notifier.
+    pub fn attach_notifier(&self, notifier: Arc<WorkNotifier>) {
+        *self.inner.notifier.lock().expect("queue lock poisoned") = Some(notifier);
+    }
+
+    fn notify_consumer(&self) {
+        if let Some(n) = self
+            .inner
+            .notifier
+            .lock()
+            .expect("queue lock poisoned")
+            .as_ref()
+        {
+            n.notify_work();
+        }
+    }
+
+    /// Offers one untimed observation; returns `false` (and counts a
+    /// drop) if the queue is full.
     pub fn push(&self, value: f64) -> bool {
+        self.push_at(value, UNTIMED)
+    }
+
+    /// Offers one observation stamped at `at` seconds of simulation
+    /// time; returns `false` (and counts a drop) if the queue is full.
+    pub fn push_at(&self, value: f64, at: f64) -> bool {
+        self.try_push(value, at, true)
+    }
+
+    /// Single push attempt. `count_drop` distinguishes lossy producers
+    /// (a full queue is a real drop) from blocking producers mid-spin
+    /// (a full queue just means "try again" and must not inflate the
+    /// drop counter).
+    fn try_push(&self, value: f64, at: f64, count_drop: bool) -> bool {
         let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
         if buf.len() >= self.inner.capacity {
             drop(buf);
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            if count_drop {
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
             false
         } else {
-            buf.push_back(value);
+            let was_empty = buf.is_empty();
+            buf.push_back((value, at));
             drop(buf);
             self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+            if was_empty {
+                self.notify_consumer();
+            }
             true
         }
     }
 
-    /// Pushes, spinning (with a scheduler yield) until space frees up.
-    /// For producers that must not lose samples, e.g. the throughput
-    /// bench's load generators.
+    /// Pushes an untimed observation, waiting until space frees up. For
+    /// producers that must not lose samples, e.g. the throughput bench's
+    /// load generators.
     pub fn push_blocking(&self, value: f64) {
-        loop {
-            {
-                let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
-                if buf.len() < self.inner.capacity {
-                    buf.push_back(value);
-                    drop(buf);
-                    self.inner.accepted.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
+        self.push_blocking_at(value, UNTIMED);
+    }
+
+    /// Pushes a timestamped observation, waiting until space frees up.
+    ///
+    /// Spins (with scheduler yields) a bounded number of times, then
+    /// parks on a condvar until the consumer drains — a stalled consumer
+    /// never costs a pegged producer core. Parks are counted in
+    /// [`ObsQueue::waits`].
+    pub fn push_blocking_at(&self, value: f64, at: f64) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.try_push(value, at, false) {
+                return;
             }
             std::thread::yield_now();
         }
+        // Park until the consumer frees space. The push happens under
+        // the same lock the wait releases, so space seen is space used.
+        self.inner.waits.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
+        buf = self
+            .inner
+            .space
+            .wait_while(buf, |b| b.len() >= self.inner.capacity)
+            .expect("queue lock poisoned");
+        let was_empty = buf.is_empty();
+        buf.push_back((value, at));
+        drop(buf);
+        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+        if was_empty {
+            self.notify_consumer();
+        }
     }
 
-    /// Moves up to `max` pending observations into `out` (appended in
-    /// FIFO order), returning how many were moved. One lock acquisition
-    /// per batch.
-    pub fn drain_into(&self, out: &mut Vec<f64>, max: usize) -> usize {
+    /// Moves up to `max` pending `(value, at)` samples into `out`
+    /// (appended in FIFO order), returning how many were moved. One lock
+    /// acquisition per batch; parked producers are woken when space was
+    /// freed.
+    pub fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
         let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
         let take = buf.len().min(max);
         out.extend(buf.drain(..take));
+        drop(buf);
+        if take > 0 {
+            self.inner.space.notify_all();
+        }
         take
     }
 
@@ -123,9 +299,10 @@ impl ObsQueue {
     /// Resets the lifetime accounting to checkpointed values; used when
     /// a supervisor restores a snapshot so its report resumes the
     /// checkpoint's totals.
-    pub(crate) fn resume_counters(&self, accepted: u64, dropped: u64) {
+    pub(crate) fn resume_counters(&self, accepted: u64, dropped: u64, waits: u64) {
         self.inner.accepted.store(accepted, Ordering::Relaxed);
         self.inner.dropped.store(dropped, Ordering::Relaxed);
+        self.inner.waits.store(waits, Ordering::Relaxed);
     }
 
     /// Lifetime count of accepted observations.
@@ -136,6 +313,12 @@ impl ObsQueue {
     /// Lifetime count of observations dropped to back-pressure.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of blocking-producer parks (back-pressure stalls
+    /// that put the producer to sleep instead of spinning).
+    pub fn waits(&self) -> u64 {
+        self.inner.waits.load(Ordering::Relaxed)
     }
 }
 
@@ -166,11 +349,27 @@ mod tests {
         }
         let mut out = Vec::new();
         assert_eq!(q.drain_into(&mut out, 2), 2);
-        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(values(&out), vec![1.0, 2.0]);
         assert!(q.push(4.0), "drain must free capacity");
         assert_eq!(q.drain_into(&mut out, 10), 2);
-        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(values(&out), vec![1.0, 2.0, 3.0, 4.0]);
         assert!(q.is_empty());
+    }
+
+    fn values(samples: &[(f64, f64)]) -> Vec<f64> {
+        samples.iter().map(|&(v, _)| v).collect()
+    }
+
+    #[test]
+    fn timestamps_ride_along_and_untimed_is_nan() {
+        let q = ObsQueue::bounded(4);
+        q.push_at(1.5, 10.0);
+        q.push(2.5);
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 8);
+        assert_eq!(out[0], (1.5, 10.0));
+        assert_eq!(out[1].0, 2.5);
+        assert!(out[1].1.is_nan(), "untimed samples carry NaN");
     }
 
     #[test]
@@ -180,6 +379,47 @@ mod tests {
         producer.push(7.0);
         assert_eq!(q.len(), 1);
         assert_eq!(q.accepted(), 1);
+    }
+
+    #[test]
+    fn blocking_push_parks_instead_of_spinning() {
+        let q = ObsQueue::bounded(1);
+        q.push(0.0);
+        let producer = q.clone();
+        let handle = std::thread::spawn(move || {
+            // Queue is full: the producer must wait for the drain below.
+            producer.push_blocking(1.0);
+        });
+        // Give the producer time to exhaust its spin budget and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 1);
+        handle.join().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.accepted(), 2);
+        assert_eq!(q.waits(), 1, "the stalled producer parked exactly once");
+    }
+
+    #[test]
+    fn notifier_signals_on_empty_to_nonempty_transition() {
+        let q = ObsQueue::bounded(8);
+        let notifier = Arc::new(WorkNotifier::new());
+        q.attach_notifier(Arc::clone(&notifier));
+        q.push(1.0);
+        assert_eq!(notifier.wait(), Wakeup::Work, "first push signals");
+        q.push(2.0); // non-empty: no signal needed
+        notifier.shutdown();
+        assert_eq!(notifier.wait(), Wakeup::Shutdown);
+    }
+
+    #[test]
+    fn notifier_reports_pending_work_before_shutdown() {
+        let n = WorkNotifier::new();
+        n.notify_work();
+        n.shutdown();
+        assert_eq!(n.wait(), Wakeup::Work, "pre-shutdown work drains first");
+        assert_eq!(n.wait(), Wakeup::Shutdown);
+        assert_eq!(n.parks(), 0, "no wait ever blocked");
     }
 
     #[test]
@@ -199,7 +439,7 @@ mod tests {
             while seen < N {
                 batch.clear();
                 let n = q.drain_into(&mut batch, 64);
-                for &v in &batch {
+                for &(v, _) in &batch {
                     assert_eq!(v, expected, "FIFO order must survive threading");
                     expected += 1.0;
                 }

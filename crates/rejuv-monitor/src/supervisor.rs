@@ -10,10 +10,25 @@
 //! the per-shard FNV-1a decision digest are pure functions of each
 //! shard's observation sequence, which is what makes a recorded run
 //! exactly replayable.
+//!
+//! Observations may carry simulation timestamps ([`Supervisor::ingest_at`],
+//! [`ShardSender::send_at`]): timed samples feed a per-run
+//! `inter_observation_latency` histogram and are recorded as
+//! [`MonitorEvent::TimedBatch`] so replay reproduces the histogram
+//! bit-for-bit. Timestamps never enter the decision digest — a timed and
+//! an untimed run over the same values agree on every decision digest.
+//!
+//! A supervisor can also stream *checkpoints*: a count-based
+//! [`CheckpointSink`] receives a full [`SupervisorSnapshot`] every
+//! `checkpoint_every` processed observations (the event log, if any, is
+//! flushed first so the persisted log always covers the checkpoint).
+//! [`Supervisor::restore`] rebuilds from a snapshot, rejecting mismatched
+//! shard counts, detector kinds, or snapshot versions with a typed
+//! [`RestoreError`] instead of silently misapplying state.
 
 use crate::event::{EventLog, MonitorEvent};
 use crate::metrics::{MetricsRegistry, MetricsReport};
-use crate::queue::ObsQueue;
+use crate::queue::{ObsQueue, UNTIMED};
 use rejuv_core::{Decision, DetectorSnapshot, RejuvenationDetector};
 use rejuv_sim::{Observation, ObservationSink};
 use serde::{Deserialize, Serialize};
@@ -25,6 +40,14 @@ use std::io;
 const VALUE_BOUNDS: [f64; 7] = [1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0];
 /// Histogram bounds for drain batch sizes.
 const BATCH_BOUNDS: [f64; 5] = [1.0, 8.0, 64.0, 512.0, 4096.0];
+/// Histogram bounds for inter-observation latency, seconds of
+/// simulation time between consecutive timed samples of one shard.
+const LATENCY_BOUNDS: [f64; 6] = [0.01, 0.05, 0.25, 1.0, 5.0, 25.0];
+
+/// Version tag of [`SupervisorSnapshot`]'s serialised format; bumped on
+/// incompatible layout changes so a stale checkpoint file is rejected
+/// with a typed error instead of misapplied.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Tuning knobs of a [`Supervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +72,11 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Receives full supervisor checkpoints (see
+/// [`Supervisor::set_checkpoint`]); typically persists them atomically
+/// via [`crate::checkpoint::save_snapshot`].
+pub type CheckpointSink = Box<dyn FnMut(&SupervisorSnapshot) -> io::Result<()> + Send>;
+
 struct Shard {
     detector: Box<dyn RejuvenationDetector>,
     queue: ObsQueue,
@@ -58,6 +86,9 @@ struct Shard {
     rejuvenations: u64,
     /// FNV-1a over every (value bits, decision) pair, in order.
     digest: u64,
+    /// Timestamp of the last *timed* observation, for the
+    /// inter-observation latency histogram (`None` before the first).
+    last_at: Option<f64>,
     last_decision: Decision,
 }
 
@@ -103,21 +134,35 @@ impl ShardSender {
         self.shard
     }
 
-    /// Offers one observation; `false` means it was dropped to
+    /// Offers one untimed observation; `false` means it was dropped to
     /// back-pressure (and counted).
     pub fn send(&self, value: f64) -> bool {
         self.queue.push(value)
     }
 
-    /// Sends, spinning until queue space frees up (lossless producers).
+    /// Offers one observation stamped at `at` seconds of simulation
+    /// time; `false` means dropped to back-pressure (and counted).
+    pub fn send_at(&self, value: f64, at: f64) -> bool {
+        self.queue.push_at(value, at)
+    }
+
+    /// Sends, waiting until queue space frees up (lossless producers).
+    /// Bounded spin, then a condvar park — never an unbounded busy loop.
     pub fn send_blocking(&self, value: f64) {
         self.queue.push_blocking(value);
+    }
+
+    /// Pending (sent, not yet drained) observations in this shard's
+    /// queue.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
     }
 }
 
 impl ObservationSink for ShardSender {
     fn push(&mut self, observation: Observation) -> bool {
-        self.queue.push(observation.value)
+        self.queue
+            .push_at(observation.value, observation.at.as_secs())
     }
 }
 
@@ -134,6 +179,8 @@ pub struct ShardReport {
     pub accepted: u64,
     /// Observations dropped to back-pressure.
     pub dropped: u64,
+    /// Times a lossless (blocking) producer parked on back-pressure.
+    pub producer_waits: u64,
     /// Rejuvenate decisions returned.
     pub rejuvenations: u64,
     /// Lifetime trigger count reported by the detector itself (survives
@@ -165,6 +212,8 @@ pub struct MonitorReport {
 /// the run accounting, restorable via [`Supervisor::restore`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SupervisorSnapshot {
+    /// Serialised-format version; see [`SNAPSHOT_VERSION`].
+    pub version: u32,
     /// Per-shard detector snapshots and counters, by shard index.
     pub shards: Vec<ShardSnapshot>,
     /// The metrics registry export at checkpoint time.
@@ -186,11 +235,25 @@ pub struct ShardSnapshot {
     pub accepted: u64,
     /// Queue-lifetime dropped count when the checkpoint was taken.
     pub dropped: u64,
+    /// Queue-lifetime blocking-producer parks when the checkpoint was
+    /// taken.
+    pub producer_waits: u64,
+    /// Timestamp of the last timed observation, if any, so the
+    /// inter-observation latency histogram resumes seamlessly.
+    pub last_at: Option<f64>,
 }
 
 /// Why [`Supervisor::restore`] refused a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RestoreError {
+    /// The checkpoint's serialised format is from a different code
+    /// generation.
+    VersionMismatch {
+        /// Version this build writes and understands.
+        expected: u32,
+        /// Version found in the checkpoint.
+        found: u32,
+    },
     /// The checkpoint was taken from a supervisor with a different
     /// number of shards.
     ShardCountMismatch {
@@ -212,6 +275,10 @@ pub enum RestoreError {
 impl fmt::Display for RestoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RestoreError::VersionMismatch { expected, found } => write!(
+                f,
+                "checkpoint format v{found} is not the supported v{expected}"
+            ),
             RestoreError::ShardCountMismatch { expected, found } => write!(
                 f,
                 "checkpoint has {found} shards but the supervisor has {expected}"
@@ -231,7 +298,10 @@ pub struct Supervisor {
     shards: Vec<Shard>,
     metrics: MetricsRegistry,
     log: Option<EventLog>,
-    scratch: Vec<f64>,
+    scratch: Vec<(f64, f64)>,
+    /// Count-based checkpoint stream: `(cadence in total observations,
+    /// total processed at the last checkpoint, sink)`.
+    checkpoint: Option<(u64, u64, CheckpointSink)>,
 }
 
 impl fmt::Debug for Supervisor {
@@ -240,6 +310,7 @@ impl fmt::Debug for Supervisor {
             .field("config", &self.config)
             .field("shards", &self.shards.len())
             .field("logging", &self.log.is_some())
+            .field("checkpointing", &self.checkpoint.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -252,6 +323,7 @@ impl Supervisor {
         let mut metrics = MetricsRegistry::new();
         metrics.register_histogram("observation_value", &VALUE_BOUNDS);
         metrics.register_histogram("drain_batch_size", &BATCH_BOUNDS);
+        metrics.register_histogram("inter_observation_latency", &LATENCY_BOUNDS);
         metrics.set_gauge("shards", 0.0);
         Supervisor {
             scratch: Vec::with_capacity(config.drain_batch),
@@ -259,6 +331,7 @@ impl Supervisor {
             shards: Vec::new(),
             metrics,
             log: None,
+            checkpoint: None,
         }
     }
 
@@ -284,6 +357,7 @@ impl Supervisor {
             processed: 0,
             rejuvenations: 0,
             digest: FNV_OFFSET,
+            last_at: None,
             last_decision: Decision::Continue,
         });
         self.metrics.set_gauge("shards", self.shards.len() as f64);
@@ -310,6 +384,34 @@ impl Supervisor {
         self.log.take()
     }
 
+    /// Streams checkpoints to `sink`: after every `every` *total*
+    /// processed observations (across shards), the event log is flushed
+    /// and a full [`SupervisorSnapshot`] is handed to the sink.
+    ///
+    /// Checkpoints always land on drain-batch boundaries, so a resumed
+    /// run (see [`crate::replay_events_resumed`]) reproduces the
+    /// uninterrupted run's report byte-for-byte. Checkpointing leaves no
+    /// trace in metrics or digests: a run with checkpoints enabled
+    /// reports identically to one without.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn set_checkpoint(&mut self, every: u64, sink: CheckpointSink) {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint = Some((every, self.total_processed(), sink));
+    }
+
+    /// Stops streaming checkpoints and returns the sink, if any.
+    pub fn take_checkpoint(&mut self) -> Option<CheckpointSink> {
+        self.checkpoint.take().map(|(_, _, sink)| sink)
+    }
+
+    /// Sum of processed observations over all shards.
+    pub fn total_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
     /// A cloneable producer handle for `shard`'s ingestion queue.
     ///
     /// # Panics
@@ -322,10 +424,22 @@ impl Supervisor {
         }
     }
 
-    /// Offers one observation to `shard`'s queue without draining;
-    /// `false` means dropped to back-pressure.
+    /// The shard's ingestion queue (consumer threads attach their
+    /// wakeup notifier through it).
+    pub(crate) fn queue(&self, shard: usize) -> &ObsQueue {
+        &self.shards[shard].queue
+    }
+
+    /// Offers one untimed observation to `shard`'s queue without
+    /// draining; `false` means dropped to back-pressure.
     pub fn ingest(&self, shard: usize, value: f64) -> bool {
         self.shards[shard].queue.push(value)
+    }
+
+    /// Offers one observation stamped at `at` seconds of simulation
+    /// time; `false` means dropped to back-pressure.
+    pub fn ingest_at(&self, shard: usize, value: f64, at: f64) -> bool {
+        self.shards[shard].queue.push_at(value, at)
     }
 
     /// Drains up to `drain_batch` pending observations of one shard
@@ -334,17 +448,20 @@ impl Supervisor {
     ///
     /// # Errors
     ///
-    /// Propagates event-log write failures; the shard state has already
-    /// advanced past the processed observations.
+    /// Propagates event-log and checkpoint-sink write failures; the
+    /// shard state has already advanced past the processed observations.
     pub fn poll_shard(&mut self, shard: usize) -> io::Result<usize> {
         let mut batch = std::mem::take(&mut self.scratch);
         batch.clear();
         let result = self.drain_one(shard, &mut batch);
         self.scratch = batch;
+        if matches!(result, Ok(n) if n > 0) {
+            self.maybe_checkpoint()?;
+        }
         result
     }
 
-    fn drain_one(&mut self, shard: usize, batch: &mut Vec<f64>) -> io::Result<usize> {
+    fn drain_one(&mut self, shard: usize, batch: &mut Vec<(f64, f64)>) -> io::Result<usize> {
         let state = &mut self.shards[shard];
         state.queue.drain_into(batch, self.config.drain_batch);
         if batch.is_empty() {
@@ -352,20 +469,45 @@ impl Supervisor {
         }
         let seq_start = state.processed;
         if let Some(log) = self.log.as_mut() {
-            log.record(&MonitorEvent::Batch {
-                shard: shard as u32,
-                seq: seq_start,
-                values: batch.clone(),
-            })?;
+            let timed = batch.iter().any(|&(_, at)| at.is_finite());
+            let event = if timed {
+                MonitorEvent::TimedBatch {
+                    shard: shard as u32,
+                    seq: seq_start,
+                    values: batch.iter().map(|&(v, _)| v).collect(),
+                    times: batch.iter().map(|&(_, at)| at).collect(),
+                }
+            } else {
+                MonitorEvent::Batch {
+                    shard: shard as u32,
+                    seq: seq_start,
+                    values: batch.iter().map(|&(v, _)| v).collect(),
+                }
+            };
+            log.record(&event)?;
         }
         let state = &mut self.shards[shard];
         let mut fired: Vec<u64> = Vec::new();
-        for &value in batch.iter() {
+        let mut last_at = state.last_at;
+        let mut latencies: Vec<f64> = Vec::new();
+        for &(value, at) in batch.iter() {
             let seq = state.processed;
             if state.apply(value).is_rejuvenate() {
                 fired.push(seq);
             }
+            if at.is_finite() {
+                if let Some(prev) = last_at {
+                    latencies.push(at - prev);
+                }
+                last_at = Some(at);
+            }
+        }
+        state.last_at = last_at;
+        for &(value, _) in batch.iter() {
             self.metrics.observe("observation_value", value);
+        }
+        for &delta in &latencies {
+            self.metrics.observe("inter_observation_latency", delta);
         }
         self.metrics.observe("drain_batch_size", batch.len() as f64);
         self.metrics
@@ -399,6 +541,45 @@ impl Supervisor {
         Ok(batch.len())
     }
 
+    /// Emits a checkpoint to the configured sink if the cadence was
+    /// crossed since the last one. The event log is flushed first so a
+    /// persisted log always covers (at least) the checkpointed prefix —
+    /// the invariant crash recovery relies on.
+    fn maybe_checkpoint(&mut self) -> io::Result<()> {
+        let Some((every, last)) = self.checkpoint.as_ref().map(|&(e, l, _)| (e, l)) else {
+            return Ok(());
+        };
+        let total = self.total_processed();
+        if total / every <= last / every {
+            return Ok(());
+        }
+        self.checkpoint_now()
+    }
+
+    /// Immediately emits a checkpoint to the configured sink (no-op
+    /// without one, or when a shard's detector cannot snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-flush and sink failures.
+    pub fn checkpoint_now(&mut self) -> io::Result<()> {
+        if self.checkpoint.is_none() {
+            return Ok(());
+        }
+        if let Some(log) = self.log.as_mut() {
+            log.flush()?;
+        }
+        let Some(snapshot) = self.snapshot() else {
+            return Ok(());
+        };
+        let total = self.total_processed();
+        if let Some((_, last, sink)) = self.checkpoint.as_mut() {
+            sink(&snapshot)?;
+            *last = total;
+        }
+        Ok(())
+    }
+
     /// Polls every shard once, round-robin; returns total observations
     /// processed.
     ///
@@ -413,9 +594,10 @@ impl Supervisor {
         Ok(total)
     }
 
-    /// Synchronously feeds one observation: ingest, then drain the shard
-    /// until its queue is empty, returning the decision for the *last*
-    /// processed observation (i.e. this one, when the queue was empty).
+    /// Synchronously feeds one untimed observation: ingest, then drain
+    /// the shard until its queue is empty, returning the decision for
+    /// the *last* processed observation (i.e. this one, when the queue
+    /// was empty).
     ///
     /// This is the live-attachment path: a model that needs a decision
     /// per observation degenerates the batched drain to batch size 1,
@@ -425,7 +607,21 @@ impl Supervisor {
     ///
     /// Propagates event-log write failures.
     pub fn process_sync(&mut self, shard: usize, value: f64) -> io::Result<Decision> {
-        if !self.ingest(shard, value) {
+        self.process_sync_sample(shard, value, UNTIMED)
+    }
+
+    /// [`Supervisor::process_sync`] with a simulation timestamp, feeding
+    /// the inter-observation latency histogram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log write failures.
+    pub fn process_sync_at(&mut self, shard: usize, value: f64, at: f64) -> io::Result<Decision> {
+        self.process_sync_sample(shard, value, at)
+    }
+
+    fn process_sync_sample(&mut self, shard: usize, value: f64, at: f64) -> io::Result<Decision> {
+        if !self.shards[shard].queue.push_at(value, at) {
             self.metrics.inc("observations_dropped", 1);
         }
         while self.poll_shard(shard)? > 0 {}
@@ -465,6 +661,7 @@ impl Supervisor {
                 processed: s.processed,
                 accepted: s.queue.accepted(),
                 dropped: s.queue.dropped(),
+                producer_waits: s.queue.waits(),
                 rejuvenations: s.rejuvenations,
                 detector_triggers: s.detector.rejuvenation_count(),
                 digest: format!("{:016x}", s.digest),
@@ -494,9 +691,12 @@ impl Supervisor {
                 digest: s.digest,
                 accepted: s.queue.accepted(),
                 dropped: s.queue.dropped(),
+                producer_waits: s.queue.waits(),
+                last_at: s.last_at,
             });
         }
         Some(SupervisorSnapshot {
+            version: SNAPSHOT_VERSION,
             shards,
             metrics: self.metrics.report(),
         })
@@ -508,17 +708,39 @@ impl Supervisor {
     ///
     /// # Errors
     ///
-    /// [`RestoreError`] if the shard counts differ or a detector rejects
-    /// its snapshot; the supervisor is unchanged on error.
+    /// [`RestoreError`] if the snapshot version is unknown, the shard
+    /// counts differ, or a shard's snapshot belongs to a different
+    /// detector kind than the one configured for that shard; the
+    /// supervisor is unchanged on error.
     pub fn restore(&mut self, snapshot: &SupervisorSnapshot) -> Result<(), RestoreError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(RestoreError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: snapshot.version,
+            });
+        }
         if snapshot.shards.len() != self.shards.len() {
             return Err(RestoreError::ShardCountMismatch {
                 expected: self.shards.len(),
                 found: snapshot.shards.len(),
             });
         }
+        // Validate every shard before mutating any: a snapshot whose
+        // detector kind disagrees with the configured topology must not
+        // silently swap the fleet's algorithms mid-run.
         let mut detectors = Vec::with_capacity(snapshot.shards.len());
-        for shard in &snapshot.shards {
+        for (i, (shard, state)) in snapshot.shards.iter().zip(&self.shards).enumerate() {
+            let expected = state.detector.name();
+            let found = shard.detector.kind();
+            if expected != found {
+                return Err(RestoreError::Detector {
+                    shard: i,
+                    source: rejuv_core::SnapshotError::KindMismatch {
+                        detector: expected,
+                        snapshot: found,
+                    },
+                });
+            }
             detectors.push(shard.detector.clone().into_detector());
         }
         for (state, (shard, detector)) in self
@@ -530,10 +752,16 @@ impl Supervisor {
             state.processed = shard.processed;
             state.rejuvenations = shard.rejuvenations;
             state.digest = shard.digest;
-            state.queue.resume_counters(shard.accepted, shard.dropped);
+            state
+                .queue
+                .resume_counters(shard.accepted, shard.dropped, shard.producer_waits);
+            state.last_at = shard.last_at;
             state.last_decision = Decision::Continue;
         }
         self.metrics = MetricsRegistry::from_report(&snapshot.metrics);
+        if let Some((_, last, _)) = self.checkpoint.as_mut() {
+            *last = snapshot.shards.iter().map(|s| s.processed).sum();
+        }
         Ok(())
     }
 }
@@ -541,7 +769,8 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rejuv_core::{Sraa, SraaConfig};
+    use rejuv_core::{Clta, CltaConfig, SnapshotError, Sraa, SraaConfig};
+    use std::sync::{Arc, Mutex};
 
     fn sraa() -> Box<dyn RejuvenationDetector> {
         Box::new(Sraa::new(
@@ -639,6 +868,29 @@ mod tests {
     }
 
     #[test]
+    fn timestamps_feed_latency_histogram_but_not_digests() {
+        let mut timed = small();
+        let mut untimed = small();
+        for i in 0..40 {
+            let v = 4.0 + (i % 3) as f64;
+            timed.process_sync_at(0, v, i as f64 * 0.5).unwrap();
+            untimed.process_sync(0, v).unwrap();
+        }
+        // Identical values → identical digests, timestamps or not.
+        assert_eq!(
+            timed.report().shards[0].digest,
+            untimed.report().shards[0].digest
+        );
+        let timed_report = timed.report();
+        let hist = &timed_report.metrics.histograms["inter_observation_latency"];
+        assert_eq!(hist.count(), 39, "one delta per consecutive timed pair");
+        assert!((hist.mean() - 0.5).abs() < 1e-12);
+        let untimed_report = untimed.report();
+        let empty = &untimed_report.metrics.histograms["inter_observation_latency"];
+        assert_eq!(empty.count(), 0, "untimed samples record no latency");
+    }
+
+    #[test]
     fn snapshot_restore_resumes_identically() {
         let mut live = small();
         for i in 0..137 {
@@ -676,12 +928,69 @@ mod tests {
     }
 
     #[test]
+    fn restore_rejects_wrong_detector_kind() {
+        let clta_sup = Supervisor::with_shards(SupervisorConfig::default(), 2, |_| {
+            Box::new(Clta::new(CltaConfig::builder(5.0, 5.0).build().unwrap()))
+        });
+        let checkpoint = clta_sup.snapshot().unwrap();
+        let mut sraa_sup = small();
+        let before = sraa_sup.report();
+        assert_eq!(
+            sraa_sup.restore(&checkpoint),
+            Err(RestoreError::Detector {
+                shard: 0,
+                source: SnapshotError::KindMismatch {
+                    detector: "SRAA",
+                    snapshot: "CLTA",
+                },
+            })
+        );
+        assert_eq!(sraa_sup.report(), before, "failed restore leaves no trace");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_version() {
+        let live = small();
+        let mut checkpoint = live.snapshot().unwrap();
+        checkpoint.version = 99;
+        let mut other = small();
+        assert_eq!(
+            other.restore(&checkpoint),
+            Err(RestoreError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: 99,
+            })
+        );
+    }
+
+    #[test]
+    fn checkpoint_sink_fires_on_cadence_and_respects_batch_boundaries() {
+        let mut sup = small();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        sup.set_checkpoint(
+            10,
+            Box::new(move |snap| {
+                let total: u64 = snap.shards.iter().map(|s| s.processed).sum();
+                sink_seen.lock().unwrap().push(total);
+                Ok(())
+            }),
+        );
+        for i in 0..35 {
+            sup.process_sync(i % 2, 5.0).unwrap();
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(&*seen, &[10, 20, 30], "one checkpoint per crossed decade");
+    }
+
+    #[test]
     fn supervisor_snapshot_round_trips_through_json() {
         let mut sup = small();
-        for _ in 0..9 {
-            sup.process_sync(0, 30.0).unwrap();
+        for i in 0..9 {
+            sup.process_sync_at(0, 30.0, i as f64).unwrap();
         }
         let snap = sup.snapshot().unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
         let text = serde_json::to_string(&snap).unwrap();
         let back: SupervisorSnapshot = serde_json::from_str(&text).unwrap();
         assert_eq!(snap, back);

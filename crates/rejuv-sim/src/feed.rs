@@ -15,6 +15,11 @@
 use crate::time::SimTime;
 
 /// One timestamped sample of a monitored metric.
+///
+/// The timestamp is part of the observability contract: monitoring
+/// consumers use consecutive `at` values to build inter-observation
+/// latency histograms, while detector *decisions* remain functions of
+/// the value sequence alone.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
     /// When the sample was produced, in simulation time.
@@ -43,6 +48,36 @@ pub trait ObservationSink: Send {
     /// it (bounded consumers under back-pressure); the producer should
     /// count, not retry.
     fn push(&mut self, observation: Observation) -> bool;
+}
+
+/// Broadcasts every observation to two sinks — e.g. an offline
+/// [`VecSink`] capture *and* a monitoring runtime's bounded shard queue.
+///
+/// The push reports `true` only if **both** sinks accepted: a drop
+/// anywhere is a drop the producer should account for. Both sinks are
+/// always offered the observation (no short-circuit), so a full bounded
+/// queue never silences the capture side.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// First receiver.
+    pub first: A,
+    /// Second receiver.
+    pub second: B,
+}
+
+impl<A: ObservationSink, B: ObservationSink> TeeSink<A, B> {
+    /// Couples two sinks into one.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl<A: ObservationSink, B: ObservationSink> ObservationSink for TeeSink<A, B> {
+    fn push(&mut self, observation: Observation) -> bool {
+        let a = self.first.push(observation);
+        let b = self.second.push(observation);
+        a && b
+    }
 }
 
 /// An unbounded in-memory sink; handy for tests and offline capture.
@@ -89,5 +124,31 @@ mod tests {
     #[test]
     fn sink_is_object_safe() {
         fn _takes_boxed(_s: Box<dyn ObservationSink>) {}
+    }
+
+    /// Accepts the first `limit` pushes, then sheds load.
+    struct Bounded {
+        limit: usize,
+        seen: usize,
+    }
+
+    impl ObservationSink for Bounded {
+        fn push(&mut self, _: Observation) -> bool {
+            self.seen += 1;
+            self.seen <= self.limit
+        }
+    }
+
+    #[test]
+    fn tee_sink_offers_both_sides_and_reports_any_drop() {
+        let mut tee = TeeSink::new(Bounded { limit: 2, seen: 0 }, VecSink::new());
+        assert!(tee.push(Observation::at_secs(0.0, 1.0)));
+        assert!(tee.push(Observation::at_secs(1.0, 2.0)));
+        assert!(!tee.push(Observation::at_secs(2.0, 3.0)), "first side full");
+        assert_eq!(
+            tee.second.observations.len(),
+            3,
+            "a drop on one side never silences the other"
+        );
     }
 }
