@@ -14,19 +14,23 @@
 //! options:
 //!   --out FILE           output path (default BENCH_monitor.json)
 //!   --shards N           producer threads / monitored streams (default 4)
+//!   --fleet FILE         per-shard detector specs from a fleet config
+//!                        (heterogeneous benchmark; overrides --shards
+//!                        with the fleet's shard count)
 //!   --observations N     observations per shard (default 1000000)
 //!   --queue-capacity N   per-shard queue capacity (default 8192)
 //!   --drain-batch N      max observations per drain (default 512)
 //! ```
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
-use rejuv_monitor::{ConsumerThread, Supervisor, SupervisorConfig};
+use rejuv_monitor::{ConsumerThread, FleetConfig, Supervisor, SupervisorConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
 struct Options {
     out: PathBuf,
     shards: usize,
+    fleet: Option<FleetConfig>,
     observations: u64,
     queue_capacity: usize,
     drain_batch: usize,
@@ -36,6 +40,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         out: PathBuf::from("BENCH_monitor.json"),
         shards: 4,
+        fleet: None,
         observations: 1_000_000,
         queue_capacity: 8_192,
         drain_batch: 512,
@@ -49,6 +54,12 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--out" => opts.out = PathBuf::from(value("--out")),
             "--shards" => opts.shards = value("--shards").parse().expect("usize"),
+            "--fleet" => {
+                let path = PathBuf::from(value("--fleet"));
+                let fleet = FleetConfig::load(&path)
+                    .unwrap_or_else(|e| panic!("cannot load fleet config {}: {e}", path.display()));
+                opts.fleet = Some(fleet);
+            }
             "--observations" => opts.observations = value("--observations").parse().expect("u64"),
             "--queue-capacity" => {
                 opts.queue_capacity = value("--queue-capacity").parse().expect("usize");
@@ -57,8 +68,21 @@ fn parse_args() -> Options {
             other => panic!("unknown option {other}"),
         }
     }
+    if let Some(fleet) = &opts.fleet {
+        opts.shards = fleet.shard_count();
+    }
     assert!(opts.shards > 0, "--shards must be positive");
     opts
+}
+
+/// The supervisor under benchmark: a homogeneous SRAA fleet by default,
+/// or the heterogeneous fleet named by `--fleet`.
+fn build_supervisor(opts: &Options, config: SupervisorConfig) -> Supervisor {
+    match &opts.fleet {
+        Some(fleet) => Supervisor::with_specs(config, fleet.specs())
+            .expect("fleet specs were validated at load"),
+        None => Supervisor::with_shards(config, opts.shards, |_| detector()),
+    }
 }
 
 fn detector() -> Box<dyn RejuvenationDetector> {
@@ -106,7 +130,7 @@ fn timed_run(opts: &Options) -> RunStats {
         drain_batch: opts.drain_batch,
         snapshot_every: None,
     };
-    let supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
+    let supervisor = build_supervisor(opts, config);
     let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
     let per_shard = opts.observations;
     let total = per_shard * opts.shards as u64;
@@ -149,7 +173,7 @@ fn reference_digests(opts: &Options) -> Vec<String> {
         drain_batch: opts.drain_batch,
         snapshot_every: None,
     };
-    let mut supervisor = Supervisor::with_shards(config, opts.shards, |_| detector());
+    let mut supervisor = build_supervisor(opts, config);
     for shard in 0..opts.shards {
         for i in 0..opts.observations {
             supervisor
@@ -177,6 +201,7 @@ fn main() {
     let warmup = Options {
         observations: 50_000,
         out: opts.out.clone(),
+        fleet: opts.fleet.clone(),
         ..opts
     };
     let _ = timed_run(&warmup);
@@ -210,7 +235,7 @@ fn main() {
             "total_observations": total,
             "queue_capacity": opts.queue_capacity,
             "drain_batch": opts.drain_batch,
-            "detector": "SRAA",
+            "detector": opts.fleet.as_ref().map_or("SRAA".to_owned(), |f| f.summary()),
         },
         "wall_secs": stats.elapsed,
         "observations_per_sec": throughput,

@@ -10,10 +10,16 @@
 //!
 //! In **replay** mode (`--replay FILE`) the daemon reads a monitor event
 //! log recorded by a live run, rebuilds an identical supervisor from the
-//! `Start` header and re-ingests every observation batch. Decisions are
-//! recomputed, not trusted from the log — and the resulting report must
-//! be byte-identical to the live run's (`cmp live.json replay.json`),
-//! which CI checks.
+//! `Start` (or `FleetStart`) header and re-ingests every observation
+//! batch. Decisions are recomputed, not trusted from the log — and the
+//! resulting report must be byte-identical to the live run's
+//! (`cmp live.json replay.json`), which CI checks.
+//!
+//! In **fleet** mode (`--fleet FILE`) the shards are heterogeneous: the
+//! fleet config file assigns each shard its own detector kind and
+//! baseline (see `rejuv_monitor::fleet`), the event log begins with a
+//! self-contained `FleetStart` header, and the report breaks
+//! rejuvenations out per detector kind.
 //!
 //! ```text
 //! cargo run --release -p rejuv-bench --bin monitord -- [options]
@@ -26,6 +32,11 @@
 //!   --transactions T     total transactions to simulate (default 20000)
 //!   --detector NAME      sraa|saraa|clta|static|cusum|ewma (default sraa)
 //!   --mu M, --sigma S    detector baseline (default 5.0 / 5.0, the SLA)
+//!   --fleet FILE         per-shard detector specs from a fleet config
+//!                        file; replaces --detector/--mu/--sigma and
+//!                        implies --hosts <shard count>. With --replay,
+//!                        cross-checks the log's FleetStart header
+//!                        against FILE instead
 //!   --seed S             master seed (default 2006)
 //!   --downtime D         cluster host downtime after rejuvenation,
 //!                        seconds (default 30)
@@ -43,6 +54,8 @@
 //!                        cadence, plus once at clean completion
 //!   --checkpoint-every N checkpoint cadence in total processed
 //!                        observations (default 10000)
+//!   --checkpoint-secs S  wall-clock checkpoint cadence in seconds
+//!                        (mutually exclusive with --checkpoint-every)
 //!   --resume FILE        restore supervisor state from a checkpoint
 //!                        before running; with --replay, observations
 //!                        the checkpoint already covers are skipped and
@@ -63,9 +76,9 @@ use rejuv_core::{
 use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
 use rejuv_monitor::{
-    load_snapshot, read_events_tolerant, replay_events_resumed, save_snapshot, ConsumerThread,
-    EventLog, MonitorEvent, MonitorReport, SharedSupervisor, Supervisor, SupervisorConfig,
-    SupervisorSnapshot,
+    load_snapshot, read_events_tolerant, replay_events_resumed, replay_fleet_events, save_snapshot,
+    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, SharedSupervisor,
+    Supervisor, SupervisorConfig, SupervisorSnapshot,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -73,11 +86,15 @@ use std::path::PathBuf;
 
 struct Options {
     hosts: usize,
+    hosts_set: bool,
     load: f64,
     transactions: u64,
     detector: String,
+    detector_set: bool,
     mu: f64,
     sigma: f64,
+    baseline_set: bool,
+    fleet: Option<PathBuf>,
     seed: u64,
     downtime: f64,
     snapshot_every: Option<u64>,
@@ -87,17 +104,23 @@ struct Options {
     replay: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: u64,
+    checkpoint_every_set: bool,
+    checkpoint_secs: Option<f64>,
     resume: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         hosts: 1,
+        hosts_set: false,
         load: 8.0,
         transactions: 20_000,
         detector: "sraa".to_owned(),
+        detector_set: false,
         mu: 5.0,
         sigma: 5.0,
+        baseline_set: false,
+        fleet: None,
         seed: 2006,
         downtime: 30.0,
         snapshot_every: None,
@@ -107,6 +130,8 @@ fn parse_args() -> Options {
         replay: None,
         checkpoint: None,
         checkpoint_every: 10_000,
+        checkpoint_every_set: false,
+        checkpoint_secs: None,
         resume: None,
     };
     let mut args = std::env::args().skip(1);
@@ -116,12 +141,25 @@ fn parse_args() -> Options {
                 .unwrap_or_else(|| panic!("missing value for {name}"))
         };
         match arg.as_str() {
-            "--hosts" => opts.hosts = value("--hosts").parse().expect("usize"),
+            "--hosts" => {
+                opts.hosts = value("--hosts").parse().expect("usize");
+                opts.hosts_set = true;
+            }
             "--load" => opts.load = value("--load").parse().expect("f64"),
             "--transactions" => opts.transactions = value("--transactions").parse().expect("u64"),
-            "--detector" => opts.detector = value("--detector").to_lowercase(),
-            "--mu" => opts.mu = value("--mu").parse().expect("f64"),
-            "--sigma" => opts.sigma = value("--sigma").parse().expect("f64"),
+            "--detector" => {
+                opts.detector = value("--detector").to_lowercase();
+                opts.detector_set = true;
+            }
+            "--mu" => {
+                opts.mu = value("--mu").parse().expect("f64");
+                opts.baseline_set = true;
+            }
+            "--sigma" => {
+                opts.sigma = value("--sigma").parse().expect("f64");
+                opts.baseline_set = true;
+            }
+            "--fleet" => opts.fleet = Some(PathBuf::from(value("--fleet"))),
             "--seed" => opts.seed = value("--seed").parse().expect("u64"),
             "--downtime" => opts.downtime = value("--downtime").parse().expect("f64"),
             "--snapshot-every" => {
@@ -134,6 +172,10 @@ fn parse_args() -> Options {
             "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
             "--checkpoint-every" => {
                 opts.checkpoint_every = value("--checkpoint-every").parse().expect("u64");
+                opts.checkpoint_every_set = true;
+            }
+            "--checkpoint-secs" => {
+                opts.checkpoint_secs = Some(value("--checkpoint-secs").parse().expect("f64"));
             }
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
             other => panic!("unknown option {other}"),
@@ -144,7 +186,40 @@ fn parse_args() -> Options {
         opts.checkpoint_every > 0,
         "--checkpoint-every must be positive"
     );
+    if let Some(secs) = opts.checkpoint_secs {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "--checkpoint-secs must be positive"
+        );
+        assert!(
+            !opts.checkpoint_every_set,
+            "--checkpoint-secs and --checkpoint-every are mutually exclusive"
+        );
+    }
+    if opts.fleet.is_some() {
+        assert!(
+            !opts.detector_set && !opts.baseline_set,
+            "--fleet carries per-shard detectors and baselines; \
+             it cannot be combined with --detector/--mu/--sigma"
+        );
+    }
     opts
+}
+
+/// Loads the fleet config named by `--fleet`, if any.
+fn load_fleet(opts: &Options) -> Option<FleetConfig> {
+    opts.fleet.as_ref().map(|path| {
+        let fleet = FleetConfig::load(path)
+            .unwrap_or_else(|e| panic!("cannot load fleet config {}: {e}", path.display()));
+        if opts.hosts_set && opts.hosts != fleet.shard_count() {
+            panic!(
+                "--hosts {} disagrees with the fleet config's {} shard(s)",
+                opts.hosts,
+                fleet.shard_count()
+            );
+        }
+        fleet
+    })
 }
 
 /// Loads the checkpoint named by `--resume`, if any.
@@ -217,6 +292,14 @@ fn summarize(report: &MonitorReport) {
         report.total_rejuvenations,
         report.total_dropped
     );
+    if report.by_detector.len() > 1 {
+        for kind in &report.by_detector {
+            println!(
+                "  detector {}: {} shard(s), {} processed, {} rejuvenations",
+                kind.detector, kind.shards, kind.processed, kind.rejuvenations
+            );
+        }
+    }
     for shard in &report.shards {
         println!(
             "  shard {} [{}]: {} processed, {} rejuvenations, digest {}",
@@ -236,37 +319,75 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
         );
     }
     let header = events.first().unwrap_or_else(|| panic!("empty event log"));
-    let MonitorEvent::Start {
-        shards,
-        detector,
-        queue_capacity,
-        drain_batch,
-        snapshot_every,
-    } = header
-    else {
-        panic!("event log does not begin with a Start header");
-    };
-    let config = SupervisorConfig {
-        queue_capacity: *queue_capacity as usize,
-        drain_batch: *drain_batch as usize,
-        snapshot_every: *snapshot_every,
-    };
-    println!(
-        "replaying {}: {} shards, detector {}, {} events",
-        log_path.display(),
-        shards,
-        detector,
-        events.len()
-    );
     let snapshot = load_resume(opts);
-    let supervisor = replay_events_resumed(
-        &events,
-        config,
-        *shards as usize,
-        |_| make_detector(detector, opts.mu, opts.sigma),
-        snapshot.as_ref(),
-    )
-    .expect("replay");
+    let supervisor = match header {
+        MonitorEvent::Start {
+            shards,
+            detector,
+            queue_capacity,
+            drain_batch,
+            snapshot_every,
+        } => {
+            assert!(
+                opts.fleet.is_none(),
+                "--fleet cross-checks a FleetStart header, but this log was \
+                 recorded homogeneous (Start header, detector {detector})"
+            );
+            let config = SupervisorConfig {
+                queue_capacity: *queue_capacity as usize,
+                drain_batch: *drain_batch as usize,
+                snapshot_every: *snapshot_every,
+            };
+            println!(
+                "replaying {}: {} shards, detector {}, {} events",
+                log_path.display(),
+                shards,
+                detector,
+                events.len()
+            );
+            replay_events_resumed(
+                &events,
+                config,
+                *shards as usize,
+                |_| make_detector(detector, opts.mu, opts.sigma),
+                snapshot.as_ref(),
+            )
+            .expect("replay")
+        }
+        MonitorEvent::FleetStart {
+            shards,
+            specs,
+            queue_capacity,
+            drain_batch,
+            snapshot_every,
+        } => {
+            // The header is self-contained; a --fleet file here only
+            // cross-checks that the log matches the config on disk.
+            if let Some(fleet) = load_fleet(opts) {
+                assert!(
+                    fleet.specs() == specs.as_slice(),
+                    "fleet config {} does not match the log's FleetStart header",
+                    opts.fleet.as_ref().unwrap().display()
+                );
+            }
+            let config = SupervisorConfig {
+                queue_capacity: *queue_capacity as usize,
+                drain_batch: *drain_batch as usize,
+                snapshot_every: *snapshot_every,
+            };
+            println!(
+                "replaying {}: {} shards ({}), {} events",
+                log_path.display(),
+                shards,
+                FleetConfig::new(specs.clone())
+                    .map(|f| f.summary())
+                    .unwrap_or_else(|_| "invalid fleet".to_owned()),
+                events.len()
+            );
+            replay_fleet_events(&events, config, specs, snapshot.as_ref()).expect("replay")
+        }
+        _ => panic!("event log does not begin with a Start or FleetStart header"),
+    };
     let report = supervisor.report();
     summarize(&report);
     write_report(&report, opts.report.as_ref());
@@ -277,12 +398,21 @@ fn run_live(opts: &Options) {
         snapshot_every: opts.snapshot_every,
         ..SupervisorConfig::default()
     };
-    let mut supervisor = Supervisor::with_shards(config, opts.hosts, |_| {
-        make_detector(&opts.detector, opts.mu, opts.sigma)
-    });
-    let detector_name = make_detector(&opts.detector, opts.mu, opts.sigma)
-        .name()
-        .to_owned();
+    let fleet = load_fleet(opts);
+    let hosts = fleet.as_ref().map_or(opts.hosts, FleetConfig::shard_count);
+    let mut supervisor = match &fleet {
+        Some(fleet) => Supervisor::with_specs(config, fleet.specs())
+            .expect("fleet specs were validated at load"),
+        None => Supervisor::with_shards(config, hosts, |_| {
+            make_detector(&opts.detector, opts.mu, opts.sigma)
+        }),
+    };
+    let detector_name = match &fleet {
+        Some(fleet) => fleet.summary(),
+        None => make_detector(&opts.detector, opts.mu, opts.sigma)
+            .name()
+            .to_owned(),
+    };
 
     if let Some(snapshot) = load_resume(opts) {
         supervisor
@@ -292,24 +422,42 @@ fn run_live(opts: &Options) {
 
     if let Some(path) = &opts.checkpoint {
         let path = path.clone();
-        supervisor.set_checkpoint(
-            opts.checkpoint_every,
-            Box::new(move |snapshot| save_snapshot(&path, snapshot)),
-        );
+        let sink: rejuv_monitor::CheckpointSink =
+            Box::new(move |snapshot| save_snapshot(&path, snapshot));
+        match opts.checkpoint_secs {
+            Some(secs) => {
+                let start = std::time::Instant::now();
+                supervisor.set_checkpoint_timer(
+                    secs,
+                    Box::new(move || start.elapsed().as_secs_f64()),
+                    sink,
+                );
+            }
+            None => supervisor.set_checkpoint(opts.checkpoint_every, sink),
+        }
     }
 
     if let Some(path) = &opts.trace {
         let file =
             File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
         let mut log = EventLog::new(Box::new(BufWriter::new(file)));
-        log.record(&MonitorEvent::Start {
-            shards: opts.hosts as u32,
-            detector: detector_name.clone(),
-            queue_capacity: config.queue_capacity as u64,
-            drain_batch: config.drain_batch as u64,
-            snapshot_every: config.snapshot_every,
-        })
-        .expect("write run header");
+        let header = match &fleet {
+            Some(fleet) => MonitorEvent::FleetStart {
+                shards: hosts as u32,
+                specs: fleet.specs().to_vec(),
+                queue_capacity: config.queue_capacity as u64,
+                drain_batch: config.drain_batch as u64,
+                snapshot_every: config.snapshot_every,
+            },
+            None => MonitorEvent::Start {
+                shards: hosts as u32,
+                detector: detector_name.clone(),
+                queue_capacity: config.queue_capacity as u64,
+                drain_batch: config.drain_batch as u64,
+                snapshot_every: config.snapshot_every,
+            },
+        };
+        log.record(&header).expect("write run header");
         supervisor.set_log(log);
     }
 
@@ -322,10 +470,10 @@ fn run_live(opts: &Options) {
 
     println!(
         "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}",
-        opts.hosts, opts.load, opts.transactions, detector_name, opts.seed
+        hosts, opts.load, opts.transactions, detector_name, opts.seed
     );
 
-    if opts.hosts == 1 {
+    if hosts == 1 {
         let mut system = EcommerceSystem::new(host_config, opts.seed);
         system.attach_detector(Box::new(shared.bridge(0)));
         if opts.system_trace.is_some() {
@@ -351,10 +499,10 @@ fn run_live(opts: &Options) {
         if opts.system_trace.is_some() {
             panic!("--system-trace is only available with --hosts 1");
         }
-        let cluster_rate = host_config.arrival_rate() * opts.hosts as f64;
+        let cluster_rate = host_config.arrival_rate() * hosts as f64;
         let mut cluster = ClusterSystem::new(
             host_config,
-            opts.hosts,
+            hosts,
             cluster_rate,
             RoutingPolicy::LeastActive,
             opts.downtime,

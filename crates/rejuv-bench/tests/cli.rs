@@ -137,7 +137,87 @@ fn monitord_checkpoint_then_resume_matches_full_replay() {
     assert_eq!(live, resumed, "resumed replay must reproduce it too");
     let snapshot: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
-    assert_eq!(snapshot["version"], 1, "versioned checkpoint format");
+    assert_eq!(snapshot["version"], 2, "versioned checkpoint format");
+}
+
+#[test]
+fn monitord_fleet_live_replay_and_resume_are_byte_identical() {
+    let fleet = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fleet.toml");
+    let out = tempdir("monitord-fleet");
+    let out = Path::new(&out);
+    let trace = out.join("trace.jsonl");
+    let ckpt = out.join("ckpt.json");
+    let run = |extra: &[&str]| {
+        let output = Command::new(monitord_bin())
+            .args(extra)
+            .output()
+            .expect("monitord runs");
+        assert!(
+            output.status.success(),
+            "monitord {extra:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let live_out = run(&[
+        "--fleet",
+        fleet,
+        "--transactions",
+        "8000",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "2000",
+        "--report",
+        out.join("live.json").to_str().unwrap(),
+    ]);
+    // The mixed fleet is summarised per kind on stdout.
+    assert!(live_out.contains("sraa x1, saraa x1, clta x1, cusum x1"));
+    assert!(live_out.contains("detector SRAA:"));
+    assert!(live_out.contains("detector CUSUM:"));
+
+    // Replay with the fleet file cross-checks it against the header.
+    run(&[
+        "--replay",
+        trace.to_str().unwrap(),
+        "--fleet",
+        fleet,
+        "--report",
+        out.join("full.json").to_str().unwrap(),
+    ]);
+    // Replay without it works too: the FleetStart header is
+    // self-contained.
+    run(&[
+        "--replay",
+        trace.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--report",
+        out.join("resumed.json").to_str().unwrap(),
+    ]);
+    let live = std::fs::read(out.join("live.json")).unwrap();
+    let full = std::fs::read(out.join("full.json")).unwrap();
+    let resumed = std::fs::read(out.join("resumed.json")).unwrap();
+    assert_eq!(live, full, "fleet replay must reproduce the live report");
+    assert_eq!(live, resumed, "resumed fleet replay must reproduce it too");
+
+    // The report breaks rejuvenations out per detector kind, and the
+    // checkpoint carries the per-shard specs.
+    let report: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&live).unwrap()).unwrap();
+    let kinds: Vec<&str> = report["by_detector"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|k| k["detector"].as_str().unwrap())
+        .collect();
+    assert_eq!(kinds, ["CLTA", "CUSUM", "SARAA", "SRAA"]);
+    let snapshot: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
+    assert_eq!(snapshot["version"], 2);
+    assert_eq!(snapshot["shards"][3]["spec"]["kind"], "Cusum");
 }
 
 fn tempdir(tag: &str) -> String {

@@ -62,6 +62,7 @@ pub mod error;
 pub mod ewma;
 pub mod saraa;
 pub mod snapshot;
+pub mod spec;
 pub mod sraa;
 pub mod static_alg;
 pub mod window;
@@ -78,6 +79,7 @@ pub use error::ConfigError;
 pub use ewma::{Ewma, EwmaConfig};
 pub use saraa::Saraa;
 pub use snapshot::{DetectorSnapshot, SnapshotError};
+pub use spec::{DetectorKind, DetectorSpec};
 pub use sraa::Sraa;
 pub use static_alg::StaticRejuvenation;
 pub use window::AveragingWindow;

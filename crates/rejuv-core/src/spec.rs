@@ -1,0 +1,326 @@
+//! Declarative detector specifications — the unit of heterogeneous
+//! fleet configuration.
+//!
+//! A production fleet rarely runs one detector kind everywhere: the
+//! measurement-based adaptation lineage the paper builds on (Avritzer,
+//! Bondi & Weyuker 2005) tunes triggers *per bucket of hosts*. A
+//! [`DetectorSpec`] captures everything needed to build one concrete
+//! [`RejuvenationDetector`] — kind, SLA baseline `(µX, σX)` and the
+//! kind-specific knobs — as plain serialisable data, so a monitoring
+//! runtime can carry a whole mixed fleet's configuration inside its
+//! event-log headers and checkpoints and rebuild the exact detectors on
+//! replay or resume.
+//!
+//! # Example
+//!
+//! ```
+//! use rejuv_core::{DetectorKind, DetectorSpec};
+//!
+//! // The paper's best-tradeoff SRAA, then a CLTA with a wider window.
+//! let mut sraa = DetectorSpec::new(DetectorKind::Sraa);
+//! sraa.sample_size = 3;
+//! sraa.buckets = 2;
+//! sraa.depth = 5;
+//! let clta = DetectorSpec::new(DetectorKind::Clta);
+//!
+//! let a = sraa.build()?;
+//! let b = clta.build()?;
+//! assert_eq!(a.name(), "SRAA");
+//! assert_eq!(b.name(), "CLTA");
+//! # Ok::<(), rejuv_core::ConfigError>(())
+//! ```
+
+use crate::config::{CltaConfig, SaraaConfig, SraaConfig};
+use crate::cusum::{Cusum, CusumConfig};
+use crate::ewma::{Ewma, EwmaConfig};
+use crate::{Clta, ConfigError, RejuvenationDetector, Saraa, Sraa, StaticRejuvenation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The concrete detector algorithms a fleet can deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Static rejuvenation with averaging (the paper's Fig. 6).
+    Sraa,
+    /// Sampling-acceleration rejuvenation with averaging (Fig. 7).
+    Saraa,
+    /// Central-limit-theorem rejuvenation (Fig. 8).
+    Clta,
+    /// The per-observation static algorithm of Avritzer/Bondi/Weyuker
+    /// 2005 (SRAA with `n = 1`).
+    Static,
+    /// Tabular CUSUM control chart (beyond the paper).
+    Cusum,
+    /// EWMA control chart (beyond the paper).
+    Ewma,
+}
+
+impl DetectorKind {
+    /// Every kind, in report order.
+    pub const ALL: [DetectorKind; 6] = [
+        DetectorKind::Sraa,
+        DetectorKind::Saraa,
+        DetectorKind::Clta,
+        DetectorKind::Static,
+        DetectorKind::Cusum,
+        DetectorKind::Ewma,
+    ];
+
+    /// Parses a kind from its case-insensitive name (`"sraa"`,
+    /// `"SARAA"`, …), as written in CLI flags and fleet config files.
+    pub fn parse(name: &str) -> Option<DetectorKind> {
+        DetectorKind::ALL
+            .into_iter()
+            .find(|k| k.cli_name().eq_ignore_ascii_case(name))
+    }
+
+    /// The report name, matching [`RejuvenationDetector::name`] of the
+    /// detector this kind builds.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::Sraa => "SRAA",
+            DetectorKind::Saraa => "SARAA",
+            DetectorKind::Clta => "CLTA",
+            DetectorKind::Static => "Static",
+            DetectorKind::Cusum => "CUSUM",
+            DetectorKind::Ewma => "EWMA",
+        }
+    }
+
+    /// The lowercase spelling used by CLI flags and config files.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            DetectorKind::Sraa => "sraa",
+            DetectorKind::Saraa => "saraa",
+            DetectorKind::Clta => "clta",
+            DetectorKind::Static => "static",
+            DetectorKind::Cusum => "cusum",
+            DetectorKind::Ewma => "ewma",
+        }
+    }
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cli_name())
+    }
+}
+
+/// A complete, serialisable recipe for one detector instance.
+///
+/// Every knob of every kind lives in one flat struct so a spec can be
+/// parsed from a key=value config file, carried in event-log headers
+/// and checkpoints, and compared for equality when a checkpoint is
+/// validated against a configured topology. Knobs a kind does not use
+/// are simply ignored by [`DetectorSpec::build`] (they keep their
+/// defaults, so equality semantics stay predictable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSpec {
+    /// Which algorithm to build.
+    pub kind: DetectorKind,
+    /// Baseline mean `µX` of the metric under normal behaviour.
+    pub mu: f64,
+    /// Baseline standard deviation `σX` under normal behaviour.
+    pub sigma: f64,
+    /// Window size `n` (SRAA / SARAA initial / CLTA).
+    pub sample_size: usize,
+    /// Bucket count `K` (SRAA / SARAA / static).
+    pub buckets: usize,
+    /// Bucket depth `D` (SRAA / SARAA / static).
+    pub depth: u32,
+    /// Normal quantile `N` (CLTA).
+    pub quantile: f64,
+    /// Reference value `k` in σ units (CUSUM).
+    pub reference: f64,
+    /// Decision interval `h` in σ units (CUSUM).
+    pub decision: f64,
+    /// Smoothing weight `w` in `(0, 1]` (EWMA).
+    pub weight: f64,
+    /// Control-limit width `L` in asymptotic σ (EWMA).
+    pub limit: f64,
+}
+
+impl DetectorSpec {
+    /// A spec for `kind` at the paper's SLA baseline (`µX = σX = 5`)
+    /// with the bench-grade default knobs `monitord` has always used
+    /// for that kind.
+    pub fn new(kind: DetectorKind) -> DetectorSpec {
+        DetectorSpec {
+            kind,
+            mu: 5.0,
+            sigma: 5.0,
+            sample_size: match kind {
+                DetectorKind::Sraa => 2,
+                DetectorKind::Saraa => 4,
+                DetectorKind::Clta => 30,
+                _ => 1,
+            },
+            buckets: 5,
+            depth: 3,
+            quantile: 1.96,
+            reference: 0.5,
+            decision: 5.0,
+            weight: 0.25,
+            limit: 3.0,
+        }
+    }
+
+    /// [`DetectorSpec::new`] with an explicit SLA baseline.
+    pub fn with_baseline(kind: DetectorKind, mu: f64, sigma: f64) -> DetectorSpec {
+        DetectorSpec {
+            mu,
+            sigma,
+            ..DetectorSpec::new(kind)
+        }
+    }
+
+    /// Builds the configured detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a knob the kind uses fails its
+    /// builder's validation (zero counts, non-finite baselines, …).
+    pub fn build(&self) -> Result<Box<dyn RejuvenationDetector>, ConfigError> {
+        Ok(match self.kind {
+            DetectorKind::Sraa => Box::new(Sraa::new(
+                SraaConfig::builder(self.mu, self.sigma)
+                    .sample_size(self.sample_size)
+                    .buckets(self.buckets)
+                    .depth(self.depth)
+                    .build()?,
+            )),
+            DetectorKind::Saraa => Box::new(Saraa::new(
+                SaraaConfig::builder(self.mu, self.sigma)
+                    .initial_sample_size(self.sample_size)
+                    .buckets(self.buckets)
+                    .depth(self.depth)
+                    .build()?,
+            )),
+            DetectorKind::Clta => Box::new(Clta::new(
+                CltaConfig::builder(self.mu, self.sigma)
+                    .sample_size(self.sample_size)
+                    .quantile_factor(self.quantile)
+                    .build()?,
+            )),
+            DetectorKind::Static => Box::new(StaticRejuvenation::new(
+                self.mu,
+                self.sigma,
+                self.buckets,
+                self.depth,
+            )?),
+            DetectorKind::Cusum => Box::new(Cusum::new(CusumConfig::new(
+                self.mu,
+                self.sigma,
+                self.reference,
+                self.decision,
+            )?)),
+            DetectorKind::Ewma => Box::new(Ewma::new(EwmaConfig::new(
+                self.mu,
+                self.sigma,
+                self.weight,
+                self.limit,
+            )?)),
+        })
+    }
+
+    /// Validates every knob the kind uses without keeping the detector.
+    ///
+    /// # Errors
+    ///
+    /// As [`DetectorSpec::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.build().map(|_| ())
+    }
+}
+
+impl fmt::Display for DetectorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(mu={}, sigma={}", self.kind, self.mu, self.sigma)?;
+        match self.kind {
+            DetectorKind::Sraa | DetectorKind::Saraa => write!(
+                f,
+                ", n={}, K={}, D={}",
+                self.sample_size, self.buckets, self.depth
+            )?,
+            DetectorKind::Clta => {
+                write!(f, ", n={}, N={}", self.sample_size, self.quantile)?;
+            }
+            DetectorKind::Static => write!(f, ", K={}, D={}", self.buckets, self.depth)?,
+            DetectorKind::Cusum => write!(f, ", k={}, h={}", self.reference, self.decision)?,
+            DetectorKind::Ewma => write!(f, ", w={}, L={}", self.weight, self.limit)?,
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_any_case_and_rejects_unknown() {
+        assert_eq!(DetectorKind::parse("sraa"), Some(DetectorKind::Sraa));
+        assert_eq!(DetectorKind::parse("SARAA"), Some(DetectorKind::Saraa));
+        assert_eq!(DetectorKind::parse("Static"), Some(DetectorKind::Static));
+        assert_eq!(DetectorKind::parse("markov"), None);
+    }
+
+    #[test]
+    fn every_kind_builds_and_names_match() {
+        for kind in DetectorKind::ALL {
+            let detector = DetectorSpec::new(kind).build().unwrap();
+            assert_eq!(detector.name(), kind.name(), "{kind}");
+            assert_eq!(DetectorKind::parse(kind.cli_name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn default_specs_match_the_historical_monitord_detectors() {
+        // The defaults must keep replaying logs recorded before specs
+        // existed: same kinds, same knobs as `monitord`'s hard-coded
+        // factory.
+        let sraa = DetectorSpec::new(DetectorKind::Sraa);
+        assert_eq!((sraa.sample_size, sraa.buckets, sraa.depth), (2, 5, 3));
+        let saraa = DetectorSpec::new(DetectorKind::Saraa);
+        assert_eq!((saraa.sample_size, saraa.buckets, saraa.depth), (4, 5, 3));
+        let clta = DetectorSpec::new(DetectorKind::Clta);
+        assert_eq!((clta.sample_size, clta.quantile), (30, 1.96));
+        let cusum = DetectorSpec::new(DetectorKind::Cusum);
+        assert_eq!((cusum.reference, cusum.decision), (0.5, 5.0));
+        let ewma = DetectorSpec::new(DetectorKind::Ewma);
+        assert_eq!((ewma.weight, ewma.limit), (0.25, 3.0));
+    }
+
+    #[test]
+    fn invalid_knobs_surface_the_builder_error() {
+        let mut spec = DetectorSpec::new(DetectorKind::Sraa);
+        spec.sample_size = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = DetectorSpec::with_baseline(DetectorKind::Ewma, 5.0, 5.0);
+        spec.weight = 1.5;
+        assert!(spec.validate().is_err());
+        // A knob another kind uses does not affect validation.
+        let mut spec = DetectorSpec::new(DetectorKind::Cusum);
+        spec.sample_size = 0;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for kind in DetectorKind::ALL {
+            let spec = DetectorSpec::with_baseline(kind, 4.5, 2.25);
+            let text = serde_json::to_string(&spec).unwrap();
+            let back: DetectorSpec = serde_json::from_str(&text).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn display_shows_only_the_knobs_the_kind_uses() {
+        let spec = DetectorSpec::new(DetectorKind::Clta);
+        let text = spec.to_string();
+        assert!(text.contains("clta"));
+        assert!(text.contains("N=1.96"));
+        assert!(!text.contains("K="), "CLTA has no bucket chain: {text}");
+    }
+}

@@ -11,6 +11,11 @@
 //! that way and validates it parses as a [`SupervisorSnapshot`];
 //! topology and version validation happen in
 //! [`crate::Supervisor::restore`].
+//!
+//! Since format v2 the snapshot carries one
+//! [`rejuv_core::DetectorSpec`] per shard (when the supervisor was
+//! built from a fleet config), so a checkpoint file records the full
+//! fleet topology and restore rejects per-shard kind *and* knob drift.
 
 use crate::supervisor::SupervisorSnapshot;
 use std::fs::File;

@@ -9,7 +9,7 @@
 //! lines through a fresh supervisor (rebuilt from the `Start` header)
 //! and must reproduce every decision bit-for-bit.
 
-use rejuv_core::DetectorSnapshot;
+use rejuv_core::{DetectorSnapshot, DetectorSpec};
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
@@ -24,6 +24,23 @@ pub enum MonitorEvent {
         /// Detector kind attached to every shard (a
         /// `RejuvenationDetector::name`).
         detector: String,
+        /// Per-shard ingestion queue capacity.
+        queue_capacity: u64,
+        /// Maximum observations drained per poll.
+        drain_batch: u64,
+        /// Checkpoint cadence, observations per shard (`None` disabled).
+        snapshot_every: Option<u64>,
+    },
+    /// Heterogeneous-fleet run header: like [`MonitorEvent::Start`] but
+    /// carrying one full [`DetectorSpec`] per shard, so a mixed-fleet
+    /// log is self-contained — replay rebuilds the exact fleet without
+    /// needing the original fleet config file. Written instead of
+    /// `Start` whenever the supervisor was built from specs.
+    FleetStart {
+        /// Number of monitored shards (`specs.len()`).
+        shards: u32,
+        /// Per-shard detector specs, by shard index.
+        specs: Vec<DetectorSpec>,
         /// Per-shard ingestion queue capacity.
         queue_capacity: u64,
         /// Maximum observations drained per poll.
@@ -227,6 +244,16 @@ mod tests {
                 drain_batch: 64,
                 snapshot_every: Some(500),
             },
+            MonitorEvent::FleetStart {
+                shards: 2,
+                specs: vec![
+                    rejuv_core::DetectorSpec::new(rejuv_core::DetectorKind::Sraa),
+                    rejuv_core::DetectorSpec::new(rejuv_core::DetectorKind::Cusum),
+                ],
+                queue_capacity: 1024,
+                drain_batch: 64,
+                snapshot_every: None,
+            },
             MonitorEvent::Batch {
                 shard: 0,
                 seq: 0,
@@ -259,7 +286,7 @@ mod tests {
         }
         let bytes = buffer.contents();
         let text = String::from_utf8(bytes.clone()).unwrap();
-        assert_eq!(text.lines().count(), 5, "one JSON object per line");
+        assert_eq!(text.lines().count(), 6, "one JSON object per line");
         let back = read_events(io::Cursor::new(bytes)).unwrap();
         assert_eq!(back, events());
     }

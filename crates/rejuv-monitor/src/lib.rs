@@ -28,7 +28,13 @@
 //!   supervisor and reproduces every decision bit-for-bit,
 //! * [`bridge::MonitorBridge`] — a synchronous detector façade so an
 //!   engine-driven model (single-host §3 system, cluster) feeds the
-//!   runtime as if it were a plain detector.
+//!   runtime as if it were a plain detector,
+//! * [`fleet::FleetConfig`] — a TOML-like fleet config file assigning
+//!   each shard its own detector kind and baseline
+//!   ([`rejuv_core::DetectorSpec`]); [`Supervisor::with_specs`] builds
+//!   the mixed fleet, reports roll up per detector kind
+//!   ([`supervisor::DetectorKindReport`]), and [`replay_fleet_events`]
+//!   replays a recorded mixed-fleet log byte-identically.
 //!
 //! # Quickstart
 //!
@@ -67,6 +73,7 @@ pub mod bridge;
 pub mod checkpoint;
 pub mod consumer;
 pub mod event;
+pub mod fleet;
 pub mod metrics;
 pub mod queue;
 pub mod supervisor;
@@ -75,14 +82,15 @@ pub use bridge::{MonitorBridge, SharedSupervisor};
 pub use checkpoint::{load_snapshot, save_snapshot};
 pub use consumer::ConsumerThread;
 pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
+pub use fleet::{FleetConfig, FleetError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
 pub use queue::{ObsQueue, Wakeup, WorkNotifier};
 pub use supervisor::{
-    CheckpointSink, MonitorReport, RestoreError, ShardReport, ShardSender, ShardSnapshot,
-    Supervisor, SupervisorConfig, SupervisorSnapshot, SNAPSHOT_VERSION,
+    CheckpointClock, CheckpointSink, DetectorKindReport, MonitorReport, RestoreError, ShardReport,
+    ShardSender, ShardSnapshot, Supervisor, SupervisorConfig, SupervisorSnapshot, SNAPSHOT_VERSION,
 };
 
-use rejuv_core::RejuvenationDetector;
+use rejuv_core::{DetectorSpec, RejuvenationDetector};
 use std::io;
 
 /// Deterministically re-analyses a recorded event log: rebuilds a
@@ -140,7 +148,37 @@ pub fn replay_events_resumed<F>(
 where
     F: FnMut(usize) -> Box<dyn RejuvenationDetector>,
 {
-    let mut supervisor = Supervisor::with_shards(config, shards, factory);
+    let supervisor = Supervisor::with_shards(config, shards, factory);
+    replay_into(supervisor, events, snapshot)
+}
+
+/// [`replay_events_resumed`] for a heterogeneous fleet: the supervisor
+/// is rebuilt from one [`DetectorSpec`] per shard — exactly what a
+/// [`MonitorEvent::FleetStart`] header carries — then the recorded
+/// batches are re-ingested. Pass `snapshot` to resume from a mid-run
+/// checkpoint with the same byte-identical-report guarantee.
+///
+/// # Errors
+///
+/// `InvalidData` if a spec fails detector validation or the snapshot
+/// does not fit the rebuilt fleet; otherwise as [`replay_events`].
+pub fn replay_fleet_events(
+    events: &[MonitorEvent],
+    config: SupervisorConfig,
+    specs: &[DetectorSpec],
+    snapshot: Option<&SupervisorSnapshot>,
+) -> io::Result<Supervisor> {
+    let supervisor = Supervisor::with_specs(config, specs)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    replay_into(supervisor, events, snapshot)
+}
+
+fn replay_into(
+    mut supervisor: Supervisor,
+    events: &[MonitorEvent],
+    snapshot: Option<&SupervisorSnapshot>,
+) -> io::Result<Supervisor> {
+    let shards = supervisor.shard_count();
     let mut covered: Vec<u64> = vec![0; shards];
     if let Some(snapshot) = snapshot {
         supervisor

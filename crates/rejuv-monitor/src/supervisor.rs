@@ -18,18 +18,25 @@
 //! bit-for-bit. Timestamps never enter the decision digest — a timed and
 //! an untimed run over the same values agree on every decision digest.
 //!
-//! A supervisor can also stream *checkpoints*: a count-based
-//! [`CheckpointSink`] receives a full [`SupervisorSnapshot`] every
-//! `checkpoint_every` processed observations (the event log, if any, is
-//! flushed first so the persisted log always covers the checkpoint).
+//! A supervisor can also stream *checkpoints*: a [`CheckpointSink`]
+//! receives a full [`SupervisorSnapshot`] every `checkpoint_every`
+//! processed observations ([`Supervisor::set_checkpoint`]) or every
+//! `secs` seconds of an injectable [`CheckpointClock`]
+//! ([`Supervisor::set_checkpoint_timer`]); the event log, if any, is
+//! flushed first so the persisted log always covers the checkpoint.
 //! [`Supervisor::restore`] rebuilds from a snapshot, rejecting mismatched
-//! shard counts, detector kinds, or snapshot versions with a typed
-//! [`RestoreError`] instead of silently misapplying state.
+//! shard counts, detector kinds or specs, and snapshot versions with a
+//! typed [`RestoreError`] instead of silently misapplying state.
+//!
+//! Fleets need not be homogeneous: [`Supervisor::with_specs`] builds one
+//! shard per [`DetectorSpec`] (see [`crate::fleet::FleetConfig`]), each
+//! shard's digest is seeded with its detector kind name, and reports
+//! carry a per-kind [`DetectorKindReport`] rollup.
 
 use crate::event::{EventLog, MonitorEvent};
 use crate::metrics::{MetricsRegistry, MetricsReport};
 use crate::queue::{ObsQueue, UNTIMED};
-use rejuv_core::{Decision, DetectorSnapshot, RejuvenationDetector};
+use rejuv_core::{ConfigError, Decision, DetectorSnapshot, DetectorSpec, RejuvenationDetector};
 use rejuv_sim::{Observation, ObservationSink};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,8 +53,9 @@ const LATENCY_BOUNDS: [f64; 6] = [0.01, 0.05, 0.25, 1.0, 5.0, 25.0];
 
 /// Version tag of [`SupervisorSnapshot`]'s serialised format; bumped on
 /// incompatible layout changes so a stale checkpoint file is rejected
-/// with a typed error instead of misapplied.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// with a typed error instead of misapplied. Version 2 added the
+/// per-shard [`DetectorSpec`] carried for heterogeneous fleets.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Tuning knobs of a [`Supervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,8 +85,39 @@ impl Default for SupervisorConfig {
 /// via [`crate::checkpoint::save_snapshot`].
 pub type CheckpointSink = Box<dyn FnMut(&SupervisorSnapshot) -> io::Result<()> + Send>;
 
+/// A monotonic seconds source for timer-based checkpoints (see
+/// [`Supervisor::set_checkpoint_timer`]). Injected rather than read
+/// from `std::time` so the cadence is unit-testable with synthetic
+/// clock ticks.
+pub type CheckpointClock = Box<dyn FnMut() -> f64 + Send>;
+
+/// When the configured checkpoint stream emits.
+enum CheckpointCadence {
+    /// Every `n` *total* processed observations (across shards).
+    Every(u64),
+    /// Whenever at least `secs` elapsed on `clock` since the last
+    /// checkpoint, evaluated on drain-batch boundaries.
+    Timer {
+        secs: f64,
+        clock: CheckpointClock,
+        last_tick: f64,
+    },
+}
+
+/// The configured checkpoint stream.
+struct CheckpointStream {
+    cadence: CheckpointCadence,
+    /// Total processed observations at the last emitted checkpoint.
+    last_total: u64,
+    sink: CheckpointSink,
+}
+
 struct Shard {
     detector: Box<dyn RejuvenationDetector>,
+    /// The declarative spec this shard was built from, when the
+    /// supervisor was assembled from a fleet config ([`None`] for
+    /// detectors handed in as opaque boxes).
+    spec: Option<DetectorSpec>,
     queue: ObsQueue,
     /// Observations fed through the detector so far.
     processed: u64,
@@ -190,6 +229,20 @@ pub struct ShardReport {
     pub digest: String,
 }
 
+/// Per-detector-kind rollup inside a [`MonitorReport`]: in a mixed
+/// fleet, how much work each algorithm family did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorKindReport {
+    /// Detector kind name ([`RejuvenationDetector::name`]).
+    pub detector: String,
+    /// Shards running this kind.
+    pub shards: u64,
+    /// Observations processed by those shards.
+    pub processed: u64,
+    /// Rejuvenate decisions returned by those shards.
+    pub rejuvenations: u64,
+}
+
 /// The final metrics report of a monitoring run.
 ///
 /// Serialising this is byte-stable: a replayed run that processed the
@@ -198,6 +251,9 @@ pub struct ShardReport {
 pub struct MonitorReport {
     /// Per-shard accounting.
     pub shards: Vec<ShardReport>,
+    /// Per-detector-kind rollup, sorted by kind name (one entry per
+    /// kind present in the fleet).
+    pub by_detector: Vec<DetectorKindReport>,
     /// Sum of `processed` over all shards.
     pub total_processed: u64,
     /// Sum of `dropped` over all shards.
@@ -225,6 +281,10 @@ pub struct SupervisorSnapshot {
 pub struct ShardSnapshot {
     /// The detector's complete state.
     pub detector: DetectorSnapshot,
+    /// The declarative spec the shard was configured from, when known.
+    /// [`Supervisor::restore`] refuses a checkpoint whose spec disagrees
+    /// with the configured shard's (same-kind knob drift included).
+    pub spec: Option<DetectorSpec>,
     /// Observations processed when the checkpoint was taken.
     pub processed: u64,
     /// Rejuvenate decisions returned when the checkpoint was taken.
@@ -244,7 +304,7 @@ pub struct ShardSnapshot {
 }
 
 /// Why [`Supervisor::restore`] refused a checkpoint.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RestoreError {
     /// The checkpoint's serialised format is from a different code
     /// generation.
@@ -270,6 +330,18 @@ pub enum RestoreError {
         /// The underlying error.
         source: rejuv_core::SnapshotError,
     },
+    /// The checkpoint's per-shard spec disagrees with the configured
+    /// shard's — same kind, different knobs (a kind mismatch surfaces
+    /// as [`RestoreError::Detector`] first).
+    SpecMismatch {
+        /// The offending shard.
+        shard: usize,
+        /// Spec configured for this supervisor's shard (boxed to keep
+        /// the error type small on the happy path).
+        expected: Box<DetectorSpec>,
+        /// Spec recorded in the checkpoint.
+        found: Box<DetectorSpec>,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -286,6 +358,14 @@ impl fmt::Display for RestoreError {
             RestoreError::Detector { shard, source } => {
                 write!(f, "shard {shard}: {source}")
             }
+            RestoreError::SpecMismatch {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard}: checkpoint spec {found} does not match configured {expected}"
+            ),
         }
     }
 }
@@ -299,9 +379,7 @@ pub struct Supervisor {
     metrics: MetricsRegistry,
     log: Option<EventLog>,
     scratch: Vec<(f64, f64)>,
-    /// Count-based checkpoint stream: `(cadence in total observations,
-    /// total processed at the last checkpoint, sink)`.
-    checkpoint: Option<(u64, u64, CheckpointSink)>,
+    checkpoint: Option<CheckpointStream>,
 }
 
 impl fmt::Debug for Supervisor {
@@ -348,20 +426,85 @@ impl Supervisor {
         sup
     }
 
+    /// A (possibly heterogeneous) supervisor with one shard per spec,
+    /// in order — the fleet-config construction path. Each shard
+    /// remembers its spec, so checkpoints carry the full fleet topology
+    /// and [`Supervisor::restore`] can reject spec drift per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] of the first invalid spec.
+    pub fn with_specs(
+        config: SupervisorConfig,
+        specs: &[DetectorSpec],
+    ) -> Result<Self, ConfigError> {
+        let mut sup = Supervisor::new(config);
+        for spec in specs {
+            sup.add_shard_spec(*spec)?;
+        }
+        Ok(sup)
+    }
+
     /// Adds a monitored stream supervised by `detector`; returns its
     /// shard index.
     pub fn add_shard(&mut self, detector: Box<dyn RejuvenationDetector>) -> usize {
+        self.push_shard(detector, None)
+    }
+
+    /// Adds a monitored stream built from a declarative spec; returns
+    /// its shard index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the spec fails detector validation.
+    pub fn add_shard_spec(&mut self, spec: DetectorSpec) -> Result<usize, ConfigError> {
+        let detector = spec.build()?;
+        Ok(self.push_shard(detector, Some(spec)))
+    }
+
+    fn push_shard(
+        &mut self,
+        detector: Box<dyn RejuvenationDetector>,
+        spec: Option<DetectorSpec>,
+    ) -> usize {
+        // Seed the decision digest with the detector kind so a digest
+        // certifies *which algorithm* decided, not just what it decided
+        // — two kinds that happen to agree on a stream still produce
+        // distinct digests.
+        let digest = fnv1a(FNV_OFFSET, detector.name().as_bytes());
+        let kind = detector.name();
         self.shards.push(Shard {
             detector,
+            spec,
             queue: ObsQueue::bounded(self.config.queue_capacity),
             processed: 0,
             rejuvenations: 0,
-            digest: FNV_OFFSET,
+            digest,
             last_at: None,
             last_decision: Decision::Continue,
         });
         self.metrics.set_gauge("shards", self.shards.len() as f64);
+        let of_kind = self
+            .shards
+            .iter()
+            .filter(|s| s.detector.name() == kind)
+            .count();
+        self.metrics
+            .set_gauge(&format!("shards_{kind}"), of_kind as f64);
+        // Pre-register the per-kind rejuvenation counter so mixed-fleet
+        // reports always list every kind present, fired or not.
+        self.metrics.inc(&format!("rejuvenations_{kind}"), 0);
         self.shards.len() - 1
+    }
+
+    /// The declarative spec `shard` was built from, when the supervisor
+    /// was assembled from specs ([`None`] for opaque detectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn spec(&self, shard: usize) -> Option<&DetectorSpec> {
+        self.shards[shard].spec.as_ref()
     }
 
     /// Number of monitored streams.
@@ -399,12 +542,51 @@ impl Supervisor {
     /// Panics if `every == 0`.
     pub fn set_checkpoint(&mut self, every: u64, sink: CheckpointSink) {
         assert!(every > 0, "checkpoint cadence must be positive");
-        self.checkpoint = Some((every, self.total_processed(), sink));
+        self.checkpoint = Some(CheckpointStream {
+            cadence: CheckpointCadence::Every(every),
+            last_total: self.total_processed(),
+            sink,
+        });
+    }
+
+    /// Streams checkpoints to `sink` on a *timer*: whenever at least
+    /// `secs` have elapsed on `clock` since the last checkpoint, the
+    /// next drain that processed observations emits one. The cadence is
+    /// still evaluated on drain-batch boundaries, so resumed replays
+    /// stay byte-identical exactly as with [`Supervisor::set_checkpoint`].
+    ///
+    /// `clock` is any monotonic seconds source — wall time in
+    /// production (`Instant::elapsed`), injected ticks in tests, which
+    /// is what keeps the cadence deterministic under test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not positive and finite.
+    pub fn set_checkpoint_timer(
+        &mut self,
+        secs: f64,
+        mut clock: CheckpointClock,
+        sink: CheckpointSink,
+    ) {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "checkpoint timer must be positive"
+        );
+        let last_tick = clock();
+        self.checkpoint = Some(CheckpointStream {
+            cadence: CheckpointCadence::Timer {
+                secs,
+                clock,
+                last_tick,
+            },
+            last_total: self.total_processed(),
+            sink,
+        });
     }
 
     /// Stops streaming checkpoints and returns the sink, if any.
     pub fn take_checkpoint(&mut self) -> Option<CheckpointSink> {
-        self.checkpoint.take().map(|(_, _, sink)| sink)
+        self.checkpoint.take().map(|stream| stream.sink)
     }
 
     /// Sum of processed observations over all shards.
@@ -513,6 +695,11 @@ impl Supervisor {
         self.metrics
             .inc("observations_processed", batch.len() as u64);
         self.metrics.inc("rejuvenations", fired.len() as u64);
+        if !fired.is_empty() {
+            let kind = self.shards[shard].detector.name();
+            self.metrics
+                .inc(&format!("rejuvenations_{kind}"), fired.len() as u64);
+        }
         if let Some(log) = self.log.as_mut() {
             for &seq in &fired {
                 log.record(&MonitorEvent::Rejuvenated {
@@ -546,11 +733,19 @@ impl Supervisor {
     /// persisted log always covers (at least) the checkpointed prefix —
     /// the invariant crash recovery relies on.
     fn maybe_checkpoint(&mut self) -> io::Result<()> {
-        let Some((every, last)) = self.checkpoint.as_ref().map(|&(e, l, _)| (e, l)) else {
+        let total = self.total_processed();
+        let Some(stream) = self.checkpoint.as_mut() else {
             return Ok(());
         };
-        let total = self.total_processed();
-        if total / every <= last / every {
+        let due = match &mut stream.cadence {
+            CheckpointCadence::Every(every) => total / *every > stream.last_total / *every,
+            CheckpointCadence::Timer {
+                secs,
+                clock,
+                last_tick,
+            } => clock() - *last_tick >= *secs,
+        };
+        if !due {
             return Ok(());
         }
         self.checkpoint_now()
@@ -573,9 +768,15 @@ impl Supervisor {
             return Ok(());
         };
         let total = self.total_processed();
-        if let Some((_, last, sink)) = self.checkpoint.as_mut() {
-            sink(&snapshot)?;
-            *last = total;
+        if let Some(stream) = self.checkpoint.as_mut() {
+            (stream.sink)(&snapshot)?;
+            stream.last_total = total;
+            if let CheckpointCadence::Timer {
+                clock, last_tick, ..
+            } = &mut stream.cadence
+            {
+                *last_tick = clock();
+            }
         }
         Ok(())
     }
@@ -667,10 +868,26 @@ impl Supervisor {
                 digest: format!("{:016x}", s.digest),
             })
             .collect();
+        let mut by_kind: std::collections::BTreeMap<&str, DetectorKindReport> =
+            std::collections::BTreeMap::new();
+        for s in &shards {
+            let entry = by_kind
+                .entry(s.detector.as_str())
+                .or_insert_with(|| DetectorKindReport {
+                    detector: s.detector.clone(),
+                    shards: 0,
+                    processed: 0,
+                    rejuvenations: 0,
+                });
+            entry.shards += 1;
+            entry.processed += s.processed;
+            entry.rejuvenations += s.rejuvenations;
+        }
         MonitorReport {
             total_processed: shards.iter().map(|s| s.processed).sum(),
             total_dropped: shards.iter().map(|s| s.dropped).sum(),
             total_rejuvenations: shards.iter().map(|s| s.rejuvenations).sum(),
+            by_detector: by_kind.into_values().collect(),
             shards,
             metrics: self.metrics.report(),
         }
@@ -686,6 +903,7 @@ impl Supervisor {
         for s in &self.shards {
             shards.push(ShardSnapshot {
                 detector: s.detector.snapshot()?,
+                spec: s.spec,
                 processed: s.processed,
                 rejuvenations: s.rejuvenations,
                 digest: s.digest,
@@ -741,6 +959,15 @@ impl Supervisor {
                     },
                 });
             }
+            if let (Some(expected), Some(found)) = (state.spec.as_ref(), shard.spec.as_ref()) {
+                if expected != found {
+                    return Err(RestoreError::SpecMismatch {
+                        shard: i,
+                        expected: Box::new(*expected),
+                        found: Box::new(*found),
+                    });
+                }
+            }
             detectors.push(shard.detector.clone().into_detector());
         }
         for (state, (shard, detector)) in self
@@ -749,6 +976,10 @@ impl Supervisor {
             .zip(snapshot.shards.iter().zip(detectors))
         {
             state.detector = detector;
+            // The checkpoint is authoritative for the full shard state,
+            // spec included (equality was enforced above when both
+            // sides knew their spec).
+            state.spec = shard.spec;
             state.processed = shard.processed;
             state.rejuvenations = shard.rejuvenations;
             state.digest = shard.digest;
@@ -759,8 +990,8 @@ impl Supervisor {
             state.last_decision = Decision::Continue;
         }
         self.metrics = MetricsRegistry::from_report(&snapshot.metrics);
-        if let Some((_, last, _)) = self.checkpoint.as_mut() {
-            *last = snapshot.shards.iter().map(|s| s.processed).sum();
+        if let Some(stream) = self.checkpoint.as_mut() {
+            stream.last_total = snapshot.shards.iter().map(|s| s.processed).sum();
         }
         Ok(())
     }
@@ -981,6 +1212,136 @@ mod tests {
         }
         let seen = seen.lock().unwrap();
         assert_eq!(&*seen, &[10, 20, 30], "one checkpoint per crossed decade");
+    }
+
+    #[test]
+    fn timer_checkpoints_follow_injected_clock_ticks() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let specs = [
+            DetectorSpec::new(DetectorKind::Sraa),
+            DetectorSpec::new(DetectorKind::Clta),
+        ];
+        let mut sup = Supervisor::with_specs(
+            SupervisorConfig {
+                queue_capacity: 64,
+                drain_batch: 8,
+                snapshot_every: None,
+            },
+            &specs,
+        )
+        .unwrap();
+        // A synthetic clock advancing 1 s per reading: checkpoints are
+        // due once >= 3 s elapsed since the last emit, evaluated only
+        // on drains that processed observations.
+        let now = Arc::new(Mutex::new(0.0_f64));
+        let clock_now = Arc::clone(&now);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        sup.set_checkpoint_timer(
+            3.0,
+            Box::new(move || {
+                let mut t = clock_now.lock().unwrap();
+                *t += 1.0;
+                *t
+            }),
+            Box::new(move |snap| {
+                let total: u64 = snap.shards.iter().map(|s| s.processed).sum();
+                sink_seen.lock().unwrap().push(total);
+                Ok(())
+            }),
+        );
+        for i in 0..12 {
+            sup.process_sync(i % 2, 5.0).unwrap();
+        }
+        // Construction reads the clock once (t=1). Each processed drain
+        // reads it once more; every third drain crosses the 3 s budget
+        // and emits (which re-reads the clock to restart the window).
+        let seen = seen.lock().unwrap();
+        assert_eq!(&*seen, &[3, 6, 9, 12], "deterministic timer cadence");
+    }
+
+    #[test]
+    fn restore_rejects_spec_drift_without_mutating_state() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let config = SupervisorConfig::default();
+        let spec = DetectorSpec::new(DetectorKind::Sraa);
+        let mut drifted = spec;
+        drifted.buckets = 9;
+        let mut donor = Supervisor::with_specs(config, &[drifted]).unwrap();
+        for _ in 0..10 {
+            donor.process_sync(0, 60.0).unwrap();
+        }
+        let checkpoint = donor.snapshot().unwrap();
+        let mut sup = Supervisor::with_specs(config, &[spec]).unwrap();
+        sup.process_sync(0, 4.0).unwrap();
+        let before = sup.report();
+        assert_eq!(
+            sup.restore(&checkpoint),
+            Err(RestoreError::SpecMismatch {
+                shard: 0,
+                expected: Box::new(spec),
+                found: Box::new(drifted),
+            })
+        );
+        assert_eq!(sup.report(), before, "failed restore leaves no trace");
+    }
+
+    #[test]
+    fn digests_are_seeded_with_the_detector_kind() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        // Two kinds that agree on every decision for a tame stream must
+        // still disagree on the digest: it certifies the algorithm too.
+        let config = SupervisorConfig::default();
+        let mut a =
+            Supervisor::with_specs(config, &[DetectorSpec::new(DetectorKind::Sraa)]).unwrap();
+        let mut b =
+            Supervisor::with_specs(config, &[DetectorSpec::new(DetectorKind::Clta)]).unwrap();
+        for _ in 0..50 {
+            a.process_sync(0, 4.0).unwrap();
+            b.process_sync(0, 4.0).unwrap();
+        }
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.shards[0].rejuvenations, 0);
+        assert_eq!(rb.shards[0].rejuvenations, 0);
+        assert_ne!(ra.shards[0].digest, rb.shards[0].digest);
+    }
+
+    #[test]
+    fn report_rolls_up_rejuvenations_per_detector_kind() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let specs = [
+            DetectorSpec::new(DetectorKind::Sraa),
+            DetectorSpec::new(DetectorKind::Clta),
+            DetectorSpec::new(DetectorKind::Sraa),
+        ];
+        let mut sup = Supervisor::with_specs(SupervisorConfig::default(), &specs).unwrap();
+        for shard in 0..3 {
+            for _ in 0..200 {
+                sup.process_sync(shard, 80.0).unwrap();
+            }
+        }
+        let report = sup.report();
+        assert_eq!(report.by_detector.len(), 2, "one rollup entry per kind");
+        let clta = &report.by_detector[0];
+        let sraa = &report.by_detector[1];
+        assert_eq!((clta.detector.as_str(), clta.shards), ("CLTA", 1));
+        assert_eq!((sraa.detector.as_str(), sraa.shards), ("SRAA", 2));
+        assert_eq!(clta.processed, 200);
+        assert_eq!(sraa.processed, 400);
+        assert_eq!(
+            clta.rejuvenations + sraa.rejuvenations,
+            report.total_rejuvenations
+        );
+        assert!(sraa.rejuvenations > 0, "sustained 80 s fires SRAA");
+        // The per-kind metrics counters agree with the rollup.
+        assert_eq!(
+            report.metrics.counters["rejuvenations_SRAA"],
+            sraa.rejuvenations
+        );
+        assert_eq!(
+            report.metrics.counters["rejuvenations_CLTA"],
+            clta.rejuvenations
+        );
     }
 
     #[test]

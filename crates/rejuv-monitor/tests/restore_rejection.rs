@@ -1,0 +1,147 @@
+//! Exhaustive restore-rejection coverage: every way a checkpoint can
+//! disagree with the configured supervisor — snapshot version, shard
+//! count, per-shard detector kind (all ordered kind pairs), and
+//! same-kind spec drift — must return its typed [`RestoreError`]
+//! *without mutating supervisor state*: the report (digests included)
+//! is byte-identical before and after the failed restore.
+
+use rejuv_core::{DetectorKind, DetectorSpec};
+use rejuv_monitor::{RestoreError, Supervisor, SupervisorConfig, SNAPSHOT_VERSION};
+
+fn supervisor_of(kinds: &[DetectorKind]) -> Supervisor {
+    let specs: Vec<DetectorSpec> = kinds.iter().map(|&k| DetectorSpec::new(k)).collect();
+    Supervisor::with_specs(SupervisorConfig::default(), &specs).expect("default specs build")
+}
+
+/// Feeds a deterministic stream so the supervisor has non-trivial
+/// digests and counters to preserve.
+fn warm_up(sup: &mut Supervisor) {
+    for i in 0..120u64 {
+        let shard = (i as usize) % sup.shard_count();
+        let value = if i % 11 == 0 {
+            70.0
+        } else {
+            4.0 + (i % 3) as f64
+        };
+        sup.process_sync(shard, value).unwrap();
+    }
+}
+
+#[test]
+fn every_kind_pair_mismatch_is_rejected_without_mutation() {
+    for &donor_kind in &DetectorKind::ALL {
+        for &target_kind in &DetectorKind::ALL {
+            if donor_kind == target_kind {
+                continue;
+            }
+            let mut donor = supervisor_of(&[donor_kind]);
+            warm_up(&mut donor);
+            let checkpoint = donor.snapshot().expect("every kind snapshots");
+
+            let mut target = supervisor_of(&[target_kind]);
+            warm_up(&mut target);
+            let before = target.report();
+
+            let err = target
+                .restore(&checkpoint)
+                .expect_err("cross-kind restore must fail");
+            assert!(
+                matches!(err, RestoreError::Detector { shard: 0, .. }),
+                "{donor_kind:?} checkpoint into {target_kind:?} supervisor: \
+                 expected a Detector kind error, got {err:?}"
+            );
+            assert_eq!(
+                target.report(),
+                before,
+                "failed {donor_kind:?}->{target_kind:?} restore must leave no trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn kind_mismatch_on_a_later_shard_names_that_shard() {
+    // First shard agrees, second does not: validation must reach shard 1
+    // and must not have touched shard 0 when it fails.
+    let mut donor = supervisor_of(&[DetectorKind::Sraa, DetectorKind::Clta]);
+    warm_up(&mut donor);
+    let checkpoint = donor.snapshot().unwrap();
+
+    let mut target = supervisor_of(&[DetectorKind::Sraa, DetectorKind::Cusum]);
+    warm_up(&mut target);
+    let before = target.report();
+    let err = target.restore(&checkpoint).expect_err("shard 1 mismatches");
+    assert!(matches!(err, RestoreError::Detector { shard: 1, .. }));
+    assert_eq!(target.report(), before);
+}
+
+#[test]
+fn version_mismatch_is_rejected_without_mutation() {
+    let mut donor = supervisor_of(&[DetectorKind::Sraa]);
+    warm_up(&mut donor);
+    for bad_version in [0, SNAPSHOT_VERSION - 1, SNAPSHOT_VERSION + 1, 99] {
+        let mut checkpoint = donor.snapshot().unwrap();
+        checkpoint.version = bad_version;
+        let mut target = supervisor_of(&[DetectorKind::Sraa]);
+        warm_up(&mut target);
+        let before = target.report();
+        assert_eq!(
+            target.restore(&checkpoint),
+            Err(RestoreError::VersionMismatch {
+                expected: SNAPSHOT_VERSION,
+                found: bad_version,
+            })
+        );
+        assert_eq!(target.report(), before);
+    }
+}
+
+#[test]
+fn shard_count_mismatch_is_rejected_without_mutation() {
+    let mut donor = supervisor_of(&[DetectorKind::Sraa, DetectorKind::Clta]);
+    warm_up(&mut donor);
+    let checkpoint = donor.snapshot().unwrap();
+    for target_kinds in [
+        &[DetectorKind::Sraa][..],
+        &[DetectorKind::Sraa, DetectorKind::Clta, DetectorKind::Cusum][..],
+    ] {
+        let mut target = supervisor_of(target_kinds);
+        warm_up(&mut target);
+        let before = target.report();
+        assert_eq!(
+            target.restore(&checkpoint),
+            Err(RestoreError::ShardCountMismatch {
+                expected: target_kinds.len(),
+                found: 2,
+            })
+        );
+        assert_eq!(target.report(), before);
+    }
+}
+
+#[test]
+fn same_kind_knob_drift_is_rejected_without_mutation() {
+    // Same detector kind everywhere, but shard 1's knobs drifted:
+    // restore must refuse with SpecMismatch naming the shard, values
+    // and leave the target untouched.
+    let base = DetectorSpec::new(DetectorKind::Sraa);
+    let mut drifted = base;
+    drifted.depth = base.depth + 2;
+
+    let mut donor = Supervisor::with_specs(SupervisorConfig::default(), &[base, drifted]).unwrap();
+    warm_up(&mut donor);
+    let checkpoint = donor.snapshot().unwrap();
+
+    let mut target = Supervisor::with_specs(SupervisorConfig::default(), &[base, base]).unwrap();
+    warm_up(&mut target);
+    let before = target.report();
+    assert_eq!(
+        target.restore(&checkpoint),
+        Err(RestoreError::SpecMismatch {
+            shard: 1,
+            expected: Box::new(base),
+            found: Box::new(drifted),
+        })
+    );
+    assert_eq!(target.report(), before);
+}
