@@ -2,11 +2,14 @@
 //!
 //! Spawns one lossless producer thread per shard, each pushing a
 //! deterministic synthetic observation stream through its
-//! `ShardSender`, while a [`ConsumerThread`] drains all shards in
-//! batches (parking, not spinning, whenever the producers outrun it).
-//! Reports sustained observations per second plus park/wait counters,
-//! verifies the run is deterministic (per-shard decision digests match
-//! a serial reference) and writes the numbers to `BENCH_monitor.json`.
+//! `ShardSender` (in batches, amortising one queue operation over
+//! `--producer-batch` samples), while a [`ConsumerThread`] drains all
+//! shards in batches (parking, not spinning, whenever the producers
+//! outrun it). Runs once per requested [`QueueBackend`], reports
+//! sustained observations per second plus park/wait counters and the
+//! ring-vs-mutex speedup, verifies every run is deterministic
+//! (per-shard decision digests match one serial reference, regardless
+//! of backend) and writes the numbers to `BENCH_monitor.json`.
 //!
 //! ```text
 //! cargo run --release -p rejuv-bench --bin bench_monitor -- [options]
@@ -20,10 +23,14 @@
 //!   --observations N     observations per shard (default 1000000)
 //!   --queue-capacity N   per-shard queue capacity (default 8192)
 //!   --drain-batch N      max observations per drain (default 512)
+//!   --producer-batch N   samples per producer push (default 256;
+//!                        1 pushes one sample at a time)
+//!   --queue BACKEND      mutex|ring|both (default both): which queue
+//!                        backend(s) to benchmark
 //! ```
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
-use rejuv_monitor::{ConsumerThread, FleetConfig, Supervisor, SupervisorConfig};
+use rejuv_monitor::{ConsumerThread, FleetConfig, QueueBackend, Supervisor, SupervisorConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -34,6 +41,8 @@ struct Options {
     observations: u64,
     queue_capacity: usize,
     drain_batch: usize,
+    producer_batch: usize,
+    backends: Vec<QueueBackend>,
 }
 
 fn parse_args() -> Options {
@@ -44,6 +53,8 @@ fn parse_args() -> Options {
         observations: 1_000_000,
         queue_capacity: 8_192,
         drain_batch: 512,
+        producer_batch: 256,
+        backends: vec![QueueBackend::Mutex, QueueBackend::Ring],
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +76,16 @@ fn parse_args() -> Options {
                 opts.queue_capacity = value("--queue-capacity").parse().expect("usize");
             }
             "--drain-batch" => opts.drain_batch = value("--drain-batch").parse().expect("usize"),
+            "--producer-batch" => {
+                opts.producer_batch = value("--producer-batch").parse().expect("usize");
+            }
+            "--queue" => {
+                let which = value("--queue");
+                opts.backends = match which.to_lowercase().as_str() {
+                    "both" => vec![QueueBackend::Mutex, QueueBackend::Ring],
+                    one => vec![one.parse().unwrap_or_else(|e| panic!("{e} (or both)"))],
+                };
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -72,6 +93,7 @@ fn parse_args() -> Options {
         opts.shards = fleet.shard_count();
     }
     assert!(opts.shards > 0, "--shards must be positive");
+    assert!(opts.producer_batch > 0, "--producer-batch must be positive");
     opts
 }
 
@@ -111,6 +133,15 @@ fn synthetic(shard: u64, i: u64) -> f64 {
     base + drift + spike
 }
 
+fn config_for(opts: &Options, backend: QueueBackend) -> SupervisorConfig {
+    SupervisorConfig {
+        queue_capacity: opts.queue_capacity,
+        drain_batch: opts.drain_batch,
+        snapshot_every: None,
+        backend,
+    }
+}
+
 /// One threaded benchmark pass's outcome.
 struct RunStats {
     elapsed: f64,
@@ -124,24 +155,32 @@ struct RunStats {
 /// Runs the workload with threaded producers and a parked consumer
 /// thread (no spin loop anywhere: producers park on back-pressure, the
 /// consumer parks when every queue is empty).
-fn timed_run(opts: &Options) -> RunStats {
-    let config = SupervisorConfig {
-        queue_capacity: opts.queue_capacity,
-        drain_batch: opts.drain_batch,
-        snapshot_every: None,
-    };
-    let supervisor = build_supervisor(opts, config);
+fn timed_run(opts: &Options, backend: QueueBackend) -> RunStats {
+    let supervisor = build_supervisor(opts, config_for(opts, backend));
     let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
     let per_shard = opts.observations;
     let total = per_shard * opts.shards as u64;
+    let batch = opts.producer_batch as u64;
 
     let start = Instant::now();
     let consumer = ConsumerThread::spawn(supervisor);
     std::thread::scope(|scope| {
         for (shard, sender) in senders.iter().enumerate() {
             scope.spawn(move || {
-                for i in 0..per_shard {
-                    sender.send_blocking(synthetic(shard as u64, i));
+                if batch == 1 {
+                    for i in 0..per_shard {
+                        sender.send_blocking(synthetic(shard as u64, i));
+                    }
+                } else {
+                    let mut buf = Vec::with_capacity(batch as usize);
+                    let mut i = 0;
+                    while i < per_shard {
+                        let n = batch.min(per_shard - i);
+                        buf.clear();
+                        buf.extend((i..i + n).map(|k| (synthetic(shard as u64, k), f64::NAN)));
+                        sender.send_batch_blocking(buf.iter().copied());
+                        i += n;
+                    }
                 }
             });
         }
@@ -166,14 +205,10 @@ fn timed_run(opts: &Options) -> RunStats {
 }
 
 /// Serial reference: same streams fed synchronously, no threads. Its
-/// digests are the ground truth the threaded run must reproduce.
+/// digests are the ground truth every threaded run — on every backend —
+/// must reproduce.
 fn reference_digests(opts: &Options) -> Vec<String> {
-    let config = SupervisorConfig {
-        queue_capacity: opts.queue_capacity,
-        drain_batch: opts.drain_batch,
-        snapshot_every: None,
-    };
-    let mut supervisor = build_supervisor(opts, config);
+    let mut supervisor = build_supervisor(opts, config_for(opts, QueueBackend::Mutex));
     for shard in 0..opts.shards {
         for i in 0..opts.observations {
             supervisor
@@ -193,37 +228,49 @@ fn main() {
     let opts = parse_args();
     let total = opts.observations * opts.shards as u64;
     println!(
-        "monitor throughput: {} shards x {} observations = {} total",
-        opts.shards, opts.observations, total
+        "monitor throughput: {} shards x {} observations = {} total, producer batch {}",
+        opts.shards, opts.observations, total, opts.producer_batch
     );
 
-    // Warm-up pass to page in code and touch the allocator.
-    let warmup = Options {
-        observations: 50_000,
-        out: opts.out.clone(),
-        fleet: opts.fleet.clone(),
-        ..opts
-    };
-    let _ = timed_run(&warmup);
-
-    let stats = timed_run(&opts);
-    let throughput = total as f64 / stats.elapsed;
-    println!(
-        "  {:.2} s, {:.2} M obs/s ({} consumer parks, {} producer waits)",
-        stats.elapsed,
-        throughput / 1e6,
-        stats.consumer_parks,
-        stats.producer_waits
-    );
-
-    println!("serial reference for digest check...");
+    println!("serial reference for digest checks...");
     let reference = reference_digests(&opts);
-    let deterministic = stats.digests == reference;
-    println!("digests match serial reference: {deterministic}");
-    assert!(
-        deterministic,
-        "threaded run diverged from the serial reference"
-    );
+
+    let mut runs = Vec::new();
+    for &backend in &opts.backends {
+        // Warm-up pass to page in code and touch the allocator.
+        let warmup = Options {
+            observations: 50_000,
+            out: opts.out.clone(),
+            fleet: opts.fleet.clone(),
+            backends: opts.backends.clone(),
+            ..opts
+        };
+        let _ = timed_run(&warmup, backend);
+
+        let stats = timed_run(&opts, backend);
+        let throughput = total as f64 / stats.elapsed;
+        println!(
+            "  {backend}: {:.2} s, {:.2} M obs/s ({} consumer parks, {} producer waits)",
+            stats.elapsed,
+            throughput / 1e6,
+            stats.consumer_parks,
+            stats.producer_waits
+        );
+        let deterministic = stats.digests == reference;
+        assert!(
+            deterministic,
+            "{backend} threaded run diverged from the serial reference"
+        );
+        runs.push((backend, stats, throughput));
+    }
+    println!("digests match serial reference on every backend: true");
+
+    if let (Some(mutex), Some(ring)) = (
+        runs.iter().find(|(b, ..)| *b == QueueBackend::Mutex),
+        runs.iter().find(|(b, ..)| *b == QueueBackend::Ring),
+    ) {
+        println!("  ring vs mutex: {:.2}x obs/s", ring.2 / mutex.2);
+    }
 
     let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let json = serde_json::json!({
@@ -235,14 +282,23 @@ fn main() {
             "total_observations": total,
             "queue_capacity": opts.queue_capacity,
             "drain_batch": opts.drain_batch,
+            "producer_batch": opts.producer_batch,
             "detector": opts.fleet.as_ref().map_or("SRAA".to_owned(), |f| f.summary()),
         },
-        "wall_secs": stats.elapsed,
-        "observations_per_sec": throughput,
-        "consumer_parks": stats.consumer_parks,
-        "producer_waits": stats.producer_waits,
-        "deterministic": deterministic,
-        "per_shard_digests": stats.digests,
+        "runs": runs
+            .iter()
+            .map(|(backend, stats, throughput)| {
+                serde_json::json!({
+                    "queue_backend": backend.name(),
+                    "wall_secs": stats.elapsed,
+                    "observations_per_sec": throughput,
+                    "consumer_parks": stats.consumer_parks,
+                    "producer_waits": stats.producer_waits,
+                    "deterministic": true,
+                })
+            })
+            .collect::<Vec<_>>(),
+        "per_shard_digests": runs.first().map(|(_, s, _)| s.digests.clone()).unwrap_or_default(),
     });
     std::fs::write(
         &opts.out,

@@ -61,6 +61,11 @@
 //!                        the checkpoint already covers are skipped and
 //!                        the final report is byte-identical to an
 //!                        uninterrupted replay of the same log
+//!   --queue BACKEND      ingestion queue backend, mutex|ring (default
+//!                        mutex). Execution strategy only: digests,
+//!                        reports and replays are byte-identical across
+//!                        backends, so a log recorded on one can be
+//!                        replayed on the other
 //! ```
 //!
 //! Crash safety: a SIGKILL mid-run leaves (at worst) a torn final line
@@ -77,8 +82,8 @@ use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
 use rejuv_monitor::{
     load_snapshot, read_events_tolerant, replay_events_resumed, replay_fleet_events, save_snapshot,
-    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, SharedSupervisor,
-    Supervisor, SupervisorConfig, SupervisorSnapshot,
+    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, QueueBackend,
+    SharedSupervisor, Supervisor, SupervisorConfig, SupervisorSnapshot,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -107,6 +112,7 @@ struct Options {
     checkpoint_every_set: bool,
     checkpoint_secs: Option<f64>,
     resume: Option<PathBuf>,
+    queue: QueueBackend,
 }
 
 fn parse_args() -> Options {
@@ -133,6 +139,7 @@ fn parse_args() -> Options {
         checkpoint_every_set: false,
         checkpoint_secs: None,
         resume: None,
+        queue: QueueBackend::Mutex,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -178,6 +185,9 @@ fn parse_args() -> Options {
                 opts.checkpoint_secs = Some(value("--checkpoint-secs").parse().expect("f64"));
             }
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
+            "--queue" => {
+                opts.queue = value("--queue").parse().unwrap_or_else(|e| panic!("{e}"));
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -337,6 +347,9 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                 queue_capacity: *queue_capacity as usize,
                 drain_batch: *drain_batch as usize,
                 snapshot_every: *snapshot_every,
+                // Backends are digest-equivalent, so replay need not run
+                // on the backend that recorded the log.
+                backend: opts.queue,
             };
             println!(
                 "replaying {}: {} shards, detector {}, {} events",
@@ -374,6 +387,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                 queue_capacity: *queue_capacity as usize,
                 drain_batch: *drain_batch as usize,
                 snapshot_every: *snapshot_every,
+                backend: opts.queue,
             };
             println!(
                 "replaying {}: {} shards ({}), {} events",
@@ -396,6 +410,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
 fn run_live(opts: &Options) {
     let config = SupervisorConfig {
         snapshot_every: opts.snapshot_every,
+        backend: opts.queue,
         ..SupervisorConfig::default()
     };
     let fleet = load_fleet(opts);
@@ -469,8 +484,8 @@ fn run_live(opts: &Options) {
     let consumer = ConsumerThread::spawn_shared(&shared);
 
     println!(
-        "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}",
-        hosts, opts.load, opts.transactions, detector_name, opts.seed
+        "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}, queue {}",
+        hosts, opts.load, opts.transactions, detector_name, opts.seed, opts.queue
     );
 
     if hosts == 1 {

@@ -147,7 +147,7 @@ mod tests {
             SupervisorConfig {
                 queue_capacity: 64,
                 drain_batch: 16,
-                snapshot_every: None,
+                ..SupervisorConfig::default()
             },
             3,
             |_| sraa(),

@@ -84,7 +84,7 @@ pub use consumer::ConsumerThread;
 pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
 pub use fleet::{FleetConfig, FleetError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
-pub use queue::{ObsQueue, Wakeup, WorkNotifier};
+pub use queue::{ObsQueue, QueueBackend, Wakeup, WorkNotifier};
 pub use supervisor::{
     CheckpointClock, CheckpointSink, DetectorKindReport, MonitorReport, RestoreError, ShardReport,
     ShardSender, ShardSnapshot, Supervisor, SupervisorConfig, SupervisorSnapshot, SNAPSHOT_VERSION,
@@ -237,6 +237,7 @@ mod tests {
             queue_capacity: 256,
             drain_batch: 16,
             snapshot_every: Some(50),
+            ..SupervisorConfig::default()
         };
         let buffer = SharedBuffer::new();
         let mut live = Supervisor::with_shards(config, 3, |_| detector());

@@ -21,13 +21,47 @@
 //! [`crate::consumer::ConsumerThread`]): between batches, neither side
 //! burns CPU.
 //!
-//! The implementation is a mutex-guarded ring buffer. Batched drains
-//! amortise the lock so a handful of shards sustain tens of millions of
-//! observations per second (see `BENCH_monitor.json`); a lock-free ring
-//! would need `unsafe`, which this workspace forbids.
+//! Two interchangeable backends implement the contract, selected by
+//! [`QueueBackend`]:
+//!
+//! * **Mutex** — a mutex-guarded ring buffer. Batched drains amortise
+//!   the lock; simple, and the reference for conformance tests.
+//! * **Ring** — a lock-free Vyukov-style SPSC ring in *safe* Rust: the
+//!   payload lives in per-slot atomics (`f64`s bit-packed into
+//!   `AtomicU64`), so no `unsafe` cell tricks are needed. The fast path
+//!   performs no lock acquisitions and no read-modify-write beyond one
+//!   relaxed counter; batched pushes ([`ObsQueue::push_batch`]) publish
+//!   one tail update per batch.
+//!
+//! Both backends drain in FIFO order and account identically
+//! (`accepted`/`dropped`/`waits`), so decision digests, reports and
+//! replays are bitwise identical regardless of backend — a property the
+//! conformance suite in `tests/proptest_queue.rs` pins down.
+//!
+//! # Why the lock-free ring needs no `unsafe`
+//!
+//! The classic obstacle is publishing a non-atomic payload across
+//! threads, which demands `UnsafeCell` + raw pointers. Here the payload
+//! is two `f64`s: each fits an `AtomicU64` via `to_bits`/`from_bits`,
+//! so every slot is `{seq: AtomicUsize, value: AtomicU64, at:
+//! AtomicU64}` and plain atomic stores/loads move the data. Ordering:
+//! the producer writes `value`/`at` with `Relaxed` stores, then
+//! publishes the slot with a `Release` store of `seq = pos + 1`; the
+//! consumer `Acquire`-loads `seq`, and on a match the release/acquire
+//! edge makes the payload stores visible. Freeing runs the same
+//! protocol in reverse: the consumer reads the payload, then
+//! `Release`-stores `seq = pos + slots` (the free marker for the next
+//! lap) and finally publishes `head` with a `Release` store; the
+//! producer's `Acquire` reload of `head` (capacity check) orders every
+//! consumer read before any slot reuse. Sleep/wake transitions
+//! (empty→non-empty consumer wakeups, full→space producer wakeups) are
+//! the one place release/acquire is not enough — both sides face the
+//! store-buffering pattern ("I published, did the other side see it
+//! before deciding to sleep?") — so those paths add `SeqCst` fences;
+//! see `maybe_notify` / `wake_parked_producer`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Timestamp marker for samples that carry no timestamp.
@@ -37,6 +71,53 @@ pub(crate) const UNTIMED: f64 = f64::NAN;
 /// the space condvar. Short stalls resolve without a park; long stalls
 /// sleep instead of spinning.
 const BLOCKING_SPIN_LIMIT: u32 = 64;
+
+/// Which [`ObsQueue`] implementation a supervisor shard uses.
+///
+/// Both backends implement the same bounded-SPSC contract and produce
+/// bitwise-identical digests, reports and replays; they differ only in
+/// how the producer and consumer synchronise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum QueueBackend {
+    /// Mutex-guarded ring buffer (the default): one lock acquisition
+    /// per push and per drained batch.
+    #[default]
+    Mutex,
+    /// Lock-free Vyukov-style SPSC ring (safe Rust, bit-packed atomic
+    /// slots): no locks on the fast path, condvars only for idle
+    /// parking. Requires the SPSC contract — at most one thread pushing
+    /// and one draining at any instant (external serialisation, e.g.
+    /// the `SharedSupervisor` lock, also satisfies it).
+    Ring,
+}
+
+impl QueueBackend {
+    /// The CLI/config name of the backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueBackend::Mutex => "mutex",
+            QueueBackend::Ring => "ring",
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for QueueBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_lowercase().as_str() {
+            "mutex" => Ok(QueueBackend::Mutex),
+            "ring" => Ok(QueueBackend::Ring),
+            other => Err(format!("unknown queue backend {other} (mutex|ring)")),
+        }
+    }
+}
 
 /// Wakes a parked consumer when any of its queues gains work.
 ///
@@ -118,33 +199,483 @@ impl WorkNotifier {
     }
 }
 
-struct QueueInner {
-    buf: Mutex<VecDeque<(f64, f64)>>,
-    /// Producers in `push_blocking` park here when the queue is full;
-    /// `drain_into` notifies after freeing space.
-    space: Condvar,
-    capacity: usize,
-    /// Samples accepted by `push` over the queue's lifetime.
+/// Lifetime accounting shared by both backends. All counters are
+/// updated with relaxed atomics — they are telemetry, not
+/// synchronisation.
+#[derive(Debug, Default)]
+struct Counters {
+    /// Samples accepted over the queue's lifetime.
     accepted: AtomicU64,
     /// Samples rejected because the queue was full.
     dropped: AtomicU64,
     /// Times a blocking producer had to park waiting for space.
     waits: AtomicU64,
-    /// Consumer wakeup hook; set once a consumer thread attaches.
-    notifier: Mutex<Option<Arc<WorkNotifier>>>,
+}
+
+/// Consumer wakeup hook shared by both backends; set once a consumer
+/// thread attaches. The `attached` flag lets the ring's push fast path
+/// skip the option lock entirely when no consumer thread exists.
+#[derive(Debug, Default)]
+struct NotifierSlot {
+    hook: Mutex<Option<Arc<WorkNotifier>>>,
+    attached: AtomicBool,
+}
+
+impl NotifierSlot {
+    fn attach(&self, notifier: Arc<WorkNotifier>) {
+        *self.hook.lock().expect("notifier slot poisoned") = Some(notifier);
+        self.attached.store(true, Ordering::Release);
+    }
+
+    fn notify(&self) {
+        if let Some(n) = self.hook.lock().expect("notifier slot poisoned").as_ref() {
+            n.notify_work();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex backend
+// ---------------------------------------------------------------------
+
+struct MutexInner {
+    buf: Mutex<VecDeque<(f64, f64)>>,
+    /// Producers in `push_blocking` park here when the queue is full;
+    /// `drain_into` notifies after freeing space.
+    space: Condvar,
+    capacity: usize,
+    counters: Counters,
+    notifier: NotifierSlot,
+}
+
+impl MutexInner {
+    fn new(capacity: usize) -> Self {
+        MutexInner {
+            // Preallocate the full bound: a bounded queue will reach
+            // exactly this length under back-pressure, so reserving it
+            // up front trades transient memory for never reallocating
+            // (and never stalling) on the hot path.
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            space: Condvar::new(),
+            capacity,
+            counters: Counters::default(),
+            notifier: NotifierSlot::default(),
+        }
+    }
+
+    /// Single push attempt; does not count drops (the caller decides
+    /// whether a full queue is a real drop or a blocking retry).
+    fn try_push(&self, value: f64, at: f64) -> bool {
+        let mut buf = self.buf.lock().expect("queue lock poisoned");
+        if buf.len() >= self.capacity {
+            return false;
+        }
+        let was_empty = buf.is_empty();
+        buf.push_back((value, at));
+        drop(buf);
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        if was_empty {
+            self.notifier.notify();
+        }
+        true
+    }
+
+    /// Moves up to `space` leading samples out of `it` under one lock
+    /// acquisition; returns how many were accepted.
+    fn push_batch_partial(&self, it: &mut impl Iterator<Item = (f64, f64)>, want: usize) -> usize {
+        let mut buf = self.buf.lock().expect("queue lock poisoned");
+        let space = self.capacity - buf.len();
+        let take = want.min(space);
+        if take == 0 {
+            return 0;
+        }
+        let was_empty = buf.is_empty();
+        buf.extend(it.take(take));
+        drop(buf);
+        self.counters
+            .accepted
+            .fetch_add(take as u64, Ordering::Relaxed);
+        if was_empty {
+            self.notifier.notify();
+        }
+        take
+    }
+
+    fn push_blocking(&self, value: f64, at: f64) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.try_push(value, at) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        // Park until the consumer frees space. The push happens under
+        // the same lock the wait releases, so space seen is space used.
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.buf.lock().expect("queue lock poisoned");
+        buf = self
+            .space
+            .wait_while(buf, |b| b.len() >= self.capacity)
+            .expect("queue lock poisoned");
+        let was_empty = buf.is_empty();
+        buf.push_back((value, at));
+        drop(buf);
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        if was_empty {
+            self.notifier.notify();
+        }
+    }
+
+    /// Parks until at least one slot is free (blocking batch refill).
+    fn wait_for_space(&self) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.buf.lock().expect("queue lock poisoned").len() < self.capacity {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        let buf = self.buf.lock().expect("queue lock poisoned");
+        drop(
+            self.space
+                .wait_while(buf, |b| b.len() >= self.capacity)
+                .expect("queue lock poisoned"),
+        );
+    }
+
+    fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        let mut buf = self.buf.lock().expect("queue lock poisoned");
+        let take = buf.len().min(max);
+        out.extend(buf.drain(..take));
+        drop(buf);
+        if take > 0 {
+            self.space.notify_all();
+        }
+        take
+    }
+
+    fn len(&self) -> usize {
+        self.buf.lock().expect("queue lock poisoned").len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-free ring backend
+// ---------------------------------------------------------------------
+
+/// Pads a hot field to its own cache line so the producer- and
+/// consumer-owned cursors never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CacheLine<T>(T);
+
+/// One ring slot. `seq` is the Vyukov sequence word: it equals the slot
+/// position when the slot is free for that lap, position + 1 once the
+/// payload is published, and advances by the slot count when freed for
+/// the next lap. `value`/`at` carry the `f64` payload bit-packed, which
+/// is what lets the whole ring stay in safe Rust.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicUsize,
+    value: AtomicU64,
+    at: AtomicU64,
+}
+
+/// Producer-owned hot state (one cache line).
+#[derive(Debug, Default)]
+struct ProducerSide {
+    /// Next position to write. Only the producer stores it; consumers
+    /// and observers read it for `len()`.
+    tail: AtomicUsize,
+    /// Producer-local cache of the consumer's `head`, refreshed (with
+    /// `Acquire`) only when the ring looks full — the Lamport trick
+    /// that keeps steady-state pushes from touching the consumer's
+    /// cache line at all.
+    head_cache: AtomicUsize,
+}
+
+struct RingInner {
+    slots: Box<[Slot]>,
+    /// `slots.len() - 1`; the slot count is a power of two so `pos &
+    /// mask` indexes correctly even across position wrap-around.
+    mask: usize,
+    /// The logical bound. May be below the physical slot count (which
+    /// is rounded up to a power of two); fullness is enforced against
+    /// this, so both backends drop at exactly the same occupancy.
+    capacity: usize,
+    prod: CacheLine<ProducerSide>,
+    /// Next position to read; only the consumer stores it.
+    head: CacheLine<AtomicUsize>,
+    /// Blocking producers park here when the ring is full; guards no
+    /// data, only the sleep/wake handshake.
+    space_lock: Mutex<()>,
+    space: Condvar,
+    /// Set (SeqCst) by a producer about to park; checked by the
+    /// consumer after freeing space. See `wake_parked_producer`.
+    producer_parked: AtomicBool,
+    counters: Counters,
+    notifier: NotifierSlot,
+}
+
+impl RingInner {
+    fn new(capacity: usize) -> Self {
+        let slot_count = capacity.next_power_of_two();
+        let slots: Box<[Slot]> = (0..slot_count)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: AtomicU64::new(0),
+                at: AtomicU64::new(0),
+            })
+            .collect();
+        RingInner {
+            slots,
+            mask: slot_count - 1,
+            capacity,
+            prod: CacheLine(ProducerSide::default()),
+            head: CacheLine(AtomicUsize::new(0)),
+            space_lock: Mutex::new(()),
+            space: Condvar::new(),
+            producer_parked: AtomicBool::new(false),
+            counters: Counters::default(),
+            notifier: NotifierSlot::default(),
+        }
+    }
+
+    /// How many of the `want` samples the producer may write at `pos`
+    /// right now. Answers from the cached head whenever it already
+    /// proves enough room, and only then reloads the consumer's `head`
+    /// (with `Acquire`, which also orders the consumer's slot reads
+    /// before any reuse) — the Lamport trick that keeps steady-state
+    /// pushes off the consumer's cache line. Refreshing whenever the
+    /// cached view is merely *insufficient* (not just full) matters for
+    /// conformance: a stale cache must never make the ring drop samples
+    /// the mutex backend would accept.
+    fn space_for(&self, pos: usize, want: usize) -> usize {
+        let cached = self.prod.0.head_cache.load(Ordering::Relaxed);
+        let space = self
+            .capacity
+            .saturating_sub(pos.wrapping_sub(cached).min(self.capacity));
+        if space >= want {
+            return space;
+        }
+        let head = self.head.0.load(Ordering::Acquire);
+        self.prod.0.head_cache.store(head, Ordering::Relaxed);
+        self.capacity - pos.wrapping_sub(head).min(self.capacity)
+    }
+
+    /// Writes one slot's payload and publishes it. The caller has
+    /// already established the slot is free via `space_for`.
+    fn write_slot(&self, pos: usize, value: f64, at: f64) {
+        let slot = &self.slots[pos & self.mask];
+        debug_assert_eq!(
+            slot.seq.load(Ordering::Acquire),
+            pos,
+            "SPSC contract violated: slot not free for this lap"
+        );
+        slot.value.store(value.to_bits(), Ordering::Relaxed);
+        slot.at.store(at.to_bits(), Ordering::Relaxed);
+        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Single push attempt; does not count drops.
+    fn try_push(&self, value: f64, at: f64) -> bool {
+        let pos = self.prod.0.tail.load(Ordering::Relaxed);
+        if self.space_for(pos, 1) == 0 {
+            return false;
+        }
+        self.write_slot(pos, value, at);
+        self.prod
+            .0
+            .tail
+            .store(pos.wrapping_add(1), Ordering::Release);
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.maybe_notify(pos, 1);
+        true
+    }
+
+    /// Moves up to `want` leading samples out of `it`, publishing one
+    /// tail update (and at most one wakeup check) for the whole batch;
+    /// returns how many were accepted.
+    fn push_batch_partial(&self, it: &mut impl Iterator<Item = (f64, f64)>, want: usize) -> usize {
+        let pos = self.prod.0.tail.load(Ordering::Relaxed);
+        let take = want.min(self.space_for(pos, want));
+        if take == 0 {
+            return 0;
+        }
+        for (i, (value, at)) in it.take(take).enumerate() {
+            self.write_slot(pos.wrapping_add(i), value, at);
+        }
+        self.prod
+            .0
+            .tail
+            .store(pos.wrapping_add(take), Ordering::Release);
+        self.counters
+            .accepted
+            .fetch_add(take as u64, Ordering::Relaxed);
+        self.maybe_notify(pos, take);
+        take
+    }
+
+    /// Wakes an attached consumer if it may have parked on "empty"
+    /// anywhere inside the batch just published at `[start, start+n)`.
+    ///
+    /// This is the store-buffering corner: the producer published slot
+    /// sequences, the consumer published `head` before deciding the
+    /// ring was empty, and each must see the other's store. Release/
+    /// acquire alone permits *both* reads to miss, losing the wakeup
+    /// forever; a `SeqCst` fence on each side (the consumer's sits at
+    /// the top of `drain_into`) forbids that outcome — at least one
+    /// side wins, so either the consumer sees the data (no park) or the
+    /// producer sees the caught-up head (and notifies).
+    fn maybe_notify(&self, start: usize, n: usize) {
+        if !self.notifier.attached.load(Ordering::Relaxed) {
+            return;
+        }
+        fence(Ordering::SeqCst);
+        let head = self.head.0.load(Ordering::Relaxed);
+        // head ∈ [start, start+n] means the consumer caught up inside
+        // (or exactly at) this batch and may be parked; further behind
+        // means older published items were already covered by their own
+        // pushes' checks.
+        if head.wrapping_sub(start) <= n {
+            self.notifier.notify();
+        }
+    }
+
+    fn push_blocking(&self, value: f64, at: f64) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.try_push(value, at) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        self.park_until_space();
+        // SPSC: nothing but this thread pushes, so the freed slot the
+        // park observed is still free.
+        let pushed = self.try_push(value, at);
+        debug_assert!(pushed, "space observed under the park handshake vanished");
+        if !pushed {
+            // Defensive fallback for contract misuse: never lose the
+            // sample a blocking push promised to deliver.
+            self.push_blocking(value, at);
+        }
+    }
+
+    /// Parks until at least one slot is free, counting the wait. Uses
+    /// the `producer_parked` flag + `SeqCst` handshake mirroring
+    /// `maybe_notify` (the consumer's side is `wake_parked_producer`).
+    fn park_until_space(&self) {
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.space_lock.lock().expect("park lock poisoned");
+        loop {
+            self.producer_parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let pos = self.prod.0.tail.load(Ordering::Relaxed);
+            if self.space_for(pos, 1) > 0 {
+                self.producer_parked.store(false, Ordering::Relaxed);
+                return;
+            }
+            guard = self.space.wait(guard).expect("park lock poisoned");
+        }
+    }
+
+    /// Parks until space is available for a blocking batch refill
+    /// (spin first, mirroring `push_blocking`).
+    fn wait_for_space(&self) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            let pos = self.prod.0.tail.load(Ordering::Relaxed);
+            if self.space_for(pos, 1) > 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        self.park_until_space();
+    }
+
+    fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        // Pairs with the producer-side fence in `maybe_notify`: after
+        // the consumer publishes head (possibly deciding "empty" next
+        // call), this fence guarantees it cannot also miss a slot the
+        // producer published before checking head. See `maybe_notify`.
+        fence(Ordering::SeqCst);
+        let start = self.head.0.load(Ordering::Relaxed);
+        let slot_count = self.mask + 1;
+        let mut pos = start;
+        let mut taken = 0;
+        while taken < max {
+            let slot = &self.slots[pos & self.mask];
+            if slot.seq.load(Ordering::Acquire) != pos.wrapping_add(1) {
+                break; // contiguous run exhausted
+            }
+            let value = f64::from_bits(slot.value.load(Ordering::Relaxed));
+            let at = f64::from_bits(slot.at.load(Ordering::Relaxed));
+            out.push((value, at));
+            // Free the slot for the next lap.
+            slot.seq
+                .store(pos.wrapping_add(slot_count), Ordering::Release);
+            pos = pos.wrapping_add(1);
+            taken += 1;
+        }
+        if taken > 0 {
+            self.head.0.store(pos, Ordering::Release);
+            self.wake_parked_producer();
+        }
+        taken
+    }
+
+    /// Wakes a producer parked on back-pressure, if any. The `SeqCst`
+    /// fence closes the same store-buffering window as `maybe_notify`,
+    /// with the roles swapped: the consumer published `head` (space),
+    /// the producer published `producer_parked`; at least one side must
+    /// observe the other, so either the producer's re-check finds space
+    /// or this check finds the flag and notifies under the park lock.
+    fn wake_parked_producer(&self) {
+        fence(Ordering::SeqCst);
+        if self.producer_parked.load(Ordering::Relaxed) {
+            let _guard = self.space_lock.lock().expect("park lock poisoned");
+            self.producer_parked.store(false, Ordering::Relaxed);
+            self.space.notify_all();
+        }
+    }
+
+    /// Pending samples right now (exact when quiescent, a snapshot
+    /// under concurrency).
+    fn len(&self) -> usize {
+        let tail = self.prod.0.tail.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head).min(self.capacity)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Inner {
+    Mutex(Arc<MutexInner>),
+    Ring(Arc<RingInner>),
 }
 
 /// A bounded queue of observations, cheaply cloneable into producer and
 /// consumer handles (clones share the same buffer and counters).
+///
+/// Construct with [`ObsQueue::bounded`] (mutex backend) or
+/// [`ObsQueue::with_backend`]. The [`QueueBackend::Ring`] flavour
+/// requires the SPSC contract: at most one thread pushing and one
+/// draining at any instant (handing either role between threads through
+/// a lock or join is fine). Misuse cannot corrupt memory — everything
+/// is safe Rust — but concurrent producers may overwrite each other's
+/// samples.
 #[derive(Clone)]
 pub struct ObsQueue {
-    inner: Arc<QueueInner>,
+    inner: Inner,
 }
 
 impl std::fmt::Debug for ObsQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObsQueue")
-            .field("capacity", &self.inner.capacity)
+            .field("backend", &self.backend())
+            .field("capacity", &self.capacity())
             .field("len", &self.len())
             .field("accepted", &self.accepted())
             .field("dropped", &self.dropped())
@@ -154,41 +685,55 @@ impl std::fmt::Debug for ObsQueue {
 }
 
 impl ObsQueue {
-    /// Creates a queue holding at most `capacity` pending observations.
+    /// Creates a mutex-backed queue holding at most `capacity` pending
+    /// observations.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn bounded(capacity: usize) -> Self {
+        ObsQueue::with_backend(capacity, QueueBackend::Mutex)
+    }
+
+    /// Creates a queue on the chosen [`QueueBackend`] holding at most
+    /// `capacity` pending observations. The ring backend rounds its
+    /// *physical* slot count up to the next power of two but enforces
+    /// the logical `capacity` exactly, so back-pressure behaviour is
+    /// identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_backend(capacity: usize, backend: QueueBackend) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
-        ObsQueue {
-            inner: Arc::new(QueueInner {
-                buf: Mutex::new(VecDeque::with_capacity(capacity.min(65_536))),
-                space: Condvar::new(),
-                capacity,
-                accepted: AtomicU64::new(0),
-                dropped: AtomicU64::new(0),
-                waits: AtomicU64::new(0),
-                notifier: Mutex::new(None),
-            }),
+        let inner = match backend {
+            QueueBackend::Mutex => Inner::Mutex(Arc::new(MutexInner::new(capacity))),
+            QueueBackend::Ring => Inner::Ring(Arc::new(RingInner::new(capacity))),
+        };
+        ObsQueue { inner }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.inner {
+            Inner::Mutex(_) => QueueBackend::Mutex,
+            Inner::Ring(_) => QueueBackend::Ring,
+        }
+    }
+
+    fn counters(&self) -> &Counters {
+        match &self.inner {
+            Inner::Mutex(q) => &q.counters,
+            Inner::Ring(q) => &q.counters,
         }
     }
 
     /// Attaches a consumer wakeup hook: pushes that make the queue
     /// non-empty will signal it. Replaces any previous notifier.
     pub fn attach_notifier(&self, notifier: Arc<WorkNotifier>) {
-        *self.inner.notifier.lock().expect("queue lock poisoned") = Some(notifier);
-    }
-
-    fn notify_consumer(&self) {
-        if let Some(n) = self
-            .inner
-            .notifier
-            .lock()
-            .expect("queue lock poisoned")
-            .as_ref()
-        {
-            n.notify_work();
+        match &self.inner {
+            Inner::Mutex(q) => q.notifier.attach(notifier),
+            Inner::Ring(q) => q.notifier.attach(notifier),
         }
     }
 
@@ -201,30 +746,63 @@ impl ObsQueue {
     /// Offers one observation stamped at `at` seconds of simulation
     /// time; returns `false` (and counts a drop) if the queue is full.
     pub fn push_at(&self, value: f64, at: f64) -> bool {
-        self.try_push(value, at, true)
+        let accepted = match &self.inner {
+            Inner::Mutex(q) => q.try_push(value, at),
+            Inner::Ring(q) => q.try_push(value, at),
+        };
+        if !accepted {
+            self.counters().dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
     }
 
-    /// Single push attempt. `count_drop` distinguishes lossy producers
-    /// (a full queue is a real drop) from blocking producers mid-spin
-    /// (a full queue just means "try again" and must not inflate the
-    /// drop counter).
-    fn try_push(&self, value: f64, at: f64, count_drop: bool) -> bool {
-        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
-        if buf.len() >= self.inner.capacity {
-            drop(buf);
-            if count_drop {
-                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    /// Offers a batch of `(value, at)` samples, accepting a leading
+    /// prefix bounded by the free space; returns how many were
+    /// accepted. The rest are counted as drops. One lock acquisition
+    /// (mutex) or one tail publish (ring) covers the whole accepted
+    /// prefix — the batched-producer fast path.
+    pub fn push_batch<I>(&self, samples: I) -> usize
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let mut it = samples.into_iter();
+        let want = it.len();
+        let took = match &self.inner {
+            Inner::Mutex(q) => q.push_batch_partial(&mut it, want),
+            Inner::Ring(q) => q.push_batch_partial(&mut it, want),
+        };
+        if took < want {
+            self.counters()
+                .dropped
+                .fetch_add((want - took) as u64, Ordering::Relaxed);
+        }
+        took
+    }
+
+    /// Pushes a batch losslessly: accepts as much as fits, then spins
+    /// briefly and parks until the consumer frees space, repeating
+    /// until every sample is enqueued. Parks are counted in
+    /// [`ObsQueue::waits`].
+    pub fn push_batch_blocking<I>(&self, samples: I)
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let mut it = samples.into_iter();
+        let mut remaining = it.len();
+        while remaining > 0 {
+            let took = match &self.inner {
+                Inner::Mutex(q) => q.push_batch_partial(&mut it, remaining),
+                Inner::Ring(q) => q.push_batch_partial(&mut it, remaining),
+            };
+            remaining -= took;
+            if remaining > 0 {
+                match &self.inner {
+                    Inner::Mutex(q) => q.wait_for_space(),
+                    Inner::Ring(q) => q.wait_for_space(),
+                }
             }
-            false
-        } else {
-            let was_empty = buf.is_empty();
-            buf.push_back((value, at));
-            drop(buf);
-            self.inner.accepted.fetch_add(1, Ordering::Relaxed);
-            if was_empty {
-                self.notify_consumer();
-            }
-            true
         }
     }
 
@@ -238,52 +816,32 @@ impl ObsQueue {
     /// Pushes a timestamped observation, waiting until space frees up.
     ///
     /// Spins (with scheduler yields) a bounded number of times, then
-    /// parks on a condvar until the consumer drains — a stalled consumer
-    /// never costs a pegged producer core. Parks are counted in
-    /// [`ObsQueue::waits`].
+    /// parks until the consumer drains — a stalled consumer never costs
+    /// a pegged producer core. Parks are counted in [`ObsQueue::waits`].
     pub fn push_blocking_at(&self, value: f64, at: f64) {
-        for _ in 0..BLOCKING_SPIN_LIMIT {
-            if self.try_push(value, at, false) {
-                return;
-            }
-            std::thread::yield_now();
-        }
-        // Park until the consumer frees space. The push happens under
-        // the same lock the wait releases, so space seen is space used.
-        self.inner.waits.fetch_add(1, Ordering::Relaxed);
-        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
-        buf = self
-            .inner
-            .space
-            .wait_while(buf, |b| b.len() >= self.inner.capacity)
-            .expect("queue lock poisoned");
-        let was_empty = buf.is_empty();
-        buf.push_back((value, at));
-        drop(buf);
-        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
-        if was_empty {
-            self.notify_consumer();
+        match &self.inner {
+            Inner::Mutex(q) => q.push_blocking(value, at),
+            Inner::Ring(q) => q.push_blocking(value, at),
         }
     }
 
     /// Moves up to `max` pending `(value, at)` samples into `out`
-    /// (appended in FIFO order), returning how many were moved. One lock
-    /// acquisition per batch; parked producers are woken when space was
-    /// freed.
+    /// (appended in FIFO order), returning how many were moved. One
+    /// lock acquisition (mutex) or one contiguous slot run (ring) per
+    /// batch; parked producers are woken when space was freed.
     pub fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
-        let mut buf = self.inner.buf.lock().expect("queue lock poisoned");
-        let take = buf.len().min(max);
-        out.extend(buf.drain(..take));
-        drop(buf);
-        if take > 0 {
-            self.inner.space.notify_all();
+        match &self.inner {
+            Inner::Mutex(q) => q.drain_into(out, max),
+            Inner::Ring(q) => q.drain_into(out, max),
         }
-        take
     }
 
     /// Pending observations right now.
     pub fn len(&self) -> usize {
-        self.inner.buf.lock().expect("queue lock poisoned").len()
+        match &self.inner {
+            Inner::Mutex(q) => q.len(),
+            Inner::Ring(q) => q.len(),
+        }
     }
 
     /// Whether the queue is currently empty.
@@ -293,38 +851,51 @@ impl ObsQueue {
 
     /// Maximum pending observations.
     pub fn capacity(&self) -> usize {
-        self.inner.capacity
+        match &self.inner {
+            Inner::Mutex(q) => q.capacity,
+            Inner::Ring(q) => q.capacity,
+        }
     }
 
     /// Resets the lifetime accounting to checkpointed values; used when
     /// a supervisor restores a snapshot so its report resumes the
     /// checkpoint's totals.
     pub(crate) fn resume_counters(&self, accepted: u64, dropped: u64, waits: u64) {
-        self.inner.accepted.store(accepted, Ordering::Relaxed);
-        self.inner.dropped.store(dropped, Ordering::Relaxed);
-        self.inner.waits.store(waits, Ordering::Relaxed);
+        let counters = self.counters();
+        counters.accepted.store(accepted, Ordering::Relaxed);
+        counters.dropped.store(dropped, Ordering::Relaxed);
+        counters.waits.store(waits, Ordering::Relaxed);
     }
 
     /// Lifetime count of accepted observations.
     pub fn accepted(&self) -> u64 {
-        self.inner.accepted.load(Ordering::Relaxed)
+        self.counters().accepted.load(Ordering::Relaxed)
     }
 
     /// Lifetime count of observations dropped to back-pressure.
     pub fn dropped(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
+        self.counters().dropped.load(Ordering::Relaxed)
     }
 
     /// Lifetime count of blocking-producer parks (back-pressure stalls
     /// that put the producer to sleep instead of spinning).
     pub fn waits(&self) -> u64 {
-        self.inner.waits.load(Ordering::Relaxed)
+        self.counters().waits.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Mutex, QueueBackend::Ring];
+
+    /// Runs `test` against a fresh queue of every backend.
+    fn for_each_backend(capacity: usize, test: impl Fn(ObsQueue)) {
+        for backend in BACKENDS {
+            test(ObsQueue::with_backend(capacity, backend));
+        }
+    }
 
     #[test]
     #[should_panic(expected = "capacity must be positive")]
@@ -333,27 +904,44 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics_for_ring() {
+        let _ = ObsQueue::with_backend(0, QueueBackend::Ring);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("mutex".parse(), Ok(QueueBackend::Mutex));
+        assert_eq!("Ring".parse(), Ok(QueueBackend::Ring));
+        assert!("spinlock".parse::<QueueBackend>().is_err());
+        assert_eq!(QueueBackend::Ring.to_string(), "ring");
+        assert_eq!(QueueBackend::default(), QueueBackend::Mutex);
+    }
+
+    #[test]
     fn push_fails_fast_when_full() {
-        let q = ObsQueue::bounded(2);
-        assert!(q.push(1.0));
-        assert!(q.push(2.0));
-        assert!(!q.push(3.0));
-        assert_eq!((q.accepted(), q.dropped(), q.len()), (2, 1, 2));
+        for_each_backend(2, |q| {
+            assert!(q.push(1.0));
+            assert!(q.push(2.0));
+            assert!(!q.push(3.0));
+            assert_eq!((q.accepted(), q.dropped(), q.len()), (2, 1, 2));
+        });
     }
 
     #[test]
     fn drain_preserves_fifo_order_and_frees_space() {
-        let q = ObsQueue::bounded(3);
-        for v in [1.0, 2.0, 3.0] {
-            q.push(v);
-        }
-        let mut out = Vec::new();
-        assert_eq!(q.drain_into(&mut out, 2), 2);
-        assert_eq!(values(&out), vec![1.0, 2.0]);
-        assert!(q.push(4.0), "drain must free capacity");
-        assert_eq!(q.drain_into(&mut out, 10), 2);
-        assert_eq!(values(&out), vec![1.0, 2.0, 3.0, 4.0]);
-        assert!(q.is_empty());
+        for_each_backend(3, |q| {
+            for v in [1.0, 2.0, 3.0] {
+                q.push(v);
+            }
+            let mut out = Vec::new();
+            assert_eq!(q.drain_into(&mut out, 2), 2);
+            assert_eq!(values(&out), vec![1.0, 2.0]);
+            assert!(q.push(4.0), "drain must free capacity");
+            assert_eq!(q.drain_into(&mut out, 10), 2);
+            assert_eq!(values(&out), vec![1.0, 2.0, 3.0, 4.0]);
+            assert!(q.is_empty());
+        });
     }
 
     fn values(samples: &[(f64, f64)]) -> Vec<f64> {
@@ -362,54 +950,113 @@ mod tests {
 
     #[test]
     fn timestamps_ride_along_and_untimed_is_nan() {
-        let q = ObsQueue::bounded(4);
-        q.push_at(1.5, 10.0);
-        q.push(2.5);
-        let mut out = Vec::new();
-        q.drain_into(&mut out, 8);
-        assert_eq!(out[0], (1.5, 10.0));
-        assert_eq!(out[1].0, 2.5);
-        assert!(out[1].1.is_nan(), "untimed samples carry NaN");
+        for_each_backend(4, |q| {
+            q.push_at(1.5, 10.0);
+            q.push(2.5);
+            let mut out = Vec::new();
+            q.drain_into(&mut out, 8);
+            assert_eq!(out[0], (1.5, 10.0));
+            assert_eq!(out[1].0, 2.5);
+            assert!(out[1].1.is_nan(), "untimed samples carry NaN");
+        });
     }
 
     #[test]
     fn clones_share_state() {
-        let q = ObsQueue::bounded(4);
-        let producer = q.clone();
-        producer.push(7.0);
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.accepted(), 1);
+        for_each_backend(4, |q| {
+            let producer = q.clone();
+            producer.push(7.0);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.accepted(), 1);
+        });
+    }
+
+    #[test]
+    fn batch_push_accepts_a_prefix_and_counts_the_rest_as_drops() {
+        for_each_backend(4, |q| {
+            q.push(0.0);
+            let batch: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, UNTIMED)).collect();
+            assert_eq!(q.push_batch(batch), 3, "only three slots were free");
+            assert_eq!((q.accepted(), q.dropped(), q.len()), (4, 2, 4));
+            let mut out = Vec::new();
+            q.drain_into(&mut out, 10);
+            assert_eq!(values(&out), vec![0.0, 1.0, 2.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn batch_push_wraps_around_the_ring() {
+        // Cycle a small ring well past its physical slot count so laps
+        // and sequence-word advancement are exercised.
+        for_each_backend(3, |q| {
+            let mut out = Vec::new();
+            let mut expected = Vec::new();
+            let mut next = 0.0;
+            for round in 0..40 {
+                let n = 1 + (round % 3);
+                let batch: Vec<(f64, f64)> = (0..n).map(|i| (next + i as f64, UNTIMED)).collect();
+                let took = q.push_batch(batch.clone());
+                expected.extend(batch[..took].iter().map(|&(v, _)| v));
+                next += n as f64;
+                q.drain_into(&mut out, 2);
+            }
+            q.drain_into(&mut out, usize::MAX);
+            assert_eq!(values(&out), expected);
+            assert_eq!(q.accepted(), expected.len() as u64);
+        });
     }
 
     #[test]
     fn blocking_push_parks_instead_of_spinning() {
-        let q = ObsQueue::bounded(1);
-        q.push(0.0);
-        let producer = q.clone();
-        let handle = std::thread::spawn(move || {
-            // Queue is full: the producer must wait for the drain below.
-            producer.push_blocking(1.0);
+        for_each_backend(1, |q| {
+            q.push(0.0);
+            let producer = q.clone();
+            let handle = std::thread::spawn(move || {
+                // Queue is full: the producer must wait for the drain below.
+                producer.push_blocking(1.0);
+            });
+            // Give the producer time to exhaust its spin budget and park.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut out = Vec::new();
+            q.drain_into(&mut out, 1);
+            handle.join().unwrap();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.accepted(), 2);
+            assert_eq!(q.waits(), 1, "the stalled producer parked exactly once");
         });
-        // Give the producer time to exhaust its spin budget and park.
-        std::thread::sleep(std::time::Duration::from_millis(50));
-        let mut out = Vec::new();
-        q.drain_into(&mut out, 1);
-        handle.join().unwrap();
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.accepted(), 2);
-        assert_eq!(q.waits(), 1, "the stalled producer parked exactly once");
+    }
+
+    #[test]
+    fn blocking_batch_push_delivers_everything() {
+        for_each_backend(4, |q| {
+            let producer = q.clone();
+            let handle = std::thread::spawn(move || {
+                let batch: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, UNTIMED)).collect();
+                producer.push_batch_blocking(batch);
+            });
+            let mut out = Vec::new();
+            while out.len() < 64 {
+                if q.drain_into(&mut out, 8) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            handle.join().unwrap();
+            assert_eq!(values(&out), (0..64).map(f64::from).collect::<Vec<_>>());
+            assert_eq!((q.accepted(), q.dropped()), (64, 0));
+        });
     }
 
     #[test]
     fn notifier_signals_on_empty_to_nonempty_transition() {
-        let q = ObsQueue::bounded(8);
-        let notifier = Arc::new(WorkNotifier::new());
-        q.attach_notifier(Arc::clone(&notifier));
-        q.push(1.0);
-        assert_eq!(notifier.wait(), Wakeup::Work, "first push signals");
-        q.push(2.0); // non-empty: no signal needed
-        notifier.shutdown();
-        assert_eq!(notifier.wait(), Wakeup::Shutdown);
+        for_each_backend(8, |q| {
+            let notifier = Arc::new(WorkNotifier::new());
+            q.attach_notifier(Arc::clone(&notifier));
+            q.push(1.0);
+            assert_eq!(notifier.wait(), Wakeup::Work, "first push signals");
+            q.push(2.0); // non-empty: no signal needed
+            notifier.shutdown();
+            assert_eq!(notifier.wait(), Wakeup::Shutdown);
+        });
     }
 
     #[test]
@@ -424,32 +1071,111 @@ mod tests {
 
     #[test]
     fn threaded_producer_consumer_loses_nothing_with_blocking_push() {
-        let q = ObsQueue::bounded(16);
-        let producer = q.clone();
-        const N: u64 = 10_000;
-        std::thread::scope(|scope| {
-            scope.spawn(move || {
-                for i in 0..N {
-                    producer.push_blocking(i as f64);
+        for_each_backend(16, |q| {
+            let producer = q.clone();
+            const N: u64 = 10_000;
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for i in 0..N {
+                        producer.push_blocking(i as f64);
+                    }
+                });
+                let mut seen = 0u64;
+                let mut batch = Vec::new();
+                let mut expected = 0.0;
+                while seen < N {
+                    batch.clear();
+                    let n = q.drain_into(&mut batch, 64);
+                    for &(v, _) in &batch {
+                        assert_eq!(v, expected, "FIFO order must survive threading");
+                        expected += 1.0;
+                    }
+                    seen += n as u64;
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
                 }
             });
-            let mut seen = 0u64;
-            let mut batch = Vec::new();
-            let mut expected = 0.0;
-            while seen < N {
-                batch.clear();
-                let n = q.drain_into(&mut batch, 64);
-                for &(v, _) in &batch {
-                    assert_eq!(v, expected, "FIFO order must survive threading");
-                    expected += 1.0;
+            assert_eq!(q.accepted(), N);
+            assert_eq!(q.dropped(), 0);
+        });
+    }
+
+    #[test]
+    fn threaded_batched_producer_keeps_fifo_and_loses_nothing() {
+        for_each_backend(64, |q| {
+            let producer = q.clone();
+            const N: u64 = 50_000;
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while i < N {
+                        let n = (N - i).min(37);
+                        let batch: Vec<(f64, f64)> =
+                            (i..i + n).map(|k| (k as f64, UNTIMED)).collect();
+                        producer.push_batch_blocking(batch);
+                        i += n;
+                    }
+                });
+                let mut seen = 0u64;
+                let mut batch = Vec::new();
+                let mut expected = 0.0;
+                while seen < N {
+                    batch.clear();
+                    let n = q.drain_into(&mut batch, 48);
+                    for &(v, _) in &batch {
+                        assert_eq!(v, expected, "FIFO order must survive batching");
+                        expected += 1.0;
+                    }
+                    seen += n as u64;
+                    if n == 0 {
+                        std::thread::yield_now();
+                    }
                 }
-                seen += n as u64;
-                if n == 0 {
-                    std::thread::yield_now();
+            });
+            assert_eq!(q.accepted(), N);
+            assert_eq!(q.dropped(), 0);
+        });
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_ring_pushes() {
+        // End-to-end park/wake over the lock-free backend: a consumer
+        // thread parks on the notifier whenever a drain comes up empty,
+        // while the producer free-runs; every sample must arrive.
+        let q = ObsQueue::with_backend(8, QueueBackend::Ring);
+        let notifier = Arc::new(WorkNotifier::new());
+        q.attach_notifier(Arc::clone(&notifier));
+        const N: u64 = 2_000;
+        std::thread::scope(|scope| {
+            let consumer_q = q.clone();
+            let consumer_n = Arc::clone(&notifier);
+            let consumer = scope.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    while consumer_q.drain_into(&mut out, 16) > 0 {}
+                    match consumer_n.wait() {
+                        Wakeup::Work => continue,
+                        Wakeup::Shutdown => break,
+                    }
+                }
+                while consumer_q.drain_into(&mut out, 16) > 0 {}
+                out
+            });
+            for i in 0..N {
+                q.push_blocking(i as f64);
+                if i % 128 == 0 {
+                    // Give the consumer a chance to drain to empty and
+                    // park, exercising the empty→non-empty wakeup.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
                 }
             }
+            notifier.shutdown();
+            let out = consumer.join().unwrap();
+            assert_eq!(out.len() as u64, N, "every push was drained");
+            for (i, &(v, _)) in out.iter().enumerate() {
+                assert_eq!(v, i as f64);
+            }
         });
-        assert_eq!(q.accepted(), N);
-        assert_eq!(q.dropped(), 0);
     }
 }

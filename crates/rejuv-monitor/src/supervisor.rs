@@ -35,7 +35,7 @@
 
 use crate::event::{EventLog, MonitorEvent};
 use crate::metrics::{MetricsRegistry, MetricsReport};
-use crate::queue::{ObsQueue, UNTIMED};
+use crate::queue::{ObsQueue, QueueBackend, UNTIMED};
 use rejuv_core::{ConfigError, Decision, DetectorSnapshot, DetectorSpec, RejuvenationDetector};
 use rejuv_sim::{Observation, ObservationSink};
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,10 @@ pub struct SupervisorConfig {
     /// Checkpoint cadence: emit a [`MonitorEvent::Snapshot`] every this
     /// many processed observations per shard (`None` disables).
     pub snapshot_every: Option<u64>,
+    /// Which [`QueueBackend`] each shard's ingestion queue runs on.
+    /// Purely an execution-strategy knob: digests, reports and replays
+    /// are bitwise identical across backends.
+    pub backend: QueueBackend,
 }
 
 impl Default for SupervisorConfig {
@@ -76,6 +80,7 @@ impl Default for SupervisorConfig {
             queue_capacity: 8_192,
             drain_batch: 512,
             snapshot_every: None,
+            backend: QueueBackend::Mutex,
         }
     }
 }
@@ -191,6 +196,29 @@ impl ShardSender {
         self.queue.push_blocking(value);
     }
 
+    /// Offers a batch of `(value, at)` samples in one queue operation
+    /// (one lock acquisition on the mutex backend, one tail publish on
+    /// the ring), returning how many were accepted; the rest are
+    /// counted as drops.
+    pub fn send_batch<I>(&self, samples: I) -> usize
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        self.queue.push_batch(samples)
+    }
+
+    /// Sends a whole batch losslessly, parking between refills whenever
+    /// the queue is full — the batched flavour of
+    /// [`ShardSender::send_blocking`].
+    pub fn send_batch_blocking<I>(&self, samples: I)
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        self.queue.push_batch_blocking(samples)
+    }
+
     /// Pending (sent, not yet drained) observations in this shard's
     /// queue.
     pub fn backlog(&self) -> usize {
@@ -202,6 +230,11 @@ impl ObservationSink for ShardSender {
     fn push(&mut self, observation: Observation) -> bool {
         self.queue
             .push_at(observation.value, observation.at.as_secs())
+    }
+
+    fn push_batch(&mut self, observations: &[Observation]) -> usize {
+        self.queue
+            .push_batch(observations.iter().map(|o| (o.value, o.at.as_secs())))
     }
 }
 
@@ -476,7 +509,7 @@ impl Supervisor {
         self.shards.push(Shard {
             detector,
             spec,
-            queue: ObsQueue::bounded(self.config.queue_capacity),
+            queue: ObsQueue::with_backend(self.config.queue_capacity, self.config.backend),
             processed: 0,
             rejuvenations: 0,
             digest,
@@ -1019,7 +1052,7 @@ mod tests {
             SupervisorConfig {
                 queue_capacity: 64,
                 drain_batch: 8,
-                snapshot_every: None,
+                ..SupervisorConfig::default()
             },
             2,
             |_| sraa(),
@@ -1046,7 +1079,7 @@ mod tests {
             SupervisorConfig {
                 queue_capacity: 4,
                 drain_batch: 8,
-                snapshot_every: None,
+                ..SupervisorConfig::default()
             },
             1,
             |_| sraa(),
@@ -1225,7 +1258,7 @@ mod tests {
             SupervisorConfig {
                 queue_capacity: 64,
                 drain_batch: 8,
-                snapshot_every: None,
+                ..SupervisorConfig::default()
             },
             &specs,
         )

@@ -26,7 +26,7 @@ fn config() -> SupervisorConfig {
     SupervisorConfig {
         queue_capacity: 512,
         drain_batch: 32,
-        snapshot_every: None,
+        ..SupervisorConfig::default()
     }
 }
 

@@ -43,6 +43,7 @@ fn config() -> SupervisorConfig {
         queue_capacity: 256,
         drain_batch: 16,
         snapshot_every: Some(200),
+        ..SupervisorConfig::default()
     }
 }
 

@@ -71,6 +71,7 @@ fn live_model_run_replays_byte_identically() {
         queue_capacity: *queue_capacity as usize,
         drain_batch: *drain_batch as usize,
         snapshot_every: *snapshot_every,
+        ..SupervisorConfig::default()
     };
     let replayed = replay_events(&events, replay_config, *shards as usize, |_| detector()).unwrap();
     let replay_report = replayed.report();

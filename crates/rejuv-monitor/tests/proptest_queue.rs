@@ -1,0 +1,241 @@
+//! Backend conformance for [`ObsQueue`]: the lock-free ring and the
+//! mutex queue must be observationally identical.
+//!
+//! Property tests drive both backends through the same arbitrary
+//! sequence of push / batch-push / blocking-push / drain operations and
+//! require identical drained `(value, at)` sequences, accept/drop
+//! counts and lengths at every step — the contract that makes
+//! `--queue` a pure execution-strategy knob (digests, reports and
+//! replays cannot diverge if the drained sequences cannot). A second
+//! property pins batch pushes to the same semantics as repeated single
+//! pushes. Threaded tests then cover what single-threaded determinism
+//! cannot: loss-free shutdown drains through a [`ConsumerThread`] and
+//! per-shard supervisor digest equality across backends under real
+//! producer/consumer concurrency.
+
+use proptest::prelude::*;
+use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_monitor::{
+    ConsumerThread, ObsQueue, QueueBackend, Supervisor, SupervisorConfig, WorkNotifier,
+};
+use std::sync::Arc;
+
+/// One step of the deterministic interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `push_at` — may drop when full.
+    Push(f64, f64),
+    /// `push_batch` — accepts a prefix, drops the rest.
+    PushBatch(Vec<f64>),
+    /// `push_blocking_at`, with the single-threaded convention that a
+    /// full queue is first relieved by draining one sample (applied
+    /// identically to both backends, so blocking never deadlocks the
+    /// test and the op still exercises the blocking entry points).
+    PushBlocking(f64, f64),
+    /// `drain_into` with the given batch limit.
+    Drain(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..100.0, 0.0f64..50.0).prop_map(|(v, at)| Op::Push(v, at)),
+        proptest::collection::vec(0.0f64..100.0, 0..12).prop_map(Op::PushBatch),
+        (0.0f64..100.0, 0.0f64..50.0).prop_map(|(v, at)| Op::PushBlocking(v, at)),
+        (1usize..8).prop_map(Op::Drain),
+    ]
+}
+
+/// Applies one op to a queue, appending whatever it drains to `out`.
+fn apply(q: &ObsQueue, op: &Op, out: &mut Vec<(f64, f64)>) {
+    match op {
+        Op::Push(v, at) => {
+            q.push_at(*v, *at);
+        }
+        Op::PushBatch(values) => {
+            q.push_batch(values.iter().map(|&v| (v, v * 0.5)));
+        }
+        Op::PushBlocking(v, at) => {
+            if q.len() == q.capacity() {
+                q.drain_into(out, 1);
+            }
+            q.push_blocking_at(*v, *at);
+        }
+        Op::Drain(max) => {
+            q.drain_into(out, *max);
+        }
+    }
+}
+
+proptest! {
+    /// Any single-threaded interleaving of pushes, batch pushes,
+    /// blocking pushes and drains leaves both backends in agreement:
+    /// same drained samples (values *and* timestamps, bit-for-bit),
+    /// same accept/drop accounting, same occupancy after every step.
+    #[test]
+    fn backends_agree_on_arbitrary_interleavings(
+        capacity in 1usize..10,
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mutex = ObsQueue::with_backend(capacity, QueueBackend::Mutex);
+        let ring = ObsQueue::with_backend(capacity, QueueBackend::Ring);
+        let (mut out_m, mut out_r) = (Vec::new(), Vec::new());
+        for op in &ops {
+            apply(&mutex, op, &mut out_m);
+            apply(&ring, op, &mut out_r);
+            prop_assert_eq!(mutex.len(), ring.len());
+        }
+        // Final drain: a shutdown must lose nothing on either backend.
+        mutex.drain_into(&mut out_m, usize::MAX);
+        ring.drain_into(&mut out_r, usize::MAX);
+        prop_assert!(mutex.is_empty() && ring.is_empty());
+        let bits = |s: &[(f64, f64)]| -> Vec<(u64, u64)> {
+            s.iter().map(|&(v, at)| (v.to_bits(), at.to_bits())).collect()
+        };
+        prop_assert_eq!(bits(&out_m), bits(&out_r));
+        prop_assert_eq!(mutex.accepted(), ring.accepted());
+        prop_assert_eq!(mutex.dropped(), ring.dropped());
+        prop_assert_eq!(
+            out_m.len() as u64,
+            mutex.accepted(),
+            "every accepted sample was drained exactly once"
+        );
+    }
+
+    /// `push_batch` is exactly repeated `push_at`: same accepted
+    /// prefix, same drop count, same drained samples — on each backend.
+    #[test]
+    fn batch_push_equals_repeated_singles(
+        backend_is_ring in any::<bool>(),
+        capacity in 1usize..10,
+        prefill in 0usize..10,
+        values in proptest::collection::vec(0.0f64..100.0, 0..20),
+    ) {
+        let backend = if backend_is_ring { QueueBackend::Ring } else { QueueBackend::Mutex };
+        let batched = ObsQueue::with_backend(capacity, backend);
+        let singles = ObsQueue::with_backend(capacity, backend);
+        for i in 0..prefill.min(capacity) {
+            batched.push(i as f64);
+            singles.push(i as f64);
+        }
+        let accepted = batched.push_batch(values.iter().map(|&v| (v, v + 0.25)));
+        let mut accepted_singles = 0;
+        for &v in &values {
+            accepted_singles += usize::from(singles.push_at(v, v + 0.25));
+        }
+        prop_assert_eq!(accepted, accepted_singles);
+        prop_assert_eq!(batched.dropped(), singles.dropped());
+        let (mut out_b, mut out_s) = (Vec::new(), Vec::new());
+        batched.drain_into(&mut out_b, usize::MAX);
+        singles.drain_into(&mut out_s, usize::MAX);
+        // Bitwise: the NaN-timestamped prefill must compare equal too.
+        let bits = |s: &[(f64, f64)]| -> Vec<(u64, u64)> {
+            s.iter().map(|&(v, at)| (v.to_bits(), at.to_bits())).collect()
+        };
+        prop_assert_eq!(bits(&out_b), bits(&out_s));
+    }
+}
+
+fn detector() -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+/// The deterministic per-shard workload of the threaded tests.
+fn synthetic(shard: u64, i: u64) -> f64 {
+    3.0 + ((i * 7 + shard * 13) % 23) as f64 * 0.6 + if i.is_multiple_of(311) { 40.0 } else { 0.0 }
+}
+
+/// Runs a threaded multi-shard supervisor workload on one backend:
+/// batched blocking producers, a parked consumer thread, shutdown
+/// drain. Returns the per-shard decision digests.
+fn threaded_digests(backend: QueueBackend) -> Vec<String> {
+    const SHARDS: usize = 3;
+    const PER_SHARD: u64 = 20_000;
+    let config = SupervisorConfig {
+        queue_capacity: 64,
+        drain_batch: 16,
+        backend,
+        ..SupervisorConfig::default()
+    };
+    let supervisor = Supervisor::with_shards(config, SHARDS, |_| detector());
+    let senders: Vec<_> = (0..SHARDS).map(|s| supervisor.sender(s)).collect();
+    let consumer = ConsumerThread::spawn(supervisor);
+    std::thread::scope(|scope| {
+        for (shard, sender) in senders.iter().enumerate() {
+            scope.spawn(move || {
+                let mut i = 0u64;
+                let mut batch = Vec::with_capacity(29);
+                while i < PER_SHARD {
+                    let n = 29.min(PER_SHARD - i);
+                    batch.clear();
+                    batch.extend((i..i + n).map(|k| (synthetic(shard as u64, k), f64::NAN)));
+                    sender.send_batch_blocking(batch.iter().copied());
+                    i += n;
+                }
+            });
+        }
+    });
+    let supervisor = consumer
+        .join()
+        .expect("no log attached")
+        .expect("owned consumer returns the supervisor");
+    let report = supervisor.report();
+    assert_eq!(
+        report.total_processed,
+        SHARDS as u64 * PER_SHARD,
+        "shutdown drain is loss-free on {backend}"
+    );
+    assert_eq!(report.total_dropped, 0, "blocking producers never drop");
+    report.shards.iter().map(|s| s.digest.clone()).collect()
+}
+
+/// Under real concurrency — parked consumer, blocking batched
+/// producers, shutdown drain — both backends process every sample and
+/// land on identical per-shard decision digests.
+#[test]
+fn threaded_stress_digests_match_across_backends() {
+    let mutex = threaded_digests(QueueBackend::Mutex);
+    let ring = threaded_digests(QueueBackend::Ring);
+    assert_eq!(mutex, ring, "backends must be digest-equivalent");
+}
+
+/// A consumer blocked on the notifier still sees a loss-free shutdown:
+/// samples pushed before `shutdown()` are drained, on both backends.
+#[test]
+fn shutdown_drain_is_loss_free_on_both_backends() {
+    for backend in [QueueBackend::Mutex, QueueBackend::Ring] {
+        let queue = ObsQueue::with_backend(32, backend);
+        let notifier = Arc::new(WorkNotifier::new());
+        queue.attach_notifier(Arc::clone(&notifier));
+        let consumer_q = queue.clone();
+        let consumer_n = Arc::clone(&notifier);
+        let consumer = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            loop {
+                while consumer_q.drain_into(&mut out, 8) > 0 {}
+                if consumer_n.wait() == rejuv_monitor::Wakeup::Shutdown {
+                    break;
+                }
+            }
+            // Final drain after the shutdown signal.
+            while consumer_q.drain_into(&mut out, 8) > 0 {}
+            out
+        });
+        for i in 0..500u64 {
+            queue.push_blocking(i as f64);
+        }
+        notifier.shutdown();
+        let out = consumer.join().unwrap();
+        assert_eq!(out.len(), 500, "{backend}: shutdown lost samples");
+        assert!(
+            out.iter().enumerate().all(|(i, &(v, _))| v == i as f64),
+            "{backend}: FIFO order violated"
+        );
+    }
+}

@@ -48,6 +48,6 @@ pub mod time;
 pub use engine::Engine;
 pub use event::{EventId, EventQueue};
 pub use exec::Executor;
-pub use feed::{Observation, ObservationSink, TeeSink, VecSink};
+pub use feed::{BatchingSink, Observation, ObservationSink, TeeSink, VecSink};
 pub use rng::RngStreams;
 pub use time::SimTime;
