@@ -3,13 +3,15 @@
 //! Spawns one lossless producer thread per shard, each pushing a
 //! deterministic synthetic observation stream through its
 //! `ShardSender` (in batches, amortising one queue operation over
-//! `--producer-batch` samples), while a [`ConsumerThread`] drains all
-//! shards in batches (parking, not spinning, whenever the producers
-//! outrun it). Runs once per requested [`QueueBackend`], reports
-//! sustained observations per second plus park/wait counters and the
-//! ring-vs-mutex speedup, verifies every run is deterministic
-//! (per-shard decision digests match one serial reference, regardless
-//! of backend) and writes the numbers to `BENCH_monitor.json`.
+//! `--producer-batch` samples), while a [`ConsumerPool`] of
+//! `--consumers` worker threads drains the shards (static round-robin
+//! shard ownership plus bounded work-stealing; workers park, not spin,
+//! whenever the producers outrun them). Runs the full
+//! `backends x consumer-counts` grid, reports sustained observations
+//! per second plus steal/park/wait counters and the ring-vs-mutex
+//! speedup, verifies every run is deterministic (per-shard decision
+//! digests match one serial reference, regardless of backend or
+//! consumer count) and writes the numbers to `BENCH_monitor.json`.
 //!
 //! ```text
 //! cargo run --release -p rejuv-bench --bin bench_monitor -- [options]
@@ -25,12 +27,15 @@
 //!   --drain-batch N      max observations per drain (default 512)
 //!   --producer-batch N   samples per producer push (default 256;
 //!                        1 pushes one sample at a time)
-//!   --queue BACKEND      mutex|ring|both (default both): which queue
-//!                        backend(s) to benchmark
+//!   --queue BACKEND      mutex|ring|fanin|both|all (default both =
+//!                        mutex+ring): which queue backend(s) to run
+//!   --consumers LIST     comma-separated consumer-thread counts to
+//!                        sweep (default 1,2,4)
+//!   --quick              small run for CI smoke (25000 obs/shard)
 //! ```
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
-use rejuv_monitor::{ConsumerThread, FleetConfig, QueueBackend, Supervisor, SupervisorConfig};
+use rejuv_monitor::{ConsumerPool, FleetConfig, QueueBackend, Supervisor, SupervisorConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -43,6 +48,7 @@ struct Options {
     drain_batch: usize,
     producer_batch: usize,
     backends: Vec<QueueBackend>,
+    consumers: Vec<usize>,
 }
 
 fn parse_args() -> Options {
@@ -55,7 +61,10 @@ fn parse_args() -> Options {
         drain_batch: 512,
         producer_batch: 256,
         backends: vec![QueueBackend::Mutex, QueueBackend::Ring],
+        consumers: vec![1, 2, 4],
     };
+    let mut quick = false;
+    let mut observations_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -71,7 +80,10 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|e| panic!("cannot load fleet config {}: {e}", path.display()));
                 opts.fleet = Some(fleet);
             }
-            "--observations" => opts.observations = value("--observations").parse().expect("u64"),
+            "--observations" => {
+                opts.observations = value("--observations").parse().expect("u64");
+                observations_set = true;
+            }
             "--queue-capacity" => {
                 opts.queue_capacity = value("--queue-capacity").parse().expect("usize");
             }
@@ -83,17 +95,34 @@ fn parse_args() -> Options {
                 let which = value("--queue");
                 opts.backends = match which.to_lowercase().as_str() {
                     "both" => vec![QueueBackend::Mutex, QueueBackend::Ring],
-                    one => vec![one.parse().unwrap_or_else(|e| panic!("{e} (or both)"))],
+                    "all" => vec![QueueBackend::Mutex, QueueBackend::Ring, QueueBackend::FanIn],
+                    one => vec![one.parse().unwrap_or_else(|e| panic!("{e} (or both|all)"))],
                 };
             }
+            "--consumers" => {
+                let list = value("--consumers");
+                opts.consumers = list
+                    .split(',')
+                    .map(|n| n.trim().parse().expect("usize consumer count"))
+                    .collect();
+            }
+            "--quick" => quick = true,
             other => panic!("unknown option {other}"),
         }
+    }
+    if quick && !observations_set {
+        opts.observations = 25_000;
     }
     if let Some(fleet) = &opts.fleet {
         opts.shards = fleet.shard_count();
     }
     assert!(opts.shards > 0, "--shards must be positive");
     assert!(opts.producer_batch > 0, "--producer-batch must be positive");
+    assert!(!opts.consumers.is_empty(), "--consumers must name a count");
+    assert!(
+        opts.consumers.iter().all(|&c| c > 0),
+        "--consumers counts must be positive"
+    );
     opts
 }
 
@@ -133,12 +162,13 @@ fn synthetic(shard: u64, i: u64) -> f64 {
     base + drift + spike
 }
 
-fn config_for(opts: &Options, backend: QueueBackend) -> SupervisorConfig {
+fn config_for(opts: &Options, backend: QueueBackend, consumers: usize) -> SupervisorConfig {
     SupervisorConfig {
         queue_capacity: opts.queue_capacity,
         drain_batch: opts.drain_batch,
         snapshot_every: None,
         backend,
+        consumers,
     }
 }
 
@@ -146,24 +176,30 @@ fn config_for(opts: &Options, backend: QueueBackend) -> SupervisorConfig {
 struct RunStats {
     elapsed: f64,
     digests: Vec<String>,
-    /// Times the consumer thread parked waiting for work.
+    /// Worker threads in the consumer pool.
+    consumer_threads: usize,
+    /// Times a pool worker parked waiting for work.
     consumer_parks: u64,
+    /// Shard ownership transfers between pool workers.
+    steals: u64,
+    /// Observations drained by each pool worker.
+    per_thread_drains: Vec<u64>,
     /// Times a blocking producer parked waiting for queue space.
     producer_waits: u64,
 }
 
-/// Runs the workload with threaded producers and a parked consumer
-/// thread (no spin loop anywhere: producers park on back-pressure, the
-/// consumer parks when every queue is empty).
-fn timed_run(opts: &Options, backend: QueueBackend) -> RunStats {
-    let supervisor = build_supervisor(opts, config_for(opts, backend));
+/// Runs the workload with threaded producers and a consumer pool (no
+/// spin loop anywhere: producers park on back-pressure, pool workers
+/// park when their queues are empty).
+fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStats {
+    let supervisor = build_supervisor(opts, config_for(opts, backend, consumers));
     let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
     let per_shard = opts.observations;
     let total = per_shard * opts.shards as u64;
     let batch = opts.producer_batch as u64;
 
     let start = Instant::now();
-    let consumer = ConsumerThread::spawn(supervisor);
+    let pool = ConsumerPool::spawn(supervisor);
     std::thread::scope(|scope| {
         for (shard, sender) in senders.iter().enumerate() {
             scope.spawn(move || {
@@ -185,13 +221,14 @@ fn timed_run(opts: &Options, backend: QueueBackend) -> RunStats {
             });
         }
     });
-    // Producers are done; join performs the final loss-free drain.
-    let consumer_parks = consumer.parks();
-    let supervisor = consumer
-        .join()
-        .expect("no log attached")
-        .expect("owned consumer returns the supervisor");
+    // Producers are done; join performs the final loss-free drain and
+    // hands back both the supervisor and the pool telemetry.
+    let joined = pool.join().expect("no log attached");
     let elapsed = start.elapsed().as_secs_f64();
+    let stats = joined.stats;
+    let supervisor = joined
+        .supervisor
+        .expect("owned pool returns the supervisor");
 
     let report = supervisor.report();
     assert_eq!(report.total_processed, total);
@@ -199,16 +236,19 @@ fn timed_run(opts: &Options, backend: QueueBackend) -> RunStats {
     RunStats {
         elapsed,
         digests: report.shards.iter().map(|s| s.digest.clone()).collect(),
-        consumer_parks,
+        consumer_threads: stats.consumers,
+        consumer_parks: stats.parks,
+        steals: stats.steals,
+        per_thread_drains: stats.per_thread_drains,
         producer_waits: report.shards.iter().map(|s| s.producer_waits).sum(),
     }
 }
 
 /// Serial reference: same streams fed synchronously, no threads. Its
-/// digests are the ground truth every threaded run — on every backend —
-/// must reproduce.
+/// digests are the ground truth every threaded run — on every backend,
+/// at every consumer count — must reproduce.
 fn reference_digests(opts: &Options) -> Vec<String> {
-    let mut supervisor = build_supervisor(opts, config_for(opts, QueueBackend::Mutex));
+    let mut supervisor = build_supervisor(opts, config_for(opts, QueueBackend::Mutex, 1));
     for shard in 0..opts.shards {
         for i in 0..opts.observations {
             supervisor
@@ -227,9 +267,11 @@ fn reference_digests(opts: &Options) -> Vec<String> {
 fn main() {
     let opts = parse_args();
     let total = opts.observations * opts.shards as u64;
+    let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!(
-        "monitor throughput: {} shards x {} observations = {} total, producer batch {}",
-        opts.shards, opts.observations, total, opts.producer_batch
+        "monitor throughput: {} shards x {} observations = {} total, \
+         producer batch {}, {} cores available",
+        opts.shards, opts.observations, total, opts.producer_batch, available_cores
     );
 
     println!("serial reference for digest checks...");
@@ -239,40 +281,51 @@ fn main() {
     for &backend in &opts.backends {
         // Warm-up pass to page in code and touch the allocator.
         let warmup = Options {
-            observations: 50_000,
+            observations: 50_000.min(opts.observations),
             out: opts.out.clone(),
             fleet: opts.fleet.clone(),
             backends: opts.backends.clone(),
+            consumers: opts.consumers.clone(),
             ..opts
         };
-        let _ = timed_run(&warmup, backend);
+        let _ = timed_run(&warmup, backend, *opts.consumers.last().unwrap());
 
-        let stats = timed_run(&opts, backend);
-        let throughput = total as f64 / stats.elapsed;
-        println!(
-            "  {backend}: {:.2} s, {:.2} M obs/s ({} consumer parks, {} producer waits)",
-            stats.elapsed,
-            throughput / 1e6,
-            stats.consumer_parks,
-            stats.producer_waits
-        );
-        let deterministic = stats.digests == reference;
-        assert!(
-            deterministic,
-            "{backend} threaded run diverged from the serial reference"
-        );
-        runs.push((backend, stats, throughput));
+        for &consumers in &opts.consumers {
+            let stats = timed_run(&opts, backend, consumers);
+            let throughput = total as f64 / stats.elapsed;
+            println!(
+                "  {backend} x{consumers}: {:.2} s, {:.2} M obs/s \
+                 ({} steals, {} parks, {} producer waits)",
+                stats.elapsed,
+                throughput / 1e6,
+                stats.steals,
+                stats.consumer_parks,
+                stats.producer_waits
+            );
+            let deterministic = stats.digests == reference;
+            assert!(
+                deterministic,
+                "{backend} x{consumers} threaded run diverged from the serial reference"
+            );
+            runs.push((backend, consumers, stats, throughput));
+        }
     }
-    println!("digests match serial reference on every backend: true");
+    println!("digests match serial reference on every backend and consumer count: true");
 
-    if let (Some(mutex), Some(ring)) = (
-        runs.iter().find(|(b, ..)| *b == QueueBackend::Mutex),
-        runs.iter().find(|(b, ..)| *b == QueueBackend::Ring),
-    ) {
-        println!("  ring vs mutex: {:.2}x obs/s", ring.2 / mutex.2);
+    for &consumers in &opts.consumers {
+        if let (Some(mutex), Some(ring)) = (
+            runs.iter()
+                .find(|(b, c, ..)| *b == QueueBackend::Mutex && *c == consumers),
+            runs.iter()
+                .find(|(b, c, ..)| *b == QueueBackend::Ring && *c == consumers),
+        ) {
+            println!(
+                "  ring vs mutex @{consumers} consumers: {:.2}x obs/s",
+                ring.3 / mutex.3
+            );
+        }
     }
 
-    let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
     let json = serde_json::json!({
         "benchmark": "monitor_throughput",
         "available_cores": available_cores,
@@ -283,22 +336,26 @@ fn main() {
             "queue_capacity": opts.queue_capacity,
             "drain_batch": opts.drain_batch,
             "producer_batch": opts.producer_batch,
+            "consumer_counts": opts.consumers.clone(),
             "detector": opts.fleet.as_ref().map_or("SRAA".to_owned(), |f| f.summary()),
         },
         "runs": runs
             .iter()
-            .map(|(backend, stats, throughput)| {
+            .map(|(backend, _, stats, throughput)| {
                 serde_json::json!({
                     "queue_backend": backend.name(),
+                    "consumer_threads": stats.consumer_threads,
                     "wall_secs": stats.elapsed,
                     "observations_per_sec": throughput,
+                    "steals": stats.steals,
+                    "per_thread_drains": stats.per_thread_drains.clone(),
                     "consumer_parks": stats.consumer_parks,
                     "producer_waits": stats.producer_waits,
                     "deterministic": true,
                 })
             })
             .collect::<Vec<_>>(),
-        "per_shard_digests": runs.first().map(|(_, s, _)| s.digests.clone()).unwrap_or_default(),
+        "per_shard_digests": runs.first().map(|(_, _, s, _)| s.digests.clone()).unwrap_or_default(),
     });
     std::fs::write(
         &opts.out,

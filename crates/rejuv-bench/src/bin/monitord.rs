@@ -61,11 +61,15 @@
 //!                        the checkpoint already covers are skipped and
 //!                        the final report is byte-identical to an
 //!                        uninterrupted replay of the same log
-//!   --queue BACKEND      ingestion queue backend, mutex|ring (default
-//!                        mutex). Execution strategy only: digests,
-//!                        reports and replays are byte-identical across
-//!                        backends, so a log recorded on one can be
-//!                        replayed on the other
+//!   --queue BACKEND      ingestion queue backend, mutex|ring|fanin
+//!                        (default mutex). Execution strategy only:
+//!                        digests, reports and replays are
+//!                        byte-identical across backends, so a log
+//!                        recorded on one can be replayed on the other
+//!   --consumers N        drain-plane worker threads (default 1).
+//!                        Execution strategy only, like --queue:
+//!                        reports, traces and checkpoints are
+//!                        byte-identical across consumer counts
 //! ```
 //!
 //! Crash safety: a SIGKILL mid-run leaves (at worst) a torn final line
@@ -113,6 +117,7 @@ struct Options {
     checkpoint_secs: Option<f64>,
     resume: Option<PathBuf>,
     queue: QueueBackend,
+    consumers: usize,
 }
 
 fn parse_args() -> Options {
@@ -140,6 +145,7 @@ fn parse_args() -> Options {
         checkpoint_secs: None,
         resume: None,
         queue: QueueBackend::Mutex,
+        consumers: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -188,10 +194,12 @@ fn parse_args() -> Options {
             "--queue" => {
                 opts.queue = value("--queue").parse().unwrap_or_else(|e| panic!("{e}"));
             }
+            "--consumers" => opts.consumers = value("--consumers").parse().expect("usize"),
             other => panic!("unknown option {other}"),
         }
     }
     assert!(opts.hosts > 0, "--hosts must be positive");
+    assert!(opts.consumers > 0, "--consumers must be positive");
     assert!(
         opts.checkpoint_every > 0,
         "--checkpoint-every must be positive"
@@ -350,6 +358,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                 // Backends are digest-equivalent, so replay need not run
                 // on the backend that recorded the log.
                 backend: opts.queue,
+                consumers: opts.consumers,
             };
             println!(
                 "replaying {}: {} shards, detector {}, {} events",
@@ -388,6 +397,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                 drain_batch: *drain_batch as usize,
                 snapshot_every: *snapshot_every,
                 backend: opts.queue,
+                consumers: opts.consumers,
             };
             println!(
                 "replaying {}: {} shards ({}), {} events",
@@ -411,6 +421,7 @@ fn run_live(opts: &Options) {
     let config = SupervisorConfig {
         snapshot_every: opts.snapshot_every,
         backend: opts.queue,
+        consumers: opts.consumers,
         ..SupervisorConfig::default()
     };
     let fleet = load_fleet(opts);
@@ -484,8 +495,9 @@ fn run_live(opts: &Options) {
     let consumer = ConsumerThread::spawn_shared(&shared);
 
     println!(
-        "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}, queue {}",
-        hosts, opts.load, opts.transactions, detector_name, opts.seed, opts.queue
+        "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}, \
+         queue {}, {} consumer(s)",
+        hosts, opts.load, opts.transactions, detector_name, opts.seed, opts.queue, opts.consumers
     );
 
     if hosts == 1 {

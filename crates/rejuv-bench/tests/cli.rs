@@ -137,7 +137,7 @@ fn monitord_checkpoint_then_resume_matches_full_replay() {
     assert_eq!(live, resumed, "resumed replay must reproduce it too");
     let snapshot: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
-    assert_eq!(snapshot["version"], 2, "versioned checkpoint format");
+    assert_eq!(snapshot["version"], 3, "versioned checkpoint format");
 }
 
 #[test]
@@ -216,7 +216,7 @@ fn monitord_fleet_live_replay_and_resume_are_byte_identical() {
     assert_eq!(kinds, ["CLTA", "CUSUM", "SARAA", "SRAA"]);
     let snapshot: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
-    assert_eq!(snapshot["version"], 2);
+    assert_eq!(snapshot["version"], 3);
     assert_eq!(snapshot["shards"][3]["spec"]["kind"], "Cusum");
 }
 

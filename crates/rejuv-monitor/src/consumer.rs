@@ -15,27 +15,18 @@
 //! before `join` for the final drain to be complete.
 
 use crate::bridge::SharedSupervisor;
-use crate::queue::{Wakeup, WorkNotifier};
+use crate::pool::{ConsumerPool, PoolStats};
 use crate::supervisor::Supervisor;
 use std::io;
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
-/// How the consumer thread reaches the supervisor it drains.
-enum Target {
-    /// Exclusive ownership — the fast path for decoupled producers
-    /// (returned to the caller by [`ConsumerThread::join`]).
-    Owned(Box<Supervisor>),
-    /// Shared with synchronous bridges (`monitord` live mode): the
-    /// consumer competes for the same lock the bridges use, draining
-    /// whatever was pushed through senders and parking otherwise.
-    Shared(SharedSupervisor),
-}
-
-/// A drain thread that sleeps between batches instead of spinning.
+/// A drain plane that sleeps between batches instead of spinning.
+///
+/// Since the consumer-pool runtime this is a façade over
+/// [`ConsumerPool`]: it spawns `supervisor.config().consumers` worker
+/// threads (default 1) with whole-shard ownership and bounded
+/// work-stealing, keeping the original one-call spawn/join surface.
 pub struct ConsumerThread {
-    handle: JoinHandle<io::Result<Option<Supervisor>>>,
-    notifier: Arc<WorkNotifier>,
+    pool: ConsumerPool,
 }
 
 impl std::fmt::Debug for ConsumerThread {
@@ -47,43 +38,37 @@ impl std::fmt::Debug for ConsumerThread {
 }
 
 impl ConsumerThread {
-    /// Spawns a consumer that owns `supervisor` outright. Clone the
-    /// shard senders *before* calling this; [`ConsumerThread::join`]
-    /// hands the supervisor back.
+    /// Spawns a consumer pool that owns `supervisor` outright. Clone
+    /// the shard senders *before* calling this;
+    /// [`ConsumerThread::join`] hands the supervisor back.
     pub fn spawn(supervisor: Supervisor) -> Self {
-        Self::start(Target::Owned(Box::new(supervisor)))
+        ConsumerThread {
+            pool: ConsumerPool::spawn(supervisor),
+        }
     }
 
-    /// Spawns a consumer over a [`SharedSupervisor`], coexisting with
+    /// Spawns consumers over a [`SharedSupervisor`], coexisting with
     /// synchronous [`crate::MonitorBridge`]s. `join` returns `None`;
     /// the shared handle keeps owning the supervisor.
     pub fn spawn_shared(shared: &SharedSupervisor) -> Self {
-        Self::start(Target::Shared(shared.clone()))
-    }
-
-    fn start(mut target: Target) -> Self {
-        let notifier = Arc::new(WorkNotifier::new());
-        let attach = |sup: &Supervisor, notifier: &Arc<WorkNotifier>| {
-            for shard in 0..sup.shard_count() {
-                sup.queue(shard).attach_notifier(Arc::clone(notifier));
-            }
-        };
-        match &mut target {
-            Target::Owned(sup) => attach(sup, &notifier),
-            Target::Shared(shared) => shared.with(|sup| attach(sup, &notifier)),
+        ConsumerThread {
+            pool: ConsumerPool::spawn_shared(shared),
         }
-        let thread_notifier = Arc::clone(&notifier);
-        let handle = std::thread::spawn(move || run(target, &thread_notifier));
-        ConsumerThread { handle, notifier }
     }
 
-    /// Times the consumer actually went to sleep waiting for work.
+    /// Times a consumer actually went to sleep waiting for work,
+    /// summed over the pool's workers.
     pub fn parks(&self) -> u64 {
-        self.notifier.parks()
+        self.pool.parks()
+    }
+
+    /// Current drain-plane telemetry (steal/park/per-worker counters).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Signals shutdown, waits for the final loss-free drain, and
-    /// returns the supervisor when the thread owned one
+    /// returns the supervisor when the pool owned one
     /// ([`ConsumerThread::spawn`]); `None` for the shared flavour.
     ///
     /// # Errors
@@ -93,35 +78,10 @@ impl ConsumerThread {
     ///
     /// # Panics
     ///
-    /// Panics if the consumer thread itself panicked.
+    /// Panics if a consumer worker itself panicked.
     pub fn join(self) -> io::Result<Option<Supervisor>> {
-        self.notifier.shutdown();
-        self.handle.join().expect("consumer thread panicked")
+        self.pool.join().map(|joined| joined.supervisor)
     }
-}
-
-fn run(mut target: Target, notifier: &WorkNotifier) -> io::Result<Option<Supervisor>> {
-    let poll = |target: &mut Target| -> io::Result<usize> {
-        match target {
-            Target::Owned(sup) => sup.poll_all(),
-            Target::Shared(shared) => shared.with(|sup| sup.poll_all()),
-        }
-    };
-    loop {
-        if poll(&mut target)? > 0 {
-            continue;
-        }
-        match notifier.wait() {
-            Wakeup::Work => continue,
-            Wakeup::Shutdown => break,
-        }
-    }
-    // Final drain: anything pushed before the producers stopped.
-    while poll(&mut target)? > 0 {}
-    Ok(match target {
-        Target::Owned(sup) => Some(*sup),
-        Target::Shared(_) => None,
-    })
 }
 
 #[cfg(test)]

@@ -17,9 +17,13 @@
 //!   (write-temp-then-rename) so a crash never tears the file, and
 //!   [`replay_events_resumed`] continues a recorded run from a
 //!   checkpoint with byte-identical reports,
-//! * [`consumer::ConsumerThread`] — a drain thread that *parks* on a
-//!   condvar whenever every queue is empty (zero idle CPU) and wakes on
-//!   the first push,
+//! * [`consumer::ConsumerThread`] / [`pool::ConsumerPool`] — the drain
+//!   plane: `SupervisorConfig::consumers` worker threads with static
+//!   whole-shard ownership plus bounded work-stealing through an atomic
+//!   claim table, each *parking* on a condvar whenever its queues are
+//!   empty (zero idle CPU). Consumer count is a pure execution-strategy
+//!   knob: digests, reports, traces and checkpoints are byte-identical
+//!   across 1/2/4/8 consumers,
 //! * [`metrics::MetricsRegistry`] — counters, gauges and fixed-bucket
 //!   histograms whose exported report is byte-stable,
 //! * [`event::EventLog`] — a JSONL event log (run header, observation
@@ -75,6 +79,7 @@ pub mod consumer;
 pub mod event;
 pub mod fleet;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod supervisor;
 
@@ -84,6 +89,7 @@ pub use consumer::ConsumerThread;
 pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
 pub use fleet::{FleetConfig, FleetError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
+pub use pool::{ConsumerPool, PoolJoin, PoolStats};
 pub use queue::{ObsQueue, QueueBackend, Wakeup, WorkNotifier};
 pub use supervisor::{
     CheckpointClock, CheckpointSink, DetectorKindReport, MonitorReport, RestoreError, ShardReport,

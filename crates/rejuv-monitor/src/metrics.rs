@@ -88,6 +88,28 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Folds `other` into this histogram: per-bucket counts and totals
+    /// add, sums add in call order. Merging the same histograms in the
+    /// same order always produces the same bytes — the property the
+    /// supervisor relies on when it folds per-shard histograms in shard
+    /// index order, so reports stay byte-stable no matter which consumer
+    /// thread drained which shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// A registry of named counters, gauges and histograms.
@@ -148,6 +170,13 @@ impl MetricsRegistry {
     /// Reads a histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Inserts (or replaces) a fully-built histogram under `name` — the
+    /// supervisor's merge path, which folds per-shard histograms into a
+    /// report-ready instrument in one shot.
+    pub(crate) fn insert_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_owned(), histogram);
     }
 
     /// Rebuilds a registry from an exported report, resuming every
@@ -223,6 +252,33 @@ mod tests {
     fn observing_unregistered_histogram_panics() {
         let mut m = MetricsRegistry::new();
         m.observe("latency", 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums_in_call_order() {
+        let mut a = Histogram::new(&[1.0, 10.0]);
+        let mut b = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 3.0] {
+            a.record(v);
+        }
+        for v in [100.0, 0.25] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert_eq!(
+            a.sum().to_bits(),
+            ((0.5 + 3.0) + (100.0 + 0.25f64)).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`crate::consumer::ConsumerThread`]): between batches, neither side
 //! burns CPU.
 //!
-//! Two interchangeable backends implement the contract, selected by
+//! Three interchangeable backends implement the contract, selected by
 //! [`QueueBackend`]:
 //!
 //! * **Mutex** — a mutex-guarded ring buffer. Batched drains amortise
@@ -32,11 +32,20 @@
 //!   performs no lock acquisitions and no read-modify-write beyond one
 //!   relaxed counter; batched pushes ([`ObsQueue::push_batch`]) publish
 //!   one tail update per batch.
+//! * **FanIn** — a multi-producer fan-in over per-producer SPSC lanes:
+//!   each producer thread claims a private Vyukov lane (the same
+//!   zero-`unsafe` bit-packed design as the ring) and stamps every
+//!   sample with a global ticket; the single consumer merges lanes by
+//!   popping strictly in ticket order, so the drained sequence is a
+//!   deterministic total order even with many concurrent producers.
+//!   Capacity is enforced globally with one CAS-bounded counter, so
+//!   back-pressure accounting matches the other backends exactly.
 //!
-//! Both backends drain in FIFO order and account identically
-//! (`accepted`/`dropped`/`waits`), so decision digests, reports and
-//! replays are bitwise identical regardless of backend — a property the
-//! conformance suite in `tests/proptest_queue.rs` pins down.
+//! All backends drain in FIFO order (per producer) and account
+//! identically (`accepted`/`dropped`/`waits`), so decision digests,
+//! reports and replays are bitwise identical regardless of backend — a
+//! property the conformance suite in `tests/proptest_queue.rs` pins
+//! down.
 //!
 //! # Why the lock-free ring needs no `unsafe`
 //!
@@ -60,7 +69,8 @@
 //! before deciding to sleep?") — so those paths add `SeqCst` fences;
 //! see `maybe_notify` / `wake_parked_producer`.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -74,9 +84,9 @@ const BLOCKING_SPIN_LIMIT: u32 = 64;
 
 /// Which [`ObsQueue`] implementation a supervisor shard uses.
 ///
-/// Both backends implement the same bounded-SPSC contract and produce
+/// All backends implement the same bounded-queue contract and produce
 /// bitwise-identical digests, reports and replays; they differ only in
-/// how the producer and consumer synchronise.
+/// how the producers and consumer synchronise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum QueueBackend {
     /// Mutex-guarded ring buffer (the default): one lock acquisition
@@ -89,6 +99,13 @@ pub enum QueueBackend {
     /// and one draining at any instant (external serialisation, e.g.
     /// the `SharedSupervisor` lock, also satisfies it).
     Ring,
+    /// Multi-producer fan-in over per-producer SPSC lanes, merged
+    /// deterministically at drain by per-sample ticket stamps. Producers
+    /// stop contending on one mutex; the consumer side still requires
+    /// external serialisation (at most one thread draining at any
+    /// instant). Trades memory for lane isolation: each of its lanes is
+    /// sized to the full logical capacity.
+    FanIn,
 }
 
 impl QueueBackend {
@@ -97,6 +114,7 @@ impl QueueBackend {
         match self {
             QueueBackend::Mutex => "mutex",
             QueueBackend::Ring => "ring",
+            QueueBackend::FanIn => "fanin",
         }
     }
 }
@@ -114,7 +132,8 @@ impl std::str::FromStr for QueueBackend {
         match s.to_lowercase().as_str() {
             "mutex" => Ok(QueueBackend::Mutex),
             "ring" => Ok(QueueBackend::Ring),
-            other => Err(format!("unknown queue backend {other} (mutex|ring)")),
+            "fanin" => Ok(QueueBackend::FanIn),
+            other => Err(format!("unknown queue backend {other} (mutex|ring|fanin)")),
         }
     }
 }
@@ -199,7 +218,7 @@ impl WorkNotifier {
     }
 }
 
-/// Lifetime accounting shared by both backends. All counters are
+/// Lifetime accounting shared by all backends. All counters are
 /// updated with relaxed atomics — they are telemetry, not
 /// synchronisation.
 #[derive(Debug, Default)]
@@ -212,7 +231,7 @@ struct Counters {
     waits: AtomicU64,
 }
 
-/// Consumer wakeup hook shared by both backends; set once a consumer
+/// Consumer wakeup hook shared by all backends; set once a consumer
 /// thread attaches. The `attached` flag lets the ring's push fast path
 /// skip the option lock entirely when no consumer thread exists.
 #[derive(Debug, Default)]
@@ -244,6 +263,10 @@ struct MutexInner {
     /// `drain_into` notifies after freeing space.
     space: Condvar,
     capacity: usize,
+    /// Mirror of `buf.len()`, refreshed under the lock after every
+    /// mutation, so `backlog_hint` can answer with one relaxed load
+    /// instead of contending on the queue lock.
+    occupancy: AtomicUsize,
     counters: Counters,
     notifier: NotifierSlot,
 }
@@ -258,6 +281,7 @@ impl MutexInner {
             buf: Mutex::new(VecDeque::with_capacity(capacity)),
             space: Condvar::new(),
             capacity,
+            occupancy: AtomicUsize::new(0),
             counters: Counters::default(),
             notifier: NotifierSlot::default(),
         }
@@ -272,6 +296,7 @@ impl MutexInner {
         }
         let was_empty = buf.is_empty();
         buf.push_back((value, at));
+        self.occupancy.store(buf.len(), Ordering::Relaxed);
         drop(buf);
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         if was_empty {
@@ -291,6 +316,7 @@ impl MutexInner {
         }
         let was_empty = buf.is_empty();
         buf.extend(it.take(take));
+        self.occupancy.store(buf.len(), Ordering::Relaxed);
         drop(buf);
         self.counters
             .accepted
@@ -318,6 +344,7 @@ impl MutexInner {
             .expect("queue lock poisoned");
         let was_empty = buf.is_empty();
         buf.push_back((value, at));
+        self.occupancy.store(buf.len(), Ordering::Relaxed);
         drop(buf);
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         if was_empty {
@@ -346,6 +373,7 @@ impl MutexInner {
         let mut buf = self.buf.lock().expect("queue lock poisoned");
         let take = buf.len().min(max);
         out.extend(buf.drain(..take));
+        self.occupancy.store(buf.len(), Ordering::Relaxed);
         drop(buf);
         if take > 0 {
             self.space.notify_all();
@@ -647,6 +675,368 @@ impl RingInner {
 }
 
 // ---------------------------------------------------------------------
+// Fan-in backend
+// ---------------------------------------------------------------------
+
+/// Lanes per fan-in queue. The first `FANIN_LANES - 1` producer threads
+/// each claim a private SPSC lane; any later thread falls back to the
+/// last lane, shared under a mutex (correct, just slower). The lane
+/// count bounds memory, not how many producers the queue supports.
+const FANIN_LANES: usize = 8;
+
+/// Source of unique fan-in queue ids for the thread-local lane cache.
+static FANIN_IDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Which lane this thread claimed in each fan-in queue it has
+    /// pushed into, keyed by queue id. Thread-local so the per-push
+    /// lane lookup never synchronises with other producers.
+    static CLAIMED_LANES: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+}
+
+/// One fan-in lane slot: the Vyukov `seq` protocol of [`Slot`] plus the
+/// global ticket that orders the sample across lanes.
+#[derive(Debug)]
+struct FanSlot {
+    seq: AtomicUsize,
+    value: AtomicU64,
+    at: AtomicU64,
+    ticket: AtomicU64,
+}
+
+/// One per-producer SPSC lane. `tail` is written only by the lane's
+/// producer (or under the shared-lane lock); `head` only by the single
+/// consumer. Capacity is *not* enforced per lane — the global `pending`
+/// counter bounds total occupancy, and each lane is sized to hold the
+/// full logical capacity, so a reservation always has a free slot in
+/// whichever lane its producer owns.
+#[derive(Debug)]
+struct Lane {
+    slots: Box<[FanSlot]>,
+    mask: usize,
+    tail: CacheLine<AtomicUsize>,
+    head: CacheLine<AtomicUsize>,
+}
+
+struct FanInInner {
+    /// Key for the thread-local lane cache.
+    id: u64,
+    lanes: Box<[Lane]>,
+    /// The logical bound, enforced globally across all lanes by
+    /// `pending` so back-pressure accounting matches the other
+    /// backends exactly.
+    capacity: usize,
+    /// Samples reserved but not yet consumed, across all lanes. A push
+    /// reserves with a CAS bounded by `capacity` (`Acquire` on success,
+    /// pairing with the consumer's `Release` decrement so every slot
+    /// freed before the decrement is visible before reuse); the
+    /// consumer decrements once per pop, *after* freeing the slot.
+    pending: AtomicUsize,
+    /// Next global ticket to hand out. Tickets totally order samples
+    /// across lanes; the consumer pops strictly in ticket order, so the
+    /// drained sequence is deterministic given the reservation order.
+    tickets: AtomicU64,
+    /// Next ticket the consumer will pop. Consumer-owned; producers
+    /// read it (after a `SeqCst` fence) to decide whether the consumer
+    /// may be parked waiting for the batch just published.
+    next_ticket: AtomicU64,
+    /// Consumer-owned hint: the lane that yielded the last pop.
+    /// Contiguous ticket blocks come from one lane, so starting the
+    /// next scan there makes the common case O(1), not O(lanes).
+    last_lane: AtomicUsize,
+    /// How many exclusive lanes have been handed out.
+    claimed: AtomicUsize,
+    /// Serialises producers that overflow into the shared last lane:
+    /// ticket grab and slot write must happen together under it, or
+    /// tickets could invert within the lane and deadlock the
+    /// ticket-ordered drain.
+    shared_lock: Mutex<()>,
+    /// Blocking producers park here when the queue is full.
+    space_lock: Mutex<()>,
+    space: Condvar,
+    /// Set (`SeqCst`) by a producer about to park; cleared only by the
+    /// waking consumer — with multiple producers, a peer observing
+    /// space must not clear a flag another parked producer relies on.
+    producer_parked: AtomicBool,
+    counters: Counters,
+    notifier: NotifierSlot,
+}
+
+impl FanInInner {
+    fn new(capacity: usize) -> Self {
+        let slot_count = capacity.next_power_of_two();
+        let lanes: Box<[Lane]> = (0..FANIN_LANES)
+            .map(|_| Lane {
+                slots: (0..slot_count)
+                    .map(|i| FanSlot {
+                        seq: AtomicUsize::new(i),
+                        value: AtomicU64::new(0),
+                        at: AtomicU64::new(0),
+                        ticket: AtomicU64::new(0),
+                    })
+                    .collect(),
+                mask: slot_count - 1,
+                tail: CacheLine(AtomicUsize::new(0)),
+                head: CacheLine(AtomicUsize::new(0)),
+            })
+            .collect();
+        FanInInner {
+            id: FANIN_IDS.fetch_add(1, Ordering::Relaxed),
+            lanes,
+            capacity,
+            pending: AtomicUsize::new(0),
+            tickets: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            last_lane: AtomicUsize::new(0),
+            claimed: AtomicUsize::new(0),
+            shared_lock: Mutex::new(()),
+            space_lock: Mutex::new(()),
+            space: Condvar::new(),
+            producer_parked: AtomicBool::new(false),
+            counters: Counters::default(),
+            notifier: NotifierSlot::default(),
+        }
+    }
+
+    /// The lane this thread pushes into, claiming one on first use.
+    fn lane_for_thread(&self) -> usize {
+        CLAIMED_LANES.with(|map| {
+            *map.borrow_mut().entry(self.id).or_insert_with(|| {
+                self.claimed
+                    .fetch_add(1, Ordering::Relaxed)
+                    .min(FANIN_LANES - 1)
+            })
+        })
+    }
+
+    /// Reserves up to `want` of the global capacity; returns how many
+    /// slots were secured (0 when full).
+    fn reserve(&self, want: usize) -> usize {
+        let mut cur = self.pending.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(self.capacity - cur.min(self.capacity));
+            if take == 0 {
+                return 0;
+            }
+            match self.pending.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Writes `take` already-reserved samples into this thread's lane,
+    /// stamping each with a global ticket, then runs the wakeup check.
+    /// For the shared overflow lane, the ticket grab and the slot
+    /// writes happen together under the lane lock so tickets stay
+    /// ascending within the lane — the invariant the ticket-ordered
+    /// drain relies on to never wait for a sample behind a later one.
+    fn publish(&self, it: &mut impl Iterator<Item = (f64, f64)>, take: usize) {
+        let lane_idx = self.lane_for_thread();
+        let guard = if lane_idx == FANIN_LANES - 1 {
+            Some(self.shared_lock.lock().expect("shared lane lock poisoned"))
+        } else {
+            None
+        };
+        let lane = &self.lanes[lane_idx];
+        let first = self.tickets.fetch_add(take as u64, Ordering::Relaxed);
+        let pos = lane.tail.0.load(Ordering::Relaxed);
+        for (i, (value, at)) in it.take(take).enumerate() {
+            let slot = &lane.slots[pos.wrapping_add(i) & lane.mask];
+            debug_assert_eq!(
+                slot.seq.load(Ordering::Acquire),
+                pos.wrapping_add(i),
+                "fan-in lane slot reused before the consumer freed it"
+            );
+            slot.value.store(value.to_bits(), Ordering::Relaxed);
+            slot.at.store(at.to_bits(), Ordering::Relaxed);
+            slot.ticket.store(first + i as u64, Ordering::Relaxed);
+            slot.seq
+                .store(pos.wrapping_add(i).wrapping_add(1), Ordering::Release);
+        }
+        lane.tail.0.store(pos.wrapping_add(take), Ordering::Relaxed);
+        drop(guard);
+        self.counters
+            .accepted
+            .fetch_add(take as u64, Ordering::Relaxed);
+        self.maybe_notify(first, take as u64);
+    }
+
+    /// Wakes an attached consumer that may have parked while the batch
+    /// ticketed `[first, first + n)` was in flight. Same
+    /// store-buffering closure as the ring's `maybe_notify`, with the
+    /// consumer's published cursor being `next_ticket` instead of
+    /// `head`: the producer publishes its slots then fences; the
+    /// consumer stores `next_ticket`, fences and rescans before giving
+    /// up (see `drain_into`); at least one side must see the other, so
+    /// either the rescan finds the sample or this check finds the
+    /// consumer waiting inside the window and notifies. A waiting
+    /// ticket below `first` is covered by *its* publisher's check — the
+    /// same induction the ring uses over earlier pushes.
+    fn maybe_notify(&self, first: u64, n: u64) {
+        if !self.notifier.attached.load(Ordering::Relaxed) {
+            return;
+        }
+        fence(Ordering::SeqCst);
+        let next = self.next_ticket.load(Ordering::Relaxed);
+        if next.wrapping_sub(first) <= n {
+            self.notifier.notify();
+        }
+    }
+
+    /// Single push attempt; does not count drops.
+    fn try_push(&self, value: f64, at: f64) -> bool {
+        if self.reserve(1) == 0 {
+            return false;
+        }
+        self.publish(&mut std::iter::once((value, at)), 1);
+        true
+    }
+
+    /// Moves up to `want` leading samples out of `it`; returns how many
+    /// were accepted.
+    fn push_batch_partial(&self, it: &mut impl Iterator<Item = (f64, f64)>, want: usize) -> usize {
+        let take = self.reserve(want);
+        if take == 0 {
+            return 0;
+        }
+        self.publish(it, take);
+        take
+    }
+
+    fn push_blocking(&self, value: f64, at: f64) {
+        loop {
+            for _ in 0..BLOCKING_SPIN_LIMIT {
+                if self.try_push(value, at) {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+            // Unlike the SPSC ring, space observed under the park
+            // handshake may be claimed by a peer producer first — so
+            // re-attempt the push and re-park if it is gone again.
+            self.park_until_space();
+        }
+    }
+
+    /// Parks until the queue is below capacity, counting the wait. The
+    /// `SeqCst` handshake mirrors the ring's, but the flag is *sticky*:
+    /// only the waking consumer clears it, because with several
+    /// producers one observing space must not un-flag peers still
+    /// parked behind it.
+    fn park_until_space(&self) {
+        self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.space_lock.lock().expect("park lock poisoned");
+        loop {
+            self.producer_parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if self.pending.load(Ordering::Relaxed) < self.capacity {
+                return;
+            }
+            guard = self.space.wait(guard).expect("park lock poisoned");
+        }
+    }
+
+    /// Parks until space is available for a blocking batch refill
+    /// (spin first, mirroring `push_blocking`).
+    fn wait_for_space(&self) {
+        for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.pending.load(Ordering::Relaxed) < self.capacity {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        self.park_until_space();
+    }
+
+    /// Pops the sample ticketed `next` if some lane has published it at
+    /// its head, appending it to `out`; returns the lane it came from.
+    /// Scans from `hint` because consecutive tickets usually come from
+    /// the same lane (one producer's contiguous block).
+    fn pop_ticket(&self, next: u64, hint: usize, out: &mut Vec<(f64, f64)>) -> Option<usize> {
+        for probe in 0..FANIN_LANES {
+            let lane_idx = (hint + probe) % FANIN_LANES;
+            let lane = &self.lanes[lane_idx];
+            let head = lane.head.0.load(Ordering::Relaxed);
+            let slot = &lane.slots[head & lane.mask];
+            if slot.seq.load(Ordering::Acquire) != head.wrapping_add(1) {
+                continue; // lane empty, or its head not yet published
+            }
+            if slot.ticket.load(Ordering::Relaxed) != next {
+                continue; // published, but a later ticket: not its turn
+            }
+            let value = f64::from_bits(slot.value.load(Ordering::Relaxed));
+            let at = f64::from_bits(slot.at.load(Ordering::Relaxed));
+            out.push((value, at));
+            // Free the slot for the lane's next lap.
+            slot.seq
+                .store(head.wrapping_add(lane.mask + 1), Ordering::Release);
+            lane.head.0.store(head.wrapping_add(1), Ordering::Relaxed);
+            return Some(lane_idx);
+        }
+        None
+    }
+
+    fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        // Pairs with the producer-side fences in `maybe_notify`.
+        fence(Ordering::SeqCst);
+        let mut next = self.next_ticket.load(Ordering::Relaxed);
+        let mut hint = self.last_lane.load(Ordering::Relaxed);
+        let mut taken = 0;
+        while taken < max {
+            let popped = match self.pop_ticket(next, hint, out) {
+                Some(lane) => Some(lane),
+                None => {
+                    // Head-of-line ticket not visible. Before giving up
+                    // (the caller may park on a WorkNotifier), close
+                    // the store-buffering window: fence and rescan once
+                    // — the producer side is `maybe_notify`.
+                    fence(Ordering::SeqCst);
+                    self.pop_ticket(next, hint, out)
+                }
+            };
+            let Some(lane) = popped else { break };
+            hint = lane;
+            next = next.wrapping_add(1);
+            // `SeqCst` so a producer's post-publish window check and
+            // this cursor publication cannot both miss each other.
+            self.next_ticket.store(next, Ordering::SeqCst);
+            // After the slot is freed: the producer's reserve-CAS
+            // (`Acquire`) sees this decrement only after the free.
+            self.pending.fetch_sub(1, Ordering::Release);
+            taken += 1;
+        }
+        if taken > 0 {
+            self.last_lane.store(hint, Ordering::Relaxed);
+            self.wake_parked_producer();
+        }
+        taken
+    }
+
+    /// Wakes producers parked on back-pressure, if any; same `SeqCst`
+    /// closure as the ring's, except the flag is cleared here only.
+    fn wake_parked_producer(&self) {
+        fence(Ordering::SeqCst);
+        if self.producer_parked.load(Ordering::Relaxed) {
+            let _guard = self.space_lock.lock().expect("park lock poisoned");
+            self.producer_parked.store(false, Ordering::Relaxed);
+            self.space.notify_all();
+        }
+    }
+
+    /// Samples reserved and not yet consumed (exact when quiescent; a
+    /// reservation whose payload is still being written counts too).
+    fn len(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Facade
 // ---------------------------------------------------------------------
 
@@ -654,6 +1044,7 @@ impl RingInner {
 enum Inner {
     Mutex(Arc<MutexInner>),
     Ring(Arc<RingInner>),
+    FanIn(Arc<FanInInner>),
 }
 
 /// A bounded queue of observations, cheaply cloneable into producer and
@@ -709,6 +1100,7 @@ impl ObsQueue {
         let inner = match backend {
             QueueBackend::Mutex => Inner::Mutex(Arc::new(MutexInner::new(capacity))),
             QueueBackend::Ring => Inner::Ring(Arc::new(RingInner::new(capacity))),
+            QueueBackend::FanIn => Inner::FanIn(Arc::new(FanInInner::new(capacity))),
         };
         ObsQueue { inner }
     }
@@ -718,6 +1110,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(_) => QueueBackend::Mutex,
             Inner::Ring(_) => QueueBackend::Ring,
+            Inner::FanIn(_) => QueueBackend::FanIn,
         }
     }
 
@@ -725,6 +1118,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(q) => &q.counters,
             Inner::Ring(q) => &q.counters,
+            Inner::FanIn(q) => &q.counters,
         }
     }
 
@@ -734,6 +1128,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(q) => q.notifier.attach(notifier),
             Inner::Ring(q) => q.notifier.attach(notifier),
+            Inner::FanIn(q) => q.notifier.attach(notifier),
         }
     }
 
@@ -749,6 +1144,7 @@ impl ObsQueue {
         let accepted = match &self.inner {
             Inner::Mutex(q) => q.try_push(value, at),
             Inner::Ring(q) => q.try_push(value, at),
+            Inner::FanIn(q) => q.try_push(value, at),
         };
         if !accepted {
             self.counters().dropped.fetch_add(1, Ordering::Relaxed);
@@ -771,6 +1167,7 @@ impl ObsQueue {
         let took = match &self.inner {
             Inner::Mutex(q) => q.push_batch_partial(&mut it, want),
             Inner::Ring(q) => q.push_batch_partial(&mut it, want),
+            Inner::FanIn(q) => q.push_batch_partial(&mut it, want),
         };
         if took < want {
             self.counters()
@@ -795,12 +1192,14 @@ impl ObsQueue {
             let took = match &self.inner {
                 Inner::Mutex(q) => q.push_batch_partial(&mut it, remaining),
                 Inner::Ring(q) => q.push_batch_partial(&mut it, remaining),
+                Inner::FanIn(q) => q.push_batch_partial(&mut it, remaining),
             };
             remaining -= took;
             if remaining > 0 {
                 match &self.inner {
                     Inner::Mutex(q) => q.wait_for_space(),
                     Inner::Ring(q) => q.wait_for_space(),
+                    Inner::FanIn(q) => q.wait_for_space(),
                 }
             }
         }
@@ -822,6 +1221,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(q) => q.push_blocking(value, at),
             Inner::Ring(q) => q.push_blocking(value, at),
+            Inner::FanIn(q) => q.push_blocking(value, at),
         }
     }
 
@@ -833,6 +1233,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(q) => q.drain_into(out, max),
             Inner::Ring(q) => q.drain_into(out, max),
+            Inner::FanIn(q) => q.drain_into(out, max),
         }
     }
 
@@ -841,6 +1242,7 @@ impl ObsQueue {
         match &self.inner {
             Inner::Mutex(q) => q.len(),
             Inner::Ring(q) => q.len(),
+            Inner::FanIn(q) => q.len(),
         }
     }
 
@@ -849,11 +1251,26 @@ impl ObsQueue {
         self.len() == 0
     }
 
+    /// Pending observations as a cheap, *approximate* heat signal:
+    /// relaxed atomic loads only, never a lock. Exact when the queue is
+    /// quiescent; under concurrent pushes and drains it is a racy
+    /// snapshot that may lag either side by a batch. The consumer
+    /// pool's work-stealing check reads this so sizing up a backlog
+    /// never contends with the drain it is deciding whether to relieve.
+    pub fn backlog_hint(&self) -> usize {
+        match &self.inner {
+            Inner::Mutex(q) => q.occupancy.load(Ordering::Relaxed),
+            Inner::Ring(q) => q.len(),
+            Inner::FanIn(q) => q.len(),
+        }
+    }
+
     /// Maximum pending observations.
     pub fn capacity(&self) -> usize {
         match &self.inner {
             Inner::Mutex(q) => q.capacity,
             Inner::Ring(q) => q.capacity,
+            Inner::FanIn(q) => q.capacity,
         }
     }
 
@@ -888,7 +1305,8 @@ impl ObsQueue {
 mod tests {
     use super::*;
 
-    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Mutex, QueueBackend::Ring];
+    const BACKENDS: [QueueBackend; 3] =
+        [QueueBackend::Mutex, QueueBackend::Ring, QueueBackend::FanIn];
 
     /// Runs `test` against a fresh queue of every backend.
     fn for_each_backend(capacity: usize, test: impl Fn(ObsQueue)) {
@@ -913,8 +1331,14 @@ mod tests {
     fn backend_parses_and_displays() {
         assert_eq!("mutex".parse(), Ok(QueueBackend::Mutex));
         assert_eq!("Ring".parse(), Ok(QueueBackend::Ring));
+        assert_eq!("fanin".parse(), Ok(QueueBackend::FanIn));
         assert!("spinlock".parse::<QueueBackend>().is_err());
+        assert!("spinlock"
+            .parse::<QueueBackend>()
+            .unwrap_err()
+            .contains("mutex|ring|fanin"));
         assert_eq!(QueueBackend::Ring.to_string(), "ring");
+        assert_eq!(QueueBackend::FanIn.to_string(), "fanin");
         assert_eq!(QueueBackend::default(), QueueBackend::Mutex);
     }
 
@@ -1176,6 +1600,168 @@ mod tests {
             for (i, &(v, _)) in out.iter().enumerate() {
                 assert_eq!(v, i as f64);
             }
+        });
+    }
+
+    /// Asserts the drained fan-in sequence is a loss-free merge: every
+    /// producer's samples appear exactly once, in that producer's push
+    /// order. Values encode `producer * stride + index`.
+    fn assert_merged(out: &[(f64, f64)], producers: usize, per_producer: u64, stride: f64) {
+        assert_eq!(out.len() as u64, producers as u64 * per_producer);
+        let mut next = vec![0u64; producers];
+        for &(v, _) in out {
+            let producer = (v / stride) as usize;
+            let index = (v - producer as f64 * stride) as u64;
+            assert_eq!(
+                index, next[producer],
+                "producer {producer}'s samples arrived out of order"
+            );
+            next[producer] += 1;
+        }
+        assert!(next.iter().all(|&n| n == per_producer));
+    }
+
+    #[test]
+    fn fanin_merges_concurrent_producers_without_loss_or_reordering() {
+        // More producers than lanes, so the shared overflow lane is
+        // exercised alongside the exclusive ones; a parked consumer
+        // covers the notify handshake.
+        const PRODUCERS: usize = FANIN_LANES + 4;
+        const PER_PRODUCER: u64 = 2_000;
+        let q = ObsQueue::with_backend(64, QueueBackend::FanIn);
+        let notifier = Arc::new(WorkNotifier::new());
+        q.attach_notifier(Arc::clone(&notifier));
+        let out = std::thread::scope(|scope| {
+            let consumer_q = q.clone();
+            let consumer_n = Arc::clone(&notifier);
+            let consumer = scope.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    while consumer_q.drain_into(&mut out, 32) > 0 {}
+                    match consumer_n.wait() {
+                        Wakeup::Work => continue,
+                        Wakeup::Shutdown => break,
+                    }
+                }
+                while consumer_q.drain_into(&mut out, 32) > 0 {}
+                out
+            });
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let producer = q.clone();
+                    scope.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            producer.push_blocking(p as f64 * 1e6 + i as f64);
+                        }
+                    })
+                })
+                .collect();
+            for handle in producers {
+                handle.join().unwrap();
+            }
+            notifier.shutdown();
+            consumer.join().unwrap()
+        });
+        assert_merged(&out, PRODUCERS, PER_PRODUCER, 1e6);
+        assert_eq!(q.accepted(), PRODUCERS as u64 * PER_PRODUCER);
+        assert_eq!(q.dropped(), 0, "blocking producers never drop");
+    }
+
+    #[test]
+    fn fanin_batched_producers_merge_deterministically_per_producer() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: u64 = 10_000;
+        let q = ObsQueue::with_backend(128, QueueBackend::FanIn);
+        let out = std::thread::scope(|scope| {
+            let consumer_q = q.clone();
+            let consumer = scope.spawn(move || {
+                let mut out = Vec::new();
+                while (out.len() as u64) < PRODUCERS as u64 * PER_PRODUCER {
+                    if consumer_q.drain_into(&mut out, 48) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                out
+            });
+            for p in 0..PRODUCERS {
+                let producer = q.clone();
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while i < PER_PRODUCER {
+                        let n = 37.min(PER_PRODUCER - i);
+                        let batch: Vec<(f64, f64)> = (i..i + n)
+                            .map(|k| (p as f64 * 1e6 + k as f64, UNTIMED))
+                            .collect();
+                        producer.push_batch_blocking(batch);
+                        i += n;
+                    }
+                });
+            }
+            consumer.join().unwrap()
+        });
+        assert_merged(&out, PRODUCERS, PER_PRODUCER, 1e6);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn fanin_accounts_drops_exactly_under_concurrent_lossy_producers() {
+        const PRODUCERS: usize = 6;
+        const PER_PRODUCER: u64 = 5_000;
+        let q = ObsQueue::with_backend(32, QueueBackend::FanIn);
+        let drained = std::sync::atomic::AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut out = Vec::new();
+                while !stop.load(Ordering::Relaxed) || !q.is_empty() {
+                    out.clear();
+                    if q.drain_into(&mut out, 16) == 0 {
+                        std::thread::yield_now();
+                    }
+                    drained.fetch_add(out.len() as u64, Ordering::Relaxed);
+                }
+            });
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let producer = q.clone();
+                    scope.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            producer.push(p as f64 * 1e6 + i as f64);
+                        }
+                    })
+                })
+                .collect();
+            for handle in producers {
+                handle.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let sent = PRODUCERS as u64 * PER_PRODUCER;
+        assert_eq!(
+            q.accepted() + q.dropped(),
+            sent,
+            "every push was either accepted or counted as a drop"
+        );
+        assert_eq!(
+            drained.load(Ordering::Relaxed),
+            q.accepted(),
+            "every accepted sample was drained exactly once"
+        );
+    }
+
+    #[test]
+    fn backlog_hint_tracks_occupancy_when_quiescent() {
+        for_each_backend(8, |q| {
+            assert_eq!(q.backlog_hint(), 0);
+            for v in 0..5 {
+                q.push(v as f64);
+            }
+            assert_eq!(q.backlog_hint(), 5, "{}", q.backend());
+            let mut out = Vec::new();
+            q.drain_into(&mut out, 3);
+            assert_eq!(q.backlog_hint(), 2, "{}", q.backend());
+            q.drain_into(&mut out, usize::MAX);
+            assert_eq!(q.backlog_hint(), 0, "{}", q.backend());
         });
     }
 }

@@ -34,11 +34,12 @@
 //! carry a per-kind [`DetectorKindReport`] rollup.
 
 use crate::event::{EventLog, MonitorEvent};
-use crate::metrics::{MetricsRegistry, MetricsReport};
+use crate::metrics::{Histogram, MetricsRegistry, MetricsReport};
 use crate::queue::{ObsQueue, QueueBackend, UNTIMED};
 use rejuv_core::{ConfigError, Decision, DetectorSnapshot, DetectorSpec, RejuvenationDetector};
 use rejuv_sim::{Observation, ObservationSink};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 
@@ -54,8 +55,12 @@ const LATENCY_BOUNDS: [f64; 6] = [0.01, 0.05, 0.25, 1.0, 5.0, 25.0];
 /// Version tag of [`SupervisorSnapshot`]'s serialised format; bumped on
 /// incompatible layout changes so a stale checkpoint file is rejected
 /// with a typed error instead of misapplied. Version 2 added the
-/// per-shard [`DetectorSpec`] carried for heterogeneous fleets.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// per-shard [`DetectorSpec`] carried for heterogeneous fleets;
+/// version 3 moved histogram and counter accumulation into each shard
+/// ([`ShardSnapshot`] now carries the per-shard histograms), so a
+/// restored run resumes the exact per-shard floating-point state no
+/// matter how many consumer threads drained it.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Tuning knobs of a [`Supervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,6 +77,12 @@ pub struct SupervisorConfig {
     /// Purely an execution-strategy knob: digests, reports and replays
     /// are bitwise identical across backends.
     pub backend: QueueBackend,
+    /// How many consumer threads a [`crate::ConsumerThread`] (backed by
+    /// a [`crate::ConsumerPool`]) spawns to drain the shards. Another
+    /// pure execution-strategy knob: whole-shard ownership keeps
+    /// per-shard FIFO order, so digests, traces and checkpoints are
+    /// bitwise identical across consumer counts. Default 1.
+    pub consumers: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -81,6 +92,7 @@ impl Default for SupervisorConfig {
             drain_batch: 512,
             snapshot_every: None,
             backend: QueueBackend::Mutex,
+            consumers: 1,
         }
     }
 }
@@ -109,31 +121,82 @@ enum CheckpointCadence {
     },
 }
 
-/// The configured checkpoint stream.
-struct CheckpointStream {
+/// The configured checkpoint stream. Crate-visible so the consumer
+/// pool can drive the same cadence/emit protocol without owning a
+/// `&mut Supervisor`.
+pub(crate) struct CheckpointStream {
     cadence: CheckpointCadence,
     /// Total processed observations at the last emitted checkpoint.
     last_total: u64,
     sink: CheckpointSink,
 }
 
-struct Shard {
-    detector: Box<dyn RejuvenationDetector>,
+impl CheckpointStream {
+    /// Whether a checkpoint is due at `total` processed observations.
+    /// Timer cadences read their clock exactly once per evaluation.
+    pub(crate) fn due(&mut self, total: u64) -> bool {
+        match &mut self.cadence {
+            CheckpointCadence::Every(every) => total / *every > self.last_total / *every,
+            CheckpointCadence::Timer {
+                secs,
+                clock,
+                last_tick,
+            } => clock() - *last_tick >= *secs,
+        }
+    }
+
+    /// Hands `snapshot` to the sink and restarts the cadence window at
+    /// `total` (timer cadences re-read their clock).
+    pub(crate) fn emit(&mut self, snapshot: &SupervisorSnapshot, total: u64) -> io::Result<()> {
+        (self.sink)(snapshot)?;
+        self.last_total = total;
+        if let CheckpointCadence::Timer {
+            clock, last_tick, ..
+        } = &mut self.cadence
+        {
+            *last_tick = clock();
+        }
+        Ok(())
+    }
+}
+
+/// One monitored stream: a bounded ingestion queue, a boxed detector,
+/// and *all* run accounting for that stream — counters, digest, and the
+/// three per-shard histograms. Keeping the histograms per shard (rather
+/// than in one shared registry) is what makes reports and checkpoints
+/// byte-identical no matter how many consumer threads drained the fleet
+/// or in what interleaving: each shard's floating-point accumulation
+/// order is fixed by its own observation sequence, and the supervisor
+/// folds shards in index order when it builds the merged registry.
+/// Crate-visible so the consumer pool can own shards directly.
+pub(crate) struct Shard {
+    pub(crate) detector: Box<dyn RejuvenationDetector>,
     /// The declarative spec this shard was built from, when the
     /// supervisor was assembled from a fleet config ([`None`] for
     /// detectors handed in as opaque boxes).
-    spec: Option<DetectorSpec>,
-    queue: ObsQueue,
+    pub(crate) spec: Option<DetectorSpec>,
+    pub(crate) queue: ObsQueue,
     /// Observations fed through the detector so far.
-    processed: u64,
+    pub(crate) processed: u64,
     /// Rejuvenate decisions returned so far.
-    rejuvenations: u64,
+    pub(crate) rejuvenations: u64,
     /// FNV-1a over every (value bits, decision) pair, in order.
-    digest: u64,
+    pub(crate) digest: u64,
     /// Timestamp of the last *timed* observation, for the
     /// inter-observation latency histogram (`None` before the first).
-    last_at: Option<f64>,
-    last_decision: Decision,
+    pub(crate) last_at: Option<f64>,
+    pub(crate) last_decision: Decision,
+    /// Per-shard `observation_value` accumulation.
+    pub(crate) value_hist: Histogram,
+    /// Per-shard `drain_batch_size` accumulation.
+    pub(crate) batch_hist: Histogram,
+    /// Per-shard `inter_observation_latency` accumulation.
+    pub(crate) latency_hist: Histogram,
+    /// Detector snapshot events emitted for this shard.
+    pub(crate) snapshots: u64,
+    /// Synchronous feeds ([`Supervisor::process_sync`]) dropped to
+    /// back-pressure.
+    pub(crate) sync_drops: u64,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -159,7 +222,216 @@ impl Shard {
         self.last_decision = decision;
         decision
     }
+
+    /// This shard's slice of a [`SupervisorSnapshot`]; `None` when the
+    /// detector does not support snapshots.
+    pub(crate) fn snapshot_view(&self) -> Option<ShardSnapshot> {
+        Some(ShardSnapshot {
+            detector: self.detector.snapshot()?,
+            spec: self.spec,
+            processed: self.processed,
+            rejuvenations: self.rejuvenations,
+            digest: self.digest,
+            accepted: self.queue.accepted(),
+            dropped: self.queue.dropped(),
+            producer_waits: self.queue.waits(),
+            last_at: self.last_at,
+            value_hist: self.value_hist.clone(),
+            batch_hist: self.batch_hist.clone(),
+            latency_hist: self.latency_hist.clone(),
+            snapshots: self.snapshots,
+            sync_drops: self.sync_drops,
+        })
+    }
+
+    /// This shard's slice of a [`MonitorReport`].
+    pub(crate) fn report_view(&self, index: usize) -> ShardReport {
+        ShardReport {
+            shard: index as u32,
+            detector: self.detector.name().to_owned(),
+            processed: self.processed,
+            accepted: self.queue.accepted(),
+            dropped: self.queue.dropped(),
+            producer_waits: self.queue.waits(),
+            rejuvenations: self.rejuvenations,
+            detector_triggers: self.detector.rejuvenation_count(),
+            digest: format!("{:016x}", self.digest),
+        }
+    }
 }
+
+/// Drains up to `drain_batch` pending observations of one shard through
+/// its detector, accumulating all metric state *inside the shard* and
+/// appending the events a log would record (batch, rejuvenations,
+/// detector snapshot — in that order) to `events` when `logging` is
+/// set. Shared verbatim by [`Supervisor::poll_shard`] (which writes the
+/// events through immediately) and the consumer pool's workers (which
+/// buffer them per shard and flush shard-major at checkpoint/join), so
+/// both paths process, count and hash identically by construction.
+/// Returns how many observations were processed.
+pub(crate) fn drain_shard(
+    index: usize,
+    shard: &mut Shard,
+    drain_batch: usize,
+    snapshot_every: Option<u64>,
+    batch: &mut Vec<(f64, f64)>,
+    logging: bool,
+    events: &mut Vec<MonitorEvent>,
+) -> usize {
+    batch.clear();
+    shard.queue.drain_into(batch, drain_batch);
+    if batch.is_empty() {
+        return 0;
+    }
+    let seq_start = shard.processed;
+    if logging {
+        let timed = batch.iter().any(|&(_, at)| at.is_finite());
+        events.push(if timed {
+            MonitorEvent::TimedBatch {
+                shard: index as u32,
+                seq: seq_start,
+                values: batch.iter().map(|&(v, _)| v).collect(),
+                times: batch.iter().map(|&(_, at)| at).collect(),
+            }
+        } else {
+            MonitorEvent::Batch {
+                shard: index as u32,
+                seq: seq_start,
+                values: batch.iter().map(|&(v, _)| v).collect(),
+            }
+        });
+    }
+    let mut fired: Vec<u64> = Vec::new();
+    let mut last_at = shard.last_at;
+    for &(value, at) in batch.iter() {
+        let seq = shard.processed;
+        if shard.apply(value).is_rejuvenate() {
+            fired.push(seq);
+        }
+        if at.is_finite() {
+            if let Some(prev) = last_at {
+                shard.latency_hist.record(at - prev);
+            }
+            last_at = Some(at);
+        }
+        shard.value_hist.record(value);
+    }
+    shard.last_at = last_at;
+    shard.batch_hist.record(batch.len() as f64);
+    if logging {
+        for &seq in &fired {
+            events.push(MonitorEvent::Rejuvenated {
+                shard: index as u32,
+                seq,
+            });
+        }
+    }
+    if let Some(every) = snapshot_every {
+        let crossed = (shard.processed / every) > (seq_start / every);
+        if crossed {
+            if let Some(state) = shard.detector.snapshot() {
+                shard.snapshots += 1;
+                if logging {
+                    events.push(MonitorEvent::Snapshot {
+                        shard: index as u32,
+                        seq: shard.processed - 1,
+                        state,
+                    });
+                }
+            }
+        }
+    }
+    batch.len()
+}
+
+/// Folds per-shard metric state (histograms and derived counters) into
+/// a merged registry, in whatever order shards are [`MetricsFold::add`]ed
+/// — callers add in shard-index order, which is what pins the merged
+/// floating-point sums regardless of drain interleaving. Crate-visible
+/// so the consumer pool can fold shards it holds behind per-shard locks.
+pub(crate) struct MetricsFold {
+    value: Histogram,
+    batch: Histogram,
+    latency: Histogram,
+    processed: u64,
+    rejuvenations: u64,
+    snapshots: u64,
+    sync_drops: u64,
+    by_kind: BTreeMap<String, u64>,
+}
+
+impl MetricsFold {
+    pub(crate) fn new() -> Self {
+        MetricsFold {
+            value: Histogram::new(&VALUE_BOUNDS),
+            batch: Histogram::new(&BATCH_BOUNDS),
+            latency: Histogram::new(&LATENCY_BOUNDS),
+            processed: 0,
+            rejuvenations: 0,
+            snapshots: 0,
+            sync_drops: 0,
+            by_kind: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one shard in; call in shard-index order.
+    pub(crate) fn add(&mut self, shard: &Shard) {
+        self.value.merge(&shard.value_hist);
+        self.batch.merge(&shard.batch_hist);
+        self.latency.merge(&shard.latency_hist);
+        self.processed += shard.processed;
+        self.rejuvenations += shard.rejuvenations;
+        self.snapshots += shard.snapshots;
+        self.sync_drops += shard.sync_drops;
+        *self
+            .by_kind
+            .entry(shard.detector.name().to_owned())
+            .or_insert(0) += shard.rejuvenations;
+    }
+
+    /// Builds the full registry: the base registry (gauges plus any
+    /// ad-hoc instruments) overlaid with the folded histograms and the
+    /// derived counters. Counter presence mirrors the incremental
+    /// behaviour the registry had when drains updated it directly:
+    /// `observations_processed` and `rejuvenations` exist once anything
+    /// was processed, `snapshots`/`observations_dropped` once nonzero,
+    /// and `rejuvenations_{kind}` always exists for every kind present.
+    pub(crate) fn apply(self, base: &MetricsRegistry) -> MetricsRegistry {
+        let mut merged = base.clone();
+        merged.insert_histogram("observation_value", self.value);
+        merged.insert_histogram("drain_batch_size", self.batch);
+        merged.insert_histogram("inter_observation_latency", self.latency);
+        if self.processed > 0 {
+            merged.inc("observations_processed", self.processed);
+            merged.inc("rejuvenations", self.rejuvenations);
+        }
+        if self.snapshots > 0 {
+            merged.inc("snapshots", self.snapshots);
+        }
+        if self.sync_drops > 0 {
+            merged.inc("observations_dropped", self.sync_drops);
+        }
+        for (kind, fired) in self.by_kind {
+            merged.inc(&format!("rejuvenations_{kind}"), fired);
+        }
+        merged
+    }
+}
+
+/// Histogram names derived from per-shard state; excluded from the base
+/// registry a restore rebuilds (they are re-merged on every export).
+const DERIVED_HISTOGRAMS: [&str; 3] = [
+    "observation_value",
+    "drain_batch_size",
+    "inter_observation_latency",
+];
+/// Counter names derived from per-shard state, plus every counter
+/// starting with `rejuvenations`.
+const DERIVED_COUNTERS: [&str; 3] = [
+    "observations_processed",
+    "snapshots",
+    "observations_dropped",
+];
 
 /// A producer handle for one shard's ingestion queue.
 ///
@@ -221,8 +493,14 @@ impl ShardSender {
 
     /// Pending (sent, not yet drained) observations in this shard's
     /// queue.
+    ///
+    /// **Approximate under concurrent drain**: relaxed atomic loads, no
+    /// locking — a concurrent consumer can make the value momentarily
+    /// stale by up to one drain batch. Exact whenever no drain is in
+    /// flight. The consumer pool reads the same hint as its
+    /// work-stealing heat signal.
     pub fn backlog(&self) -> usize {
-        self.queue.len()
+        self.queue.backlog_hint()
     }
 }
 
@@ -334,6 +612,25 @@ pub struct ShardSnapshot {
     /// Timestamp of the last timed observation, if any, so the
     /// inter-observation latency histogram resumes seamlessly.
     pub last_at: Option<f64>,
+    /// Per-shard `observation_value` histogram at checkpoint time.
+    /// Carried per shard (not only merged into
+    /// [`SupervisorSnapshot::metrics`]) because floating-point sums are
+    /// order-sensitive: a resume must restart each shard's own
+    /// accumulation exactly where it stopped, or the resumed run's
+    /// merged report would re-associate the sums and drift from the
+    /// uninterrupted run's bytes.
+    pub value_hist: Histogram,
+    /// Per-shard `drain_batch_size` histogram at checkpoint time.
+    pub batch_hist: Histogram,
+    /// Per-shard `inter_observation_latency` histogram at checkpoint
+    /// time.
+    pub latency_hist: Histogram,
+    /// Detector snapshot events emitted by this shard when the
+    /// checkpoint was taken.
+    pub snapshots: u64,
+    /// Synchronous feeds dropped to back-pressure when the checkpoint
+    /// was taken.
+    pub sync_drops: u64,
 }
 
 /// Why [`Supervisor::restore`] refused a checkpoint.
@@ -409,9 +706,12 @@ impl std::error::Error for RestoreError {}
 pub struct Supervisor {
     config: SupervisorConfig,
     shards: Vec<Shard>,
+    /// Topology gauges and ad-hoc instruments only; per-shard metric
+    /// state is folded in on export (see [`MetricsFold`]).
     metrics: MetricsRegistry,
     log: Option<EventLog>,
     scratch: Vec<(f64, f64)>,
+    event_scratch: Vec<MonitorEvent>,
     checkpoint: Option<CheckpointStream>,
 }
 
@@ -431,10 +731,12 @@ impl Supervisor {
     /// [`Supervisor::add_shard`].
     pub fn new(config: SupervisorConfig) -> Self {
         assert!(config.drain_batch > 0, "drain batch must be positive");
+        assert!(config.consumers > 0, "consumer count must be positive");
+        // The base registry holds only topology gauges (and any ad-hoc
+        // instruments added via `metrics_mut`); histograms and the
+        // processing counters live per shard and are folded in on every
+        // export — see `MetricsFold`.
         let mut metrics = MetricsRegistry::new();
-        metrics.register_histogram("observation_value", &VALUE_BOUNDS);
-        metrics.register_histogram("drain_batch_size", &BATCH_BOUNDS);
-        metrics.register_histogram("inter_observation_latency", &LATENCY_BOUNDS);
         metrics.set_gauge("shards", 0.0);
         Supervisor {
             scratch: Vec::with_capacity(config.drain_batch),
@@ -442,6 +744,7 @@ impl Supervisor {
             shards: Vec::new(),
             metrics,
             log: None,
+            event_scratch: Vec::new(),
             checkpoint: None,
         }
     }
@@ -515,6 +818,11 @@ impl Supervisor {
             digest,
             last_at: None,
             last_decision: Decision::Continue,
+            value_hist: Histogram::new(&VALUE_BOUNDS),
+            batch_hist: Histogram::new(&BATCH_BOUNDS),
+            latency_hist: Histogram::new(&LATENCY_BOUNDS),
+            snapshots: 0,
+            sync_drops: 0,
         });
         self.metrics.set_gauge("shards", self.shards.len() as f64);
         let of_kind = self
@@ -524,9 +832,9 @@ impl Supervisor {
             .count();
         self.metrics
             .set_gauge(&format!("shards_{kind}"), of_kind as f64);
-        // Pre-register the per-kind rejuvenation counter so mixed-fleet
-        // reports always list every kind present, fired or not.
-        self.metrics.inc(&format!("rejuvenations_{kind}"), 0);
+        // The per-kind rejuvenation counter (`rejuvenations_{kind}`) is
+        // not pre-registered here: `MetricsFold::apply` inserts one for
+        // every kind present in the topology, fired or not.
         self.shards.len() - 1
     }
 
@@ -677,88 +985,24 @@ impl Supervisor {
     }
 
     fn drain_one(&mut self, shard: usize, batch: &mut Vec<(f64, f64)>) -> io::Result<usize> {
-        let state = &mut self.shards[shard];
-        state.queue.drain_into(batch, self.config.drain_batch);
-        if batch.is_empty() {
-            return Ok(0);
-        }
-        let seq_start = state.processed;
-        if let Some(log) = self.log.as_mut() {
-            let timed = batch.iter().any(|&(_, at)| at.is_finite());
-            let event = if timed {
-                MonitorEvent::TimedBatch {
-                    shard: shard as u32,
-                    seq: seq_start,
-                    values: batch.iter().map(|&(v, _)| v).collect(),
-                    times: batch.iter().map(|&(_, at)| at).collect(),
-                }
-            } else {
-                MonitorEvent::Batch {
-                    shard: shard as u32,
-                    seq: seq_start,
-                    values: batch.iter().map(|&(v, _)| v).collect(),
-                }
-            };
-            log.record(&event)?;
-        }
-        let state = &mut self.shards[shard];
-        let mut fired: Vec<u64> = Vec::new();
-        let mut last_at = state.last_at;
-        let mut latencies: Vec<f64> = Vec::new();
-        for &(value, at) in batch.iter() {
-            let seq = state.processed;
-            if state.apply(value).is_rejuvenate() {
-                fired.push(seq);
-            }
-            if at.is_finite() {
-                if let Some(prev) = last_at {
-                    latencies.push(at - prev);
-                }
-                last_at = Some(at);
-            }
-        }
-        state.last_at = last_at;
-        for &(value, _) in batch.iter() {
-            self.metrics.observe("observation_value", value);
-        }
-        for &delta in &latencies {
-            self.metrics.observe("inter_observation_latency", delta);
-        }
-        self.metrics.observe("drain_batch_size", batch.len() as f64);
-        self.metrics
-            .inc("observations_processed", batch.len() as u64);
-        self.metrics.inc("rejuvenations", fired.len() as u64);
-        if !fired.is_empty() {
-            let kind = self.shards[shard].detector.name();
-            self.metrics
-                .inc(&format!("rejuvenations_{kind}"), fired.len() as u64);
-        }
-        if let Some(log) = self.log.as_mut() {
-            for &seq in &fired {
-                log.record(&MonitorEvent::Rejuvenated {
-                    shard: shard as u32,
-                    seq,
-                })?;
-            }
-        }
-        if let Some(every) = self.config.snapshot_every {
-            let state = &self.shards[shard];
-            let crossed = (state.processed / every) > (seq_start / every);
-            if crossed {
-                if let Some(snapshot) = state.detector.snapshot() {
-                    let event = MonitorEvent::Snapshot {
-                        shard: shard as u32,
-                        seq: state.processed - 1,
-                        state: snapshot,
-                    };
-                    if let Some(log) = self.log.as_mut() {
-                        log.record(&event)?;
-                    }
-                    self.metrics.inc("snapshots", 1);
-                }
-            }
-        }
-        Ok(batch.len())
+        let logging = self.log.is_some();
+        let mut events = std::mem::take(&mut self.event_scratch);
+        events.clear();
+        let n = drain_shard(
+            shard,
+            &mut self.shards[shard],
+            self.config.drain_batch,
+            self.config.snapshot_every,
+            batch,
+            logging,
+            &mut events,
+        );
+        let result = match self.log.as_mut() {
+            Some(log) => events.iter().try_for_each(|event| log.record(event)),
+            None => Ok(()),
+        };
+        self.event_scratch = events;
+        result.map(|()| n)
     }
 
     /// Emits a checkpoint to the configured sink if the cadence was
@@ -770,15 +1014,7 @@ impl Supervisor {
         let Some(stream) = self.checkpoint.as_mut() else {
             return Ok(());
         };
-        let due = match &mut stream.cadence {
-            CheckpointCadence::Every(every) => total / *every > stream.last_total / *every,
-            CheckpointCadence::Timer {
-                secs,
-                clock,
-                last_tick,
-            } => clock() - *last_tick >= *secs,
-        };
-        if !due {
+        if !stream.due(total) {
             return Ok(());
         }
         self.checkpoint_now()
@@ -802,14 +1038,7 @@ impl Supervisor {
         };
         let total = self.total_processed();
         if let Some(stream) = self.checkpoint.as_mut() {
-            (stream.sink)(&snapshot)?;
-            stream.last_total = total;
-            if let CheckpointCadence::Timer {
-                clock, last_tick, ..
-            } = &mut stream.cadence
-            {
-                *last_tick = clock();
-            }
+            stream.emit(&snapshot, total)?;
         }
         Ok(())
     }
@@ -856,7 +1085,7 @@ impl Supervisor {
 
     fn process_sync_sample(&mut self, shard: usize, value: f64, at: f64) -> io::Result<Decision> {
         if !self.shards[shard].queue.push_at(value, at) {
-            self.metrics.inc("observations_dropped", 1);
+            self.shards[shard].sync_drops += 1;
         }
         while self.poll_shard(shard)? > 0 {}
         Ok(self.shards[shard].last_decision)
@@ -873,13 +1102,34 @@ impl Supervisor {
     }
 
     /// Pending (ingested, not yet drained) observations of `shard`.
+    ///
+    /// **Approximate under concurrent drain**: the count is read with
+    /// relaxed atomics and never takes the queue lock, so while a
+    /// consumer thread is mid-drain it may lag or lead the true
+    /// occupancy by up to one batch. That is exactly what the consumer
+    /// pool wants from its work-stealing heat signal — a cheap,
+    /// contention-free hint — and callers needing an exact figure should
+    /// quiesce the consumers first (the count is exact when nobody is
+    /// draining).
     pub fn backlog(&self, shard: usize) -> usize {
-        self.shards[shard].queue.len()
+        self.shards[shard].queue.backlog_hint()
     }
 
     /// The metrics registry (for ad-hoc instruments around the runtime).
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
+    }
+
+    /// The full registry export: the base registry (gauges, ad-hoc
+    /// instruments) overlaid with per-shard metric state folded in
+    /// shard-index order — the order pin that keeps merged
+    /// floating-point sums byte-stable across drain interleavings.
+    fn merged_metrics(&self) -> MetricsRegistry {
+        let mut fold = MetricsFold::new();
+        for shard in &self.shards {
+            fold.add(shard);
+        }
+        fold.apply(&self.metrics)
     }
 
     /// Exports the final report: per-shard accounting plus the metrics
@@ -889,17 +1139,7 @@ impl Supervisor {
             .shards
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardReport {
-                shard: i as u32,
-                detector: s.detector.name().to_owned(),
-                processed: s.processed,
-                accepted: s.queue.accepted(),
-                dropped: s.queue.dropped(),
-                producer_waits: s.queue.waits(),
-                rejuvenations: s.rejuvenations,
-                detector_triggers: s.detector.rejuvenation_count(),
-                digest: format!("{:016x}", s.digest),
-            })
+            .map(|(i, s)| s.report_view(i))
             .collect();
         let mut by_kind: std::collections::BTreeMap<&str, DetectorKindReport> =
             std::collections::BTreeMap::new();
@@ -922,7 +1162,7 @@ impl Supervisor {
             total_rejuvenations: shards.iter().map(|s| s.rejuvenations).sum(),
             by_detector: by_kind.into_values().collect(),
             shards,
-            metrics: self.metrics.report(),
+            metrics: self.merged_metrics().report(),
         }
     }
 
@@ -934,22 +1174,12 @@ impl Supervisor {
     pub fn snapshot(&self) -> Option<SupervisorSnapshot> {
         let mut shards = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
-            shards.push(ShardSnapshot {
-                detector: s.detector.snapshot()?,
-                spec: s.spec,
-                processed: s.processed,
-                rejuvenations: s.rejuvenations,
-                digest: s.digest,
-                accepted: s.queue.accepted(),
-                dropped: s.queue.dropped(),
-                producer_waits: s.queue.waits(),
-                last_at: s.last_at,
-            });
+            shards.push(s.snapshot_view()?);
         }
         Some(SupervisorSnapshot {
             version: SNAPSHOT_VERSION,
             shards,
-            metrics: self.metrics.report(),
+            metrics: self.merged_metrics().report(),
         })
     }
 
@@ -1021,13 +1251,68 @@ impl Supervisor {
                 .resume_counters(shard.accepted, shard.dropped, shard.producer_waits);
             state.last_at = shard.last_at;
             state.last_decision = Decision::Continue;
+            state.value_hist = shard.value_hist.clone();
+            state.batch_hist = shard.batch_hist.clone();
+            state.latency_hist = shard.latency_hist.clone();
+            state.snapshots = shard.snapshots;
+            state.sync_drops = shard.sync_drops;
         }
-        self.metrics = MetricsRegistry::from_report(&snapshot.metrics);
+        // The snapshot's registry is a *merged* export: strip the
+        // derived instruments back out so the base registry keeps only
+        // gauges and ad-hoc state, and the restored per-shard histograms
+        // and counters are folded in fresh on the next export (instead
+        // of double-counted).
+        let mut base = snapshot.metrics.clone();
+        base.counters.retain(|name, _| {
+            !DERIVED_COUNTERS.contains(&name.as_str()) && !name.starts_with("rejuvenations")
+        });
+        base.histograms
+            .retain(|name, _| !DERIVED_HISTOGRAMS.contains(&name.as_str()));
+        self.metrics = MetricsRegistry::from_report(&base);
         if let Some(stream) = self.checkpoint.as_mut() {
             stream.last_total = snapshot.shards.iter().map(|s| s.processed).sum();
         }
         Ok(())
     }
+
+    /// Decomposes the supervisor into the pieces the consumer pool
+    /// distributes across threads (shards behind per-shard locks, the
+    /// log/checkpoint/base-registry behind a control lock);
+    /// [`Supervisor::from_parts`] reassembles after the pool joins.
+    pub(crate) fn into_parts(self) -> SupervisorParts {
+        SupervisorParts {
+            config: self.config,
+            shards: self.shards,
+            metrics: self.metrics,
+            log: self.log,
+            checkpoint: self.checkpoint,
+        }
+    }
+
+    /// Reassembles a supervisor from the pieces a consumer pool took
+    /// apart; the inverse of [`Supervisor::into_parts`].
+    pub(crate) fn from_parts(parts: SupervisorParts) -> Self {
+        Supervisor {
+            scratch: Vec::with_capacity(parts.config.drain_batch),
+            config: parts.config,
+            shards: parts.shards,
+            metrics: parts.metrics,
+            log: parts.log,
+            event_scratch: Vec::new(),
+            checkpoint: parts.checkpoint,
+        }
+    }
+}
+
+/// A dismantled [`Supervisor`]: everything a [`crate::ConsumerPool`]
+/// needs to drain shards from several threads and hand the supervisor
+/// back intact at join.
+pub(crate) struct SupervisorParts {
+    pub(crate) config: SupervisorConfig,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) log: Option<EventLog>,
+    pub(crate) checkpoint: Option<CheckpointStream>,
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
-//! Backend conformance for [`ObsQueue`]: the lock-free ring and the
-//! mutex queue must be observationally identical.
+//! Backend conformance for [`ObsQueue`]: the lock-free ring, the
+//! fan-in ring and the mutex queue must be observationally identical.
 //!
-//! Property tests drive both backends through the same arbitrary
+//! Property tests drive all backends through the same arbitrary
 //! sequence of push / batch-push / blocking-push / drain operations and
 //! require identical drained `(value, at)` sequences, accept/drop
 //! counts and lengths at every step — the contract that makes
@@ -78,22 +78,29 @@ proptest! {
     ) {
         let mutex = ObsQueue::with_backend(capacity, QueueBackend::Mutex);
         let ring = ObsQueue::with_backend(capacity, QueueBackend::Ring);
-        let (mut out_m, mut out_r) = (Vec::new(), Vec::new());
+        let fanin = ObsQueue::with_backend(capacity, QueueBackend::FanIn);
+        let (mut out_m, mut out_r, mut out_f) = (Vec::new(), Vec::new(), Vec::new());
         for op in &ops {
             apply(&mutex, op, &mut out_m);
             apply(&ring, op, &mut out_r);
+            apply(&fanin, op, &mut out_f);
             prop_assert_eq!(mutex.len(), ring.len());
+            prop_assert_eq!(mutex.len(), fanin.len());
         }
-        // Final drain: a shutdown must lose nothing on either backend.
+        // Final drain: a shutdown must lose nothing on any backend.
         mutex.drain_into(&mut out_m, usize::MAX);
         ring.drain_into(&mut out_r, usize::MAX);
-        prop_assert!(mutex.is_empty() && ring.is_empty());
+        fanin.drain_into(&mut out_f, usize::MAX);
+        prop_assert!(mutex.is_empty() && ring.is_empty() && fanin.is_empty());
         let bits = |s: &[(f64, f64)]| -> Vec<(u64, u64)> {
             s.iter().map(|&(v, at)| (v.to_bits(), at.to_bits())).collect()
         };
         prop_assert_eq!(bits(&out_m), bits(&out_r));
+        prop_assert_eq!(bits(&out_m), bits(&out_f));
         prop_assert_eq!(mutex.accepted(), ring.accepted());
         prop_assert_eq!(mutex.dropped(), ring.dropped());
+        prop_assert_eq!(mutex.accepted(), fanin.accepted());
+        prop_assert_eq!(mutex.dropped(), fanin.dropped());
         prop_assert_eq!(
             out_m.len() as u64,
             mutex.accepted(),
@@ -105,12 +112,12 @@ proptest! {
     /// prefix, same drop count, same drained samples — on each backend.
     #[test]
     fn batch_push_equals_repeated_singles(
-        backend_is_ring in any::<bool>(),
+        backend_pick in 0usize..3,
         capacity in 1usize..10,
         prefill in 0usize..10,
         values in proptest::collection::vec(0.0f64..100.0, 0..20),
     ) {
-        let backend = if backend_is_ring { QueueBackend::Ring } else { QueueBackend::Mutex };
+        let backend = [QueueBackend::Mutex, QueueBackend::Ring, QueueBackend::FanIn][backend_pick];
         let batched = ObsQueue::with_backend(capacity, backend);
         let singles = ObsQueue::with_backend(capacity, backend);
         for i in 0..prefill.min(capacity) {
@@ -196,20 +203,22 @@ fn threaded_digests(backend: QueueBackend) -> Vec<String> {
 }
 
 /// Under real concurrency — parked consumer, blocking batched
-/// producers, shutdown drain — both backends process every sample and
-/// land on identical per-shard decision digests.
+/// producers, shutdown drain — all three backends process every sample
+/// and land on identical per-shard decision digests.
 #[test]
 fn threaded_stress_digests_match_across_backends() {
     let mutex = threaded_digests(QueueBackend::Mutex);
     let ring = threaded_digests(QueueBackend::Ring);
-    assert_eq!(mutex, ring, "backends must be digest-equivalent");
+    let fanin = threaded_digests(QueueBackend::FanIn);
+    assert_eq!(mutex, ring, "ring must be digest-equivalent to mutex");
+    assert_eq!(mutex, fanin, "fanin must be digest-equivalent to mutex");
 }
 
 /// A consumer blocked on the notifier still sees a loss-free shutdown:
-/// samples pushed before `shutdown()` are drained, on both backends.
+/// samples pushed before `shutdown()` are drained, on every backend.
 #[test]
 fn shutdown_drain_is_loss_free_on_both_backends() {
-    for backend in [QueueBackend::Mutex, QueueBackend::Ring] {
+    for backend in [QueueBackend::Mutex, QueueBackend::Ring, QueueBackend::FanIn] {
         let queue = ObsQueue::with_backend(32, backend);
         let notifier = Arc::new(WorkNotifier::new());
         queue.attach_notifier(Arc::clone(&notifier));
