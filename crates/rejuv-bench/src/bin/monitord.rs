@@ -21,6 +21,14 @@
 //! self-contained `FleetStart` header, and the report breaks
 //! rejuvenations out per detector kind.
 //!
+//! In **dst** mode (`--dst`, requires a build with
+//! `--features failpoints`) the daemon runs the deterministic
+//! crash-simulation sweep instead of live traffic: for every registered
+//! failpoint site and master seed it runs a workload, crashes it at the
+//! site, resumes from whatever checkpoint/trace survived, and judges the
+//! four no-loss guarantees (see `rejuv_monitor::assurance`). The master
+//! seed comes from `REJUV_DST_SEED` (default `0xD57`).
+//!
 //! ```text
 //! cargo run --release -p rejuv-bench --bin monitord -- [options]
 //!
@@ -70,13 +78,28 @@
 //!                        Execution strategy only, like --queue:
 //!                        reports, traces and checkpoints are
 //!                        byte-identical across consumer counts
+//!   --dst                run the deterministic crash-simulation sweep
+//!                        (failpoints build only; seed via REJUV_DST_SEED)
+//!   --dst-seeds N        master seeds per sweep (default 2; the full CI
+//!                        sweep uses 8+)
+//!   --dst-sites LIST     comma-separated failpoint sites to arm, or
+//!                        `all` (default all — coverage is enforced)
+//!   --dst-dir DIR        scratch directory for sweep artifacts
+//!                        (default a fresh directory under $TMPDIR)
 //! ```
+//!
+//! Exit status: `0` on success, `1` on a runtime failure (unreadable or
+//! torn input file, I/O error, guarantee violation in `--dst`), `2` on a
+//! usage error. Failures print a one-line `monitord: ...` diagnostic on
+//! stderr — never a panic backtrace.
 //!
 //! Crash safety: a SIGKILL mid-run leaves (at worst) a torn final line
 //! in the trace — replay tolerates exactly that — and either the old or
 //! the new checkpoint file, never a torn one. The event log is flushed
 //! before every checkpoint, so the persisted trace always covers the
-//! checkpointed prefix.
+//! checkpointed prefix. The `--dst` sweep (and the `REJUV_FP=site[:nth]`
+//! environment knob on a failpoints build) exists to prove exactly that,
+//! at every site, on every run.
 
 use rejuv_core::{
     Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa,
@@ -86,7 +109,7 @@ use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
 use rejuv_monitor::{
     load_snapshot, read_events_tolerant, replay_events_resumed, replay_fleet_events, save_snapshot,
-    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, QueueBackend,
+    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, PoolStats, QueueBackend,
     SharedSupervisor, Supervisor, SupervisorConfig, SupervisorSnapshot,
 };
 use std::fs::File;
@@ -118,9 +141,24 @@ struct Options {
     resume: Option<PathBuf>,
     queue: QueueBackend,
     consumers: usize,
+    dst: bool,
+    dst_seeds: u64,
+    dst_sites: Option<Vec<String>>,
+    dst_dir: Option<PathBuf>,
 }
 
-fn parse_args() -> Options {
+/// Parses one typed flag value, turning parse failures into a one-line
+/// usage diagnostic instead of a panic.
+fn parsed<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid value {value:?} for {name}: {e}"))
+}
+
+fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         hosts: 1,
         hosts_set: false,
@@ -146,117 +184,186 @@ fn parse_args() -> Options {
         resume: None,
         queue: QueueBackend::Mutex,
         consumers: 1,
+        dst: false,
+        dst_seeds: 2,
+        dst_sites: None,
+        dst_dir: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut dst_flag_seen: Option<&'static str> = None;
+    let mut args = cli.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--hosts" => {
-                opts.hosts = value("--hosts").parse().expect("usize");
+                opts.hosts = parsed("--hosts", &value("--hosts")?)?;
                 opts.hosts_set = true;
             }
-            "--load" => opts.load = value("--load").parse().expect("f64"),
-            "--transactions" => opts.transactions = value("--transactions").parse().expect("u64"),
+            "--load" => opts.load = parsed("--load", &value("--load")?)?,
+            "--transactions" => {
+                opts.transactions = parsed("--transactions", &value("--transactions")?)?;
+            }
             "--detector" => {
-                opts.detector = value("--detector").to_lowercase();
+                opts.detector = value("--detector")?.to_lowercase();
                 opts.detector_set = true;
             }
             "--mu" => {
-                opts.mu = value("--mu").parse().expect("f64");
+                opts.mu = parsed("--mu", &value("--mu")?)?;
                 opts.baseline_set = true;
             }
             "--sigma" => {
-                opts.sigma = value("--sigma").parse().expect("f64");
+                opts.sigma = parsed("--sigma", &value("--sigma")?)?;
                 opts.baseline_set = true;
             }
-            "--fleet" => opts.fleet = Some(PathBuf::from(value("--fleet"))),
-            "--seed" => opts.seed = value("--seed").parse().expect("u64"),
-            "--downtime" => opts.downtime = value("--downtime").parse().expect("f64"),
+            "--fleet" => opts.fleet = Some(PathBuf::from(value("--fleet")?)),
+            "--seed" => opts.seed = parsed("--seed", &value("--seed")?)?,
+            "--downtime" => opts.downtime = parsed("--downtime", &value("--downtime")?)?,
             "--snapshot-every" => {
-                opts.snapshot_every = Some(value("--snapshot-every").parse().expect("u64"));
+                opts.snapshot_every =
+                    Some(parsed("--snapshot-every", &value("--snapshot-every")?)?);
             }
-            "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
-            "--system-trace" => opts.system_trace = Some(PathBuf::from(value("--system-trace"))),
-            "--report" => opts.report = Some(PathBuf::from(value("--report"))),
-            "--replay" => opts.replay = Some(PathBuf::from(value("--replay"))),
-            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--system-trace" => opts.system_trace = Some(PathBuf::from(value("--system-trace")?)),
+            "--report" => opts.report = Some(PathBuf::from(value("--report")?)),
+            "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--checkpoint-every" => {
-                opts.checkpoint_every = value("--checkpoint-every").parse().expect("u64");
+                opts.checkpoint_every =
+                    parsed("--checkpoint-every", &value("--checkpoint-every")?)?;
                 opts.checkpoint_every_set = true;
             }
             "--checkpoint-secs" => {
-                opts.checkpoint_secs = Some(value("--checkpoint-secs").parse().expect("f64"));
+                opts.checkpoint_secs =
+                    Some(parsed("--checkpoint-secs", &value("--checkpoint-secs")?)?);
             }
-            "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
-            "--queue" => {
-                opts.queue = value("--queue").parse().unwrap_or_else(|e| panic!("{e}"));
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
+            "--queue" => opts.queue = parsed("--queue", &value("--queue")?)?,
+            "--consumers" => opts.consumers = parsed("--consumers", &value("--consumers")?)?,
+            "--dst" => opts.dst = true,
+            "--dst-seeds" => {
+                opts.dst_seeds = parsed("--dst-seeds", &value("--dst-seeds")?)?;
+                dst_flag_seen = Some("--dst-seeds");
             }
-            "--consumers" => opts.consumers = value("--consumers").parse().expect("usize"),
-            other => panic!("unknown option {other}"),
+            "--dst-sites" => {
+                let list = value("--dst-sites")?;
+                opts.dst_sites = if list == "all" {
+                    None
+                } else {
+                    Some(
+                        list.split(',')
+                            .map(|s| s.trim().to_owned())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                };
+                dst_flag_seen = Some("--dst-sites");
+            }
+            "--dst-dir" => {
+                opts.dst_dir = Some(PathBuf::from(value("--dst-dir")?));
+                dst_flag_seen = Some("--dst-dir");
+            }
+            other => return Err(format!("unknown option {other}")),
         }
     }
-    assert!(opts.hosts > 0, "--hosts must be positive");
-    assert!(opts.consumers > 0, "--consumers must be positive");
-    assert!(
-        opts.checkpoint_every > 0,
-        "--checkpoint-every must be positive"
-    );
+    if opts.hosts == 0 {
+        return Err("--hosts must be positive".to_owned());
+    }
+    if opts.consumers == 0 {
+        return Err("--consumers must be positive".to_owned());
+    }
+    if opts.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".to_owned());
+    }
     if let Some(secs) = opts.checkpoint_secs {
-        assert!(
-            secs.is_finite() && secs > 0.0,
-            "--checkpoint-secs must be positive"
-        );
-        assert!(
-            !opts.checkpoint_every_set,
-            "--checkpoint-secs and --checkpoint-every are mutually exclusive"
-        );
+        if !(secs.is_finite() && secs > 0.0) {
+            return Err("--checkpoint-secs must be positive".to_owned());
+        }
+        if opts.checkpoint_every_set {
+            return Err(
+                "--checkpoint-secs and --checkpoint-every are mutually exclusive".to_owned(),
+            );
+        }
     }
-    if opts.fleet.is_some() {
-        assert!(
-            !opts.detector_set && !opts.baseline_set,
-            "--fleet carries per-shard detectors and baselines; \
+    if opts.fleet.is_some() && (opts.detector_set || opts.baseline_set) {
+        return Err("--fleet carries per-shard detectors and baselines; \
              it cannot be combined with --detector/--mu/--sigma"
-        );
+            .to_owned());
     }
-    opts
+    if opts.detector_set && !detector_is_known(&opts.detector) {
+        return Err(format!(
+            "unknown detector {} (sraa|saraa|clta|static|cusum|ewma)",
+            opts.detector
+        ));
+    }
+    if !opts.dst {
+        if let Some(flag) = dst_flag_seen {
+            return Err(format!("{flag} only makes sense together with --dst"));
+        }
+    }
+    if opts.dst && opts.replay.is_some() {
+        return Err("--dst and --replay are mutually exclusive".to_owned());
+    }
+    if opts.dst && opts.dst_seeds == 0 {
+        return Err("--dst-seeds must be positive".to_owned());
+    }
+    if let Some(sites) = &opts.dst_sites {
+        if sites.is_empty() {
+            return Err("--dst-sites requires at least one site (or `all`)".to_owned());
+        }
+    }
+    Ok(opts)
 }
 
 /// Loads the fleet config named by `--fleet`, if any.
-fn load_fleet(opts: &Options) -> Option<FleetConfig> {
-    opts.fleet.as_ref().map(|path| {
-        let fleet = FleetConfig::load(path)
-            .unwrap_or_else(|e| panic!("cannot load fleet config {}: {e}", path.display()));
-        if opts.hosts_set && opts.hosts != fleet.shard_count() {
-            panic!(
-                "--hosts {} disagrees with the fleet config's {} shard(s)",
-                opts.hosts,
-                fleet.shard_count()
-            );
-        }
-        fleet
-    })
+fn load_fleet(opts: &Options) -> Result<Option<FleetConfig>, String> {
+    let Some(path) = opts.fleet.as_ref() else {
+        return Ok(None);
+    };
+    let fleet = FleetConfig::load(path)
+        .map_err(|e| format!("cannot load fleet config {}: {e}", path.display()))?;
+    if opts.hosts_set && opts.hosts != fleet.shard_count() {
+        return Err(format!(
+            "--hosts {} disagrees with the fleet config's {} shard(s)",
+            opts.hosts,
+            fleet.shard_count()
+        ));
+    }
+    Ok(Some(fleet))
 }
 
-/// Loads the checkpoint named by `--resume`, if any.
-fn load_resume(opts: &Options) -> Option<SupervisorSnapshot> {
-    opts.resume.as_ref().map(|path| {
-        let snapshot = load_snapshot(path)
-            .unwrap_or_else(|e| panic!("cannot load checkpoint {}: {e}", path.display()));
-        println!(
-            "resuming from {}: {} shards, {} observations already processed",
-            path.display(),
-            snapshot.shards.len(),
-            snapshot.shards.iter().map(|s| s.processed).sum::<u64>()
-        );
-        snapshot
-    })
+/// Loads the checkpoint named by `--resume`, if any. An unreadable or
+/// torn checkpoint file is a clean one-line failure: the atomic
+/// write-temp-then-rename pipeline never publishes a torn checkpoint, so
+/// a torn `--resume` input means the operator pointed at the wrong file
+/// (e.g. a leftover staging file) and deserves a diagnostic, not a
+/// backtrace.
+fn load_resume(opts: &Options) -> Result<Option<SupervisorSnapshot>, String> {
+    let Some(path) = opts.resume.as_ref() else {
+        return Ok(None);
+    };
+    let snapshot = load_snapshot(path)
+        .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))?;
+    println!(
+        "resuming from {}: {} shards, {} observations already processed",
+        path.display(),
+        snapshot.shards.len(),
+        snapshot.shards.iter().map(|s| s.processed).sum::<u64>()
+    );
+    Ok(Some(snapshot))
+}
+
+fn detector_is_known(name: &str) -> bool {
+    matches!(
+        name.to_lowercase().as_str(),
+        "sraa" | "saraa" | "clta" | "static" | "cusum" | "ewma"
+    )
 }
 
 /// Builds a detector from its CLI name (or a `RejuvenationDetector::name`
-/// read back from a `Start` header) with bench-grade parameters.
+/// read back from a `Start` header) with bench-grade parameters. Callers
+/// validate the name via [`detector_is_known`] first.
 fn make_detector(name: &str, mu: f64, sigma: f64) -> Box<dyn RejuvenationDetector> {
     match name.to_lowercase().as_str() {
         "sraa" => Box::new(Sraa::new(
@@ -287,22 +394,30 @@ fn make_detector(name: &str, mu: f64, sigma: f64) -> Box<dyn RejuvenationDetecto
         "ewma" => Box::new(Ewma::new(
             EwmaConfig::new(mu, sigma, 0.25, 3.0).expect("valid EWMA config"),
         )),
-        other => panic!("unknown detector {other} (sraa|saraa|clta|static|cusum|ewma)"),
+        other => unreachable!("detector {other} was validated before use"),
     }
 }
 
-fn write_report(report: &MonitorReport, path: Option<&PathBuf>) {
-    let text = serde_json::to_string_pretty(report).expect("render report") + "\n";
+fn write_report(report: &MonitorReport, path: Option<&PathBuf>) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(report).expect("reports always serialize") + "\n";
     match path {
         Some(path) => {
-            std::fs::write(path, text).expect("write report");
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
             println!("wrote report {}", path.display());
         }
         None => print!("{text}"),
     }
+    Ok(())
 }
 
-fn summarize(report: &MonitorReport) {
+/// Prints the end-of-run accounting. `stats` carries the drain-plane
+/// telemetry from [`ConsumerThread::join_stats`] when the run had a
+/// consumer pool (live mode); replay drains synchronously and passes
+/// `None`. Telemetry goes to stdout only — the report JSON stays
+/// byte-identical across backends and consumer counts, which CI checks
+/// with `cmp`.
+fn summarize(report: &MonitorReport, stats: Option<&PoolStats>) {
     println!(
         "processed {} observations over {} shards, {} rejuvenations, {} dropped",
         report.total_processed,
@@ -310,6 +425,16 @@ fn summarize(report: &MonitorReport) {
         report.total_rejuvenations,
         report.total_dropped
     );
+    if let Some(stats) = stats {
+        let drains: Vec<String> = stats.per_thread_drains.iter().map(u64::to_string).collect();
+        println!(
+            "  drain plane: {} consumer(s), {} steal(s), {} park(s), drains per worker [{}]",
+            stats.consumers,
+            stats.steals,
+            stats.parks,
+            drains.join(", ")
+        );
+    }
     if report.by_detector.len() > 1 {
         for kind in &report.by_detector {
             println!(
@@ -320,24 +445,32 @@ fn summarize(report: &MonitorReport) {
     }
     for shard in &report.shards {
         println!(
-            "  shard {} [{}]: {} processed, {} rejuvenations, digest {}",
-            shard.shard, shard.detector, shard.processed, shard.rejuvenations, shard.digest
+            "  shard {} [{}]: {} processed, {} rejuvenations, {} dropped, digest {}",
+            shard.shard,
+            shard.detector,
+            shard.processed,
+            shard.rejuvenations,
+            shard.dropped,
+            shard.digest
         );
     }
 }
 
-fn run_replay(opts: &Options, log_path: &PathBuf) {
+fn run_replay(opts: &Options, log_path: &PathBuf) -> Result<(), String> {
     let file =
-        File::open(log_path).unwrap_or_else(|e| panic!("cannot open {}: {e}", log_path.display()));
-    let (events, torn) = read_events_tolerant(BufReader::new(file)).expect("parse event log");
+        File::open(log_path).map_err(|e| format!("cannot open {}: {e}", log_path.display()))?;
+    let (events, torn) = read_events_tolerant(BufReader::new(file))
+        .map_err(|e| format!("cannot parse event log {}: {e}", log_path.display()))?;
     if let Some(line) = torn {
         println!(
             "dropped a torn final line ({} bytes) — the recording run was killed mid-write",
             line.len()
         );
     }
-    let header = events.first().unwrap_or_else(|| panic!("empty event log"));
-    let snapshot = load_resume(opts);
+    let header = events
+        .first()
+        .ok_or_else(|| format!("event log {} is empty", log_path.display()))?;
+    let snapshot = load_resume(opts)?;
     let supervisor = match header {
         MonitorEvent::Start {
             shards,
@@ -346,11 +479,18 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
             drain_batch,
             snapshot_every,
         } => {
-            assert!(
-                opts.fleet.is_none(),
-                "--fleet cross-checks a FleetStart header, but this log was \
-                 recorded homogeneous (Start header, detector {detector})"
-            );
+            if opts.fleet.is_some() {
+                return Err(format!(
+                    "--fleet cross-checks a FleetStart header, but this log was \
+                     recorded homogeneous (Start header, detector {detector})"
+                ));
+            }
+            if !detector_is_known(detector) {
+                return Err(format!(
+                    "event log header names unknown detector {detector} \
+                     (sraa|saraa|clta|static|cusum|ewma)"
+                ));
+            }
             let config = SupervisorConfig {
                 queue_capacity: *queue_capacity as usize,
                 drain_batch: *drain_batch as usize,
@@ -374,7 +514,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                 |_| make_detector(detector, opts.mu, opts.sigma),
                 snapshot.as_ref(),
             )
-            .expect("replay")
+            .map_err(|e| format!("replay of {} failed: {e}", log_path.display()))?
         }
         MonitorEvent::FleetStart {
             shards,
@@ -385,12 +525,13 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
         } => {
             // The header is self-contained; a --fleet file here only
             // cross-checks that the log matches the config on disk.
-            if let Some(fleet) = load_fleet(opts) {
-                assert!(
-                    fleet.specs() == specs.as_slice(),
-                    "fleet config {} does not match the log's FleetStart header",
-                    opts.fleet.as_ref().unwrap().display()
-                );
+            if let Some(fleet) = load_fleet(opts)? {
+                if fleet.specs() != specs.as_slice() {
+                    return Err(format!(
+                        "fleet config {} does not match the log's FleetStart header",
+                        opts.fleet.as_ref().expect("fleet was loaded").display()
+                    ));
+                }
             }
             let config = SupervisorConfig {
                 queue_capacity: *queue_capacity as usize,
@@ -408,23 +549,29 @@ fn run_replay(opts: &Options, log_path: &PathBuf) {
                     .unwrap_or_else(|_| "invalid fleet".to_owned()),
                 events.len()
             );
-            replay_fleet_events(&events, config, specs, snapshot.as_ref()).expect("replay")
+            replay_fleet_events(&events, config, specs, snapshot.as_ref())
+                .map_err(|e| format!("replay of {} failed: {e}", log_path.display()))?
         }
-        _ => panic!("event log does not begin with a Start or FleetStart header"),
+        _ => {
+            return Err(format!(
+                "event log {} does not begin with a Start or FleetStart header",
+                log_path.display()
+            ))
+        }
     };
     let report = supervisor.report();
-    summarize(&report);
-    write_report(&report, opts.report.as_ref());
+    summarize(&report, None);
+    write_report(&report, opts.report.as_ref())
 }
 
-fn run_live(opts: &Options) {
+fn run_live(opts: &Options) -> Result<(), String> {
     let config = SupervisorConfig {
         snapshot_every: opts.snapshot_every,
         backend: opts.queue,
         consumers: opts.consumers,
         ..SupervisorConfig::default()
     };
-    let fleet = load_fleet(opts);
+    let fleet = load_fleet(opts)?;
     let hosts = fleet.as_ref().map_or(opts.hosts, FleetConfig::shard_count);
     let mut supervisor = match &fleet {
         Some(fleet) => Supervisor::with_specs(config, fleet.specs())
@@ -440,10 +587,10 @@ fn run_live(opts: &Options) {
             .to_owned(),
     };
 
-    if let Some(snapshot) = load_resume(opts) {
+    if let Some(snapshot) = load_resume(opts)? {
         supervisor
             .restore(&snapshot)
-            .unwrap_or_else(|e| panic!("checkpoint does not fit this invocation: {e}"));
+            .map_err(|e| format!("checkpoint does not fit this invocation: {e}"))?;
     }
 
     if let Some(path) = &opts.checkpoint {
@@ -465,7 +612,7 @@ fn run_live(opts: &Options) {
 
     if let Some(path) = &opts.trace {
         let file =
-            File::create(path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
         let mut log = EventLog::new(Box::new(BufWriter::new(file)));
         let header = match &fleet {
             Some(fleet) => MonitorEvent::FleetStart {
@@ -483,11 +630,12 @@ fn run_live(opts: &Options) {
                 snapshot_every: config.snapshot_every,
             },
         };
-        log.record(&header).expect("write run header");
+        log.record(&header)
+            .map_err(|e| format!("cannot write run header to {}: {e}", path.display()))?;
         supervisor.set_log(log);
     }
 
-    let host_config = SystemConfig::paper_at_load(opts.load).expect("valid load");
+    let host_config = SystemConfig::paper_at_load(opts.load).map_err(|e| format!("--load: {e}"))?;
     let shared = SharedSupervisor::new(supervisor);
     // The bridges feed decisions back synchronously; the consumer thread
     // coexists to drain anything pushed through decoupled senders and
@@ -514,17 +662,18 @@ fn run_live(opts: &Options) {
         if let Some(path) = &opts.system_trace {
             let trace = system.take_trace().expect("trace was enabled");
             let mut writer = BufWriter::new(
-                File::create(path)
-                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display())),
+                File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?,
             );
-            let lines = trace.write_jsonl(&mut writer).expect("write system trace");
-            writer.flush().expect("flush system trace");
+            let lines = trace
+                .write_jsonl(&mut writer)
+                .and_then(|lines| writer.flush().map(|()| lines))
+                .map_err(|e| format!("cannot write system trace {}: {e}", path.display()))?;
             println!("wrote {} system events to {}", lines, path.display());
         }
         drop(system);
     } else {
         if opts.system_trace.is_some() {
-            panic!("--system-trace is only available with --hosts 1");
+            return Err("--system-trace is only available with --hosts 1".to_owned());
         }
         let cluster_rate = host_config.arrival_rate() * hosts as f64;
         let mut cluster = ClusterSystem::new(
@@ -547,31 +696,130 @@ fn run_live(opts: &Options) {
         drop(cluster);
     }
 
-    consumer.join().expect("consumer drain");
+    let (_, stats) = consumer
+        .join_stats()
+        .map_err(|e| format!("consumer drain failed: {e}"))?;
     let mut supervisor = shared
         .try_into_inner()
         .expect("all bridges dropped with the system");
     // Clean completion: persist one final checkpoint (flushes the log
     // first), so a later --resume continues from the very end.
-    supervisor.checkpoint_now().expect("final checkpoint");
+    supervisor
+        .checkpoint_now()
+        .map_err(|e| format!("final checkpoint failed: {e}"))?;
     if let Some(path) = &opts.checkpoint {
         println!("wrote checkpoint {}", path.display());
     }
     if let Some(mut log) = supervisor.take_log() {
-        log.flush().expect("flush event log");
+        log.flush()
+            .map_err(|e| format!("cannot flush event log: {e}"))?;
     }
     let report = supervisor.report();
-    summarize(&report);
-    write_report(&report, opts.report.as_ref());
+    summarize(&report, Some(&stats));
+    write_report(&report, opts.report.as_ref())?;
     if let Some(path) = &opts.trace {
         println!("wrote event log {}", path.display());
+    }
+    Ok(())
+}
+
+/// Runs the deterministic crash-simulation sweep (`--dst`). One trace =
+/// run a workload, crash it at an armed failpoint, resume from the
+/// surviving artifacts, judge the four guarantees; the sweep covers
+/// every catalog site under every master seed.
+#[cfg(feature = "failpoints")]
+fn run_dst(opts: &Options) -> i32 {
+    use rejuv_monitor::assurance::dst::{run, DstOptions};
+    let mut dst = DstOptions {
+        seeds: opts.dst_seeds,
+        sites: opts.dst_sites.clone(),
+        ..DstOptions::default()
+    };
+    if let Some(dir) = &opts.dst_dir {
+        dst.dir = dir.clone();
+    }
+    if let Ok(seed) = std::env::var("REJUV_DST_SEED") {
+        match seed.parse() {
+            Ok(seed) => dst.base_seed = seed,
+            Err(_) => {
+                eprintln!("monitord: REJUV_DST_SEED {seed:?} is not an unsigned integer");
+                return 2;
+            }
+        }
+    }
+    println!(
+        "dst sweep: {} seed(s) from base {:#x}, sites {}",
+        dst.seeds,
+        dst.base_seed,
+        match &dst.sites {
+            Some(sites) => sites.join(","),
+            None => "all".to_owned(),
+        }
+    );
+    match run(&dst) {
+        Ok(summary) => {
+            for line in summary.lines() {
+                println!("{line}");
+            }
+            if summary.is_ok() {
+                0
+            } else {
+                for violation in &summary.violations {
+                    eprintln!("monitord: guarantee violation: {violation}");
+                }
+                for site in &summary.uncovered {
+                    eprintln!("monitord: failpoint never crashed a trace: {site}");
+                }
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("monitord: dst sweep failed: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn run_dst(_opts: &Options) -> i32 {
+    eprintln!(
+        "monitord: --dst requires a failpoints build \
+         (cargo run -p rejuv-bench --features failpoints --bin monitord -- --dst)"
+    );
+    2
+}
+
+fn real_main() -> i32 {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("monitord: {e}");
+            return 2;
+        }
+    };
+    if opts.dst {
+        return run_dst(&opts);
+    }
+    // On a failpoints build, REJUV_FP=site[:nth] arms a single failpoint
+    // so operators can crash a real live run at a named durability site
+    // and practice the --resume path by hand.
+    #[cfg(feature = "failpoints")]
+    if rejuv_monitor::assurance::failpoints::arm_from_env() {
+        println!("armed failpoint from REJUV_FP");
+    }
+    let result = match &opts.replay {
+        Some(path) => run_replay(&opts, path),
+        None => run_live(&opts),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("monitord: {e}");
+            1
+        }
     }
 }
 
 fn main() {
-    let opts = parse_args();
-    match &opts.replay {
-        Some(path) => run_replay(&opts, path),
-        None => run_live(&opts),
-    }
+    std::process::exit(real_main());
 }

@@ -220,6 +220,128 @@ fn monitord_fleet_live_replay_and_resume_are_byte_identical() {
     assert_eq!(snapshot["shards"][3]["spec"]["kind"], "Cusum");
 }
 
+/// Runs monitord with `args`, expecting a clean one-line failure: the
+/// given exit code, a `monitord: ...` stderr diagnostic containing
+/// `needle`, and no panic backtrace.
+fn expect_failure(args: &[&str], code: i32, needle: &str) {
+    let output = Command::new(monitord_bin())
+        .args(args)
+        .output()
+        .expect("monitord runs");
+    assert_eq!(
+        output.status.code(),
+        Some(code),
+        "monitord {args:?} exit status"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("monitord: ") && stderr.contains(needle),
+        "missing diagnostic {needle:?} in stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "panic output leaked to the operator:\n{stderr}"
+    );
+}
+
+#[test]
+fn monitord_rejects_unknown_flags_without_a_backtrace() {
+    expect_failure(&["--bogus"], 2, "unknown option --bogus");
+}
+
+#[test]
+fn monitord_rejects_unparsable_values_without_a_backtrace() {
+    expect_failure(
+        &["--hosts", "banana"],
+        2,
+        "invalid value \"banana\" for --hosts",
+    );
+    expect_failure(&["--load", "many"], 2, "invalid value \"many\" for --load");
+    expect_failure(&["--queue", "bogus"], 2, "--queue");
+}
+
+#[test]
+fn monitord_rejects_missing_values_and_bad_combinations() {
+    expect_failure(&["--hosts"], 2, "missing value for --hosts");
+    expect_failure(&["--hosts", "0"], 2, "--hosts must be positive");
+    expect_failure(&["--detector", "nonsense"], 2, "unknown detector nonsense");
+    expect_failure(
+        &["--fleet", "whatever.toml", "--mu", "4.0"],
+        2,
+        "cannot be combined with --detector/--mu/--sigma",
+    );
+    expect_failure(
+        &["--dst-seeds", "4"],
+        2,
+        "only makes sense together with --dst",
+    );
+}
+
+#[test]
+fn monitord_reports_a_torn_resume_checkpoint_cleanly() {
+    let out = tempdir("monitord-torn-resume");
+    let ckpt = Path::new(&out).join("torn.json");
+    // A mid-JSON prefix, as if the file were cut mid-write.
+    std::fs::write(&ckpt, br#"{"version":3,"shards":[{"shard":0,"pro"#).unwrap();
+    expect_failure(
+        &["--transactions", "10", "--resume", ckpt.to_str().unwrap()],
+        1,
+        "cannot load checkpoint",
+    );
+    // Same clean failure on the replay path.
+    expect_failure(
+        &[
+            "--replay",
+            "/nonexistent/trace.jsonl",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ],
+        1,
+        "cannot open",
+    );
+}
+
+// Without the failpoints feature the --dst surface must fail fast with
+// a pointer at the right build, not silently run nothing.
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn monitord_dst_requires_the_failpoints_build() {
+    expect_failure(&["--dst"], 2, "requires a failpoints build");
+}
+
+// With the feature, a single-site single-seed sweep is a fast
+// end-to-end smoke of the crash-simulation pipeline.
+#[cfg(feature = "failpoints")]
+#[test]
+fn monitord_dst_runs_a_filtered_sweep() {
+    let out = tempdir("monitord-dst");
+    let output = Command::new(monitord_bin())
+        .args([
+            "--dst",
+            "--dst-sites",
+            "checkpoint.renamed",
+            "--dst-seeds",
+            "1",
+            "--dst-dir",
+        ])
+        .arg(&out)
+        .env("REJUV_DST_SEED", "7")
+        .output()
+        .expect("monitord runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "dst sweep failed:\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("dst sweep: 1 seed(s) from base 0x7"));
+    let catalog = rejuv_monitor::assurance::failpoints::CATALOG.len();
+    assert!(
+        stdout.contains(&format!("1/{catalog} sites covered")),
+        "coverage line:\n{stdout}"
+    );
+}
+
 fn tempdir(tag: &str) -> String {
     let dir = std::env::temp_dir().join(format!("rejuv-cli-test-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");

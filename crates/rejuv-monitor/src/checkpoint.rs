@@ -17,6 +17,7 @@
 //! built from a fleet config), so a checkpoint file records the full
 //! fleet topology and restore rejects per-shard kind *and* knob drift.
 
+use crate::assurance::failpoints::fp;
 use crate::supervisor::SupervisorSnapshot;
 use std::fs::File;
 use std::io::{self, Read, Write};
@@ -47,13 +48,18 @@ pub fn save_snapshot(path: &Path, snapshot: &SupervisorSnapshot) -> io::Result<(
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let staging = staging_path(path);
     let mut file = File::create(&staging)?;
+    fp!("checkpoint.staging-created");
     file.write_all(text.as_bytes())?;
     file.write_all(b"\n")?;
+    fp!("checkpoint.written-unsynced");
     // Data must be durable *before* the rename makes it the checkpoint:
     // rename-then-crash with unsynced data could publish a hollow file.
     file.sync_all()?;
     drop(file);
-    std::fs::rename(&staging, path)
+    fp!("checkpoint.synced");
+    std::fs::rename(&staging, path)?;
+    fp!("checkpoint.renamed");
+    Ok(())
 }
 
 /// Loads a checkpoint written by [`save_snapshot`].
@@ -142,6 +148,52 @@ mod tests {
         let new = sup.snapshot().unwrap();
         save_snapshot(&path, &new).unwrap();
         assert_eq!(load_snapshot(&path).unwrap(), new);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_a_mid_json_truncation_and_restore_stays_untouched() {
+        let dir = scratch_dir("midcut");
+        let path = dir.join("ckpt.json");
+        let mut sup = Supervisor::with_shards(SupervisorConfig::default(), 2, |_| sraa());
+        for i in 0..40 {
+            sup.process_sync(i % 2, 45.0).unwrap();
+        }
+        save_snapshot(&path, &sup.snapshot().unwrap()).unwrap();
+
+        // Cut the published file mid-JSON (a torn copy, an interrupted
+        // download, a filesystem that lied about durability).
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("ckpt.json"),
+            "diagnostic names the offending file: {err}"
+        );
+
+        // A supervisor asked to resume from the torn file must be left
+        // exactly as it was — the load already failed, so nothing is
+        // ever handed to restore.
+        let fresh = Supervisor::with_shards(SupervisorConfig::default(), 2, |_| sraa());
+        let before = serde_json::to_string(&fresh.report()).unwrap();
+        assert!(load_snapshot(&path).is_err());
+        assert_eq!(serde_json::to_string(&fresh.report()).unwrap(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_trailing_garbage() {
+        let dir = scratch_dir("trailing");
+        let path = dir.join("ckpt.json");
+        let sup = Supervisor::with_shards(SupervisorConfig::default(), 1, |_| sraa());
+        save_snapshot(&path, &sup.snapshot().unwrap()).unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"}} trailing junk");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

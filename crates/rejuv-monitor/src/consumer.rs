@@ -14,6 +14,7 @@
 //! to the caller for the end-of-run report. Producers must stop pushing
 //! before `join` for the final drain to be complete.
 
+use crate::assurance::failpoints::fp;
 use crate::bridge::SharedSupervisor;
 use crate::pool::{ConsumerPool, PoolStats};
 use crate::supervisor::Supervisor;
@@ -80,7 +81,26 @@ impl ConsumerThread {
     ///
     /// Panics if a consumer worker itself panicked.
     pub fn join(self) -> io::Result<Option<Supervisor>> {
-        self.pool.join().map(|joined| joined.supervisor)
+        self.join_stats().map(|(supervisor, _)| supervisor)
+    }
+
+    /// Like [`ConsumerThread::join`], but also returns the pool's final
+    /// drain-plane telemetry so callers (e.g. `monitord`) can report
+    /// steals, parks and per-worker drains after shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-log / checkpoint-sink failures from the drain
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a consumer worker itself panicked.
+    pub fn join_stats(self) -> io::Result<(Option<Supervisor>, PoolStats)> {
+        fp!("consumer.join");
+        self.pool
+            .join()
+            .map(|joined| (joined.supervisor, joined.stats))
     }
 }
 

@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod assurance;
 pub mod bridge;
 pub mod checkpoint;
 pub mod consumer;

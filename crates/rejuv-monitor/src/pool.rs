@@ -44,6 +44,7 @@
 //! stop pushing before [`ConsumerPool::join`]; then a clean pass proves
 //! the queues are empty for good, so the final drain is loss-free.
 
+use crate::assurance::failpoints::fp;
 use crate::bridge::SharedSupervisor;
 use crate::event::MonitorEvent;
 use crate::metrics::MetricsRegistry;
@@ -148,6 +149,7 @@ impl PoolShared {
     /// Drains one batch from shard `index` under its cell lock,
     /// buffering any log events; returns observations processed.
     fn drain_slot(&self, index: usize, worker: usize, batch: &mut Vec<(f64, f64)>) -> usize {
+        fp!("pool.drain-slot");
         let mut guard = self.slots[index].cell.lock().expect("shard cell poisoned");
         let cell = &mut *guard;
         let n = drain_shard(
@@ -187,6 +189,7 @@ impl PoolShared {
                 .is_ok()
             {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                fp!("pool.steal-claimed");
                 // Route future empty→non-empty wakeups to the new owner.
                 self.slots[s]
                     .queue
@@ -217,6 +220,7 @@ impl PoolShared {
 
     /// Captures and emits one checkpoint; the caller holds the gate.
     fn checkpoint_gated(&self) -> io::Result<()> {
+        fp!("pool.checkpoint-gate");
         let mut views = Vec::with_capacity(self.slots.len());
         let mut fold = MetricsFold::new();
         let mut flushes: Vec<Vec<MonitorEvent>> = Vec::with_capacity(self.slots.len());
@@ -304,6 +308,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) -> io::Result<()> {
     // until a clean pass. Producers stopped before join, so a clean
     // pass proves the queues this worker can see are empty for good.
     loop {
+        fp!("pool.shutdown-sweep");
         let mut drained = 0;
         for s in 0..shared.slots.len() {
             drained += shared.drain_slot(s, worker, &mut batch);

@@ -69,6 +69,7 @@
 //! before deciding to sleep?") — so those paths add `SeqCst` fences;
 //! see `maybe_notify` / `wake_parked_producer`.
 
+use crate::assurance::failpoints::fp;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -178,6 +179,7 @@ impl WorkNotifier {
 
     /// Signals that work is available, waking a parked waiter.
     pub fn notify_work(&self) {
+        fp!("queue.notify-work");
         let mut state = self.state.lock().expect("notifier lock poisoned");
         state.pending = true;
         drop(state);
@@ -199,6 +201,7 @@ impl WorkNotifier {
         let mut state = self.state.lock().expect("notifier lock poisoned");
         if !state.pending && !state.shutdown {
             self.parks.fetch_add(1, Ordering::Relaxed);
+            fp!("queue.wait-park");
             state = self
                 .cv
                 .wait_while(state, |s| !s.pending && !s.shutdown)
@@ -290,6 +293,7 @@ impl MutexInner {
     /// Single push attempt; does not count drops (the caller decides
     /// whether a full queue is a real drop or a blocking retry).
     fn try_push(&self, value: f64, at: f64) -> bool {
+        fp!("queue.mutex.push");
         let mut buf = self.buf.lock().expect("queue lock poisoned");
         if buf.len() >= self.capacity {
             return false;
@@ -337,6 +341,7 @@ impl MutexInner {
         // Park until the consumer frees space. The push happens under
         // the same lock the wait releases, so space seen is space used.
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        fp!("queue.mutex.park");
         let mut buf = self.buf.lock().expect("queue lock poisoned");
         buf = self
             .space
@@ -370,12 +375,14 @@ impl MutexInner {
     }
 
     fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        fp!("queue.mutex.drain");
         let mut buf = self.buf.lock().expect("queue lock poisoned");
         let take = buf.len().min(max);
         out.extend(buf.drain(..take));
         self.occupancy.store(buf.len(), Ordering::Relaxed);
         drop(buf);
         if take > 0 {
+            fp!("queue.mutex.unpark");
             self.space.notify_all();
         }
         take
@@ -506,6 +513,7 @@ impl RingInner {
 
     /// Single push attempt; does not count drops.
     fn try_push(&self, value: f64, at: f64) -> bool {
+        fp!("queue.ring.push");
         let pos = self.prod.0.tail.load(Ordering::Relaxed);
         if self.space_for(pos, 1) == 0 {
             return false;
@@ -593,6 +601,7 @@ impl RingInner {
     /// `maybe_notify` (the consumer's side is `wake_parked_producer`).
     fn park_until_space(&self) {
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        fp!("queue.ring.park");
         let mut guard = self.space_lock.lock().expect("park lock poisoned");
         loop {
             self.producer_parked.store(true, Ordering::SeqCst);
@@ -620,6 +629,7 @@ impl RingInner {
     }
 
     fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        fp!("queue.ring.drain");
         // Pairs with the producer-side fence in `maybe_notify`: after
         // the consumer publishes head (possibly deciding "empty" next
         // call), this fence guarantees it cannot also miss a slot the
@@ -657,6 +667,7 @@ impl RingInner {
     /// observe the other, so either the producer's re-check finds space
     /// or this check finds the flag and notifies under the park lock.
     fn wake_parked_producer(&self) {
+        fp!("queue.ring.unpark");
         fence(Ordering::SeqCst);
         if self.producer_parked.load(Ordering::Relaxed) {
             let _guard = self.space_lock.lock().expect("park lock poisoned");
@@ -837,6 +848,7 @@ impl FanInInner {
     /// ascending within the lane — the invariant the ticket-ordered
     /// drain relies on to never wait for a sample behind a later one.
     fn publish(&self, it: &mut impl Iterator<Item = (f64, f64)>, take: usize) {
+        fp!("queue.fanin.publish");
         let lane_idx = self.lane_for_thread();
         let guard = if lane_idx == FANIN_LANES - 1 {
             Some(self.shared_lock.lock().expect("shared lane lock poisoned"))
@@ -931,6 +943,7 @@ impl FanInInner {
     /// parked behind it.
     fn park_until_space(&self) {
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
+        fp!("queue.fanin.park");
         let mut guard = self.space_lock.lock().expect("park lock poisoned");
         loop {
             self.producer_parked.store(true, Ordering::SeqCst);
@@ -983,6 +996,7 @@ impl FanInInner {
     }
 
     fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
+        fp!("queue.fanin.drain");
         // Pairs with the producer-side fences in `maybe_notify`.
         fence(Ordering::SeqCst);
         let mut next = self.next_ticket.load(Ordering::Relaxed);
@@ -1021,6 +1035,7 @@ impl FanInInner {
     /// Wakes producers parked on back-pressure, if any; same `SeqCst`
     /// closure as the ring's, except the flag is cleared here only.
     fn wake_parked_producer(&self) {
+        fp!("queue.fanin.unpark");
         fence(Ordering::SeqCst);
         if self.producer_parked.load(Ordering::Relaxed) {
             let _guard = self.space_lock.lock().expect("park lock poisoned");

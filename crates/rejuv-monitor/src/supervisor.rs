@@ -33,6 +33,7 @@
 //! shard's digest is seeded with its detector kind name, and reports
 //! carry a per-kind [`DetectorKindReport`] rollup.
 
+use crate::assurance::failpoints::fp;
 use crate::event::{EventLog, MonitorEvent};
 use crate::metrics::{Histogram, MetricsRegistry, MetricsReport};
 use crate::queue::{ObsQueue, QueueBackend, UNTIMED};
@@ -318,6 +319,7 @@ pub(crate) fn drain_shard(
     }
     shard.last_at = last_at;
     shard.batch_hist.record(batch.len() as f64);
+    fp!("supervisor.drain-applied");
     if logging {
         for &seq in &fired {
             events.push(MonitorEvent::Rejuvenated {
@@ -1030,12 +1032,14 @@ impl Supervisor {
         if self.checkpoint.is_none() {
             return Ok(());
         }
+        fp!("supervisor.checkpoint-flush");
         if let Some(log) = self.log.as_mut() {
             log.flush()?;
         }
         let Some(snapshot) = self.snapshot() else {
             return Ok(());
         };
+        fp!("supervisor.checkpoint-emit");
         let total = self.total_processed();
         if let Some(stream) = self.checkpoint.as_mut() {
             stream.emit(&snapshot, total)?;

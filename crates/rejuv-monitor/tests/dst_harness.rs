@@ -1,0 +1,80 @@
+//! Deterministic crash-simulation sweep (PR-gate subset).
+//!
+//! Requires `--features failpoints`; without the feature this file
+//! compiles to nothing. The fast subset below arms every catalog site
+//! under two master seeds and must finish well inside a minute; the
+//! full ≥256-traces-per-guarantee sweep runs the same engine with more
+//! seeds from CI's non-blocking job (`monitord --dst --dst-seeds 8`).
+#![cfg(feature = "failpoints")]
+
+use rejuv_monitor::assurance::dst::{run, DstOptions};
+use rejuv_monitor::assurance::failpoints::CATALOG;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rejuv-dst-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn fast_sweep_covers_every_site_and_upholds_all_guarantees() {
+    let dir = scratch("fast");
+    let opts = DstOptions {
+        dir: dir.clone(),
+        seeds: 2,
+        base_seed: 0xD57,
+        sites: None,
+    };
+    let summary = run(&opts).expect("sweep runs");
+    for line in summary.lines() {
+        eprintln!("{line}");
+    }
+    assert!(
+        summary.violations.is_empty(),
+        "guarantee violations:\n{}",
+        summary.violations.join("\n")
+    );
+    assert!(
+        summary.uncovered.is_empty(),
+        "sites never crashed: {:?}",
+        summary.uncovered
+    );
+    assert_eq!(summary.covered.len(), CATALOG.len());
+    // Every crash trace feeds all four oracles; the clean calibration
+    // runs add more. A sweep that silently stopped checking would show
+    // up here.
+    for guarantee in ["G1", "G2", "G3", "G4"] {
+        let checks = summary.checks.get(guarantee).copied().unwrap_or(0);
+        assert!(
+            checks >= summary.crashes,
+            "{guarantee} checked only {checks} times for {} crashes",
+            summary.crashes
+        );
+    }
+    assert!(summary.crashes as usize >= CATALOG.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn site_filtered_sweep_stays_scoped() {
+    let dir = scratch("filtered");
+    let opts = DstOptions {
+        dir: dir.clone(),
+        seeds: 1,
+        base_seed: 7,
+        sites: Some(vec!["checkpoint.renamed".to_owned()]),
+    };
+    let summary = run(&opts).expect("sweep runs");
+    assert!(
+        summary.violations.is_empty(),
+        "violations:\n{}",
+        summary.violations.join("\n")
+    );
+    assert!(summary.covered.contains("checkpoint.renamed"));
+    assert_eq!(summary.covered.len(), 1, "only the requested site armed");
+    assert!(
+        summary.uncovered.is_empty(),
+        "coverage is not enforced for filtered sweeps"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
