@@ -31,11 +31,27 @@
 //!                        mutex+ring): which queue backend(s) to run
 //!   --consumers LIST     comma-separated consumer-thread counts to
 //!                        sweep (default 1,2,4)
+//!   --lossy              producers push without blocking: a full queue
+//!                        drops (or dead-letters, with --dlq) instead
+//!                        of parking the producer
+//!   --dlq                attach a per-shard dead-letter queue (requires
+//!                        --lossy): saturation captures samples instead
+//!                        of dropping them, replay restores the exact
+//!                        stream, and the run asserts zero silent drops
+//!                        plus the accounting identity
+//!                        accepted + dead_lettered + overflow == offered
+//!   --dlq-cap N          per-shard dead-letter capacity (default 65536;
+//!                        requires --dlq)
 //!   --quick              small run for CI smoke (25000 obs/shard)
 //! ```
+//!
+//! Exit status: `0` on success, `2` on a usage error (one-line
+//! `bench_monitor: ...` diagnostic on stderr).
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
-use rejuv_monitor::{ConsumerPool, FleetConfig, QueueBackend, Supervisor, SupervisorConfig};
+use rejuv_monitor::{
+    ConsumerPool, DlqStats, FleetConfig, QueueBackend, Supervisor, SupervisorConfig,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -49,9 +65,23 @@ struct Options {
     producer_batch: usize,
     backends: Vec<QueueBackend>,
     consumers: Vec<usize>,
+    lossy: bool,
+    dlq: bool,
+    dlq_cap: usize,
 }
 
-fn parse_args() -> Options {
+/// Parses one typed flag value, turning parse failures into a one-line
+/// usage diagnostic instead of a panic.
+fn parsed<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid value {value:?} for {name}: {e}"))
+}
+
+fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         out: PathBuf::from("BENCH_monitor.json"),
         shards: 4,
@@ -62,52 +92,64 @@ fn parse_args() -> Options {
         producer_batch: 256,
         backends: vec![QueueBackend::Mutex, QueueBackend::Ring],
         consumers: vec![1, 2, 4],
+        lossy: false,
+        dlq: false,
+        dlq_cap: 65_536,
     };
     let mut quick = false;
     let mut observations_set = false;
-    let mut args = std::env::args().skip(1);
+    let mut dlq_cap_set = false;
+    let mut args = cli.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
-            "--out" => opts.out = PathBuf::from(value("--out")),
-            "--shards" => opts.shards = value("--shards").parse().expect("usize"),
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--shards" => opts.shards = parsed("--shards", &value("--shards")?)?,
             "--fleet" => {
-                let path = PathBuf::from(value("--fleet"));
+                let path = PathBuf::from(value("--fleet")?);
                 let fleet = FleetConfig::load(&path)
-                    .unwrap_or_else(|e| panic!("cannot load fleet config {}: {e}", path.display()));
+                    .map_err(|e| format!("cannot load fleet config {}: {e}", path.display()))?;
                 opts.fleet = Some(fleet);
             }
             "--observations" => {
-                opts.observations = value("--observations").parse().expect("u64");
+                opts.observations = parsed("--observations", &value("--observations")?)?;
                 observations_set = true;
             }
             "--queue-capacity" => {
-                opts.queue_capacity = value("--queue-capacity").parse().expect("usize");
+                opts.queue_capacity = parsed("--queue-capacity", &value("--queue-capacity")?)?;
             }
-            "--drain-batch" => opts.drain_batch = value("--drain-batch").parse().expect("usize"),
+            "--drain-batch" => {
+                opts.drain_batch = parsed("--drain-batch", &value("--drain-batch")?)?;
+            }
             "--producer-batch" => {
-                opts.producer_batch = value("--producer-batch").parse().expect("usize");
+                opts.producer_batch = parsed("--producer-batch", &value("--producer-batch")?)?;
             }
             "--queue" => {
-                let which = value("--queue");
+                let which = value("--queue")?;
                 opts.backends = match which.to_lowercase().as_str() {
                     "both" => vec![QueueBackend::Mutex, QueueBackend::Ring],
                     "all" => vec![QueueBackend::Mutex, QueueBackend::Ring, QueueBackend::FanIn],
-                    one => vec![one.parse().unwrap_or_else(|e| panic!("{e} (or both|all)"))],
+                    one => vec![one.parse().map_err(|e| format!("{e} (or both|all)"))?],
                 };
             }
             "--consumers" => {
-                let list = value("--consumers");
+                let list = value("--consumers")?;
                 opts.consumers = list
                     .split(',')
-                    .map(|n| n.trim().parse().expect("usize consumer count"))
-                    .collect();
+                    .map(|n| parsed("--consumers", n.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--lossy" => opts.lossy = true,
+            "--dlq" => opts.dlq = true,
+            "--dlq-cap" => {
+                opts.dlq_cap = parsed("--dlq-cap", &value("--dlq-cap")?)?;
+                dlq_cap_set = true;
             }
             "--quick" => quick = true,
-            other => panic!("unknown option {other}"),
+            other => return Err(format!("unknown option {other}")),
         }
     }
     if quick && !observations_set {
@@ -116,14 +158,30 @@ fn parse_args() -> Options {
     if let Some(fleet) = &opts.fleet {
         opts.shards = fleet.shard_count();
     }
-    assert!(opts.shards > 0, "--shards must be positive");
-    assert!(opts.producer_batch > 0, "--producer-batch must be positive");
-    assert!(!opts.consumers.is_empty(), "--consumers must name a count");
-    assert!(
-        opts.consumers.iter().all(|&c| c > 0),
-        "--consumers counts must be positive"
-    );
-    opts
+    if opts.shards == 0 {
+        return Err("--shards must be positive".to_owned());
+    }
+    if opts.producer_batch == 0 {
+        return Err("--producer-batch must be positive".to_owned());
+    }
+    if opts.consumers.is_empty() {
+        return Err("--consumers must name at least one count".to_owned());
+    }
+    if opts.consumers.contains(&0) {
+        return Err("--consumers counts must be positive".to_owned());
+    }
+    if opts.dlq && !opts.lossy {
+        return Err("--dlq only makes sense together with --lossy \
+             (blocking producers never drop)"
+            .to_owned());
+    }
+    if dlq_cap_set && !opts.dlq {
+        return Err("--dlq-cap only makes sense together with --dlq".to_owned());
+    }
+    if opts.dlq && opts.dlq_cap == 0 {
+        return Err("--dlq-cap must be positive".to_owned());
+    }
+    Ok(opts)
 }
 
 /// The supervisor under benchmark: a homogeneous SRAA fleet by default,
@@ -186,17 +244,26 @@ struct RunStats {
     per_thread_drains: Vec<u64>,
     /// Times a blocking producer parked waiting for queue space.
     producer_waits: u64,
+    /// Observations dropped to back-pressure (lossy runs without a
+    /// dead-letter queue; always 0 otherwise).
+    dropped: u64,
+    /// Aggregated dead-letter accounting (`--dlq` runs only).
+    dlq: Option<DlqStats>,
 }
 
 /// Runs the workload with threaded producers and a consumer pool (no
 /// spin loop anywhere: producers park on back-pressure, pool workers
 /// park when their queues are empty).
 fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStats {
-    let supervisor = build_supervisor(opts, config_for(opts, backend, consumers));
+    let mut supervisor = build_supervisor(opts, config_for(opts, backend, consumers));
+    if opts.dlq {
+        supervisor.enable_dlq(opts.dlq_cap);
+    }
     let senders: Vec<_> = (0..opts.shards).map(|s| supervisor.sender(s)).collect();
     let per_shard = opts.observations;
     let total = per_shard * opts.shards as u64;
     let batch = opts.producer_batch as u64;
+    let lossy = opts.lossy;
 
     let start = Instant::now();
     let pool = ConsumerPool::spawn(supervisor);
@@ -205,7 +272,15 @@ fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStat
             scope.spawn(move || {
                 if batch == 1 {
                     for i in 0..per_shard {
-                        sender.send_blocking(synthetic(shard as u64, i));
+                        let v = synthetic(shard as u64, i);
+                        if lossy {
+                            // The return value is deliberately dropped:
+                            // the post-run accounting has to balance
+                            // regardless.
+                            let _ = sender.send(v);
+                        } else {
+                            sender.send_blocking(v);
+                        }
                     }
                 } else {
                     let mut buf = Vec::with_capacity(batch as usize);
@@ -214,15 +289,20 @@ fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStat
                         let n = batch.min(per_shard - i);
                         buf.clear();
                         buf.extend((i..i + n).map(|k| (synthetic(shard as u64, k), f64::NAN)));
-                        sender.send_batch_blocking(buf.iter().copied());
+                        if lossy {
+                            let _ = sender.send_batch(buf.iter().copied());
+                        } else {
+                            sender.send_batch_blocking(buf.iter().copied());
+                        }
                         i += n;
                     }
                 }
             });
         }
     });
-    // Producers are done; join performs the final loss-free drain and
-    // hands back both the supervisor and the pool telemetry.
+    // Producers are done; join performs the final loss-free drain
+    // (replaying any dead letters) and hands back both the supervisor
+    // and the pool telemetry.
     let joined = pool.join().expect("no log attached");
     let elapsed = start.elapsed().as_secs_f64();
     let stats = joined.stats;
@@ -231,8 +311,24 @@ fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStat
         .expect("owned pool returns the supervisor");
 
     let report = supervisor.report();
-    assert_eq!(report.total_processed, total);
-    assert_eq!(report.total_dropped, 0, "blocking producers never drop");
+    if opts.dlq {
+        assert_eq!(
+            report.total_dropped, 0,
+            "a dead-letter queue means zero silent drops"
+        );
+        for shard in 0..opts.shards {
+            let stats = supervisor.dlq_stats(shard).expect("DLQ attached");
+            assert_eq!(
+                report.shards[shard].accepted + stats.pending as u64 + stats.overflow,
+                per_shard,
+                "shard {shard}: accounting identity violated ({stats:?})"
+            );
+        }
+    } else if !opts.lossy {
+        assert_eq!(report.total_processed, total);
+        assert_eq!(report.total_dropped, 0, "blocking producers never drop");
+    }
+    let dlq = opts.dlq.then(|| supervisor.dlq_totals());
     RunStats {
         elapsed,
         digests: report.shards.iter().map(|s| s.digest.clone()).collect(),
@@ -241,6 +337,8 @@ fn timed_run(opts: &Options, backend: QueueBackend, consumers: usize) -> RunStat
         steals: stats.steals,
         per_thread_drains: stats.per_thread_drains,
         producer_waits: report.shards.iter().map(|s| s.producer_waits).sum(),
+        dropped: report.total_dropped,
+        dlq,
     }
 }
 
@@ -265,13 +363,28 @@ fn reference_digests(opts: &Options) -> Vec<String> {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("bench_monitor: {e}");
+            std::process::exit(2);
+        }
+    };
     let total = opts.observations * opts.shards as u64;
     let available_cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!(
         "monitor throughput: {} shards x {} observations = {} total, \
-         producer batch {}, {} cores available",
-        opts.shards, opts.observations, total, opts.producer_batch, available_cores
+         producer batch {}{}, {} cores available",
+        opts.shards,
+        opts.observations,
+        total,
+        opts.producer_batch,
+        match (opts.lossy, opts.dlq) {
+            (true, true) => " (lossy producers, dead-letter queue)",
+            (true, false) => " (lossy producers)",
+            _ => "",
+        },
+        available_cores
     );
 
     println!("serial reference for digest checks...");
@@ -295,22 +408,42 @@ fn main() {
             let throughput = total as f64 / stats.elapsed;
             println!(
                 "  {backend} x{consumers}: {:.2} s, {:.2} M obs/s \
-                 ({} steals, {} parks, {} producer waits)",
+                 ({} steals, {} parks, {} producer waits, {} dropped)",
                 stats.elapsed,
                 throughput / 1e6,
                 stats.steals,
                 stats.consumer_parks,
-                stats.producer_waits
+                stats.producer_waits,
+                stats.dropped
             );
+            if let Some(dlq) = &stats.dlq {
+                println!(
+                    "    dead-letter queue: {} captured, {} replayed, {} overflowed, {} pending",
+                    dlq.captured, dlq.replayed, dlq.overflow, dlq.pending
+                );
+            }
+            // A lossy run without a DLQ loses samples, so its digests
+            // legitimately diverge; a DLQ run whose dead-letter queue
+            // itself overflowed lost the overflowed samples (counted,
+            // never silent). Every other run must reproduce the serial
+            // reference bit for bit — including saturated --dlq runs,
+            // whose replay restores the exact stream.
+            let replay_exact = stats.dlq.as_ref().is_none_or(|d| d.overflow == 0);
             let deterministic = stats.digests == reference;
-            assert!(
-                deterministic,
-                "{backend} x{consumers} threaded run diverged from the serial reference"
-            );
-            runs.push((backend, consumers, stats, throughput));
+            if !opts.lossy || (opts.dlq && replay_exact) {
+                assert!(
+                    deterministic,
+                    "{backend} x{consumers} threaded run diverged from the serial reference"
+                );
+            }
+            runs.push((backend, consumers, stats, throughput, deterministic));
         }
     }
-    println!("digests match serial reference on every backend and consumer count: true");
+    if opts.lossy && !opts.dlq {
+        println!("lossy run without --dlq: digest checks skipped (samples were dropped)");
+    } else {
+        println!("digests match serial reference on every backend and consumer count: true");
+    }
 
     for &consumers in &opts.consumers {
         if let (Some(mutex), Some(ring)) = (
@@ -338,10 +471,13 @@ fn main() {
             "producer_batch": opts.producer_batch,
             "consumer_counts": opts.consumers.clone(),
             "detector": opts.fleet.as_ref().map_or("SRAA".to_owned(), |f| f.summary()),
+            "lossy_producers": opts.lossy,
+            "dead_letter_queue": opts.dlq,
         },
         "runs": runs
             .iter()
-            .map(|(backend, _, stats, throughput)| {
+            .map(|(backend, _, stats, throughput, deterministic)| {
+                let dlq = stats.dlq.as_ref();
                 serde_json::json!({
                     "queue_backend": backend.name(),
                     "consumer_threads": stats.consumer_threads,
@@ -351,11 +487,15 @@ fn main() {
                     "per_thread_drains": stats.per_thread_drains.clone(),
                     "consumer_parks": stats.consumer_parks,
                     "producer_waits": stats.producer_waits,
-                    "deterministic": true,
+                    "dropped": stats.dropped,
+                    "dead_lettered": dlq.map(|d| d.captured),
+                    "dlq_replayed": dlq.map(|d| d.replayed),
+                    "dlq_overflow": dlq.map(|d| d.overflow),
+                    "deterministic": deterministic,
                 })
             })
             .collect::<Vec<_>>(),
-        "per_shard_digests": runs.first().map(|(_, _, s, _)| s.digests.clone()).unwrap_or_default(),
+        "per_shard_digests": runs.first().map(|(_, _, s, _, _)| s.digests.clone()).unwrap_or_default(),
     });
     std::fs::write(
         &opts.out,

@@ -78,6 +78,21 @@
 //!                        Execution strategy only, like --queue:
 //!                        reports, traces and checkpoints are
 //!                        byte-identical across consumer counts
+//!   --dlq                attach a per-shard dead-letter queue: lossy
+//!                        sends that find the ingestion queue full are
+//!                        captured (value and timestamp) instead of
+//!                        dropped, and replayed into the shard in
+//!                        capture order once back-pressure clears.
+//!                        Checkpoints written with --dlq carry the
+//!                        dead-letter state (format v4); without the
+//!                        flag every artifact stays byte-identical to
+//!                        previous releases (live mode only)
+//!   --dlq-cap N          per-shard dead-letter capacity (default 4096;
+//!                        requires --dlq). Samples past the cap count
+//!                        as dlq_overflow — never a silent drop
+//!   --fleet-watch        poll the --fleet file for changes and
+//!                        hot-reload it when it is rewritten, as if a
+//!                        SIGHUP had arrived (live fleet mode only)
 //!   --dst                run the deterministic crash-simulation sweep
 //!                        (failpoints build only; seed via REJUV_DST_SEED)
 //!   --dst-seeds N        master seeds per sweep (default 2; the full CI
@@ -87,6 +102,16 @@
 //!   --dst-dir DIR        scratch directory for sweep artifacts
 //!                        (default a fresh directory under $TMPDIR)
 //! ```
+//!
+//! **Fleet hot-reload:** in live fleet mode the daemon installs a
+//! SIGHUP handler. `kill -HUP <pid>` (or rewriting the fleet file under
+//! `--fleet-watch`) re-reads the fleet config and rebuilds **exactly
+//! the drifted shards** in place: each one gets a fresh detector built
+//! from its new spec while its counters, histograms and queued samples
+//! are kept, and the new detector kind is folded into the shard's
+//! decision digest. An invalid or mismatched config is rejected with a
+//! one-line `monitord: fleet hot-reload rejected: ...` diagnostic and
+//! **no shard is mutated**; the run continues on the old fleet.
 //!
 //! Exit status: `0` on success, `1` on a runtime failure (unreadable or
 //! torn input file, I/O error, guarantee violation in `--dst`), `2` on a
@@ -109,12 +134,14 @@ use rejuv_ecommerce::cluster::{ClusterSystem, RoutingPolicy};
 use rejuv_ecommerce::{EcommerceSystem, SystemConfig};
 use rejuv_monitor::{
     load_snapshot, read_events_tolerant, replay_events_resumed, replay_fleet_events, save_snapshot,
-    ConsumerThread, EventLog, FleetConfig, MonitorEvent, MonitorReport, PoolStats, QueueBackend,
-    SharedSupervisor, Supervisor, SupervisorConfig, SupervisorSnapshot,
+    ConsumerThread, EventBus, EventLog, FleetConfig, MonitorEvent, MonitorReport, PoolStats,
+    QueueBackend, SharedSupervisor, Supervisor, SupervisorConfig, SupervisorSnapshot,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 struct Options {
     hosts: usize,
@@ -141,6 +168,10 @@ struct Options {
     resume: Option<PathBuf>,
     queue: QueueBackend,
     consumers: usize,
+    dlq: bool,
+    dlq_cap: usize,
+    dlq_cap_set: bool,
+    fleet_watch: bool,
     dst: bool,
     dst_seeds: u64,
     dst_sites: Option<Vec<String>>,
@@ -184,6 +215,10 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
         resume: None,
         queue: QueueBackend::Mutex,
         consumers: 1,
+        dlq: false,
+        dlq_cap: 4096,
+        dlq_cap_set: false,
+        fleet_watch: false,
         dst: false,
         dst_seeds: 2,
         dst_sites: None,
@@ -241,6 +276,12 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
             "--queue" => opts.queue = parsed("--queue", &value("--queue")?)?,
             "--consumers" => opts.consumers = parsed("--consumers", &value("--consumers")?)?,
+            "--dlq" => opts.dlq = true,
+            "--dlq-cap" => {
+                opts.dlq_cap = parsed("--dlq-cap", &value("--dlq-cap")?)?;
+                opts.dlq_cap_set = true;
+            }
+            "--fleet-watch" => opts.fleet_watch = true,
             "--dst" => opts.dst = true,
             "--dst-seeds" => {
                 opts.dst_seeds = parsed("--dst-seeds", &value("--dst-seeds")?)?;
@@ -285,6 +326,26 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
                 "--checkpoint-secs and --checkpoint-every are mutually exclusive".to_owned(),
             );
         }
+    }
+    if opts.dlq_cap_set && !opts.dlq {
+        return Err("--dlq-cap only makes sense together with --dlq".to_owned());
+    }
+    if opts.dlq && opts.dlq_cap == 0 {
+        return Err("--dlq-cap must be positive".to_owned());
+    }
+    if opts.dlq && opts.replay.is_some() {
+        return Err("--dlq captures live back-pressure; replay drains \
+             synchronously and cannot be combined with it"
+            .to_owned());
+    }
+    if opts.dlq && opts.dst {
+        return Err("--dlq and --dst are mutually exclusive".to_owned());
+    }
+    if opts.fleet_watch && opts.fleet.is_none() {
+        return Err("--fleet-watch requires --fleet".to_owned());
+    }
+    if opts.fleet_watch && (opts.replay.is_some() || opts.dst) {
+        return Err("--fleet-watch only makes sense for a live run".to_owned());
     }
     if opts.fleet.is_some() && (opts.detector_set || opts.baseline_set) {
         return Err("--fleet carries per-shard detectors and baselines; \
@@ -587,6 +648,19 @@ fn run_live(opts: &Options) -> Result<(), String> {
             .to_owned(),
     };
 
+    if opts.dlq {
+        supervisor.enable_dlq(opts.dlq_cap);
+    }
+    // The operational event bus is observational only — attached (with
+    // one stdout-summary subscriber) exactly when an opt-in feature
+    // wants it, so default runs carry zero extra machinery.
+    let bus_events = (opts.dlq || opts.fleet_watch).then(|| {
+        let bus = Arc::new(EventBus::new());
+        let sub = bus.subscribe(8192);
+        supervisor.set_bus(bus);
+        sub
+    });
+
     if let Some(snapshot) = load_resume(opts)? {
         supervisor
             .restore(&snapshot)
@@ -642,6 +716,20 @@ fn run_live(opts: &Options) -> Result<(), String> {
     // parks (zero CPU) whenever every queue is empty.
     let consumer = ConsumerThread::spawn_shared(&shared);
 
+    // Fleet hot-reload: a SIGHUP (or, with --fleet-watch, a rewrite of
+    // the fleet file) re-reads the config and rebuilds exactly the
+    // drifted shards in place. The watcher owns a supervisor handle, so
+    // it must be joined before the run can reclaim the supervisor.
+    let reload_stop = Arc::new(AtomicBool::new(false));
+    let reloader = opts.fleet.as_ref().map(|path| {
+        sighup::install();
+        let path = path.clone();
+        let watch = opts.fleet_watch;
+        let shared = shared.clone();
+        let stop = Arc::clone(&reload_stop);
+        std::thread::spawn(move || fleet_reload_loop(&path, watch, &shared, &stop))
+    });
+
     println!(
         "live run: {} host(s), load {} CPUs, {} transactions, detector {}, seed {}, \
          queue {}, {} consumer(s)",
@@ -696,6 +784,11 @@ fn run_live(opts: &Options) -> Result<(), String> {
         drop(cluster);
     }
 
+    reload_stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = reloader {
+        handle.join().expect("fleet reload watcher never panics");
+    }
+
     let (_, stats) = consumer
         .join_stats()
         .map_err(|e| format!("consumer drain failed: {e}"))?;
@@ -716,11 +809,107 @@ fn run_live(opts: &Options) -> Result<(), String> {
     }
     let report = supervisor.report();
     summarize(&report, Some(&stats));
+    if opts.dlq {
+        let totals = supervisor.dlq_totals();
+        println!(
+            "dead-letter queue: {} captured, {} replayed, {} overflowed, {} pending",
+            totals.captured, totals.replayed, totals.overflow, totals.pending
+        );
+    }
+    if let Some(sub) = &bus_events {
+        println!(
+            "event bus: {} operational event(s), {} overflowed the summary subscriber",
+            sub.drain().len(),
+            sub.overflow()
+        );
+    }
     write_report(&report, opts.report.as_ref())?;
     if let Some(path) = &opts.trace {
         println!("wrote event log {}", path.display());
     }
     Ok(())
+}
+
+/// Polls every 25 ms for a pending SIGHUP (and, under `--fleet-watch`,
+/// for a fleet-file mtime change), hot-reloading the fleet when either
+/// fires. Only drifted shards are rebuilt; a config that fails to load
+/// or validate is rejected with a one-line diagnostic and the running
+/// fleet is left untouched.
+fn fleet_reload_loop(path: &Path, watch: bool, shared: &SharedSupervisor, stop: &AtomicBool) {
+    let mtime = |path: &Path| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    let mut last = mtime(path);
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let mut due = sighup::take();
+        if watch {
+            let now = mtime(path);
+            if now != last {
+                last = now;
+                due = true;
+            }
+        }
+        if !due {
+            continue;
+        }
+        match FleetConfig::load(path) {
+            Ok(fleet) => {
+                match shared.with(|s| s.reload_specs(fleet.specs())) {
+                    Ok(rebuilt) if rebuilt.is_empty() => {
+                        println!("fleet hot-reload: config matches the running fleet, nothing to rebuild");
+                    }
+                    Ok(rebuilt) => {
+                        println!(
+                            "fleet hot-reload: rebuilt shard(s) {rebuilt:?} ({})",
+                            fleet.summary()
+                        );
+                    }
+                    Err(e) => eprintln!("monitord: fleet hot-reload rejected: {e}"),
+                }
+            }
+            Err(e) => eprintln!(
+                "monitord: fleet hot-reload rejected: cannot load {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// A minimal SIGHUP latch: no signal-handling dependency, just the
+/// `signal(2)` symbol every unix target already links. The handler only
+/// stores a flag (async-signal-safe); the watcher thread does the work.
+#[cfg(unix)]
+mod sighup {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sighup(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGHUP: i32 = 1;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    }
+
+    /// Returns (and clears) the pending-reload latch.
+    pub fn take() -> bool {
+        PENDING.swap(false, Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sighup {
+    pub fn install() {}
+
+    pub fn take() -> bool {
+        false
+    }
 }
 
 /// Runs the deterministic crash-simulation sweep (`--dst`). One trace =

@@ -17,6 +17,10 @@ fn monitord_bin() -> &'static str {
     env!("CARGO_BIN_EXE_monitord")
 }
 
+fn bench_monitor_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bench_monitor")
+}
+
 #[test]
 fn figures_fig5_is_fast_and_writes_artifacts() {
     let out = tempdir("fig5");
@@ -220,28 +224,29 @@ fn monitord_fleet_live_replay_and_resume_are_byte_identical() {
     assert_eq!(snapshot["shards"][3]["spec"]["kind"], "Cusum");
 }
 
-/// Runs monitord with `args`, expecting a clean one-line failure: the
-/// given exit code, a `monitord: ...` stderr diagnostic containing
+/// Runs `bin` with `args`, expecting a clean one-line failure: the
+/// given exit code, a `{prog}: ...` stderr diagnostic containing
 /// `needle`, and no panic backtrace.
-fn expect_failure(args: &[&str], code: i32, needle: &str) {
-    let output = Command::new(monitord_bin())
-        .args(args)
-        .output()
-        .expect("monitord runs");
+fn expect_bin_failure(bin: &str, prog: &str, args: &[&str], code: i32, needle: &str) {
+    let output = Command::new(bin).args(args).output().expect("binary runs");
     assert_eq!(
         output.status.code(),
         Some(code),
-        "monitord {args:?} exit status"
+        "{prog} {args:?} exit status"
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
-        stderr.contains("monitord: ") && stderr.contains(needle),
+        stderr.contains(&format!("{prog}: ")) && stderr.contains(needle),
         "missing diagnostic {needle:?} in stderr:\n{stderr}"
     );
     assert!(
         !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
         "panic output leaked to the operator:\n{stderr}"
     );
+}
+
+fn expect_failure(args: &[&str], code: i32, needle: &str) {
+    expect_bin_failure(monitord_bin(), "monitord", args, code, needle);
 }
 
 #[test]
@@ -340,6 +345,112 @@ fn monitord_dst_runs_a_filtered_sweep() {
         stdout.contains(&format!("1/{catalog} sites covered")),
         "coverage line:\n{stdout}"
     );
+}
+
+#[test]
+fn monitord_rejects_degenerate_runtime_knobs() {
+    expect_failure(&["--consumers", "0"], 2, "--consumers must be positive");
+    expect_failure(
+        &["--checkpoint-every", "0"],
+        2,
+        "--checkpoint-every must be positive",
+    );
+    expect_failure(&["--producer-batch"], 2, "unknown option --producer-batch");
+}
+
+#[test]
+fn monitord_rejects_incoherent_dlq_and_watch_flags() {
+    expect_failure(
+        &["--dlq-cap", "16"],
+        2,
+        "--dlq-cap only makes sense together with --dlq",
+    );
+    expect_failure(
+        &["--dlq", "--dlq-cap", "0"],
+        2,
+        "--dlq-cap must be positive",
+    );
+    expect_failure(
+        &["--dlq", "--replay", "whatever.jsonl"],
+        2,
+        "cannot be combined",
+    );
+    expect_failure(&["--fleet-watch"], 2, "--fleet-watch requires --fleet");
+    expect_failure(
+        &[
+            "--fleet",
+            "whatever.toml",
+            "--fleet-watch",
+            "--replay",
+            "whatever.jsonl",
+        ],
+        2,
+        "--fleet-watch only makes sense for a live run",
+    );
+}
+
+#[test]
+fn bench_monitor_rejects_degenerate_flags_without_a_backtrace() {
+    let reject = |args: &[&str], needle: &str| {
+        expect_bin_failure(bench_monitor_bin(), "bench_monitor", args, 2, needle);
+    };
+    reject(&["--shards", "0"], "--shards must be positive");
+    reject(
+        &["--producer-batch", "0"],
+        "--producer-batch must be positive",
+    );
+    reject(&["--consumers", "0"], "--consumers counts must be positive");
+    reject(&["--consumers", ""], "invalid value \"\" for --consumers");
+    reject(&["--dlq"], "--dlq only makes sense together with --lossy");
+    reject(
+        &["--lossy", "--dlq", "--dlq-cap", "0"],
+        "--dlq-cap must be positive",
+    );
+    reject(&["--bogus"], "unknown option --bogus");
+}
+
+// A `--dlq` live run records its dead-letter state in the checkpoint
+// (format version 4) and prints the dead-letter and event-bus summary
+// lines; the report itself is indistinguishable from a default run.
+#[test]
+fn monitord_dlq_run_writes_a_v4_checkpoint_and_an_unchanged_report() {
+    let out = tempdir("monitord-dlq");
+    let out = Path::new(&out);
+    let ckpt = out.join("ckpt.json");
+    let run = |extra: &[&str]| {
+        let output = Command::new(monitord_bin())
+            .args(["--hosts", "2", "--transactions", "8000"])
+            .args(extra)
+            .output()
+            .expect("monitord runs");
+        assert!(
+            output.status.success(),
+            "monitord {extra:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let stdout = run(&[
+        "--dlq",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "2000",
+        "--report",
+        out.join("dlq.json").to_str().unwrap(),
+    ]);
+    assert!(stdout.contains("dead-letter queue: "), "stdout:\n{stdout}");
+    assert!(stdout.contains("event bus: "), "stdout:\n{stdout}");
+    run(&["--report", out.join("plain.json").to_str().unwrap()]);
+    assert_eq!(
+        std::fs::read(out.join("dlq.json")).unwrap(),
+        std::fs::read(out.join("plain.json")).unwrap(),
+        "--dlq must not perturb the report of an unsaturated run"
+    );
+    let snapshot: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&ckpt).unwrap()).unwrap();
+    assert_eq!(snapshot["version"], 4, "DLQ checkpoints use format v4");
+    assert!(snapshot["dlq"].is_array(), "per-shard dead-letter entries");
 }
 
 fn tempdir(tag: &str) -> String {

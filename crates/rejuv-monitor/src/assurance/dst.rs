@@ -836,7 +836,9 @@ fn corrupt_snapshot(mut snap: SupervisorSnapshot, mode: u64) -> SupervisorSnapsh
         }
         _ => match snap.shards[0].spec.as_mut() {
             Some(spec) => spec.mu += 1.5,
-            None => snap.version = snap.version.wrapping_add(1),
+            // +9 keeps the fallback clear of every *accepted* version
+            // (v3 and the dead-letter v4) for any current value.
+            None => snap.version = snap.version.wrapping_add(9),
         },
     }
     snap

@@ -1,0 +1,291 @@
+//! In-process broadcast bus for operational events.
+//!
+//! The monitoring plane's *data* artifacts (reports, traces,
+//! checkpoints, decision digests) are deterministic by construction and
+//! must never observe wall-clock scheduling. Operators still need to
+//! see what the runtime is doing — when a queue saturates, when samples
+//! are dead-lettered and replayed, when a checkpoint lands, when a
+//! fleet hot-reload rebuilds a shard. [`EventBus`] carries exactly that
+//! side-channel: a broadcast of [`OpEvent`]s that is purely
+//! observational. Nothing downstream of the bus feeds back into
+//! detector decisions, so attaching (or not attaching) a bus leaves
+//! every artifact byte-identical.
+//!
+//! Design, mirroring the queue plane's loss philosophy: each subscriber
+//! owns a *bounded* buffer, and a publish that finds a subscriber full
+//! drops the event **for that subscriber only** and counts it in the
+//! subscriber's `overflow` tally. Publishers never block and never
+//! allocate beyond the event itself; a slow or abandoned subscriber
+//! cannot stall the drain path that publishes to it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// An operational event published on the [`EventBus`].
+///
+/// Events describe *runtime behaviour*, not monitored data: they carry
+/// shard indices and counts, never the sample values that flow through
+/// the detectors (the dead-letter queue itself holds those).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpEvent {
+    /// A fleet hot-reload rebuilt this shard's detector in place.
+    ShardRebuilt {
+        /// Shard index.
+        shard: u32,
+        /// Detector name before the rebuild.
+        from: String,
+        /// Detector name after the rebuild.
+        to: String,
+    },
+    /// A checkpoint snapshot was written to the configured sink.
+    CheckpointWritten {
+        /// Total observations processed at the time of the snapshot.
+        total_processed: u64,
+    },
+    /// A lossy push found the shard queue full and the dead-letter
+    /// queue transitioned from empty to non-empty: the shard is
+    /// saturated and capture has begun.
+    QueueSaturated {
+        /// Shard index.
+        shard: u32,
+    },
+    /// Samples a full queue would have dropped were captured into the
+    /// shard's dead-letter queue instead.
+    SamplesDeadLettered {
+        /// Shard index.
+        shard: u32,
+        /// Number of samples captured by this push.
+        count: u64,
+    },
+    /// Dead-lettered samples were re-ingested into their shard queue
+    /// (in capture order) after back-pressure cleared.
+    DlqReplayed {
+        /// Shard index.
+        shard: u32,
+        /// Number of samples replayed by this drain.
+        count: u64,
+    },
+    /// The dead-letter queue itself was full: samples were lost for
+    /// real, with accounting.
+    DlqOverflow {
+        /// Shard index.
+        shard: u32,
+        /// Number of samples lost by this push.
+        count: u64,
+    },
+    /// A detector crossed its threshold and fired a rejuvenation.
+    RejuvenationFired {
+        /// Shard index.
+        shard: u32,
+        /// Sequence number (0-based, per shard) of the observation
+        /// whose decision fired — the same `seq` the event log records.
+        seq: u64,
+    },
+}
+
+/// Per-subscriber state: a bounded mailbox plus overflow accounting.
+#[derive(Debug)]
+struct SubInner {
+    queue: Mutex<VecDeque<OpEvent>>,
+    available: Condvar,
+    capacity: usize,
+    overflow: AtomicU64,
+}
+
+/// A broadcast bus for [`OpEvent`]s. Cheap to clone behind an `Arc`;
+/// publishing with zero subscribers is a no-op.
+#[derive(Debug, Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Arc<SubInner>>>,
+    published: AtomicU64,
+}
+
+impl EventBus {
+    /// A bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new subscriber with a mailbox holding at most
+    /// `capacity` undelivered events.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn subscribe(&self, capacity: usize) -> BusSubscription {
+        assert!(capacity > 0, "subscription capacity must be positive");
+        let inner = Arc::new(SubInner {
+            queue: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+            available: Condvar::new(),
+            capacity,
+            overflow: AtomicU64::new(0),
+        });
+        self.subscribers
+            .lock()
+            .expect("bus subscriber lock poisoned")
+            .push(Arc::clone(&inner));
+        BusSubscription { inner }
+    }
+
+    /// Broadcasts `event` to every live subscriber. Never blocks: a
+    /// full mailbox drops the event for that subscriber and bumps its
+    /// overflow counter. Mailboxes whose [`BusSubscription`] was
+    /// dropped are pruned on the way through.
+    pub fn publish(&self, event: OpEvent) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self
+            .subscribers
+            .lock()
+            .expect("bus subscriber lock poisoned");
+        subs.retain(|sub| {
+            // The bus and the subscription each hold one reference; a
+            // count of one means the subscriber side is gone.
+            if Arc::strong_count(sub) == 1 {
+                return false;
+            }
+            let mut queue = sub.queue.lock().expect("bus mailbox lock poisoned");
+            if queue.len() >= sub.capacity {
+                sub.overflow.fetch_add(1, Ordering::Relaxed);
+            } else {
+                queue.push_back(event.clone());
+                sub.available.notify_one();
+            }
+            true
+        });
+    }
+
+    /// Total events ever published (whether or not anyone was listening).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently registered subscribers (dropped
+    /// subscriptions are pruned lazily, on publish).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+            .lock()
+            .expect("bus subscriber lock poisoned")
+            .len()
+    }
+}
+
+/// A receiving endpoint created by [`EventBus::subscribe`]. Dropping it
+/// unsubscribes (lazily, at the next publish).
+#[derive(Debug)]
+pub struct BusSubscription {
+    inner: Arc<SubInner>,
+}
+
+impl BusSubscription {
+    /// Pops the oldest undelivered event, if any. Never blocks.
+    pub fn try_recv(&self) -> Option<OpEvent> {
+        self.inner
+            .queue
+            .lock()
+            .expect("bus mailbox lock poisoned")
+            .pop_front()
+    }
+
+    /// Waits up to `timeout` for an event, then pops the oldest.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<OpEvent> {
+        let queue = self.inner.queue.lock().expect("bus mailbox lock poisoned");
+        let (mut queue, _timed_out) = self
+            .inner
+            .available
+            .wait_timeout_while(queue, timeout, |q| q.is_empty())
+            .expect("bus mailbox lock poisoned");
+        queue.pop_front()
+    }
+
+    /// Drains every undelivered event, oldest first.
+    pub fn drain(&self) -> Vec<OpEvent> {
+        self.inner
+            .queue
+            .lock()
+            .expect("bus mailbox lock poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Events dropped because this subscriber's mailbox was full.
+    pub fn overflow(&self) -> u64 {
+        self.inner.overflow.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_without_subscribers_is_a_noop() {
+        let bus = EventBus::new();
+        bus.publish(OpEvent::QueueSaturated { shard: 0 });
+        assert_eq!(bus.published(), 1);
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_subscriber_in_order() {
+        let bus = EventBus::new();
+        let a = bus.subscribe(8);
+        let b = bus.subscribe(8);
+        bus.publish(OpEvent::QueueSaturated { shard: 1 });
+        bus.publish(OpEvent::DlqReplayed { shard: 1, count: 3 });
+        for sub in [&a, &b] {
+            assert_eq!(sub.try_recv(), Some(OpEvent::QueueSaturated { shard: 1 }));
+            assert_eq!(
+                sub.try_recv(),
+                Some(OpEvent::DlqReplayed { shard: 1, count: 3 })
+            );
+            assert_eq!(sub.try_recv(), None);
+        }
+    }
+
+    #[test]
+    fn full_mailbox_drops_and_counts_per_subscriber() {
+        let bus = EventBus::new();
+        let small = bus.subscribe(1);
+        let big = bus.subscribe(8);
+        bus.publish(OpEvent::QueueSaturated { shard: 0 });
+        bus.publish(OpEvent::QueueSaturated { shard: 1 });
+        assert_eq!(small.overflow(), 1);
+        assert_eq!(big.overflow(), 0);
+        assert_eq!(small.drain().len(), 1);
+        assert_eq!(big.drain().len(), 2);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned_on_publish() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(4);
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(sub);
+        bus.publish(OpEvent::QueueSaturated { shard: 0 });
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_sees_a_cross_thread_publish() {
+        let bus = Arc::new(EventBus::new());
+        let sub = bus.subscribe(4);
+        let publisher = {
+            let bus = Arc::clone(&bus);
+            std::thread::spawn(move || {
+                bus.publish(OpEvent::CheckpointWritten {
+                    total_processed: 42,
+                })
+            })
+        };
+        let got = sub.recv_timeout(Duration::from_secs(5));
+        publisher.join().unwrap();
+        assert_eq!(
+            got,
+            Some(OpEvent::CheckpointWritten {
+                total_processed: 42
+            })
+        );
+    }
+}

@@ -394,10 +394,11 @@ fn parse_section(name: &str, line: usize) -> Result<Section, FleetError> {
         "defaults" => return Ok(Section::Defaults),
         _ => {}
     }
-    // `[shard N]` or `[shard.N]`.
+    // `[shard N]` or `[shard.N]` — any whitespace (spaces or tabs, as
+    // some editors insert) around the separator is accepted.
     let index = name
         .strip_prefix("shard")
-        .map(|rest| rest.trim_start_matches(['.', ' ']))
+        .map(|rest| rest.trim_start_matches(|c: char| c.is_whitespace() || c == '.'))
         .and_then(|rest| rest.parse::<usize>().ok());
     match index {
         Some(shard) => Ok(Section::Shard(shard)),
@@ -574,6 +575,32 @@ decision = 5.0
             FleetConfig::parse("no section\n"),
             Err(FleetError::Malformed { line: 1 })
         ));
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_identically() {
+        // A Windows-edited fleet file: every line ends \r\n (including
+        // after inline comments and quoted values).
+        let crlf = MIXED.replace('\n', "\r\n");
+        assert_eq!(
+            FleetConfig::parse(&crlf).unwrap(),
+            FleetConfig::parse(MIXED).unwrap()
+        );
+        // A final line without a trailing newline but with a stray \r.
+        let fleet = FleetConfig::parse("[shard 0]\r\ndetector = clta\r").unwrap();
+        assert_eq!(fleet.specs()[0].kind, DetectorKind::Clta);
+    }
+
+    #[test]
+    fn tabs_and_trailing_whitespace_around_keys_parse() {
+        // Tab-indented keys, tabs around `=`, trailing spaces/tabs
+        // after values, and a tab inside the section header.
+        let text = "[fleet]\t\nshards\t=\t2  \n[shard\t0]\n\tdetector = clta\t\n\
+                    [shard . 1]  \n  detector\t= cusum  \t\n";
+        let fleet = FleetConfig::parse(text).unwrap();
+        assert_eq!(fleet.shard_count(), 2);
+        assert_eq!(fleet.specs()[0].kind, DetectorKind::Clta);
+        assert_eq!(fleet.specs()[1].kind, DetectorKind::Cusum);
     }
 
     #[test]

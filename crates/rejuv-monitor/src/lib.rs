@@ -75,8 +75,10 @@
 
 pub mod assurance;
 pub mod bridge;
+pub mod bus;
 pub mod checkpoint;
 pub mod consumer;
+pub mod dlq;
 pub mod event;
 pub mod fleet;
 pub mod metrics;
@@ -85,16 +87,19 @@ pub mod queue;
 pub mod supervisor;
 
 pub use bridge::{MonitorBridge, SharedSupervisor};
+pub use bus::{BusSubscription, EventBus, OpEvent};
 pub use checkpoint::{load_snapshot, save_snapshot};
 pub use consumer::ConsumerThread;
+pub use dlq::{DeadLetterQueue, DlqStats};
 pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
 pub use fleet::{FleetConfig, FleetError};
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
 pub use pool::{ConsumerPool, PoolJoin, PoolStats};
 pub use queue::{ObsQueue, QueueBackend, Wakeup, WorkNotifier};
 pub use supervisor::{
-    CheckpointClock, CheckpointSink, DetectorKindReport, MonitorReport, RestoreError, ShardReport,
-    ShardSender, ShardSnapshot, Supervisor, SupervisorConfig, SupervisorSnapshot, SNAPSHOT_VERSION,
+    CheckpointClock, CheckpointSink, DetectorKindReport, DlqSnapshot, MonitorReport, ReloadError,
+    RestoreError, ShardReport, ShardSender, ShardSnapshot, Supervisor, SupervisorConfig,
+    SupervisorSnapshot, SNAPSHOT_VERSION, SNAPSHOT_VERSION_DLQ,
 };
 
 use rejuv_core::{DetectorSpec, RejuvenationDetector};

@@ -46,12 +46,13 @@
 
 use crate::assurance::failpoints::fp;
 use crate::bridge::SharedSupervisor;
+use crate::bus::{EventBus, OpEvent};
 use crate::event::MonitorEvent;
 use crate::metrics::MetricsRegistry;
 use crate::queue::{ObsQueue, Wakeup, WorkNotifier};
 use crate::supervisor::{
-    drain_shard, CheckpointStream, MetricsFold, Shard, Supervisor, SupervisorConfig,
-    SupervisorParts, SupervisorSnapshot, SNAPSHOT_VERSION,
+    drain_shard, CheckpointStream, DlqSnapshot, MetricsFold, Shard, Supervisor, SupervisorConfig,
+    SupervisorParts, SupervisorSnapshot, SNAPSHOT_VERSION, SNAPSHOT_VERSION_DLQ,
 };
 use crate::EventLog;
 use std::io;
@@ -103,6 +104,9 @@ struct PoolShared {
     steals: AtomicU64,
     /// Observations drained per worker.
     drains: Vec<AtomicU64>,
+    /// Operational event bus, if the supervisor had one attached
+    /// (checkpoints emitted by workers publish through it too).
+    bus: Option<Arc<EventBus>>,
 }
 
 impl PoolShared {
@@ -117,6 +121,10 @@ impl PoolShared {
         let mut owner = Vec::with_capacity(parts.shards.len());
         for (i, shard) in parts.shards.into_iter().enumerate() {
             let queue = shard.queue.clone();
+            // A previous drain plane over these queues may have left the
+            // producer-facing shutdown latch set; this pool is now the
+            // live consumer, so blocking producers may park again.
+            queue.clear_shutdown();
             queue.attach_notifier(Arc::clone(&notifiers[i % consumers]));
             owner.push(AtomicU32::new((i % consumers) as u32));
             slots.push(ShardSlot {
@@ -143,6 +151,7 @@ impl PoolShared {
             total: AtomicU64::new(initial),
             steals: AtomicU64::new(0),
             drains: (0..consumers).map(|_| AtomicU64::new(0)).collect(),
+            bus: parts.bus,
         })
     }
 
@@ -247,13 +256,38 @@ impl PoolShared {
             return Ok(());
         };
         let total: u64 = shards.iter().map(|s| s.processed).sum();
+        // Mirror `Supervisor::snapshot`: one dead-letter entry per
+        // DLQ-attached shard (pending or not) flips the format to v4.
+        let mut dlq = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(d) = slot.queue.dlq() {
+                let stats = d.stats();
+                dlq.push(DlqSnapshot {
+                    shard: i as u32,
+                    samples: d.contents(),
+                    captured: stats.captured,
+                    replayed: stats.replayed,
+                    overflow: stats.overflow,
+                });
+            }
+        }
         let snapshot = SupervisorSnapshot {
-            version: SNAPSHOT_VERSION,
+            version: if dlq.is_empty() {
+                SNAPSHOT_VERSION
+            } else {
+                SNAPSHOT_VERSION_DLQ
+            },
             shards,
             metrics: fold.apply(&control.metrics).report(),
+            dlq,
         };
         if let Some(stream) = control.checkpoint.as_mut() {
             stream.emit(&snapshot, total)?;
+        }
+        if let Some(bus) = self.bus.as_ref() {
+            bus.publish(OpEvent::CheckpointWritten {
+                total_processed: total,
+            });
         }
         Ok(())
     }
@@ -334,6 +368,10 @@ enum Mode {
         notifier: Arc<WorkNotifier>,
         drains: Arc<Vec<AtomicU64>>,
         handles: Vec<JoinHandle<io::Result<()>>>,
+        /// Queue handles cloned at spawn so `join` can latch the
+        /// producer-facing shutdown flag without re-locking the
+        /// supervisor.
+        queues: Vec<ObsQueue>,
     },
 }
 
@@ -409,15 +447,19 @@ impl ConsumerPool {
     /// notifier and contend for the supervisor lock; `join` returns
     /// `None` for the supervisor.
     pub fn spawn_shared(supervisor: &SharedSupervisor) -> Self {
-        let consumers = supervisor.with(|s| {
+        let parts = supervisor.with(|s| {
             let n = s.config().consumers;
             let notifier = Arc::new(WorkNotifier::new());
+            let mut queues = Vec::with_capacity(s.shard_count());
             for shard in 0..s.shard_count() {
-                s.queue(shard).attach_notifier(Arc::clone(&notifier));
+                let queue = s.queue(shard);
+                queue.clear_shutdown();
+                queue.attach_notifier(Arc::clone(&notifier));
+                queues.push(queue.clone());
             }
-            (n, notifier)
+            (n, notifier, queues)
         });
-        let (consumers, notifier) = consumers;
+        let (consumers, notifier, queues) = parts;
         let drains: Arc<Vec<AtomicU64>> =
             Arc::new((0..consumers).map(|_| AtomicU64::new(0)).collect());
         let handles = (0..consumers)
@@ -436,6 +478,7 @@ impl ConsumerPool {
                 notifier,
                 drains,
                 handles,
+                queues,
             },
         }
     }
@@ -486,6 +529,13 @@ impl ConsumerPool {
                     }
                 }
                 result?;
+                // With the drain plane gone, latch every queue's
+                // shutdown flag so a blocking producer that is (or
+                // gets) parked on a full queue wakes and returns short
+                // instead of sleeping forever with no consumer left.
+                for slot in &shared.slots {
+                    slot.queue.shutdown();
+                }
                 let stats = shared.stats();
                 let shared = Arc::try_unwrap(shared)
                     .map_err(|_| ())
@@ -494,6 +544,7 @@ impl ConsumerPool {
                     config,
                     slots,
                     control,
+                    bus,
                     ..
                 } = shared;
                 let mut control = control.into_inner().expect("pool control poisoned");
@@ -513,6 +564,7 @@ impl ConsumerPool {
                     metrics: control.metrics,
                     log: control.log,
                     checkpoint: control.checkpoint,
+                    bus,
                 });
                 Ok(PoolJoin {
                     supervisor: Some(supervisor),
@@ -523,6 +575,7 @@ impl ConsumerPool {
                 notifier,
                 drains,
                 handles,
+                queues,
             } => {
                 notifier.shutdown();
                 let mut result = Ok(());
@@ -533,6 +586,9 @@ impl ConsumerPool {
                     }
                 }
                 result?;
+                for queue in &queues {
+                    queue.shutdown();
+                }
                 Ok(PoolJoin {
                     supervisor: None,
                     stats: PoolStats {

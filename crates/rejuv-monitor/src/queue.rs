@@ -19,7 +19,15 @@
 //! pegged core. Symmetrically, a [`WorkNotifier`] can be attached so an
 //! empty→non-empty transition wakes a parked consumer thread (see
 //! [`crate::consumer::ConsumerThread`]): between batches, neither side
-//! burns CPU.
+//! burns CPU. When the drain plane exits it calls
+//! [`ObsQueue::shutdown`], which wakes any still-parked producer so a
+//! blocking push never sleeps forever on space that cannot free.
+//!
+//! Lossy pushes need not mean lost samples: attaching a
+//! [`DeadLetterQueue`](crate::dlq::DeadLetterQueue) (see
+//! [`crate::supervisor::Supervisor::enable_dlq`]) diverts what a full
+//! queue would drop into a bounded side buffer, replayed in FIFO order
+//! by the drain path once back-pressure clears.
 //!
 //! Three interchangeable backends implement the contract, selected by
 //! [`QueueBackend`]:
@@ -70,10 +78,11 @@
 //! see `maybe_notify` / `wake_parked_producer`.
 
 use crate::assurance::failpoints::fp;
+use crate::dlq::DeadLetterQueue;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Timestamp marker for samples that carry no timestamp.
 pub(crate) const UNTIMED: f64 = f64::NAN;
@@ -272,6 +281,10 @@ struct MutexInner {
     occupancy: AtomicUsize,
     counters: Counters,
     notifier: NotifierSlot,
+    /// Sticky shutdown flag: once set, parked producers wake and return
+    /// short instead of sleeping on space that will never free (the
+    /// drain plane is gone). See [`ObsQueue::shutdown`].
+    shutdown: AtomicBool,
 }
 
 impl MutexInner {
@@ -287,6 +300,7 @@ impl MutexInner {
             occupancy: AtomicUsize::new(0),
             counters: Counters::default(),
             notifier: NotifierSlot::default(),
+            shutdown: AtomicBool::new(false),
         }
     }
 
@@ -331,22 +345,31 @@ impl MutexInner {
         take
     }
 
-    fn push_blocking(&self, value: f64, at: f64) {
+    fn push_blocking(&self, value: f64, at: f64) -> bool {
         for _ in 0..BLOCKING_SPIN_LIMIT {
             if self.try_push(value, at) {
-                return;
+                return true;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
             }
             std::thread::yield_now();
         }
-        // Park until the consumer frees space. The push happens under
-        // the same lock the wait releases, so space seen is space used.
+        // Park until the consumer frees space (or shutdown wakes us).
+        // The push happens under the same lock the wait releases, so
+        // space seen is space used.
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
         fp!("queue.mutex.park");
         let mut buf = self.buf.lock().expect("queue lock poisoned");
         buf = self
             .space
-            .wait_while(buf, |b| b.len() >= self.capacity)
+            .wait_while(buf, |b| {
+                b.len() >= self.capacity && !self.shutdown.load(Ordering::SeqCst)
+            })
             .expect("queue lock poisoned");
+        if buf.len() >= self.capacity {
+            return false; // woken by shutdown, still full
+        }
         let was_empty = buf.is_empty();
         buf.push_back((value, at));
         self.occupancy.store(buf.len(), Ordering::Relaxed);
@@ -355,23 +378,39 @@ impl MutexInner {
         if was_empty {
             self.notifier.notify();
         }
+        true
     }
 
     /// Parks until at least one slot is free (blocking batch refill).
-    fn wait_for_space(&self) {
+    /// Returns `false` if the queue shut down while full instead.
+    fn wait_for_space(&self) -> bool {
         for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
             if self.buf.lock().expect("queue lock poisoned").len() < self.capacity {
-                return;
+                return true;
             }
             std::thread::yield_now();
         }
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
         let buf = self.buf.lock().expect("queue lock poisoned");
-        drop(
-            self.space
-                .wait_while(buf, |b| b.len() >= self.capacity)
-                .expect("queue lock poisoned"),
-        );
+        let buf = self
+            .space
+            .wait_while(buf, |b| {
+                b.len() >= self.capacity && !self.shutdown.load(Ordering::SeqCst)
+            })
+            .expect("queue lock poisoned");
+        buf.len() < self.capacity
+    }
+
+    /// Sets the sticky shutdown flag and wakes every parked producer.
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Take the queue lock so a producer between its predicate check
+        // and its sleep cannot miss this wakeup.
+        let _buf = self.buf.lock().expect("queue lock poisoned");
+        self.space.notify_all();
     }
 
     fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
@@ -447,6 +486,8 @@ struct RingInner {
     /// Set (SeqCst) by a producer about to park; checked by the
     /// consumer after freeing space. See `wake_parked_producer`.
     producer_parked: AtomicBool,
+    /// Sticky shutdown flag; see [`ObsQueue::shutdown`].
+    shutdown: AtomicBool,
     counters: Counters,
     notifier: NotifierSlot,
 }
@@ -470,6 +511,7 @@ impl RingInner {
             space_lock: Mutex::new(()),
             space: Condvar::new(),
             producer_parked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
             counters: Counters::default(),
             notifier: NotifierSlot::default(),
         }
@@ -577,55 +619,77 @@ impl RingInner {
         }
     }
 
-    fn push_blocking(&self, value: f64, at: f64) {
-        for _ in 0..BLOCKING_SPIN_LIMIT {
-            if self.try_push(value, at) {
-                return;
+    fn push_blocking(&self, value: f64, at: f64) -> bool {
+        loop {
+            for _ in 0..BLOCKING_SPIN_LIMIT {
+                if self.try_push(value, at) {
+                    return true;
+                }
+                std::thread::yield_now();
             }
-            std::thread::yield_now();
-        }
-        self.park_until_space();
-        // SPSC: nothing but this thread pushes, so the freed slot the
-        // park observed is still free.
-        let pushed = self.try_push(value, at);
-        debug_assert!(pushed, "space observed under the park handshake vanished");
-        if !pushed {
+            if !self.park_until_space() {
+                return false; // shut down while full
+            }
+            // SPSC: nothing but this thread pushes, so the freed slot
+            // the park observed is still free.
+            let pushed = self.try_push(value, at);
+            debug_assert!(pushed, "space observed under the park handshake vanished");
+            if pushed {
+                return true;
+            }
             // Defensive fallback for contract misuse: never lose the
             // sample a blocking push promised to deliver.
-            self.push_blocking(value, at);
         }
     }
 
     /// Parks until at least one slot is free, counting the wait. Uses
     /// the `producer_parked` flag + `SeqCst` handshake mirroring
     /// `maybe_notify` (the consumer's side is `wake_parked_producer`).
-    fn park_until_space(&self) {
+    /// Returns `false` if the queue shut down while full instead.
+    fn park_until_space(&self) -> bool {
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
         fp!("queue.ring.park");
         let mut guard = self.space_lock.lock().expect("park lock poisoned");
         loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.producer_parked.store(false, Ordering::Relaxed);
+                return false;
+            }
             self.producer_parked.store(true, Ordering::SeqCst);
             fence(Ordering::SeqCst);
             let pos = self.prod.0.tail.load(Ordering::Relaxed);
             if self.space_for(pos, 1) > 0 {
                 self.producer_parked.store(false, Ordering::Relaxed);
-                return;
+                return true;
             }
             guard = self.space.wait(guard).expect("park lock poisoned");
         }
     }
 
     /// Parks until space is available for a blocking batch refill
-    /// (spin first, mirroring `push_blocking`).
-    fn wait_for_space(&self) {
+    /// (spin first, mirroring `push_blocking`). Returns `false` if the
+    /// queue shut down while full instead.
+    fn wait_for_space(&self) -> bool {
         for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
             let pos = self.prod.0.tail.load(Ordering::Relaxed);
             if self.space_for(pos, 1) > 0 {
-                return;
+                return true;
             }
             std::thread::yield_now();
         }
-        self.park_until_space();
+        self.park_until_space()
+    }
+
+    /// Sets the sticky shutdown flag and wakes a parked producer. The
+    /// notify happens under the park lock, so a producer between its
+    /// re-check and its sleep cannot miss it.
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.space_lock.lock().expect("park lock poisoned");
+        self.space.notify_all();
     }
 
     fn drain_into(&self, out: &mut Vec<(f64, f64)>, max: usize) -> usize {
@@ -769,6 +833,8 @@ struct FanInInner {
     /// waking consumer — with multiple producers, a peer observing
     /// space must not clear a flag another parked producer relies on.
     producer_parked: AtomicBool,
+    /// Sticky shutdown flag; see [`ObsQueue::shutdown`].
+    shutdown: AtomicBool,
     counters: Counters,
     notifier: NotifierSlot,
 }
@@ -804,6 +870,7 @@ impl FanInInner {
             space_lock: Mutex::new(()),
             space: Condvar::new(),
             producer_parked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
             counters: Counters::default(),
             notifier: NotifierSlot::default(),
         }
@@ -921,18 +988,20 @@ impl FanInInner {
         take
     }
 
-    fn push_blocking(&self, value: f64, at: f64) {
+    fn push_blocking(&self, value: f64, at: f64) -> bool {
         loop {
             for _ in 0..BLOCKING_SPIN_LIMIT {
                 if self.try_push(value, at) {
-                    return;
+                    return true;
                 }
                 std::thread::yield_now();
             }
             // Unlike the SPSC ring, space observed under the park
             // handshake may be claimed by a peer producer first — so
             // re-attempt the push and re-park if it is gone again.
-            self.park_until_space();
+            if !self.park_until_space() {
+                return false; // shut down while full
+            }
         }
     }
 
@@ -941,30 +1010,46 @@ impl FanInInner {
     /// only the waking consumer clears it, because with several
     /// producers one observing space must not un-flag peers still
     /// parked behind it.
-    fn park_until_space(&self) {
+    fn park_until_space(&self) -> bool {
         self.counters.waits.fetch_add(1, Ordering::Relaxed);
         fp!("queue.fanin.park");
         let mut guard = self.space_lock.lock().expect("park lock poisoned");
         loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
             self.producer_parked.store(true, Ordering::SeqCst);
             fence(Ordering::SeqCst);
             if self.pending.load(Ordering::Relaxed) < self.capacity {
-                return;
+                return true;
             }
             guard = self.space.wait(guard).expect("park lock poisoned");
         }
     }
 
     /// Parks until space is available for a blocking batch refill
-    /// (spin first, mirroring `push_blocking`).
-    fn wait_for_space(&self) {
+    /// (spin first, mirroring `push_blocking`). Returns `false` if the
+    /// queue shut down while full instead.
+    fn wait_for_space(&self) -> bool {
         for _ in 0..BLOCKING_SPIN_LIMIT {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
             if self.pending.load(Ordering::Relaxed) < self.capacity {
-                return;
+                return true;
             }
             std::thread::yield_now();
         }
-        self.park_until_space();
+        self.park_until_space()
+    }
+
+    /// Sets the sticky shutdown flag and wakes every parked producer
+    /// (notify under the park lock so no producer can miss it between
+    /// its re-check and its sleep).
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.space_lock.lock().expect("park lock poisoned");
+        self.space.notify_all();
     }
 
     /// Pops the sample ticketed `next` if some lane has published it at
@@ -1075,6 +1160,10 @@ enum Inner {
 #[derive(Clone)]
 pub struct ObsQueue {
     inner: Inner,
+    /// Optional dead-letter queue, shared by every clone (set once,
+    /// read with one atomic load on the push path). While attached,
+    /// lossy pushes capture instead of dropping; see [`crate::dlq`].
+    dlq: Arc<OnceLock<Arc<DeadLetterQueue>>>,
 }
 
 impl std::fmt::Debug for ObsQueue {
@@ -1117,7 +1206,10 @@ impl ObsQueue {
             QueueBackend::Ring => Inner::Ring(Arc::new(RingInner::new(capacity))),
             QueueBackend::FanIn => Inner::FanIn(Arc::new(FanInInner::new(capacity))),
         };
-        ObsQueue { inner }
+        ObsQueue {
+            inner,
+            dlq: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Which backend this queue runs on.
@@ -1148,30 +1240,49 @@ impl ObsQueue {
     }
 
     /// Offers one untimed observation; returns `false` (and counts a
-    /// drop) if the queue is full.
+    /// drop) if the queue is full. With a dead-letter queue attached,
+    /// the sample is captured there instead and `false` means DLQ
+    /// overflow — the only remaining (and counted) loss.
     pub fn push(&self, value: f64) -> bool {
         self.push_at(value, UNTIMED)
     }
 
     /// Offers one observation stamped at `at` seconds of simulation
     /// time; returns `false` (and counts a drop) if the queue is full.
+    /// See [`ObsQueue::push`] for the dead-letter behaviour.
     pub fn push_at(&self, value: f64, at: f64) -> bool {
+        if let Some(dlq) = self.dlq.get() {
+            // While samples are pending in the DLQ, new lossy pushes
+            // must queue *behind* them: the logical stream is always
+            // `main queue ++ DLQ`, which is what keeps replayed runs
+            // in per-producer FIFO order (and digests deterministic).
+            if dlq.pending() > 0 {
+                return dlq.capture_one(value, at);
+            }
+        }
         let accepted = match &self.inner {
             Inner::Mutex(q) => q.try_push(value, at),
             Inner::Ring(q) => q.try_push(value, at),
             Inner::FanIn(q) => q.try_push(value, at),
         };
-        if !accepted {
-            self.counters().dropped.fetch_add(1, Ordering::Relaxed);
+        if accepted {
+            return true;
         }
-        accepted
+        if let Some(dlq) = self.dlq.get() {
+            return dlq.capture_one(value, at);
+        }
+        self.counters().dropped.fetch_add(1, Ordering::Relaxed);
+        false
     }
 
     /// Offers a batch of `(value, at)` samples, accepting a leading
     /// prefix bounded by the free space; returns how many were
-    /// accepted. The rest are counted as drops. One lock acquisition
-    /// (mutex) or one tail publish (ring) covers the whole accepted
-    /// prefix — the batched-producer fast path.
+    /// accepted. The rest are counted as drops — unless a dead-letter
+    /// queue is attached, in which case they are captured there (then
+    /// the return value counts queued *plus* captured samples, and the
+    /// shortfall is DLQ overflow). One lock acquisition (mutex) or one
+    /// tail publish (ring) covers the whole accepted prefix — the
+    /// batched-producer fast path.
     pub fn push_batch<I>(&self, samples: I) -> usize
     where
         I: IntoIterator<Item = (f64, f64)>,
@@ -1179,12 +1290,22 @@ impl ObsQueue {
     {
         let mut it = samples.into_iter();
         let want = it.len();
+        if let Some(dlq) = self.dlq.get() {
+            // FIFO invariant: pending dead letters go first. See
+            // `push_at`.
+            if dlq.pending() > 0 {
+                return dlq.capture_iter(&mut it, want);
+            }
+        }
         let took = match &self.inner {
             Inner::Mutex(q) => q.push_batch_partial(&mut it, want),
             Inner::Ring(q) => q.push_batch_partial(&mut it, want),
             Inner::FanIn(q) => q.push_batch_partial(&mut it, want),
         };
         if took < want {
+            if let Some(dlq) = self.dlq.get() {
+                return took + dlq.capture_iter(&mut it, want - took);
+            }
             self.counters()
                 .dropped
                 .fetch_add((want - took) as u64, Ordering::Relaxed);
@@ -1194,37 +1315,45 @@ impl ObsQueue {
 
     /// Pushes a batch losslessly: accepts as much as fits, then spins
     /// briefly and parks until the consumer frees space, repeating
-    /// until every sample is enqueued. Parks are counted in
-    /// [`ObsQueue::waits`].
-    pub fn push_batch_blocking<I>(&self, samples: I)
+    /// until every sample is enqueued — or until [`ObsQueue::shutdown`]
+    /// wakes the park, at which point it stops short. Returns how many
+    /// samples were enqueued (short of the batch length only on
+    /// shutdown). Parks are counted in [`ObsQueue::waits`].
+    pub fn push_batch_blocking<I>(&self, samples: I) -> usize
     where
         I: IntoIterator<Item = (f64, f64)>,
         I::IntoIter: ExactSizeIterator,
     {
         let mut it = samples.into_iter();
-        let mut remaining = it.len();
-        while remaining > 0 {
+        let want = it.len();
+        let mut pushed = 0;
+        while pushed < want {
             let took = match &self.inner {
-                Inner::Mutex(q) => q.push_batch_partial(&mut it, remaining),
-                Inner::Ring(q) => q.push_batch_partial(&mut it, remaining),
-                Inner::FanIn(q) => q.push_batch_partial(&mut it, remaining),
+                Inner::Mutex(q) => q.push_batch_partial(&mut it, want - pushed),
+                Inner::Ring(q) => q.push_batch_partial(&mut it, want - pushed),
+                Inner::FanIn(q) => q.push_batch_partial(&mut it, want - pushed),
             };
-            remaining -= took;
-            if remaining > 0 {
-                match &self.inner {
+            pushed += took;
+            if pushed < want {
+                let space = match &self.inner {
                     Inner::Mutex(q) => q.wait_for_space(),
                     Inner::Ring(q) => q.wait_for_space(),
                     Inner::FanIn(q) => q.wait_for_space(),
+                };
+                if !space {
+                    break; // shut down while full: nothing will drain
                 }
             }
         }
+        pushed
     }
 
     /// Pushes an untimed observation, waiting until space frees up. For
     /// producers that must not lose samples, e.g. the throughput bench's
-    /// load generators.
-    pub fn push_blocking(&self, value: f64) {
-        self.push_blocking_at(value, UNTIMED);
+    /// load generators. Returns `false` only if the queue was shut down
+    /// while full (the sample was not enqueued).
+    pub fn push_blocking(&self, value: f64) -> bool {
+        self.push_blocking_at(value, UNTIMED)
     }
 
     /// Pushes a timestamped observation, waiting until space frees up.
@@ -1232,12 +1361,90 @@ impl ObsQueue {
     /// Spins (with scheduler yields) a bounded number of times, then
     /// parks until the consumer drains — a stalled consumer never costs
     /// a pegged producer core. Parks are counted in [`ObsQueue::waits`].
-    pub fn push_blocking_at(&self, value: f64, at: f64) {
+    /// Returns `false` only if the queue was shut down while full.
+    pub fn push_blocking_at(&self, value: f64, at: f64) -> bool {
         match &self.inner {
             Inner::Mutex(q) => q.push_blocking(value, at),
             Inner::Ring(q) => q.push_blocking(value, at),
             Inner::FanIn(q) => q.push_blocking(value, at),
         }
+    }
+
+    /// Marks the queue shut down and wakes every parked producer: the
+    /// drain plane is gone, so space will never free and a blocking
+    /// push sleeping on it would hang forever. Blocking pushes observe
+    /// the flag and return short instead. Sticky until
+    /// [`ObsQueue::clear_shutdown`] (the consumer pool clears it on
+    /// spawn so drain planes can run back to back on one supervisor);
+    /// non-blocking pushes and drains are unaffected.
+    pub fn shutdown(&self) {
+        match &self.inner {
+            Inner::Mutex(q) => q.shutdown(),
+            Inner::Ring(q) => q.shutdown(),
+            Inner::FanIn(q) => q.shutdown(),
+        }
+    }
+
+    /// Whether [`ObsQueue::shutdown`] has been called (and not cleared).
+    pub fn is_shutdown(&self) -> bool {
+        match &self.inner {
+            Inner::Mutex(q) => q.shutdown.load(Ordering::SeqCst),
+            Inner::Ring(q) => q.shutdown.load(Ordering::SeqCst),
+            Inner::FanIn(q) => q.shutdown.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Clears the sticky shutdown flag so blocking pushes park again.
+    pub(crate) fn clear_shutdown(&self) {
+        match &self.inner {
+            Inner::Mutex(q) => q.shutdown.store(false, Ordering::SeqCst),
+            Inner::Ring(q) => q.shutdown.store(false, Ordering::SeqCst),
+            Inner::FanIn(q) => q.shutdown.store(false, Ordering::SeqCst),
+        }
+    }
+
+    /// The attached dead-letter queue, if any.
+    pub fn dlq(&self) -> Option<&Arc<DeadLetterQueue>> {
+        self.dlq.get()
+    }
+
+    /// Attaches a dead-letter queue: lossy pushes that find the queue
+    /// full capture their samples there instead of dropping them. The
+    /// attachment is shared by every clone of this queue — including
+    /// clones made before the call. At most one DLQ per queue.
+    ///
+    /// # Panics
+    ///
+    /// If a DLQ is already attached.
+    pub(crate) fn attach_dlq(&self, dlq: Arc<DeadLetterQueue>) {
+        assert!(
+            self.dlq.set(dlq).is_ok(),
+            "dead-letter queue already attached"
+        );
+    }
+
+    /// Re-ingests pending dead-lettered samples into the main queue
+    /// (oldest first), bounded by the queue's free space; returns how
+    /// many were moved. The drain path calls this before every drain,
+    /// so replayed samples re-enter at drain-batch boundaries in
+    /// capture order — the ordering the decision digests are defined
+    /// over. No-op without a DLQ or with nothing pending.
+    ///
+    /// Single-consumer note: this pushes from the consumer thread, but
+    /// never concurrently with a producer on the SPSC ring — while the
+    /// DLQ is non-empty every lossy push is diverted *into* the DLQ
+    /// (serialised by its lock), and the pending count only reads zero
+    /// again after the replay's queue writes are published.
+    pub(crate) fn replay_dead_letters(&self) -> usize {
+        let Some(dlq) = self.dlq.get() else { return 0 };
+        if dlq.pending() == 0 {
+            return 0;
+        }
+        dlq.replay_with(|mut it, want| match &self.inner {
+            Inner::Mutex(q) => q.push_batch_partial(&mut it, want),
+            Inner::Ring(q) => q.push_batch_partial(&mut it, want),
+            Inner::FanIn(q) => q.push_batch_partial(&mut it, want),
+        })
     }
 
     /// Moves up to `max` pending `(value, at)` samples into `out`
@@ -1778,5 +1985,170 @@ mod tests {
             q.drain_into(&mut out, usize::MAX);
             assert_eq!(q.backlog_hint(), 0, "{}", q.backend());
         });
+    }
+
+    /// Regression: a producer parked inside `push_batch_blocking` on a
+    /// full queue must be woken by `shutdown` and return short, rather
+    /// than sleep forever on space that will never free (the drain
+    /// plane is gone). Before the fix, the park loop re-checked only
+    /// occupancy, so the wake was lost and join hung.
+    #[test]
+    fn shutdown_wakes_a_parked_batch_producer() {
+        for_each_backend(4, |q| {
+            for v in 0..4 {
+                q.push(v as f64);
+            }
+            let producer = q.clone();
+            let pushed = std::thread::scope(|scope| {
+                let handle = scope.spawn(move || {
+                    let batch: Vec<(f64, f64)> =
+                        (0..8).map(|k| (100.0 + k as f64, UNTIMED)).collect();
+                    producer.push_batch_blocking(batch)
+                });
+                // Wait until the producer has given up spinning and
+                // parked (parks are counted), then shut the queue down.
+                while q.waits() == 0 {
+                    std::thread::yield_now();
+                }
+                q.shutdown();
+                handle.join().unwrap()
+            });
+            assert!(q.is_shutdown(), "{}", q.backend());
+            assert!(
+                pushed < 8,
+                "{}: batch producer must return short on shutdown, pushed {pushed}",
+                q.backend()
+            );
+        });
+    }
+
+    #[test]
+    fn shutdown_wakes_a_parked_blocking_push_and_clear_rearms_it() {
+        for_each_backend(2, |q| {
+            q.push(1.0);
+            q.push(2.0);
+            let producer = q.clone();
+            let accepted = std::thread::scope(|scope| {
+                let handle = scope.spawn(move || producer.push_blocking(3.0));
+                while q.waits() == 0 {
+                    std::thread::yield_now();
+                }
+                q.shutdown();
+                handle.join().unwrap()
+            });
+            assert!(
+                !accepted,
+                "{}: shutdown while full must refuse",
+                q.backend()
+            );
+            // The flag is sticky until cleared; once cleared (the pool
+            // does this on spawn) and space exists, blocking pushes
+            // work again.
+            q.clear_shutdown();
+            assert!(!q.is_shutdown());
+            let mut out = Vec::new();
+            q.drain_into(&mut out, usize::MAX);
+            assert!(q.push_blocking(4.0), "{}", q.backend());
+        });
+    }
+
+    #[test]
+    fn dlq_captures_overflow_instead_of_dropping() {
+        for_each_backend(2, |q| {
+            q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 3)));
+            // 2 fit, 3 dead-letter, 1 overflows the DLQ itself.
+            let mut offered = 0u64;
+            for v in 0..6 {
+                q.push(v as f64);
+                offered += 1;
+            }
+            let stats = q.dlq().unwrap().stats();
+            assert_eq!(
+                q.dropped(),
+                0,
+                "{}: a DLQ means no silent drops",
+                q.backend()
+            );
+            assert_eq!((stats.pending, stats.captured, stats.overflow), (3, 3, 1));
+            assert_eq!(
+                q.accepted() + stats.pending as u64 + stats.overflow,
+                offered,
+                "{}: every offered sample is accounted for",
+                q.backend()
+            );
+        });
+    }
+
+    #[test]
+    fn pending_dead_letters_divert_pushes_even_with_queue_space() {
+        for_each_backend(2, |q| {
+            q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 8)));
+            q.push(1.0);
+            q.push(2.0);
+            q.push(3.0); // full -> dead-lettered
+            let mut out = Vec::new();
+            q.drain_into(&mut out, usize::MAX); // frees all space
+                                                // The logical stream is queue ++ DLQ: while sample 3.0 is
+                                                // still pending, later pushes must line up behind it, not
+                                                // jump into the freed slots.
+            assert!(q.push(4.0), "{}", q.backend());
+            assert_eq!(q.len(), 0, "{}: push diverted to the DLQ", q.backend());
+            assert_eq!(values(&q.dlq().unwrap().contents()), vec![3.0, 4.0]);
+            // Batch pushes divert the same way.
+            assert_eq!(q.push_batch(vec![(5.0, UNTIMED)]), 1);
+            assert_eq!(q.dlq().unwrap().pending(), 3, "{}", q.backend());
+        });
+    }
+
+    #[test]
+    fn replay_moves_dead_letters_fifo_bounded_by_free_space() {
+        for_each_backend(2, |q| {
+            q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 8)));
+            for v in 0..5 {
+                q.push(v as f64); // 0,1 queued; 2,3,4 dead-lettered
+            }
+            let mut out = Vec::new();
+            q.drain_into(&mut out, usize::MAX);
+            assert_eq!(values(&out), vec![0.0, 1.0]);
+            // Space for two: replay moves exactly the two oldest.
+            assert_eq!(q.replay_dead_letters(), 2, "{}", q.backend());
+            q.drain_into(&mut out, usize::MAX);
+            assert_eq!(values(&out), vec![0.0, 1.0, 2.0, 3.0]);
+            assert_eq!(q.replay_dead_letters(), 1, "{}", q.backend());
+            q.drain_into(&mut out, usize::MAX);
+            assert_eq!(values(&out), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+            let stats = q.dlq().unwrap().stats();
+            assert_eq!((stats.pending, stats.captured, stats.replayed), (0, 3, 3));
+            // After replay the accounting identity still balances:
+            // replayed samples moved from `pending` into `accepted`.
+            assert_eq!(q.accepted() + stats.overflow, 5);
+            assert_eq!(
+                q.replay_dead_letters(),
+                0,
+                "{}: nothing pending",
+                q.backend()
+            );
+        });
+    }
+
+    #[test]
+    fn batch_push_splits_between_queue_and_dlq() {
+        for_each_backend(2, |q| {
+            q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 2)));
+            let batch: Vec<(f64, f64)> = (0..6).map(|v| (v as f64, UNTIMED)).collect();
+            // 2 queued + 2 captured = 4 kept; 2 are DLQ overflow.
+            assert_eq!(q.push_batch(batch), 4, "{}", q.backend());
+            assert_eq!(q.dropped(), 0, "{}", q.backend());
+            let stats = q.dlq().unwrap().stats();
+            assert_eq!((stats.pending, stats.overflow), (2, 2));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dead-letter queue already attached")]
+    fn attaching_a_second_dlq_panics() {
+        let q = ObsQueue::bounded(2);
+        q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 2)));
+        q.attach_dlq(Arc::new(DeadLetterQueue::new(0, 2)));
     }
 }

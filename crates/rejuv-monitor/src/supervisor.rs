@@ -34,6 +34,8 @@
 //! carry a per-kind [`DetectorKindReport`] rollup.
 
 use crate::assurance::failpoints::fp;
+use crate::bus::{EventBus, OpEvent};
+use crate::dlq::{DeadLetterQueue, DlqStats};
 use crate::event::{EventLog, MonitorEvent};
 use crate::metrics::{Histogram, MetricsRegistry, MetricsReport};
 use crate::queue::{ObsQueue, QueueBackend, UNTIMED};
@@ -43,6 +45,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
+use std::sync::Arc;
 
 /// Histogram bounds for observation values (seconds; the paper's SLA
 /// puts µX at 5 s).
@@ -60,8 +63,17 @@ const LATENCY_BOUNDS: [f64; 6] = [0.01, 0.05, 0.25, 1.0, 5.0, 25.0];
 /// version 3 moved histogram and counter accumulation into each shard
 /// ([`ShardSnapshot`] now carries the per-shard histograms), so a
 /// restored run resumes the exact per-shard floating-point state no
-/// matter how many consumer threads drained it.
+/// matter how many consumer threads drained it. Version 4
+/// ([`SNAPSHOT_VERSION_DLQ`]) adds the per-shard dead-letter queue
+/// contents and counters; it is written only when a DLQ is attached
+/// ([`Supervisor::enable_dlq`]), so default runs keep emitting v3
+/// byte-identically.
 pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Version tag written when any shard has a dead-letter queue attached:
+/// the snapshot additionally carries [`SupervisorSnapshot::dlq`], so no
+/// accepted-or-dead-lettered sample is lost across a crash.
+pub const SNAPSHOT_VERSION_DLQ: u32 = 4;
 
 /// Tuning knobs of a [`Supervisor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -198,6 +210,11 @@ pub(crate) struct Shard {
     /// Synchronous feeds ([`Supervisor::process_sync`]) dropped to
     /// back-pressure.
     pub(crate) sync_drops: u64,
+    /// Operational event bus, if one was attached via
+    /// [`Supervisor::set_bus`]; the drain path publishes
+    /// [`OpEvent::RejuvenationFired`] through it. Purely observational —
+    /// never feeds back into decisions or artifacts.
+    pub(crate) bus: Option<Arc<EventBus>>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -280,6 +297,11 @@ pub(crate) fn drain_shard(
     events: &mut Vec<MonitorEvent>,
 ) -> usize {
     batch.clear();
+    // Top up the main queue from the dead-letter queue (capture order)
+    // before popping: the logical stream is `main queue ++ DLQ`, and
+    // refilling first keeps every drained batch identical to the batch
+    // an undropped run would have drained. No-op without a DLQ.
+    shard.queue.replay_dead_letters();
     shard.queue.drain_into(batch, drain_batch);
     if batch.is_empty() {
         return 0;
@@ -320,6 +342,14 @@ pub(crate) fn drain_shard(
     shard.last_at = last_at;
     shard.batch_hist.record(batch.len() as f64);
     fp!("supervisor.drain-applied");
+    if let Some(bus) = shard.bus.as_ref() {
+        for &seq in &fired {
+            bus.publish(OpEvent::RejuvenationFired {
+                shard: index as u32,
+                seq,
+            });
+        }
+    }
     if logging {
         for &seq in &fired {
             events.push(MonitorEvent::Rejuvenated {
@@ -465,9 +495,11 @@ impl ShardSender {
     }
 
     /// Sends, waiting until queue space frees up (lossless producers).
-    /// Bounded spin, then a condvar park — never an unbounded busy loop.
-    pub fn send_blocking(&self, value: f64) {
-        self.queue.push_blocking(value);
+    /// Bounded spin, then a condvar park — never an unbounded busy
+    /// loop. Returns `false` only when the queue was shut down while
+    /// this producer waited (the sample was not enqueued).
+    pub fn send_blocking(&self, value: f64) -> bool {
+        self.queue.push_blocking(value)
     }
 
     /// Offers a batch of `(value, at)` samples in one queue operation
@@ -484,8 +516,10 @@ impl ShardSender {
 
     /// Sends a whole batch losslessly, parking between refills whenever
     /// the queue is full — the batched flavour of
-    /// [`ShardSender::send_blocking`].
-    pub fn send_batch_blocking<I>(&self, samples: I)
+    /// [`ShardSender::send_blocking`]. Returns how many samples were
+    /// enqueued: short only when the queue was shut down while this
+    /// producer waited.
+    pub fn send_batch_blocking<I>(&self, samples: I) -> usize
     where
         I: IntoIterator<Item = (f64, f64)>,
         I::IntoIter: ExactSizeIterator,
@@ -579,14 +613,75 @@ pub struct MonitorReport {
 
 /// A complete supervisor checkpoint: every shard's detector state plus
 /// the run accounting, restorable via [`Supervisor::restore`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialisation is hand-written (not derived) so the `dlq` field is
+/// *omitted* when empty: a supervisor without dead-letter queues keeps
+/// producing checkpoints byte-identical to the v3 derived layout.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SupervisorSnapshot {
-    /// Serialised-format version; see [`SNAPSHOT_VERSION`].
+    /// Serialised-format version; see [`SNAPSHOT_VERSION`] and
+    /// [`SNAPSHOT_VERSION_DLQ`].
     pub version: u32,
     /// Per-shard detector snapshots and counters, by shard index.
     pub shards: Vec<ShardSnapshot>,
     /// The metrics registry export at checkpoint time.
     pub metrics: MetricsReport,
+    /// Dead-letter state of every shard with a DLQ attached (empty for
+    /// v3 checkpoints). Entries are present even when no samples are
+    /// pending, so lifetime capture/replay/overflow counters survive a
+    /// crash too.
+    pub dlq: Vec<DlqSnapshot>,
+}
+
+impl Serialize for SupervisorSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut map = BTreeMap::new();
+        if !self.dlq.is_empty() {
+            map.insert("dlq".to_owned(), self.dlq.to_value());
+        }
+        map.insert("metrics".to_owned(), self.metrics.to_value());
+        map.insert("shards".to_owned(), self.shards.to_value());
+        map.insert("version".to_owned(), self.version.to_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for SupervisorSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value.get(name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` for SupervisorSnapshot"))
+            })
+        };
+        Ok(SupervisorSnapshot {
+            version: Deserialize::from_value(field("version")?)?,
+            shards: Deserialize::from_value(field("shards")?)?,
+            metrics: Deserialize::from_value(field("metrics")?)?,
+            // Absent in v3 checkpoints: default to no dead-letter state.
+            dlq: match value.get("dlq") {
+                Some(dlq) => Deserialize::from_value(dlq)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+/// One shard's dead-letter state inside a [`SupervisorSnapshot`]
+/// (format v4, see [`SNAPSHOT_VERSION_DLQ`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlqSnapshot {
+    /// The shard this dead-letter queue serves.
+    pub shard: u32,
+    /// Pending `(value, at)` samples, oldest first — exactly what
+    /// replay would re-ingest next.
+    pub samples: Vec<(f64, f64)>,
+    /// Lifetime samples captured when the checkpoint was taken.
+    pub captured: u64,
+    /// Lifetime samples replayed when the checkpoint was taken.
+    pub replayed: u64,
+    /// Lifetime samples lost to DLQ overflow when the checkpoint was
+    /// taken.
+    pub overflow: u64,
 }
 
 /// One shard's slice of a [`SupervisorSnapshot`].
@@ -674,6 +769,13 @@ pub enum RestoreError {
         /// Spec recorded in the checkpoint.
         found: Box<DetectorSpec>,
     },
+    /// A v4 checkpoint carries dead-letter state for a shard that has
+    /// no dead-letter queue attached (or names a shard out of range);
+    /// call [`Supervisor::enable_dlq`] before restoring.
+    DlqMismatch {
+        /// Shard index recorded in the checkpoint's dead-letter entry.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -698,11 +800,64 @@ impl fmt::Display for RestoreError {
                 f,
                 "shard {shard}: checkpoint spec {found} does not match configured {expected}"
             ),
+            RestoreError::DlqMismatch { shard } => write!(
+                f,
+                "checkpoint carries dead-letter state for shard {shard}, \
+                 which has no dead-letter queue attached"
+            ),
         }
     }
 }
 
 impl std::error::Error for RestoreError {}
+
+/// Why [`Supervisor::reload_specs`] refused a fleet hot-reload. The
+/// supervisor is never mutated on error: validation of *every* spec
+/// happens before any shard is rebuilt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReloadError {
+    /// The new fleet has a different number of shards — hot-reload can
+    /// rebuild detectors in place but cannot resize the fleet.
+    ShardCountMismatch {
+        /// Shards in this supervisor.
+        expected: usize,
+        /// Specs in the proposed fleet.
+        found: usize,
+    },
+    /// A proposed spec failed detector validation.
+    Spec {
+        /// The offending shard.
+        shard: usize,
+        /// The underlying validation error.
+        source: ConfigError,
+    },
+    /// The shard was not built from a [`DetectorSpec`] (opaque boxed
+    /// detector), so there is no baseline to diff the new spec against.
+    NotFromSpecs {
+        /// The offending shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::ShardCountMismatch { expected, found } => write!(
+                f,
+                "fleet has {found} shards but the supervisor has {expected}"
+            ),
+            ReloadError::Spec { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+            ReloadError::NotFromSpecs { shard } => write!(
+                f,
+                "shard {shard} was not built from a spec; hot-reload needs a spec-built fleet"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
 
 /// The sharded online monitoring runtime.
 pub struct Supervisor {
@@ -715,6 +870,8 @@ pub struct Supervisor {
     scratch: Vec<(f64, f64)>,
     event_scratch: Vec<MonitorEvent>,
     checkpoint: Option<CheckpointStream>,
+    /// Operational event bus, if attached ([`Supervisor::set_bus`]).
+    bus: Option<Arc<EventBus>>,
 }
 
 impl fmt::Debug for Supervisor {
@@ -748,6 +905,7 @@ impl Supervisor {
             log: None,
             event_scratch: Vec::new(),
             checkpoint: None,
+            bus: None,
         }
     }
 
@@ -825,6 +983,7 @@ impl Supervisor {
             latency_hist: Histogram::new(&LATENCY_BOUNDS),
             snapshots: 0,
             sync_drops: 0,
+            bus: self.bus.clone(),
         });
         self.metrics.set_gauge("shards", self.shards.len() as f64);
         let of_kind = self
@@ -930,6 +1089,172 @@ impl Supervisor {
     /// Stops streaming checkpoints and returns the sink, if any.
     pub fn take_checkpoint(&mut self) -> Option<CheckpointSink> {
         self.checkpoint.take().map(|stream| stream.sink)
+    }
+
+    /// Attaches a bounded [`DeadLetterQueue`] (holding up to `capacity`
+    /// samples) to every shard: lossy pushes that find a queue full
+    /// *capture* the `(value, at)` sample instead of dropping it, and
+    /// each drain replays captured samples back in FIFO order before
+    /// popping — so under saturation `dropped` stays 0 and the decision
+    /// digests match a run that never saturated. Checkpoints switch to
+    /// format v4 ([`SNAPSHOT_VERSION_DLQ`]), carrying the DLQ contents.
+    ///
+    /// Call before [`Supervisor::set_bus`] (an already-attached bus is
+    /// propagated here too) and before producers start. Shards added
+    /// later are *not* retrofitted.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero, or a shard already has a DLQ attached.
+    pub fn enable_dlq(&mut self, capacity: usize) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let dlq = Arc::new(DeadLetterQueue::new(i as u32, capacity));
+            if let Some(bus) = self.bus.as_ref() {
+                dlq.set_bus(Arc::clone(bus));
+            }
+            shard.queue.attach_dlq(dlq);
+        }
+    }
+
+    /// Attaches an operational [`EventBus`]: the runtime publishes
+    /// [`OpEvent`]s (rejuvenation fired, checkpoint written, queue
+    /// saturated, samples dead-lettered/replayed/overflowed, shard
+    /// rebuilt) through it. Purely observational — attaching a bus
+    /// changes no report, trace, digest, or checkpoint byte.
+    pub fn set_bus(&mut self, bus: Arc<EventBus>) {
+        for shard in &mut self.shards {
+            shard.bus = Some(Arc::clone(&bus));
+            if let Some(dlq) = shard.queue.dlq() {
+                dlq.set_bus(Arc::clone(&bus));
+            }
+        }
+        self.bus = Some(bus);
+    }
+
+    /// The attached operational event bus, if any.
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
+    }
+
+    /// Whether any shard has a dead-letter queue attached.
+    pub fn dlq_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.queue.dlq().is_some())
+    }
+
+    /// Dead-letter accounting for `shard`, or [`None`] when it has no
+    /// DLQ attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn dlq_stats(&self, shard: usize) -> Option<DlqStats> {
+        self.shards[shard].queue.dlq().map(|d| d.stats())
+    }
+
+    /// Dead-letter accounting summed over every shard with a DLQ
+    /// attached (all zeros when none is).
+    pub fn dlq_totals(&self) -> DlqStats {
+        let mut totals = DlqStats::default();
+        for shard in &self.shards {
+            if let Some(stats) = shard.queue.dlq().map(|d| d.stats()) {
+                totals.pending += stats.pending;
+                totals.captured += stats.captured;
+                totals.replayed += stats.replayed;
+                totals.overflow += stats.overflow;
+            }
+        }
+        totals
+    }
+
+    /// Hot-reloads the fleet from `specs`, rebuilding **exactly the
+    /// drifted shards** (spec differs from the one in force) in place:
+    /// a fresh detector is built from the new spec, while the shard's
+    /// processed/rejuvenation counters, histograms, and queue (pending
+    /// samples included) are kept. The new detector kind is folded into
+    /// the shard's running digest, so the digest records the algorithm
+    /// switch the same way construction seeds record the initial kind.
+    /// Publishes [`OpEvent::ShardRebuilt`] per rebuilt shard when a bus
+    /// is attached, and returns the rebuilt shard indices (empty when
+    /// nothing drifted).
+    ///
+    /// Validation is all-or-nothing: every spec is checked (count,
+    /// spec-built shard, detector validation) before any shard is
+    /// mutated, mirroring [`Supervisor::restore`]'s contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError`] with the supervisor untouched.
+    pub fn reload_specs(&mut self, specs: &[DetectorSpec]) -> Result<Vec<usize>, ReloadError> {
+        if specs.len() != self.shards.len() {
+            return Err(ReloadError::ShardCountMismatch {
+                expected: self.shards.len(),
+                found: specs.len(),
+            });
+        }
+        let mut rebuilt: Vec<(usize, Box<dyn RejuvenationDetector>)> = Vec::new();
+        for (i, (spec, shard)) in specs.iter().zip(&self.shards).enumerate() {
+            let Some(current) = shard.spec.as_ref() else {
+                return Err(ReloadError::NotFromSpecs { shard: i });
+            };
+            if spec == current {
+                continue;
+            }
+            let detector = spec
+                .build()
+                .map_err(|source| ReloadError::Spec { shard: i, source })?;
+            rebuilt.push((i, detector));
+        }
+        let mut indices = Vec::with_capacity(rebuilt.len());
+        for (i, detector) in rebuilt {
+            let shard = &mut self.shards[i];
+            let from = shard.detector.name().to_owned();
+            let to = detector.name().to_owned();
+            shard.detector = detector;
+            shard.spec = Some(specs[i]);
+            // Fold the new kind into the *running* digest (same scheme
+            // as the construction seed): decisions after the rebuild
+            // are certified as the new algorithm's.
+            shard.digest = fnv1a(shard.digest, to.as_bytes());
+            shard.last_decision = Decision::Continue;
+            if let Some(bus) = shard.bus.as_ref() {
+                bus.publish(OpEvent::ShardRebuilt {
+                    shard: i as u32,
+                    from,
+                    to,
+                });
+            }
+            indices.push(i);
+        }
+        if !indices.is_empty() {
+            self.refresh_kind_gauges();
+        }
+        Ok(indices)
+    }
+
+    /// Recomputes every `shards_{kind}` topology gauge after a reload:
+    /// gauges for kinds no longer present drop to zero rather than
+    /// lingering at a stale count.
+    fn refresh_kind_gauges(&mut self) {
+        let stale: Vec<String> = self
+            .metrics
+            .report()
+            .gauges
+            .keys()
+            .filter(|name| name.starts_with("shards_"))
+            .cloned()
+            .collect();
+        for name in stale {
+            self.metrics.set_gauge(&name, 0.0);
+        }
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for shard in &self.shards {
+            *counts
+                .entry(format!("shards_{}", shard.detector.name()))
+                .or_insert(0) += 1;
+        }
+        for (name, count) in counts {
+            self.metrics.set_gauge(&name, count as f64);
+        }
     }
 
     /// Sum of processed observations over all shards.
@@ -1043,6 +1368,11 @@ impl Supervisor {
         let total = self.total_processed();
         if let Some(stream) = self.checkpoint.as_mut() {
             stream.emit(&snapshot, total)?;
+        }
+        if let Some(bus) = self.bus.as_ref() {
+            bus.publish(OpEvent::CheckpointWritten {
+                total_processed: total,
+            });
         }
         Ok(())
     }
@@ -1180,10 +1510,32 @@ impl Supervisor {
         for s in &self.shards {
             shards.push(s.snapshot_view()?);
         }
+        // One dead-letter entry per DLQ-attached shard, pending or not,
+        // so lifetime counters survive a crash; the format version says
+        // v4 exactly when any entry exists, keeping default (no-DLQ)
+        // checkpoints byte-identical v3.
+        let mut dlq = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(d) = s.queue.dlq() {
+                let stats = d.stats();
+                dlq.push(DlqSnapshot {
+                    shard: i as u32,
+                    samples: d.contents(),
+                    captured: stats.captured,
+                    replayed: stats.replayed,
+                    overflow: stats.overflow,
+                });
+            }
+        }
         Some(SupervisorSnapshot {
-            version: SNAPSHOT_VERSION,
+            version: if dlq.is_empty() {
+                SNAPSHOT_VERSION
+            } else {
+                SNAPSHOT_VERSION_DLQ
+            },
             shards,
             metrics: self.merged_metrics().report(),
+            dlq,
         })
     }
 
@@ -1198,11 +1550,22 @@ impl Supervisor {
     /// detector kind than the one configured for that shard; the
     /// supervisor is unchanged on error.
     pub fn restore(&mut self, snapshot: &SupervisorSnapshot) -> Result<(), RestoreError> {
-        if snapshot.version != SNAPSHOT_VERSION {
+        if snapshot.version != SNAPSHOT_VERSION && snapshot.version != SNAPSHOT_VERSION_DLQ {
             return Err(RestoreError::VersionMismatch {
                 expected: SNAPSHOT_VERSION,
                 found: snapshot.version,
             });
+        }
+        // Dead-letter entries must land on shards that have a DLQ
+        // attached — validated up front, like everything else.
+        for entry in &snapshot.dlq {
+            let attached = self
+                .shards
+                .get(entry.shard as usize)
+                .is_some_and(|s| s.queue.dlq().is_some());
+            if !attached {
+                return Err(RestoreError::DlqMismatch { shard: entry.shard });
+            }
         }
         if snapshot.shards.len() != self.shards.len() {
             return Err(RestoreError::ShardCountMismatch {
@@ -1273,6 +1636,24 @@ impl Supervisor {
         base.histograms
             .retain(|name, _| !DERIVED_HISTOGRAMS.contains(&name.as_str()));
         self.metrics = MetricsRegistry::from_report(&base);
+        // The checkpoint is authoritative for dead-letter state too: a
+        // v3 checkpoint (no entries) resets any attached DLQ, a v4 one
+        // reinstates pending samples and lifetime counters wholesale.
+        for shard in &self.shards {
+            if let Some(dlq) = shard.queue.dlq() {
+                dlq.reset();
+            }
+        }
+        for entry in &snapshot.dlq {
+            if let Some(dlq) = self.shards[entry.shard as usize].queue.dlq() {
+                dlq.restore(
+                    &entry.samples,
+                    entry.captured,
+                    entry.replayed,
+                    entry.overflow,
+                );
+            }
+        }
         if let Some(stream) = self.checkpoint.as_mut() {
             stream.last_total = snapshot.shards.iter().map(|s| s.processed).sum();
         }
@@ -1290,6 +1671,7 @@ impl Supervisor {
             metrics: self.metrics,
             log: self.log,
             checkpoint: self.checkpoint,
+            bus: self.bus,
         }
     }
 
@@ -1304,6 +1686,7 @@ impl Supervisor {
             log: parts.log,
             event_scratch: Vec::new(),
             checkpoint: parts.checkpoint,
+            bus: parts.bus,
         }
     }
 }
@@ -1317,6 +1700,7 @@ pub(crate) struct SupervisorParts {
     pub(crate) metrics: MetricsRegistry,
     pub(crate) log: Option<EventLog>,
     pub(crate) checkpoint: Option<CheckpointStream>,
+    pub(crate) bus: Option<Arc<EventBus>>,
 }
 
 #[cfg(test)]
@@ -1687,5 +2071,264 @@ mod tests {
         assert!(sink.push(Observation::at_secs(0.5, 42.0)));
         assert_eq!(sup.poll_shard(1).unwrap(), 1);
         assert_eq!(sup.processed(1), 1);
+    }
+
+    /// One spec-built SRAA shard with a deliberately tiny queue, so
+    /// lossy sends saturate it.
+    fn tiny_specced(queue_capacity: usize) -> Supervisor {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        Supervisor::with_specs(
+            SupervisorConfig {
+                queue_capacity,
+                drain_batch: 8,
+                ..SupervisorConfig::default()
+            },
+            &[DetectorSpec::new(DetectorKind::Sraa)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dlq_saturated_run_reports_identically_to_an_undropped_run() {
+        // Saturated: capacity 8 (>= drain_batch, the replay-determinism
+        // condition), so most of the burst dead-letters; replay at the
+        // drain boundary must reconstruct the exact logical stream.
+        let mut saturated = tiny_specced(8);
+        saturated.enable_dlq(256);
+        let mut roomy = tiny_specced(256);
+        let values: Vec<f64> = (0..120)
+            .map(|i| {
+                if i % 9 == 0 {
+                    75.0
+                } else {
+                    4.0 + (i % 5) as f64
+                }
+            })
+            .collect();
+        for &v in &values {
+            assert!(saturated.ingest(0, v), "DLQ absorbs the overflow");
+            assert!(roomy.ingest(0, v));
+        }
+        while saturated.poll_shard(0).unwrap() > 0 {}
+        while roomy.poll_shard(0).unwrap() > 0 {}
+        let totals = saturated.dlq_totals();
+        assert!(totals.captured > 0, "the run must actually saturate");
+        assert_eq!(totals.pending, 0);
+        assert_eq!(totals.overflow, 0);
+        assert_eq!(totals.captured, totals.replayed);
+        // Same decisions, same digests, same counters: the DLQ made
+        // back-pressure invisible to the report.
+        assert_eq!(saturated.report(), roomy.report());
+    }
+
+    #[test]
+    fn dlq_snapshot_round_trips_as_v4_and_restores_dead_letters() {
+        let mut sup = tiny_specced(8);
+        sup.enable_dlq(16);
+        for i in 0..12 {
+            // Timestamped samples: NaN (untimed) timestamps would defeat
+            // the `assert_eq!` below, NaN never comparing equal.
+            assert!(sup.ingest_at(0, 40.0 + i as f64, i as f64));
+        }
+        let snap = sup.snapshot().unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION_DLQ);
+        assert_eq!(snap.dlq.len(), 1);
+        assert_eq!(snap.dlq[0].shard, 0);
+        assert_eq!(snap.dlq[0].samples.len(), 4, "12 offered, 8 queued");
+        assert_eq!(snap.dlq[0].captured, 4);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: SupervisorSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+
+        let mut resumed = tiny_specced(8);
+        resumed.enable_dlq(16);
+        resumed.restore(&snap).unwrap();
+        let stats = resumed.dlq_stats(0).unwrap();
+        assert_eq!((stats.pending, stats.captured), (4, 4));
+        // The reinstated dead letters replay on the next drain: the
+        // queue itself was empty (pending queue contents are never
+        // checkpointed), so exactly the 4 captured samples process.
+        assert_eq!(resumed.poll_shard(0).unwrap(), 4);
+        assert_eq!(resumed.dlq_stats(0).unwrap().pending, 0);
+    }
+
+    #[test]
+    fn v4_checkpoint_into_a_dlq_less_supervisor_is_rejected() {
+        let mut donor = tiny_specced(8);
+        donor.enable_dlq(16);
+        for i in 0..12 {
+            donor.ingest(0, 40.0 + i as f64);
+        }
+        let snap = donor.snapshot().unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION_DLQ);
+        let mut target = tiny_specced(8);
+        let before = target.report();
+        assert_eq!(
+            target.restore(&snap),
+            Err(RestoreError::DlqMismatch { shard: 0 })
+        );
+        assert_eq!(target.report(), before, "failed restore leaves no trace");
+    }
+
+    #[test]
+    fn v3_checkpoint_resets_dead_letter_state_on_restore() {
+        let donor = small();
+        let snap = donor.snapshot().unwrap();
+        assert_eq!(snap.version, SNAPSHOT_VERSION, "no DLQ stays v3");
+        let mut target = Supervisor::with_shards(
+            SupervisorConfig {
+                queue_capacity: 2,
+                drain_batch: 8,
+                ..SupervisorConfig::default()
+            },
+            2,
+            |_| sraa(),
+        );
+        target.enable_dlq(8);
+        for i in 0..5 {
+            target.ingest(0, i as f64);
+        }
+        assert!(target.dlq_stats(0).unwrap().pending > 0);
+        target.restore(&snap).unwrap();
+        // The checkpoint is authoritative: it predates the dead
+        // letters, so they are gone.
+        assert_eq!(target.dlq_totals(), DlqStats::default());
+    }
+
+    #[test]
+    fn reload_rebuilds_only_drifted_shards_and_folds_the_digest() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let specs = [
+            DetectorSpec::new(DetectorKind::Sraa),
+            DetectorSpec::new(DetectorKind::Clta),
+        ];
+        let mut sup = Supervisor::with_specs(SupervisorConfig::default(), &specs).unwrap();
+        for shard in 0..2 {
+            for _ in 0..30 {
+                sup.process_sync(shard, 5.0).unwrap();
+            }
+        }
+        let before = sup.report();
+        let mut next = specs;
+        next[1] = DetectorSpec::new(DetectorKind::Cusum);
+        assert_eq!(sup.reload_specs(&next).unwrap(), vec![1]);
+        // The untouched shard is bit-for-bit untouched; the rebuilt one
+        // keeps its counters and folds the new kind into its digest.
+        let after = sup.report();
+        assert_eq!(after.shards[0], before.shards[0]);
+        assert_eq!(after.shards[1].processed, 30);
+        let before_digest = u64::from_str_radix(&before.shards[1].digest, 16).unwrap();
+        assert_eq!(
+            after.shards[1].digest,
+            format!("{:016x}", fnv1a(before_digest, b"CUSUM"))
+        );
+        assert_eq!(sup.spec(1), Some(&next[1]));
+        // Topology gauges follow: the CLTA gauge drops to zero instead
+        // of lingering.
+        assert_eq!(after.metrics.gauges["shards_CLTA"], 0.0);
+        assert_eq!(after.metrics.gauges["shards_CUSUM"], 1.0);
+        assert_eq!(after.metrics.gauges["shards_SRAA"], 1.0);
+        // Reloading the now-current fleet is a no-op.
+        assert_eq!(sup.reload_specs(&next).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reload_rejects_bad_fleets_without_mutating_any_shard() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let specs = [
+            DetectorSpec::new(DetectorKind::Sraa),
+            DetectorSpec::new(DetectorKind::Clta),
+        ];
+        let mut sup = Supervisor::with_specs(SupervisorConfig::default(), &specs).unwrap();
+        for _ in 0..10 {
+            sup.process_sync(0, 5.0).unwrap();
+        }
+        let before = sup.report();
+
+        // Wrong shard count.
+        assert!(matches!(
+            sup.reload_specs(&specs[..1]),
+            Err(ReloadError::ShardCountMismatch {
+                expected: 2,
+                found: 1,
+            })
+        ));
+        // Shard 0 drifts to a *valid* spec, shard 1 to an invalid one:
+        // validate-all-then-mutate means shard 0 must stay untouched.
+        let mut bad = specs;
+        bad[0] = DetectorSpec::new(DetectorKind::Cusum);
+        bad[1].sample_size = 0;
+        assert!(matches!(
+            sup.reload_specs(&bad),
+            Err(ReloadError::Spec { shard: 1, .. })
+        ));
+        assert_eq!(sup.report(), before, "failed reloads leave no trace");
+        assert_eq!(sup.spec(0), Some(&specs[0]));
+
+        // A closure-built fleet has no specs to diff against.
+        let mut opaque = small();
+        assert_eq!(
+            opaque.reload_specs(&specs).unwrap_err(),
+            ReloadError::NotFromSpecs { shard: 0 }
+        );
+    }
+
+    #[test]
+    fn bus_publishes_the_operational_event_stream() {
+        use rejuv_core::{DetectorKind, DetectorSpec};
+        let mut sup = Supervisor::with_specs(
+            SupervisorConfig {
+                queue_capacity: 4,
+                drain_batch: 8,
+                ..SupervisorConfig::default()
+            },
+            &[DetectorSpec::new(DetectorKind::Sraa)],
+        )
+        .unwrap();
+        sup.enable_dlq(4);
+        let bus = Arc::new(EventBus::new());
+        sup.set_bus(Arc::clone(&bus));
+        let sub = bus.subscribe(256);
+        sup.set_checkpoint(8, Box::new(|_| Ok(())));
+
+        // 4 queued, 4 dead-lettered, 2 overflowed.
+        for i in 0..10 {
+            sup.ingest(0, 60.0 + i as f64);
+        }
+        // Drain everything (replaying the dead letters), then push the
+        // detector over its threshold so a rejuvenation fires.
+        while sup.poll_shard(0).unwrap() > 0 {}
+        while sup.rejuvenations(0) == 0 {
+            sup.process_sync(0, 90.0).unwrap();
+        }
+        let events = sub.drain();
+        let has = |pred: &dyn Fn(&OpEvent) -> bool| events.iter().any(pred);
+        assert!(has(&|e| matches!(e, OpEvent::QueueSaturated { shard: 0 })));
+        assert!(has(
+            &|e| matches!(e, OpEvent::SamplesDeadLettered { shard: 0, count } if *count > 0)
+        ));
+        assert!(has(
+            &|e| matches!(e, OpEvent::DlqOverflow { shard: 0, count } if *count > 0)
+        ));
+        assert!(has(
+            &|e| matches!(e, OpEvent::DlqReplayed { shard: 0, count } if *count > 0)
+        ));
+        assert!(has(&|e| matches!(
+            e,
+            OpEvent::RejuvenationFired { shard: 0, .. }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            OpEvent::CheckpointWritten { total_processed } if *total_processed >= 8
+        )));
+        // Reload publishes the rebuild.
+        let next = [DetectorSpec::new(DetectorKind::Clta)];
+        sup.reload_specs(&next).unwrap();
+        let events = sub.drain();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            OpEvent::ShardRebuilt { shard: 0, from, to } if from == "SRAA" && to == "CLTA"
+        )));
+        assert_eq!(sub.overflow(), 0);
     }
 }

@@ -6,7 +6,9 @@
 //! is byte-identical before and after the failed restore.
 
 use rejuv_core::{DetectorKind, DetectorSpec};
-use rejuv_monitor::{RestoreError, Supervisor, SupervisorConfig, SNAPSHOT_VERSION};
+use rejuv_monitor::{
+    RestoreError, Supervisor, SupervisorConfig, SNAPSHOT_VERSION, SNAPSHOT_VERSION_DLQ,
+};
 
 fn supervisor_of(kinds: &[DetectorKind]) -> Supervisor {
     let specs: Vec<DetectorSpec> = kinds.iter().map(|&k| DetectorSpec::new(k)).collect();
@@ -79,7 +81,9 @@ fn kind_mismatch_on_a_later_shard_names_that_shard() {
 fn version_mismatch_is_rejected_without_mutation() {
     let mut donor = supervisor_of(&[DetectorKind::Sraa]);
     warm_up(&mut donor);
-    for bad_version in [0, SNAPSHOT_VERSION - 1, SNAPSHOT_VERSION + 1, 99] {
+    // `SNAPSHOT_VERSION_DLQ` (v4) is the one *higher* version restore
+    // accepts — everything else must be rejected.
+    for bad_version in [0, SNAPSHOT_VERSION - 1, SNAPSHOT_VERSION_DLQ + 1, 99] {
         let mut checkpoint = donor.snapshot().unwrap();
         checkpoint.version = bad_version;
         let mut target = supervisor_of(&[DetectorKind::Sraa]);
