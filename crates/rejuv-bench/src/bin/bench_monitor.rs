@@ -42,17 +42,32 @@
 //!                        accepted + dead_lettered + overflow == offered
 //!   --dlq-cap N          per-shard dead-letter capacity (default 65536;
 //!                        requires --dlq)
+//!   --listen ADDR        run one extra scrape-under-load cell: a
+//!                        shared-mode pass with a live /metrics
+//!                        responder on ADDR (port 0 picks a free port)
+//!                        scraped continuously while producers run,
+//!                        plus a scrape-free twin. Asserts the scraped
+//!                        run's digests still match the serial
+//!                        reference and its report matches the twin's
+//!                        (modulo the scheduling-noise drain-batching
+//!                        histogram), and reports obs/s for both
 //!   --quick              small run for CI smoke (25000 obs/shard)
 //! ```
 //!
-//! Exit status: `0` on success, `2` on a usage error (one-line
-//! `bench_monitor: ...` diagnostic on stderr).
+//! Exit status: `0` on success, `1` when `--listen` cannot bind its
+//! address, `2` on a usage error (one-line `bench_monitor: ...`
+//! diagnostic on stderr).
 
 use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
 use rejuv_monitor::{
-    ConsumerPool, DlqStats, FleetConfig, QueueBackend, Supervisor, SupervisorConfig,
+    ConsumerPool, ConsumerThread, DlqStats, FleetConfig, MetricsServer, QueueBackend,
+    SharedSupervisor, Supervisor, SupervisorConfig,
 };
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Options {
@@ -68,6 +83,7 @@ struct Options {
     lossy: bool,
     dlq: bool,
     dlq_cap: usize,
+    listen: Option<SocketAddr>,
 }
 
 /// Parses one typed flag value, turning parse failures into a one-line
@@ -95,6 +111,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
         lossy: false,
         dlq: false,
         dlq_cap: 65_536,
+        listen: None,
     };
     let mut quick = false;
     let mut observations_set = false;
@@ -148,6 +165,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
                 opts.dlq_cap = parsed("--dlq-cap", &value("--dlq-cap")?)?;
                 dlq_cap_set = true;
             }
+            "--listen" => opts.listen = Some(parsed("--listen", &value("--listen")?)?),
             "--quick" => quick = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -180,6 +198,11 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
     }
     if opts.dlq && opts.dlq_cap == 0 {
         return Err("--dlq-cap must be positive".to_owned());
+    }
+    if opts.listen.is_some() && opts.lossy {
+        return Err("--listen asserts the scraped run reproduces the serial \
+             reference; it cannot be combined with --lossy"
+            .to_owned());
     }
     Ok(opts)
 }
@@ -362,6 +385,128 @@ fn reference_digests(opts: &Options) -> Vec<String> {
         .collect()
 }
 
+/// One blocking GET against the responder, draining the reply. Returns
+/// whether a well-formed exposition body came back; failures are
+/// tolerated (the server's own scrape counter is authoritative).
+fn scrape_once(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).is_ok() && reply.contains("rejuv_exposition_scrapes_total")
+}
+
+/// The scrape cell's outcome: wall time, the final report rendered as
+/// JSON, per-shard digests and the number of scrapes served.
+struct ScrapedRun {
+    elapsed: f64,
+    report_json: String,
+    digests: Vec<String>,
+    scrapes: u64,
+}
+
+/// One shared-mode pass (supervisor behind a mutex, `ConsumerThread`
+/// drain plane), optionally with a live `/metrics` responder scraped
+/// every 50 ms while the producers run. The queue capacity is widened
+/// to hold a full shard stream so blocking producers never park —
+/// `producer_waits` stays deterministically zero and the final report
+/// is byte-comparable across runs.
+fn scraped_run(opts: &Options, listen: Option<SocketAddr>) -> ScrapedRun {
+    let backend = *opts.backends.first().expect("at least one backend");
+    let consumers = *opts.consumers.last().expect("at least one count");
+    let mut config = config_for(opts, backend, consumers);
+    config.queue_capacity = config.queue_capacity.max(opts.observations as usize);
+    let shared = SharedSupervisor::new(build_supervisor(opts, config));
+    let consumer = ConsumerThread::spawn_shared(&shared);
+    let server = listen.map(|addr| {
+        MetricsServer::bind(addr, shared.clone(), Some(consumer.stats_handle())).unwrap_or_else(
+            |e| {
+                eprintln!("bench_monitor: cannot bind --listen {addr}: {e}");
+                std::process::exit(1);
+            },
+        )
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = server.as_ref().map(|server| {
+        let addr = server.local_addr();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let _ = scrape_once(addr);
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        })
+    });
+
+    let senders: Vec<_> = (0..opts.shards)
+        .map(|s| shared.with(|sup| sup.sender(s)))
+        .collect();
+    let per_shard = opts.observations;
+    let batch = opts.producer_batch as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (shard, sender) in senders.iter().enumerate() {
+            scope.spawn(move || {
+                let mut buf = Vec::with_capacity(batch as usize);
+                let mut i = 0;
+                while i < per_shard {
+                    let n = batch.min(per_shard - i);
+                    buf.clear();
+                    buf.extend((i..i + n).map(|k| (synthetic(shard as u64, k), f64::NAN)));
+                    sender.send_batch_blocking(buf.iter().copied());
+                    i += n;
+                }
+            });
+        }
+    });
+    let (_, _stats) = consumer.join_stats().expect("no log attached");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = scraper {
+        handle.join().expect("scraper never panics");
+    }
+    let scrapes = server.as_ref().map_or(0, MetricsServer::scrapes);
+    if let Some(server) = server {
+        // The responder holds a supervisor clone; release it before the
+        // run can reclaim the supervisor below.
+        server.shutdown();
+    }
+    let supervisor = shared
+        .try_into_inner()
+        .expect("drain plane and responder released their handles");
+    let report = supervisor.report();
+    ScrapedRun {
+        elapsed,
+        report_json: comparable_report(&report),
+        digests: report.shards.iter().map(|s| s.digest.clone()).collect(),
+        scrapes,
+    }
+}
+
+/// Renders a report for cross-run comparison, dropping the one piece of
+/// telemetry that is thread-scheduling noise rather than a function of
+/// the observation stream: the `drain_batch_size` histogram differs
+/// between any two threaded runs, scraper or not.
+fn comparable_report(report: &rejuv_monitor::MonitorReport) -> String {
+    use serde_json::Value;
+    let mut value = serde_json::to_value(report).expect("render report json");
+    if let Value::Object(root) = &mut value {
+        if let Some(Value::Object(metrics)) = root.get_mut("metrics") {
+            if let Some(Value::Object(histograms)) = metrics.get_mut("histograms") {
+                histograms.remove("drain_batch_size");
+            }
+        }
+    }
+    serde_json::to_string_pretty(&value).expect("render report json")
+}
+
 fn main() {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(opts) => opts,
@@ -459,6 +604,39 @@ fn main() {
         }
     }
 
+    let scrape_cell = opts.listen.map(|addr| {
+        println!("scrape-under-load cell (50 ms scrape interval)...");
+        let scraped = scraped_run(&opts, Some(addr));
+        let quiet = scraped_run(&opts, None);
+        assert_eq!(
+            scraped.digests, reference,
+            "scraped shared-mode run diverged from the serial reference"
+        );
+        assert_eq!(
+            quiet.digests, reference,
+            "scrape-free shared-mode run diverged from the serial reference"
+        );
+        assert_eq!(
+            scraped.report_json, quiet.report_json,
+            "scrapes must be read-only: reports diverged beyond drain batching"
+        );
+        let scraped_rate = total as f64 / scraped.elapsed;
+        let quiet_rate = total as f64 / quiet.elapsed;
+        println!(
+            "  scraped: {:.2} M obs/s over {} scrape(s); scrape-free: {:.2} M obs/s; \
+             reports identical: true",
+            scraped_rate / 1e6,
+            scraped.scrapes,
+            quiet_rate / 1e6
+        );
+        serde_json::json!({
+            "scrapes": scraped.scrapes,
+            "scraped_observations_per_sec": scraped_rate,
+            "scrape_free_observations_per_sec": quiet_rate,
+            "reports_identical": true,
+        })
+    });
+
     let json = serde_json::json!({
         "benchmark": "monitor_throughput",
         "available_cores": available_cores,
@@ -496,6 +674,7 @@ fn main() {
             })
             .collect::<Vec<_>>(),
         "per_shard_digests": runs.first().map(|(_, _, s, _, _)| s.digests.clone()).unwrap_or_default(),
+        "scrape_cell": scrape_cell,
     });
     std::fs::write(
         &opts.out,

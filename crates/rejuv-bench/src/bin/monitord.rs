@@ -51,8 +51,21 @@
 //!   --snapshot-every K   checkpoint each shard's detector state every K
 //!                        observations (default off)
 //!   --trace FILE         write the monitor event log (JSONL)
-//!   --system-trace FILE  write the model's system-event trace (JSONL,
-//!                        single-host mode only)
+//!   --system-trace FILE  write the model's system-event trace (JSONL).
+//!                        Single-host runs write raw events; cluster
+//!                        runs write a host-tagged document: one header
+//!                        line per host, then every event tagged with
+//!                        its host, merged by simulation time (ties
+//!                        break by host index). Byte-identical at any
+//!                        --consumers count
+//!   --listen ADDR        serve a live scrape endpoint on ADDR
+//!                        (IP:PORT; port 0 picks a free port, printed
+//!                        at startup): GET /metrics is the Prometheus
+//!                        text exposition, /healthz a liveness probe,
+//!                        /report the current report JSON. Scrapes are
+//!                        read-only — reports, traces, digests and
+//!                        checkpoints stay byte-identical to a run
+//!                        without a listener (live mode only)
 //!   --report FILE        write the final report JSON (default stdout)
 //!   --replay FILE        replay a recorded monitor event log instead of
 //!                        running live (detector baseline flags must
@@ -172,6 +185,7 @@ struct Options {
     dlq_cap: usize,
     dlq_cap_set: bool,
     fleet_watch: bool,
+    listen: Option<std::net::SocketAddr>,
     dst: bool,
     dst_seeds: u64,
     dst_sites: Option<Vec<String>>,
@@ -219,6 +233,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
         dlq_cap: 4096,
         dlq_cap_set: false,
         fleet_watch: false,
+        listen: None,
         dst: false,
         dst_seeds: 2,
         dst_sites: None,
@@ -282,6 +297,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
                 opts.dlq_cap_set = true;
             }
             "--fleet-watch" => opts.fleet_watch = true,
+            "--listen" => opts.listen = Some(parsed("--listen", &value("--listen")?)?),
             "--dst" => opts.dst = true,
             "--dst-seeds" => {
                 opts.dst_seeds = parsed("--dst-seeds", &value("--dst-seeds")?)?;
@@ -346,6 +362,9 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
     }
     if opts.fleet_watch && (opts.replay.is_some() || opts.dst) {
         return Err("--fleet-watch only makes sense for a live run".to_owned());
+    }
+    if opts.listen.is_some() && (opts.replay.is_some() || opts.dst) {
+        return Err("--listen only makes sense for a live run".to_owned());
     }
     if opts.fleet.is_some() && (opts.detector_set || opts.baseline_set) {
         return Err("--fleet carries per-shard detectors and baselines; \
@@ -716,6 +735,26 @@ fn run_live(opts: &Options) -> Result<(), String> {
     // parks (zero CPU) whenever every queue is empty.
     let consumer = ConsumerThread::spawn_shared(&shared);
 
+    // Live scrape endpoint. The responder thread holds its own handle on
+    // the shared supervisor and renders every scrape from pure read-only
+    // accessors, so artifacts stay byte-identical to a listener-free run.
+    let metrics_server = match opts.listen {
+        Some(addr) => {
+            let server = rejuv_monitor::MetricsServer::bind(
+                addr,
+                shared.clone(),
+                Some(consumer.stats_handle()),
+            )
+            .map_err(|e| format!("cannot bind --listen {addr}: {e}"))?;
+            println!(
+                "metrics: listening on http://{}/metrics (also /healthz, /report)",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
     // Fleet hot-reload: a SIGHUP (or, with --fleet-watch, a rewrite of
     // the fleet file) re-reads the config and rebuilds exactly the
     // drifted shards in place. The watcher owns a supervisor handle, so
@@ -760,9 +799,6 @@ fn run_live(opts: &Options) -> Result<(), String> {
         }
         drop(system);
     } else {
-        if opts.system_trace.is_some() {
-            return Err("--system-trace is only available with --hosts 1".to_owned());
-        }
         let cluster_rate = host_config.arrival_rate() * hosts as f64;
         let mut cluster = ClusterSystem::new(
             host_config,
@@ -773,6 +809,9 @@ fn run_live(opts: &Options) -> Result<(), String> {
             opts.seed,
         );
         cluster.attach_detectors(|h| Box::new(shared.bridge(h)));
+        if opts.system_trace.is_some() {
+            cluster.enable_trace(65_536);
+        }
         let metrics = cluster.run(opts.transactions);
         println!(
             "cluster: {} completed, {} lost, mean response {:.3}s, {} rejected (no host)",
@@ -781,12 +820,34 @@ fn run_live(opts: &Options) -> Result<(), String> {
             metrics.aggregate.mean_response_time,
             metrics.rejected_no_host
         );
+        if let Some(path) = &opts.system_trace {
+            let traces = cluster.take_traces().expect("trace was enabled");
+            let mut writer = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            );
+            let lines = rejuv_ecommerce::trace::write_merged_jsonl(&traces, &mut writer)
+                .and_then(|lines| writer.flush().map(|()| lines))
+                .map_err(|e| format!("cannot write system trace {}: {e}", path.display()))?;
+            println!(
+                "wrote {} host-tagged system trace line(s) to {}",
+                lines,
+                path.display()
+            );
+        }
         drop(cluster);
     }
 
     reload_stop.store(true, Ordering::SeqCst);
     if let Some(handle) = reloader {
         handle.join().expect("fleet reload watcher never panics");
+    }
+
+    // The responder holds a supervisor clone; it must release it before
+    // the run can reclaim the supervisor below.
+    if let Some(server) = metrics_server {
+        let scrapes = server.scrapes();
+        server.shutdown();
+        println!("metrics: served {scrapes} scrape(s)");
     }
 
     let (_, stats) = consumer

@@ -390,6 +390,80 @@ fn monitord_rejects_incoherent_dlq_and_watch_flags() {
 }
 
 #[test]
+fn monitord_rejects_incoherent_listen_flags() {
+    expect_failure(
+        &["--listen", "notanaddr"],
+        2,
+        "invalid value \"notanaddr\" for --listen",
+    );
+    expect_failure(&["--listen"], 2, "missing value for --listen");
+    expect_failure(
+        &["--replay", "whatever.jsonl", "--listen", "127.0.0.1:0"],
+        2,
+        "--listen only makes sense for a live run",
+    );
+    expect_failure(
+        &["--dst", "--listen", "127.0.0.1:0"],
+        2,
+        "--listen only makes sense for a live run",
+    );
+}
+
+// A busy (or unbindable) --listen address is a runtime failure, not a
+// usage error: the daemon must exit 1 with a one-line diagnostic before
+// doing any work.
+#[test]
+fn monitord_reports_an_unbindable_listen_address_cleanly() {
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("grab a port");
+    let busy = holder.local_addr().unwrap().to_string();
+    expect_failure(
+        &["--transactions", "10", "--listen", &busy],
+        1,
+        "cannot bind --listen",
+    );
+}
+
+#[test]
+fn bench_monitor_rejects_incoherent_listen_flags() {
+    let reject = |args: &[&str], needle: &str| {
+        expect_bin_failure(bench_monitor_bin(), "bench_monitor", args, 2, needle);
+    };
+    reject(
+        &["--quick", "--listen", "notanaddr"],
+        "invalid value \"notanaddr\" for --listen",
+    );
+    reject(
+        &["--quick", "--lossy", "--listen", "127.0.0.1:0"],
+        "cannot be combined with --lossy",
+    );
+}
+
+#[test]
+fn bench_monitor_reports_an_unbindable_listen_address_cleanly() {
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("grab a port");
+    let busy = holder.local_addr().unwrap().to_string();
+    expect_bin_failure(
+        bench_monitor_bin(),
+        "bench_monitor",
+        &[
+            "--quick",
+            "--shards",
+            "1",
+            "--observations",
+            "100",
+            "--queue",
+            "mutex",
+            "--consumers",
+            "1",
+            "--listen",
+            &busy,
+        ],
+        1,
+        "cannot bind --listen",
+    );
+}
+
+#[test]
 fn bench_monitor_rejects_degenerate_flags_without_a_backtrace() {
     let reject = |args: &[&str], needle: &str| {
         expect_bin_failure(bench_monitor_bin(), "bench_monitor", args, 2, needle);

@@ -1,0 +1,235 @@
+//! End-to-end tests for the live observability plane: cluster-wide
+//! `--system-trace` determinism and replayability, and the `--listen`
+//! scrape endpoint on a real `monitord` process.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+fn monitord_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_monitord")
+}
+
+fn tempdir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rejuv-obs-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.to_string_lossy().into_owned()
+}
+
+/// A cluster run's system trace is a deterministic artifact of the
+/// simulation, not of the drain plane: the merged host-tagged document
+/// comes out bitwise identical whether one, two or eight consumer
+/// threads drain the monitoring queues — and the monitor trace recorded
+/// alongside it replays to the exact live report.
+#[test]
+fn cluster_system_trace_is_identical_at_any_consumer_count() {
+    let out = tempdir("cluster-trace");
+    let out = Path::new(&out);
+    let run = |consumers: &str| -> (Vec<u8>, Vec<u8>, std::path::PathBuf) {
+        let sys = out.join(format!("sys-c{consumers}.jsonl"));
+        let mon = out.join(format!("mon-c{consumers}.jsonl"));
+        let report = out.join(format!("live-c{consumers}.json"));
+        let output = Command::new(monitord_bin())
+            .args([
+                "--hosts",
+                "3",
+                "--transactions",
+                "8000",
+                "--consumers",
+                consumers,
+                "--system-trace",
+                sys.to_str().unwrap(),
+                "--trace",
+                mon.to_str().unwrap(),
+                "--report",
+                report.to_str().unwrap(),
+            ])
+            .output()
+            .expect("monitord runs");
+        assert!(
+            output.status.success(),
+            "cluster run with {consumers} consumer(s) failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("host-tagged system trace line(s)"),
+            "stdout:\n{stdout}"
+        );
+        (
+            std::fs::read(&sys).unwrap(),
+            std::fs::read(&report).unwrap(),
+            mon,
+        )
+    };
+
+    let (sys1, report1, mon1) = run("1");
+    let (sys2, report2, _) = run("2");
+    let (sys8, report8, _) = run("8");
+    assert_eq!(sys1, sys2, "system trace diverged at 2 consumers");
+    assert_eq!(sys1, sys8, "system trace diverged at 8 consumers");
+    assert_eq!(report1, report2, "report diverged at 2 consumers");
+    assert_eq!(report1, report8, "report diverged at 8 consumers");
+
+    // Structure: one header per host up front, then host-tagged events
+    // merged in nondecreasing simulation time.
+    let text = String::from_utf8(sys1).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    for (host, line) in lines.iter().take(3).enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"host\":{host},\"events\":")),
+            "header {host}: {line}"
+        );
+    }
+    assert!(lines.len() > 3, "the cluster run produced no events");
+    let mut last = f64::NEG_INFINITY;
+    for line in &lines[3..] {
+        assert!(line.contains("\"event\":"), "event line: {line}");
+        let digits = line
+            .split("\"at\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no timestamp in event line: {line}"));
+        let number: String = digits
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let at: f64 = number
+            .parse()
+            .unwrap_or_else(|_| panic!("bad timestamp {number:?} in: {line}"));
+        assert!(at >= last, "merged events out of order at {at} < {last}");
+        last = at;
+    }
+
+    // The monitor trace recorded next to the system trace replays to
+    // the exact bytes of the live report.
+    let replayed = out.join("replayed.json");
+    let status = Command::new(monitord_bin())
+        .args([
+            "--replay",
+            mon1.to_str().unwrap(),
+            "--report",
+            replayed.to_str().unwrap(),
+        ])
+        .status()
+        .expect("monitord replays");
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(&replayed).unwrap(),
+        report1,
+        "replay of a cluster run's monitor trace must reproduce the live report"
+    );
+}
+
+/// `--listen` must be invisible in the artifacts: a run with an (idle)
+/// listener writes the same report bytes as one without, and says so on
+/// stdout.
+#[test]
+fn listen_leaves_the_report_byte_identical() {
+    let out = tempdir("listen-neutral");
+    let out = Path::new(&out);
+    let run = |extra: &[&str], report: &Path| -> String {
+        let output = Command::new(monitord_bin())
+            .args(["--hosts", "2", "--transactions", "8000", "--report"])
+            .arg(report)
+            .args(extra)
+            .output()
+            .expect("monitord runs");
+        assert!(
+            output.status.success(),
+            "monitord {extra:?} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8_lossy(&output.stdout).into_owned()
+    };
+    let listened = out.join("listened.json");
+    let plain = out.join("plain.json");
+    let stdout = run(&["--listen", "127.0.0.1:0"], &listened);
+    assert!(stdout.contains("metrics: listening on http://127.0.0.1:"));
+    assert!(stdout.contains("metrics: served"));
+    run(&[], &plain);
+    assert_eq!(
+        std::fs::read(&listened).unwrap(),
+        std::fs::read(&plain).unwrap(),
+        "an idle listener must not perturb the report"
+    );
+}
+
+/// One HTTP exchange against a live monitord: returns (status line,
+/// body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitord");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let (head, body) = reply
+        .split_once("\r\n\r\n")
+        .expect("reply has a header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+/// Scrapes a genuinely live `monitord --listen` process: spawns a run
+/// long enough to still be in flight, reads the advertised address off
+/// its stdout, exercises `/metrics`, `/healthz`, `/report` and a 404,
+/// then tears the process down.
+#[test]
+fn live_monitord_serves_metrics_healthz_and_report() {
+    let mut child = Command::new(monitord_bin())
+        .args([
+            "--hosts",
+            "2",
+            "--transactions",
+            "50000000",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("monitord spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("monitord exited before advertising its listener")
+            .expect("read stdout");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest
+                .split("/metrics")
+                .next()
+                .expect("address precedes /metrics")
+                .to_owned();
+        }
+    };
+
+    let (status, body) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "GET /metrics: {status}");
+    assert!(body.starts_with("# HELP"), "exposition body:\n{body}");
+    assert!(body.contains("rejuv_exposition_scrapes_total 1"));
+    assert!(body.contains("rejuv_shard_backlog{"));
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "GET /healthz: {status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = http_get(&addr, "/report");
+    assert!(status.contains("200"), "GET /report: {status}");
+    let report: serde_json::Value = serde_json::from_str(&body).expect("report is JSON");
+    assert!(report.get("shards").is_some(), "report body:\n{body}");
+
+    let (status, _) = http_get(&addr, "/nonsense");
+    assert!(status.contains("404"), "GET /nonsense: {status}");
+
+    // A second scrape bumps the serial: the counter is monotone.
+    let (_, body) = http_get(&addr, "/metrics");
+    assert!(body.contains("rejuv_exposition_scrapes_total 2"));
+
+    child.kill().expect("stop the long run");
+    let _ = child.wait();
+}

@@ -13,6 +13,7 @@
 
 use crate::config::SystemConfig;
 use crate::metrics::{MetricsCollector, RunMetrics};
+use crate::trace::{EventTrace, SystemEvent};
 use crate::workload::RateProfile;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -127,6 +128,9 @@ pub struct ClusterSystem {
     next_thread_id: u64,
     /// Transactions dropped because every host was down.
     rejected_no_host: u64,
+    /// Per-host system event traces; `None` until
+    /// [`ClusterSystem::enable_trace`].
+    traces: Option<Vec<EventTrace>>,
 }
 
 /// Metrics of one cluster run.
@@ -184,7 +188,39 @@ impl ClusterSystem {
             downtime_secs,
             next_thread_id: 0,
             rejected_no_host: 0,
+            traces: None,
         }
+    }
+
+    /// Starts recording per-host [`SystemEvent`]s (GC, overhead-regime
+    /// crossings, rejuvenations), each host keeping at most `capacity`
+    /// recent events. Export the merged host-tagged document with
+    /// [`ClusterSystem::take_traces`] and
+    /// [`crate::trace::write_merged_jsonl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.traces = Some(
+            (0..self.hosts.len())
+                .map(|_| EventTrace::new(capacity))
+                .collect(),
+        );
+    }
+
+    /// The recorded trace of `host`, if tracing is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range while tracing is enabled.
+    pub fn trace(&self, host: usize) -> Option<&EventTrace> {
+        self.traces.as_ref().map(|t| &t[host])
+    }
+
+    /// Takes ownership of all per-host traces (disables tracing).
+    pub fn take_traces(&mut self) -> Option<Vec<EventTrace>> {
+        self.traces.take()
     }
 
     /// Attaches a detector to host `host` (replacing any existing one).
@@ -314,8 +350,35 @@ impl ClusterSystem {
         let id = self.next_thread_id;
         self.next_thread_id += 1;
         let now = self.engine.now();
+        let before = self.hosts[host].active_threads();
         self.hosts[host].queue.push_back((id, now));
+        self.note_active_transition(host, before);
         self.try_dispatch(host);
+    }
+
+    /// Emits overhead-regime crossing events into the host's trace,
+    /// comparing the active-thread count before a change to the count
+    /// now — the per-host mirror of the single-host model's hook.
+    fn note_active_transition(&mut self, host: usize, before: usize) {
+        let Some(threshold) = self.host_config.kernel_threshold() else {
+            return;
+        };
+        let Some(traces) = &mut self.traces else {
+            return;
+        };
+        let after = self.hosts[host].active_threads();
+        let at = self.engine.now().as_secs();
+        if before <= threshold && after > threshold {
+            traces[host].record(SystemEvent::OverheadEntered {
+                at,
+                active_threads: after,
+            });
+        } else if before > threshold && after <= threshold {
+            traces[host].record(SystemEvent::OverheadLeft {
+                at,
+                active_threads: after,
+            });
+        }
     }
 
     /// Routing decision over available hosts; `None` if all are down.
@@ -385,6 +448,12 @@ impl ClusterSystem {
 
     fn start_gc(&mut self, host: usize, pause_secs: f64) {
         self.hosts[host].gc_total += 1;
+        if let Some(traces) = &mut self.traces {
+            traces[host].record(SystemEvent::GcStarted {
+                at: self.engine.now().as_secs(),
+                heap_used_mb: self.hosts[host].heap_used_mb,
+            });
+        }
         let now = self.engine.now();
         let gc_end = now + SimTime::from_secs(pause_secs);
         self.hosts[host].gc_end_time = Some(gc_end);
@@ -413,14 +482,24 @@ impl ClusterSystem {
         self.hosts[host].gc_end_time = None;
         self.hosts[host].gc_end_event = None;
         if let Some(mem) = self.host_config.memory() {
-            self.hosts[host].heap_used_mb = self.hosts[host].running.len() as f64 * mem.alloc_mb;
+            let live = self.hosts[host].running.len() as f64 * mem.alloc_mb;
+            let reclaimed = (self.hosts[host].heap_used_mb - live).max(0.0);
+            self.hosts[host].heap_used_mb = live;
+            if let Some(traces) = &mut self.traces {
+                traces[host].record(SystemEvent::GcEnded {
+                    at: self.engine.now().as_secs(),
+                    reclaimed_mb: reclaimed,
+                });
+            }
         }
     }
 
     fn on_completion(&mut self, host: usize, thread: u64, metrics: &mut MetricsCollector) {
+        let before = self.hosts[host].active_threads();
         let Some(t) = self.hosts[host].running.remove(&thread) else {
             return;
         };
+        self.note_active_transition(host, before);
         let now = self.engine.now();
         let response_time = (now - t.arrival_time).as_secs();
         metrics.record_completion(response_time);
@@ -439,7 +518,8 @@ impl ClusterSystem {
         let h = &mut self.hosts[host];
         h.rejuvenations += 1;
         metrics.rejuvenation_count += 1;
-        metrics.lost += h.active_threads() as u64;
+        let before = h.active_threads();
+        metrics.lost += before as u64;
         for (_, thread) in h.running.drain() {
             self.engine.cancel(thread.completion_event);
         }
@@ -455,6 +535,14 @@ impl ClusterSystem {
             h.down_until = Some(up_at);
             self.engine.schedule_at(up_at, Event::HostUp { host });
         }
+
+        if let Some(traces) = &mut self.traces {
+            traces[host].record(SystemEvent::Rejuvenated {
+                at: self.engine.now().as_secs(),
+                lost: before as u64,
+            });
+        }
+        self.note_active_transition(host, before);
     }
 }
 
@@ -533,6 +621,69 @@ mod tests {
                 m.gc_per_host
             );
         }
+    }
+
+    #[test]
+    fn cluster_trace_records_per_host_and_merges_deterministically() {
+        let cfg = SystemConfig::paper(1.0).unwrap();
+        let run = || {
+            let mut c = ClusterSystem::new(cfg, 3, 3.0, RoutingPolicy::LeastActive, 30.0, 9);
+            c.attach_detectors(|_| sraa(2, 5, 3));
+            c.enable_trace(65_536);
+            let m = c.run(10_000);
+            (m, c.take_traces().expect("tracing was enabled"))
+        };
+        let (m, traces) = run();
+        assert_eq!(traces.len(), 3);
+
+        // Per-host counters line up with the run metrics.
+        for (host, trace) in traces.iter().enumerate() {
+            assert_eq!(
+                trace.counters().rejuvenations,
+                m.rejuvenations_per_host[host],
+                "host {host} rejuvenation counter"
+            );
+            assert_eq!(
+                trace.counters().gc_started,
+                m.gc_per_host[host],
+                "host {host} GC counter"
+            );
+        }
+        assert!(
+            traces.iter().any(|t| t.counters().gc_started > 0),
+            "the paper config must trigger GCs"
+        );
+
+        // The merged document: one header per host, then every event
+        // host-tagged in nondecreasing time order.
+        let merged = crate::trace::merged_jsonl_lines(&traces);
+        let events: usize = traces.iter().map(|t| t.events().count()).sum();
+        assert_eq!(merged.len(), 3 + events);
+        for (host, line) in merged.iter().take(3).enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"host\":{host},\"events\":")),
+                "header {host}: {line}"
+            );
+        }
+        let times: Vec<f64> = merged[3..]
+            .iter()
+            .map(|line| {
+                let at = line.split("\"at\":").nth(1).expect("event line has at");
+                at.split([',', '}'])
+                    .next()
+                    .unwrap()
+                    .parse::<f64>()
+                    .expect("at parses")
+            })
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "merged events must be time-ordered"
+        );
+
+        // Same seed, second run: bitwise-identical document.
+        let (_, traces2) = run();
+        assert_eq!(merged, crate::trace::merged_jsonl_lines(&traces2));
     }
 
     #[test]

@@ -176,6 +176,64 @@ impl EventTrace {
     }
 }
 
+/// Renders per-host cluster traces as one host-tagged JSONL document
+/// with deterministic merged ordering.
+///
+/// The document starts with one **header line per host** (host index,
+/// retained event count, lifetime counters), in host order, followed
+/// by every retained event tagged with its host:
+///
+/// ```text
+/// {"host":0,"events":12,"counters":{...}}
+/// {"host":1,"events":9,"counters":{...}}
+/// {"host":1,"event":{"GcStarted":{...}}}
+/// {"host":0,"event":{"Rejuvenated":{...}}}
+/// ```
+///
+/// Events are merged by simulation time; ties break by host index and
+/// then per-host record order (a stable sort over the host-major
+/// concatenation). The cluster simulation is single-threaded and
+/// seeded, so two runs with the same seed — at *any* consumer count —
+/// produce bitwise-identical documents.
+pub fn merged_jsonl_lines(traces: &[EventTrace]) -> Vec<String> {
+    let mut lines = Vec::with_capacity(traces.len());
+    for (host, trace) in traces.iter().enumerate() {
+        let counters = serde_json::to_string(&trace.counters())
+            .expect("TraceCounters serialisation cannot fail");
+        lines.push(format!(
+            "{{\"host\":{host},\"events\":{},\"counters\":{counters}}}",
+            trace.events().count()
+        ));
+    }
+    // Host-major concatenation + stable sort by time: ties keep
+    // (host, per-host sequence) order.
+    let mut tagged: Vec<(f64, String)> = Vec::new();
+    for (host, trace) in traces.iter().enumerate() {
+        for event in trace.events() {
+            let json = serde_json::to_string(event).expect("SystemEvent serialisation cannot fail");
+            tagged.push((event.at(), format!("{{\"host\":{host},\"event\":{json}}}")));
+        }
+    }
+    tagged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("event times are finite"));
+    lines.extend(tagged.into_iter().map(|(_, line)| line));
+    lines
+}
+
+/// Writes [`merged_jsonl_lines`] to `writer`, returning the number of
+/// lines written (host headers + events).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_merged_jsonl<W: Write>(traces: &[EventTrace], writer: &mut W) -> io::Result<usize> {
+    let lines = merged_jsonl_lines(traces);
+    for line in &lines {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(lines.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +242,47 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = EventTrace::new(0);
+    }
+
+    #[test]
+    fn merged_lines_tag_hosts_and_break_time_ties_by_host_order() {
+        let mut host0 = EventTrace::new(8);
+        let mut host1 = EventTrace::new(8);
+        host0.record(SystemEvent::GcStarted {
+            at: 2.0,
+            heap_used_mb: 10.0,
+        });
+        host0.record(SystemEvent::GcEnded {
+            at: 5.0,
+            reclaimed_mb: 8.0,
+        });
+        host1.record(SystemEvent::Rejuvenated { at: 2.0, lost: 3 });
+        host1.record(SystemEvent::GcStarted {
+            at: 1.0,
+            heap_used_mb: 4.0,
+        });
+
+        let lines = merged_jsonl_lines(&[host0, host1]);
+        assert_eq!(lines.len(), 6, "2 headers + 4 events");
+        assert!(lines[0].starts_with("{\"host\":0,\"events\":2,\"counters\":"));
+        assert!(lines[1].starts_with("{\"host\":1,\"events\":2,\"counters\":"));
+        // t=1 (host 1), then the t=2 tie broken by host order (host 0
+        // first), then t=5.
+        assert!(lines[2].contains("\"host\":1") && lines[2].contains("GcStarted"));
+        assert!(lines[3].contains("\"host\":0") && lines[3].contains("GcStarted"));
+        assert!(lines[4].contains("\"host\":1") && lines[4].contains("Rejuvenated"));
+        assert!(lines[5].contains("\"host\":0") && lines[5].contains("GcEnded"));
+
+        // Byte-stable across renders.
+        let mut sink = Vec::new();
+        let mut host0 = EventTrace::new(8);
+        host0.record(SystemEvent::GcStarted {
+            at: 2.0,
+            heap_used_mb: 10.0,
+        });
+        let written = write_merged_jsonl(&[host0], &mut sink).unwrap();
+        assert_eq!(written, 2);
+        assert!(String::from_utf8(sink).unwrap().ends_with('\n'));
     }
 
     #[test]

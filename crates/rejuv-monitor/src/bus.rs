@@ -83,6 +83,14 @@ pub enum OpEvent {
         /// whose decision fired — the same `seq` the event log records.
         seq: u64,
     },
+    /// The live observability plane served a `/metrics` scrape.
+    /// Published by [`MetricsServer`](crate::MetricsServer) only —
+    /// scrapes never touch the data plane, so this is the sole trace a
+    /// scraper leaves, and it rides the observational bus by design.
+    MetricsScraped {
+        /// 1-based scrape serial within this process.
+        serial: u64,
+    },
 }
 
 /// Per-subscriber state: a bounded mailbox plus overflow accounting.

@@ -68,6 +68,12 @@ impl ConsumerThread {
         self.pool.stats()
     }
 
+    /// A cloneable telemetry handle for scraper threads; see
+    /// [`ConsumerPool::stats_handle`](crate::ConsumerPool::stats_handle).
+    pub fn stats_handle(&self) -> crate::pool::PoolStatsHandle {
+        self.pool.stats_handle()
+    }
+
     /// Signals shutdown, waits for the final loss-free drain, and
     /// returns the supervisor when the pool owned one
     /// ([`ConsumerThread::spawn`]); `None` for the shared flavour.

@@ -80,7 +80,9 @@ pub mod checkpoint;
 pub mod consumer;
 pub mod dlq;
 pub mod event;
+pub mod expo;
 pub mod fleet;
+pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
@@ -92,9 +94,11 @@ pub use checkpoint::{load_snapshot, save_snapshot};
 pub use consumer::ConsumerThread;
 pub use dlq::{DeadLetterQueue, DlqStats};
 pub use event::{read_events, read_events_tolerant, EventLog, MonitorEvent, SharedBuffer};
+pub use expo::{DrainPlane, ExpoSnapshot, ShardRuntime};
 pub use fleet::{FleetConfig, FleetError};
+pub use http::MetricsServer;
 pub use metrics::{Histogram, MetricsRegistry, MetricsReport};
-pub use pool::{ConsumerPool, PoolJoin, PoolStats};
+pub use pool::{ConsumerPool, PoolJoin, PoolStats, PoolStatsHandle};
 pub use queue::{ObsQueue, QueueBackend, Wakeup, WorkNotifier};
 pub use supervisor::{
     CheckpointClock, CheckpointSink, DetectorKindReport, DlqSnapshot, MonitorReport, ReloadError,

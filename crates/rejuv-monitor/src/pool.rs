@@ -375,6 +375,51 @@ enum Mode {
     },
 }
 
+/// A cheap, cloneable handle reading a pool's drain-plane telemetry
+/// without borrowing the pool — what a metrics scraper thread holds
+/// while the daemon keeps the [`ConsumerPool`] itself joinable.
+///
+/// Owned pools are referenced weakly so [`ConsumerPool::join`] can
+/// still reclaim the supervisor; [`PoolStatsHandle::stats`] returns
+/// `None` once the pool has joined.
+#[derive(Clone)]
+pub struct PoolStatsHandle {
+    mode: StatsHandleMode,
+}
+
+#[derive(Clone)]
+enum StatsHandleMode {
+    Owned(std::sync::Weak<PoolShared>),
+    Shared {
+        notifier: Arc<WorkNotifier>,
+        drains: Arc<Vec<AtomicU64>>,
+    },
+}
+
+impl std::fmt::Debug for PoolStatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolStatsHandle")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PoolStatsHandle {
+    /// Current drain-plane telemetry (relaxed atomics: approximate
+    /// while workers run). `None` once an owned pool has joined.
+    pub fn stats(&self) -> Option<PoolStats> {
+        match &self.mode {
+            StatsHandleMode::Owned(weak) => weak.upgrade().map(|shared| shared.stats()),
+            StatsHandleMode::Shared { notifier, drains } => Some(PoolStats {
+                consumers: drains.len(),
+                steals: 0,
+                parks: notifier.parks(),
+                per_thread_drains: drains.iter().map(|d| d.load(Ordering::Relaxed)).collect(),
+            }),
+        }
+    }
+}
+
 /// N parked consumer threads draining one supervisor's shards with
 /// whole-shard ownership and bounded work-stealing (see the module
 /// docs). `consumers: 1` reproduces the single-consumer runtime's
@@ -501,6 +546,22 @@ impl ConsumerPool {
     /// Times a worker actually went to sleep, summed over the pool.
     pub fn parks(&self) -> u64 {
         self.stats().parks
+    }
+
+    /// A cloneable telemetry handle that outlives borrows of the pool
+    /// (but not, for owned pools, [`ConsumerPool::join`] — stats read
+    /// `None` after the supervisor is reclaimed).
+    pub fn stats_handle(&self) -> PoolStatsHandle {
+        let mode = match &self.mode {
+            Mode::Owned { shared, .. } => StatsHandleMode::Owned(Arc::downgrade(shared)),
+            Mode::Shared {
+                notifier, drains, ..
+            } => StatsHandleMode::Shared {
+                notifier: Arc::clone(notifier),
+                drains: Arc::clone(drains),
+            },
+        };
+        PoolStatsHandle { mode }
     }
 
     /// Signals shutdown, waits for the loss-free drain barrier, flushes

@@ -1,0 +1,165 @@
+//! Golden-file conformance suite for the Prometheus text exposition.
+//!
+//! The same deterministic 4-kind fleet workload that pins the event-log
+//! and report formats (`fleet_conformance.rs`) also pins the `/metrics`
+//! body: the rendered exposition for the example fleet is checked in
+//! under `tests/golden/fleet_metrics.prom` and must stay byte-identical
+//! across refactors. The suite additionally asserts the body passes the
+//! in-crate exposition linter (HELP/TYPE discipline, family contiguity,
+//! cumulative `le` buckets ending in `+Inf == _count`), that rendering
+//! is a pure function of the snapshot, and that capturing a snapshot
+//! never perturbs the supervisor's own artifacts.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! REJUV_REGEN_GOLDEN=1 cargo test -p rejuv-monitor --test expo_conformance
+//! ```
+
+use rejuv_monitor::expo::{lint, render};
+use rejuv_monitor::{ExpoSnapshot, FleetConfig, Supervisor, SupervisorConfig};
+use std::path::Path;
+
+const FLEET_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fleet.toml");
+const METRICS_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/fleet_metrics.prom"
+);
+
+fn config() -> SupervisorConfig {
+    SupervisorConfig {
+        queue_capacity: 256,
+        drain_batch: 16,
+        snapshot_every: Some(200),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// The same deterministic workload as the fleet conformance suite: a
+/// pure function of the observation index, mostly-healthy values with
+/// periodic sustained spikes so every detector kind does real work.
+fn value_at(i: u64) -> f64 {
+    if (i / 37) % 9 == 8 {
+        55.0 + (i % 5) as f64
+    } else {
+        3.0 + (i % 6) as f64 * 0.7
+    }
+}
+
+/// Runs the recorded workload and returns the supervisor at its end
+/// state, fully drained.
+fn run_workload() -> Supervisor {
+    let fleet = FleetConfig::load(Path::new(FLEET_PATH)).expect("example fleet parses");
+    let mut sup = Supervisor::with_specs(config(), fleet.specs()).expect("example fleet builds");
+    let shards = fleet.shard_count() as u64;
+    for i in 0..1600u64 {
+        assert!(sup.ingest((i % shards) as usize, value_at(i)));
+        if i % 23 == 0 {
+            sup.poll_all().unwrap();
+        }
+    }
+    while sup.poll_all().unwrap() > 0 {}
+    sup
+}
+
+fn regen_requested() -> bool {
+    std::env::var_os("REJUV_REGEN_GOLDEN").is_some()
+}
+
+fn read_golden(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {path}: {e}\n\
+             (regenerate with REJUV_REGEN_GOLDEN=1)"
+        )
+    })
+}
+
+#[test]
+fn golden_metrics_body_stays_byte_identical() {
+    let sup = run_workload();
+    let body = render(&ExpoSnapshot::capture(&sup).with_scrapes(1));
+
+    if regen_requested() {
+        std::fs::write(METRICS_PATH, &body).expect("write golden metrics body");
+        println!("regenerated golden file {METRICS_PATH}");
+        return;
+    }
+
+    assert_eq!(
+        body.into_bytes(),
+        read_golden(METRICS_PATH),
+        "rendered /metrics body diverged from the golden exposition \
+         (REJUV_REGEN_GOLDEN=1 to accept an intentional change)"
+    );
+}
+
+#[test]
+fn golden_metrics_body_passes_the_linter() {
+    let sup = run_workload();
+    let body = render(&ExpoSnapshot::capture(&sup).with_scrapes(1));
+    lint(&body).expect("exposition body is well-formed");
+    // The golden run is a real mixed-fleet workout: every shard shows
+    // up, and at least one family of each type is present.
+    for shard in 0..sup.shard_count() {
+        assert!(
+            body.contains(&format!("{{shard=\"{shard}\",")),
+            "shard {shard} missing from the exposition"
+        );
+    }
+    for kind in ["counter", "gauge", "histogram"] {
+        assert!(
+            body.lines().any(|l| l.ends_with(&format!(" {kind}"))),
+            "no {kind} family in the exposition"
+        );
+    }
+}
+
+#[test]
+fn rendering_is_a_pure_function_of_the_run() {
+    let a = render(&ExpoSnapshot::capture(&run_workload()).with_scrapes(7));
+    let b = render(&ExpoSnapshot::capture(&run_workload()).with_scrapes(7));
+    assert_eq!(a, b, "two identical runs rendered different expositions");
+}
+
+#[test]
+fn capturing_a_snapshot_leaves_the_report_untouched() {
+    let mut scraped = run_workload();
+    let quiet = run_workload();
+    let before = serde_json::to_string_pretty(&scraped.report()).unwrap();
+    for _ in 0..5 {
+        let _ = render(&ExpoSnapshot::capture(&scraped));
+    }
+    // Also after further ingestion: scrapes interleaved with work must
+    // not change where the run ends up.
+    assert!(scraped.ingest(0, 3.0));
+    while scraped.poll_all().unwrap() > 0 {}
+    let _ = render(&ExpoSnapshot::capture(&scraped));
+    assert_eq!(
+        before,
+        serde_json::to_string_pretty(&quiet.report()).unwrap(),
+        "capturing snapshots perturbed the report"
+    );
+}
+
+/// CI hook: lints an exposition body scraped from a *live* `monitord`
+/// process. A no-op unless `REJUV_LINT_FILE` names a file, so the test
+/// is invisible in ordinary runs.
+#[test]
+fn lint_exposition_file() {
+    let Some(path) = std::env::var_os("REJUV_LINT_FILE") else {
+        return;
+    };
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", Path::new(&path).display()));
+    lint(&body).unwrap_or_else(|e| {
+        panic!(
+            "scraped exposition {} failed the linter: {e}",
+            Path::new(&path).display()
+        )
+    });
+    assert!(
+        body.contains("rejuv_exposition_scrapes_total"),
+        "scraped body is missing the scrape counter"
+    );
+}
