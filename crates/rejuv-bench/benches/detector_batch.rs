@@ -1,0 +1,164 @@
+//! Micro-benchmarks of the batch drain kernels: `observe_batch` versus
+//! repeated `observe` for every detector kind, across the batch sizes
+//! the drain plane actually sees (a partially-filled queue, the default
+//! `drain_batch`, and a deep backlog).
+//!
+//! The batch path must win on throughput *and* stay bitwise-identical
+//! to the scalar path — every cell asserts the trigger counts match
+//! before timing, so a kernel that drifts fails the bench rather than
+//! reporting a bogus speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rejuv_core::{
+    Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig, RejuvenationDetector, Saraa,
+    SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [64, 512, 4096];
+const STREAM_LEN: usize = 65_536;
+
+/// A deterministic response-time stream mixing healthy values with
+/// occasional spikes, so detectors exercise both branch directions.
+fn stream(len: usize) -> Vec<f64> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            -5.0 * (1.0 - u).ln()
+        })
+        .collect()
+}
+
+/// One fresh detector per kind, at the configurations the monitor
+/// defaults use.
+fn detectors() -> Vec<(&'static str, Box<dyn RejuvenationDetector>)> {
+    vec![
+        (
+            "sraa",
+            Box::new(Sraa::new(
+                SraaConfig::builder(5.0, 5.0)
+                    .sample_size(2)
+                    .buckets(5)
+                    .depth(3)
+                    .build()
+                    .unwrap(),
+            )),
+        ),
+        (
+            "saraa",
+            Box::new(Saraa::new(
+                SaraaConfig::builder(5.0, 5.0)
+                    .initial_sample_size(2)
+                    .buckets(5)
+                    .depth(3)
+                    .build()
+                    .unwrap(),
+            )),
+        ),
+        (
+            "clta",
+            Box::new(Clta::new(
+                CltaConfig::builder(5.0, 5.0)
+                    .sample_size(30)
+                    .quantile_factor(1.96)
+                    .build()
+                    .unwrap(),
+            )),
+        ),
+        (
+            "static",
+            Box::new(StaticRejuvenation::new(5.0, 5.0, 5, 3).unwrap()),
+        ),
+        (
+            "cusum",
+            Box::new(Cusum::new(CusumConfig::new(5.0, 5.0, 0.5, 5.0).unwrap())),
+        ),
+        (
+            "ewma",
+            Box::new(Ewma::new(EwmaConfig::new(5.0, 5.0, 0.2, 3.0).unwrap())),
+        ),
+    ]
+}
+
+/// Drives a full stream through `observe_batch` in `batch`-sized chunks
+/// and returns the trigger count.
+fn run_batched(d: &mut dyn RejuvenationDetector, data: &[f64], batch: usize) -> u64 {
+    let mut fired = Vec::with_capacity(batch);
+    for (chunk_index, chunk) in data.chunks(batch).enumerate() {
+        fired.clear();
+        d.observe_batch(chunk, &mut fired, (chunk_index * batch) as u64);
+    }
+    d.rejuvenation_count()
+}
+
+/// Drives the same stream one `observe` call at a time.
+fn run_scalar(d: &mut dyn RejuvenationDetector, data: &[f64]) -> u64 {
+    for &x in data {
+        black_box(d.observe(x));
+    }
+    d.rejuvenation_count()
+}
+
+fn bench_batch_kernels(c: &mut Criterion) {
+    let data = stream(STREAM_LEN);
+    let mut group = c.benchmark_group("detector_batch");
+    group.throughput(Throughput::Elements(data.len() as u64));
+
+    for (name, probe) in detectors() {
+        // Conformance gate: the batch path must agree with the scalar
+        // path on this stream before its timing means anything.
+        let mut scalar_probe = probe;
+        let scalar_triggers = run_scalar(scalar_probe.as_mut(), &data);
+        for &batch in &BATCH_SIZES {
+            let mut batch_probe = detectors()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .expect("detector kind exists")
+                .1;
+            assert_eq!(
+                run_batched(batch_probe.as_mut(), &data, batch),
+                scalar_triggers,
+                "{name} batch kernel diverged from scalar at batch={batch}"
+            );
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new(name, "scalar"),
+            &data,
+            |b, data: &Vec<f64>| {
+                b.iter(|| {
+                    let mut d = detectors()
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .expect("detector kind exists")
+                        .1;
+                    black_box(run_scalar(d.as_mut(), data))
+                });
+            },
+        );
+        for &batch in &BATCH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("batch{batch}")),
+                &data,
+                |b, data: &Vec<f64>| {
+                    b.iter(|| {
+                        let mut d = detectors()
+                            .into_iter()
+                            .find(|(n, _)| *n == name)
+                            .expect("detector kind exists")
+                            .1;
+                        black_box(run_batched(d.as_mut(), data, batch))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_kernels);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Drain-plane microprobe: batch kernel versus scalar drain, nothing
+//! else on the core.
+//!
+//! Preloads one shard's queue with a synthetic load stream and times
+//! *only* the drain loop (`poll_shard` until empty), so the measured
+//! quantity is the per-observation cost of the drain plane itself —
+//! queue pop, detector step, decision digest, histograms — with no
+//! producer thread sharing the core, unlike `bench_monitor`'s threaded
+//! cells. The two variants alternate within each round and the best
+//! round wins, which keeps slow machine drift out of the comparison.
+//!
+//! Run with: `cargo run --release -p rejuv-bench --example drain_probe`
+
+use rejuv_core::{RejuvenationDetector, Sraa, SraaConfig};
+use rejuv_monitor::{QueueBackend, Supervisor, SupervisorConfig};
+use std::time::Instant;
+
+const N: usize = 1_000_000;
+const ROUNDS: usize = 11;
+
+fn sraa() -> Box<dyn RejuvenationDetector> {
+    Box::new(Sraa::new(
+        SraaConfig::builder(5.0, 5.0)
+            .sample_size(2)
+            .buckets(5)
+            .depth(3)
+            .build()
+            .unwrap(),
+    ))
+}
+
+/// Mostly-healthy load with slow drift and sparse spikes — enough
+/// texture to exercise every histogram bucket and the occasional
+/// detector chain walk, cheap enough that generation stays out of the
+/// timed region (the queue is preloaded).
+fn synthetic(shard: u64, i: u64) -> f64 {
+    let base = 3.0 + (i % 7) as f64 * 0.5;
+    let drift = (i / 10_000) as f64 * 0.05;
+    let spike = if (i + shard * 13).is_multiple_of(997) {
+        45.0
+    } else {
+        0.0
+    };
+    base + drift + spike
+}
+
+/// One preload-then-drain pass; returns the drain wall time in seconds.
+fn timed_drain(scalar_drain: bool) -> f64 {
+    let config = SupervisorConfig {
+        queue_capacity: N,
+        drain_batch: 512,
+        snapshot_every: None,
+        backend: QueueBackend::Mutex,
+        consumers: 1,
+        scalar_drain,
+    };
+    let mut sup = Supervisor::with_shards(config, 1, |_| sraa());
+    let sender = sup.sender(0);
+    let mut buf = Vec::with_capacity(256);
+    let mut i = 0u64;
+    while (i as usize) < N {
+        let n = 256.min(N as u64 - i);
+        buf.clear();
+        buf.extend((i..i + n).map(|k| (synthetic(0, k), f64::NAN)));
+        sender.send_batch_blocking(buf.iter().copied());
+        i += n;
+    }
+    let start = Instant::now();
+    while sup.poll_shard(0).unwrap() > 0 {}
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut best_batch = f64::MAX;
+    let mut best_scalar = f64::MAX;
+    for _ in 0..ROUNDS {
+        best_batch = best_batch.min(timed_drain(false));
+        best_scalar = best_scalar.min(timed_drain(true));
+    }
+    let batch = N as f64 / best_batch / 1e6;
+    let scalar = N as f64 / best_scalar / 1e6;
+    println!("batch kernel : best {batch:.1} M obs/s");
+    println!("scalar drain : best {scalar:.1} M obs/s");
+    println!("batch/scalar : {:.2}x", batch / scalar);
+}

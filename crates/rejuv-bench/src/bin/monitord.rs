@@ -91,6 +91,13 @@
 //!                        Execution strategy only, like --queue:
 //!                        reports, traces and checkpoints are
 //!                        byte-identical across consumer counts
+//!   --scalar-drain       debug knob: drain with the per-sample
+//!                        reference loop instead of the batch kernel
+//!                        (one detector dispatch per observation
+//!                        rather than per batch). Slower; every
+//!                        artifact — digests, traces, reports,
+//!                        checkpoints — is byte-identical either way,
+//!                        which CI checks with cmp
 //!   --dlq                attach a per-shard dead-letter queue: lossy
 //!                        sends that find the ingestion queue full are
 //!                        captured (value and timestamp) instead of
@@ -181,6 +188,7 @@ struct Options {
     resume: Option<PathBuf>,
     queue: QueueBackend,
     consumers: usize,
+    scalar_drain: bool,
     dlq: bool,
     dlq_cap: usize,
     dlq_cap_set: bool,
@@ -229,6 +237,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
         resume: None,
         queue: QueueBackend::Mutex,
         consumers: 1,
+        scalar_drain: false,
         dlq: false,
         dlq_cap: 4096,
         dlq_cap_set: false,
@@ -291,6 +300,7 @@ fn parse_args(cli: impl IntoIterator<Item = String>) -> Result<Options, String> 
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
             "--queue" => opts.queue = parsed("--queue", &value("--queue")?)?,
             "--consumers" => opts.consumers = parsed("--consumers", &value("--consumers")?)?,
+            "--scalar-drain" => opts.scalar_drain = true,
             "--dlq" => opts.dlq = true,
             "--dlq-cap" => {
                 opts.dlq_cap = parsed("--dlq-cap", &value("--dlq-cap")?)?;
@@ -579,6 +589,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) -> Result<(), String> {
                 // on the backend that recorded the log.
                 backend: opts.queue,
                 consumers: opts.consumers,
+                scalar_drain: opts.scalar_drain,
             };
             println!(
                 "replaying {}: {} shards, detector {}, {} events",
@@ -619,6 +630,7 @@ fn run_replay(opts: &Options, log_path: &PathBuf) -> Result<(), String> {
                 snapshot_every: *snapshot_every,
                 backend: opts.queue,
                 consumers: opts.consumers,
+                scalar_drain: opts.scalar_drain,
             };
             println!(
                 "replaying {}: {} shards ({}), {} events",
@@ -649,6 +661,7 @@ fn run_live(opts: &Options) -> Result<(), String> {
         snapshot_every: opts.snapshot_every,
         backend: opts.queue,
         consumers: opts.consumers,
+        scalar_drain: opts.scalar_drain,
         ..SupervisorConfig::default()
     };
     let fleet = load_fleet(opts)?;

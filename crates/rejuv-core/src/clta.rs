@@ -86,6 +86,26 @@ impl RejuvenationDetector for Clta {
         }
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        // The threshold is constant and the window never resizes, so the
+        // batch reduces to slice-summed window means against one hoisted
+        // bound.
+        let threshold = self.config.target();
+        let Clta {
+            window,
+            windows_seen,
+            triggers,
+            ..
+        } = self;
+        window.push_slice(values, |i, mean| {
+            *windows_seen += 1;
+            if mean > threshold {
+                *triggers += 1;
+                fired.push(base_seq + i as u64);
+            }
+        });
+    }
+
     fn reset(&mut self) {
         self.window.reset();
         self.windows_seen = 0;

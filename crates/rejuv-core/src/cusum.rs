@@ -153,6 +153,31 @@ impl RejuvenationDetector for Cusum {
         }
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        // Branch-light scalar loop: the statistic lives in a register and
+        // the drift/threshold constants are hoisted. `reference * sigma`
+        // and `decision * sigma` are the same products the scalar path
+        // computes per call, so every intermediate is bitwise-identical.
+        let mu = self.config.mu;
+        let drift = self.config.reference * self.config.sigma;
+        let threshold = self.threshold();
+        let mut s = self.s;
+        let mut triggers = self.triggers;
+        for (i, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                continue;
+            }
+            s = (s + value - mu - drift).max(0.0);
+            if s > threshold {
+                triggers += 1;
+                s = 0.0;
+                fired.push(base_seq + i as u64);
+            }
+        }
+        self.s = s;
+        self.triggers = triggers;
+    }
+
     fn reset(&mut self) {
         self.s = 0.0;
     }

@@ -46,6 +46,35 @@ pub trait RejuvenationDetector: Send {
     /// Feeds one observation and returns the rejuvenation decision.
     fn observe(&mut self, value: f64) -> Decision;
 
+    /// Feeds a whole batch of observations, appending the **absolute
+    /// sequence number** (`base_seq + index`) of every observation that
+    /// triggered a rejuvenation to `fired`, in ascending order.
+    ///
+    /// The contract is strict equivalence: for any split of a stream
+    /// into batches, the detector state after `observe_batch` and the
+    /// fired sequence numbers must be exactly what the same stream fed
+    /// through [`observe`] one value at a time would produce — including
+    /// bitwise-identical floating-point state, which is what keeps the
+    /// monitoring plane's decision digests stable when the drain path
+    /// switches between the scalar and batch kernels. The default
+    /// implementation *is* the per-sample loop, so external
+    /// implementations inherit correct (if unaccelerated) behaviour;
+    /// the in-crate detectors override it with kernels that hoist
+    /// config constants, keep state in locals and sum whole averaging
+    /// windows with tight slice loops.
+    ///
+    /// `fired` is not cleared — callers own its lifecycle so one
+    /// allocation can be reused across drains.
+    ///
+    /// [`observe`]: RejuvenationDetector::observe
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        for (i, &value) in values.iter().enumerate() {
+            if self.observe(value).is_rejuvenate() {
+                fired.push(base_seq + i as u64);
+            }
+        }
+    }
+
     /// Feeds one observation produced at `at_secs` (seconds of
     /// simulation or wall-clock time). The paper's algorithms are
     /// index-based, so the default ignores the timestamp and defers to

@@ -168,6 +168,40 @@ impl RejuvenationDetector for Ewma {
         }
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        // Chart state stays in locals; every hoisted constant (`1 − w`,
+        // `(1 − w)²`, `w / (2 − w)`, `L·σ`) is a value the scalar path
+        // computes identically per call, and the control-limit expression
+        // keeps the same association order, so the update is
+        // bitwise-identical to repeated `observe`.
+        let w = self.config.weight;
+        let one_w = 1.0 - w;
+        let one_minus_w_sq = one_w * one_w;
+        let var_base = w / (2.0 - w);
+        let width = self.config.limit * self.config.sigma;
+        let mu = self.config.mu;
+        let mut z = self.z;
+        let mut decay_sq = self.decay_sq;
+        let mut triggers = self.triggers;
+        for (i, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                continue;
+            }
+            z = one_w * z + w * value;
+            decay_sq *= one_minus_w_sq;
+            let limit = mu + width * (var_base * (1.0 - decay_sq)).sqrt();
+            if z > limit {
+                triggers += 1;
+                z = mu;
+                decay_sq = 1.0;
+                fired.push(base_seq + i as u64);
+            }
+        }
+        self.z = z;
+        self.decay_sq = decay_sq;
+        self.triggers = triggers;
+    }
+
     fn reset(&mut self) {
         self.z = self.config.mu;
         self.decay_sq = 1.0;

@@ -116,6 +116,47 @@ impl RejuvenationDetector for Saraa {
         }
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        // SARAA resizes its window on bucket transitions, so it cannot
+        // hand the whole batch to `push_slice` (the window size must be
+        // re-read after every completed mean). Instead: finish a carried
+        // partial window with scalar pushes, then sum each whole window
+        // with a tight slice loop — the accumulator starts from 0.0 and
+        // runs left to right, exactly as repeated `push` would, so the
+        // means are bitwise-identical to the scalar path's.
+        let mut i = 0;
+        while i < values.len() {
+            let remaining = values.len() - i;
+            let need = self.window.size() - self.window.filled();
+            if need > remaining {
+                // No window can complete in what is left of the batch.
+                for &v in &values[i..] {
+                    self.window.push(v);
+                }
+                return;
+            }
+            let mean = if self.window.filled() > 0 {
+                let mut mean = None;
+                for &v in &values[i..i + need] {
+                    mean = self.window.push(v);
+                }
+                mean.expect("window completes after `need` pushes")
+            } else {
+                let mut sum = 0.0;
+                for &v in &values[i..i + need] {
+                    sum += v;
+                }
+                // `push` leaves the window at (sum: 0.0, filled: 0) after
+                // a completion, which is exactly its current state.
+                sum / need as f64
+            };
+            i += need;
+            if self.apply_mean(mean).is_rejuvenate() {
+                fired.push(base_seq + (i - 1) as u64);
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.window = AveragingWindow::new(self.config.initial_sample_size());
         self.chain.reset();

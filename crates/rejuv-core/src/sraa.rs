@@ -88,6 +88,25 @@ impl RejuvenationDetector for Sraa {
         }
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        // SRAA never resizes its window mid-run, so the whole batch can
+        // flow through the window's slice fast path: one mean emission
+        // (and one chain step) per `n` samples instead of `n` pushes.
+        let Sraa {
+            config,
+            window,
+            chain,
+            windows_seen,
+        } = self;
+        window.push_slice(values, |i, mean| {
+            *windows_seen += 1;
+            let exceeded = mean > config.target(chain.bucket());
+            if chain.step(exceeded) == BucketEvent::Triggered {
+                fired.push(base_seq + i as u64);
+            }
+        });
+    }
+
     fn reset(&mut self) {
         self.window.reset();
         self.chain.reset();

@@ -75,6 +75,10 @@ impl RejuvenationDetector for StaticRejuvenation {
         self.inner.observe(value)
     }
 
+    fn observe_batch(&mut self, values: &[f64], fired: &mut Vec<u64>, base_seq: u64) {
+        self.inner.observe_batch(values, fired, base_seq);
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
     }

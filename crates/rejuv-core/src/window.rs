@@ -68,6 +68,90 @@ impl AveragingWindow {
         }
     }
 
+    /// Adds a whole slice of observations, invoking `on_mean(index, mean)`
+    /// for every window that completes; `index` is the position **within
+    /// `values`** of the observation that completed the window.
+    ///
+    /// This is the batch fast path for the drain plane: whole windows are
+    /// summed with a tight slice loop instead of one call per sample. It
+    /// is guaranteed **bitwise-identical** to calling [`push`] once per
+    /// value — the summation runs in the same left-to-right order, each
+    /// window's sum starts from the same accumulator state (the carried
+    /// partial sum, or `0.0` for a fresh window), and the mean is the
+    /// same `sum / size` division. The callback must not grow or shrink
+    /// the window (it cannot: the window is mutably borrowed for the
+    /// whole call) — detectors that resize mid-stream (SARAA) keep their
+    /// own loop.
+    ///
+    /// [`push`]: AveragingWindow::push
+    ///
+    /// ```
+    /// use rejuv_core::AveragingWindow;
+    ///
+    /// let values: Vec<f64> = (0..23).map(|i| 0.1 + i as f64 * 0.3).collect();
+    /// let mut scalar = AveragingWindow::new(5);
+    /// let mut batch = scalar;
+    /// scalar.push(7.7); // start both from a mid-window state
+    /// batch.push(7.7);
+    ///
+    /// let mut expect: Vec<(usize, f64)> = Vec::new();
+    /// for (i, &v) in values.iter().enumerate() {
+    ///     if let Some(mean) = scalar.push(v) {
+    ///         expect.push((i, mean));
+    ///     }
+    /// }
+    /// let mut got = Vec::new();
+    /// batch.push_slice(&values, |i, mean| got.push((i, mean)));
+    /// // Bitwise equality, not approximate: same indices, same bits.
+    /// assert_eq!(expect.len(), got.len());
+    /// for (&(ei, em), &(gi, gm)) in expect.iter().zip(&got) {
+    ///     assert_eq!(ei, gi);
+    ///     assert_eq!(em.to_bits(), gm.to_bits());
+    /// }
+    /// assert_eq!(scalar, batch); // carried partial state matches too
+    /// ```
+    pub fn push_slice<F: FnMut(usize, f64)>(&mut self, values: &[f64], mut on_mean: F) {
+        let mut i = 0;
+        if self.filled > 0 {
+            // Finish the carried partial window with the same sequential
+            // accumulation `push` performs.
+            let take = (self.size - self.filled).min(values.len());
+            let mut sum = self.sum;
+            for &v in &values[..take] {
+                sum += v;
+            }
+            self.filled += take;
+            i = take;
+            if self.filled == self.size {
+                let mean = sum / self.size as f64;
+                self.sum = 0.0;
+                self.filled = 0;
+                on_mean(i - 1, mean);
+            } else {
+                self.sum = sum;
+                return;
+            }
+        }
+        // Whole windows: each starts from a fresh 0.0 accumulator exactly
+        // as `push` would after a completion, summed left to right.
+        while i + self.size <= values.len() {
+            let mut sum = 0.0;
+            for &v in &values[i..i + self.size] {
+                sum += v;
+            }
+            let mean = sum / self.size as f64;
+            i += self.size;
+            on_mean(i - 1, mean);
+        }
+        // Carry the tail into the next partial window.
+        let mut sum = 0.0;
+        for &v in &values[i..] {
+            sum += v;
+        }
+        self.sum = sum;
+        self.filled = values.len() - i;
+    }
+
     /// Changes the window size, discarding any partial window.
     ///
     /// SARAA adjusts its sample size exactly when a bucket transition

@@ -1,0 +1,229 @@
+//! Property-based conformance tests for the batch drain kernels:
+//! `observe_batch` must be *bitwise* equivalent to repeated `observe`
+//! for every detector kind, on every stream, at every batch boundary.
+//!
+//! The monitoring plane's determinism contract (decision digests, event
+//! traces, checkpoints byte-identical across queue backends and
+//! consumer counts) rides on this equivalence — the supervisor drains
+//! whatever batch the queue hands it, so the kernels may never let a
+//! chunk boundary change a decision, a trigger count, or a single bit
+//! of carried state.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rejuv_core::{
+    AccelerationSchedule, Clta, CltaConfig, Cusum, CusumConfig, Ewma, EwmaConfig,
+    RejuvenationDetector, Saraa, SaraaConfig, Sraa, SraaConfig, StaticRejuvenation,
+};
+
+/// Feeds `stream` one value at a time through `scalar` and in chunks
+/// (cut at the arbitrary `splits` boundaries) through `batch`, then
+/// asserts the two detectors agree on every fired sequence number, the
+/// trigger count, and — where the detector supports snapshots — the
+/// entire carried state, bit for bit.
+fn assert_batch_matches_scalar<D: RejuvenationDetector>(
+    scalar: &mut D,
+    batch: &mut D,
+    stream: &[f64],
+    splits: &[usize],
+) -> Result<(), TestCaseError> {
+    let mut expected = Vec::new();
+    for (i, &v) in stream.iter().enumerate() {
+        if scalar.observe(v).is_rejuvenate() {
+            expected.push(i as u64);
+        }
+    }
+
+    let mut fired = Vec::new();
+    // An empty batch must be a pure no-op.
+    batch.observe_batch(&[], &mut fired, 0);
+    prop_assert!(fired.is_empty());
+
+    let mut start = 0;
+    let mut cuts = splits.iter().cycle();
+    while start < stream.len() {
+        let len = cuts.next().copied().unwrap_or(stream.len());
+        let end = (start + len.max(1)).min(stream.len());
+        batch.observe_batch(&stream[start..end], &mut fired, start as u64);
+        start = end;
+    }
+
+    prop_assert_eq!(&fired, &expected, "fired sequence numbers diverged");
+    prop_assert_eq!(
+        scalar.rejuvenation_count(),
+        batch.rejuvenation_count(),
+        "trigger counts diverged"
+    );
+    // Compare snapshots through their Debug rendering: float formatting
+    // is round-trip exact, and a NaN carried in a half-filled window
+    // compares equal to itself (`PartialEq` on the raw floats would
+    // reject NaN == NaN even when both paths produced it identically).
+    let (s, b) = (scalar.snapshot(), batch.snapshot());
+    prop_assert_eq!(
+        format!("{s:?}"),
+        format!("{b:?}"),
+        "carried state diverged across a batch boundary"
+    );
+    Ok(())
+}
+
+/// Observation streams: healthy values with enough spread to exercise
+/// both bucket directions, salted with non-finite values so the
+/// CUSUM/EWMA skip paths are crossed mid-batch too.
+fn stream() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (0u8..20, 0.0f64..60.0).prop_map(|(sel, v)| match sel {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => v,
+        }),
+        0..600,
+    )
+}
+
+/// Arbitrary chunk lengths, cycled over the stream: tiny batches,
+/// window-straddling batches, and batches far larger than any window.
+fn splits() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..97, 1..8)
+}
+
+proptest! {
+    #[test]
+    fn sraa_batch_matches_scalar(
+        n in 1usize..6,
+        k in 1usize..5,
+        d in 1u32..5,
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(n).buckets(k).depth(d).build().unwrap();
+        let mut scalar = Sraa::new(cfg);
+        let mut batch = Sraa::new(cfg);
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    #[test]
+    fn saraa_batch_matches_scalar(
+        n in 1usize..8,
+        k in 1usize..5,
+        d in 1u32..4,
+        quadratic in any::<bool>(),
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let schedule = if quadratic {
+            AccelerationSchedule::Quadratic
+        } else {
+            AccelerationSchedule::Linear
+        };
+        let cfg = SaraaConfig::builder(5.0, 5.0)
+            .initial_sample_size(n).buckets(k).depth(d).schedule(schedule)
+            .build().unwrap();
+        let mut scalar = Saraa::new(cfg);
+        let mut batch = Saraa::new(cfg);
+        // The window resizes on bucket transitions, so batch boundaries
+        // land on a *moving* window: the kernel must re-read the size
+        // after every completed window.
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    #[test]
+    fn clta_batch_matches_scalar(
+        n in 1usize..40,
+        z in 1.0f64..3.0,
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let cfg = CltaConfig::builder(5.0, 5.0)
+            .sample_size(n).quantile_factor(z).build().unwrap();
+        let mut scalar = Clta::new(cfg);
+        let mut batch = Clta::new(cfg);
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    #[test]
+    fn static_batch_matches_scalar(
+        k in 1usize..5,
+        d in 1u32..6,
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let mut scalar = StaticRejuvenation::new(5.0, 5.0, k, d).unwrap();
+        let mut batch = StaticRejuvenation::new(5.0, 5.0, k, d).unwrap();
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    #[test]
+    fn cusum_batch_matches_scalar(
+        reference in 0.0f64..1.5,
+        decision in 0.5f64..8.0,
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let cfg = CusumConfig::new(5.0, 5.0, reference, decision).unwrap();
+        let mut scalar = Cusum::new(cfg);
+        let mut batch = Cusum::new(cfg);
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    #[test]
+    fn ewma_batch_matches_scalar(
+        weight in 0.05f64..1.0,
+        limit in 1.0f64..4.0,
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let cfg = EwmaConfig::new(5.0, 5.0, weight, limit).unwrap();
+        let mut scalar = Ewma::new(cfg);
+        let mut batch = Ewma::new(cfg);
+        assert_batch_matches_scalar(&mut scalar, &mut batch, &stream, &splits)?;
+    }
+
+    /// Interleaving batch and scalar calls on the *same* detector must
+    /// behave like one continuous scalar stream: the kernels write back
+    /// exactly the state repeated `observe` would have left.
+    #[test]
+    fn mixed_batch_and_scalar_calls_compose(
+        stream in stream(),
+        splits in splits(),
+    ) {
+        let cfg = SraaConfig::builder(5.0, 5.0)
+            .sample_size(3).buckets(4).depth(3).build().unwrap();
+        let mut reference = Sraa::new(cfg);
+        let mut mixed = Sraa::new(cfg);
+
+        let mut expected = Vec::new();
+        for (i, &v) in stream.iter().enumerate() {
+            if reference.observe(v).is_rejuvenate() {
+                expected.push(i as u64);
+            }
+        }
+
+        let mut fired = Vec::new();
+        let mut start = 0;
+        let mut cuts = splits.iter().cycle();
+        let mut use_batch = true;
+        while start < stream.len() {
+            let len = cuts.next().copied().unwrap_or(stream.len()).max(1);
+            let end = (start + len).min(stream.len());
+            if use_batch {
+                mixed.observe_batch(&stream[start..end], &mut fired, start as u64);
+            } else {
+                for (i, &v) in stream[start..end].iter().enumerate() {
+                    if mixed.observe(v).is_rejuvenate() {
+                        fired.push((start + i) as u64);
+                    }
+                }
+            }
+            use_batch = !use_batch;
+            start = end;
+        }
+
+        prop_assert_eq!(&fired, &expected);
+        prop_assert_eq!(
+            format!("{:?}", reference.snapshot()),
+            format!("{:?}", mixed.snapshot())
+        );
+    }
+}

@@ -181,6 +181,7 @@ impl Scenario {
                 snapshot_every: Some(40),
                 backend,
                 consumers: 1,
+                scalar_drain: false,
             },
             Scenario::Pool => SupervisorConfig {
                 queue_capacity: 4_096,
@@ -188,6 +189,7 @@ impl Scenario {
                 snapshot_every: None,
                 backend: QueueBackend::Mutex,
                 consumers: 2,
+                scalar_drain: false,
             },
             Scenario::Backpressure(backend) => SupervisorConfig {
                 queue_capacity: 64,
@@ -195,6 +197,7 @@ impl Scenario {
                 snapshot_every: Some(40),
                 backend,
                 consumers: 1,
+                scalar_drain: false,
             },
         }
     }

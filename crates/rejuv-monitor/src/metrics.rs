@@ -60,6 +60,85 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Records a whole slice of values in one pass — the bulk
+    /// counterpart of [`Histogram::record`], bitwise-identical to
+    /// calling it once per value: bucket search runs per value, but the
+    /// counts accumulate in a stack array and the sum in a register,
+    /// both written back once. The slice order fixes the floating-point
+    /// accumulation order, same as repeated `record`.
+    pub fn record_slice(&mut self, values: &[f64]) {
+        if values.is_empty() {
+            return;
+        }
+        // Every histogram in the monitoring plane has ≤ 7 bounds (≤ 8
+        // buckets); the stack array covers them with slack, and anything
+        // wider falls back to the per-value path.
+        const STACK_BUCKETS: usize = 16;
+        if self.counts.len() > STACK_BUCKETS {
+            for &value in values {
+                self.record(value);
+            }
+            return;
+        }
+        let mut counts = [0u64; STACK_BUCKETS];
+        let mut sum = self.sum;
+        let overflow = self.bounds.len();
+        for &value in values {
+            let idx = self
+                .bounds
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(overflow);
+            counts[idx] += 1;
+            sum += value;
+        }
+        for (mine, batched) in self.counts.iter_mut().zip(&counts) {
+            *mine += batched;
+        }
+        self.count += values.len() as u64;
+        self.sum = sum;
+    }
+
+    /// [`Histogram::record_slice`] with a caller-supplied fold run on
+    /// `(index, value)` inside the same pass. The drain plane fuses its
+    /// FNV decision-digest fold into the bucket loop through this: the
+    /// hash is a latency-bound dependency chain, and riding it through
+    /// the histogram pass lets the (independent) bucket searches fill
+    /// the multiplier bubbles instead of costing a separate traversal.
+    /// Identical histogram state to `record_slice`, same call order for
+    /// the fold as a per-value loop.
+    pub(crate) fn record_slice_with<F: FnMut(usize, f64)>(&mut self, values: &[f64], mut fold: F) {
+        if values.is_empty() {
+            return;
+        }
+        const STACK_BUCKETS: usize = 16;
+        if self.counts.len() > STACK_BUCKETS {
+            for (i, &value) in values.iter().enumerate() {
+                self.record(value);
+                fold(i, value);
+            }
+            return;
+        }
+        let mut counts = [0u64; STACK_BUCKETS];
+        let mut sum = self.sum;
+        let overflow = self.bounds.len();
+        for (i, &value) in values.iter().enumerate() {
+            let idx = self
+                .bounds
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(overflow);
+            counts[idx] += 1;
+            sum += value;
+            fold(i, value);
+        }
+        for (mine, batched) in self.counts.iter_mut().zip(&counts) {
+            *mine += batched;
+        }
+        self.count += values.len() as u64;
+        self.sum = sum;
+    }
+
     /// Bucket upper bounds.
     pub fn bounds(&self) -> &[f64] {
         &self.bounds

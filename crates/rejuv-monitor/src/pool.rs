@@ -51,8 +51,8 @@ use crate::event::MonitorEvent;
 use crate::metrics::MetricsRegistry;
 use crate::queue::{ObsQueue, Wakeup, WorkNotifier};
 use crate::supervisor::{
-    drain_shard, CheckpointStream, DlqSnapshot, MetricsFold, Shard, Supervisor, SupervisorConfig,
-    SupervisorParts, SupervisorSnapshot, SNAPSHOT_VERSION, SNAPSHOT_VERSION_DLQ,
+    drain_shard, CheckpointStream, DlqSnapshot, DrainScratch, MetricsFold, Shard, Supervisor,
+    SupervisorConfig, SupervisorParts, SupervisorSnapshot, SNAPSHOT_VERSION, SNAPSHOT_VERSION_DLQ,
 };
 use crate::EventLog;
 use std::io;
@@ -157,16 +157,15 @@ impl PoolShared {
 
     /// Drains one batch from shard `index` under its cell lock,
     /// buffering any log events; returns observations processed.
-    fn drain_slot(&self, index: usize, worker: usize, batch: &mut Vec<(f64, f64)>) -> usize {
+    fn drain_slot(&self, index: usize, worker: usize, scratch: &mut DrainScratch) -> usize {
         fp!("pool.drain-slot");
         let mut guard = self.slots[index].cell.lock().expect("shard cell poisoned");
         let cell = &mut *guard;
         let n = drain_shard(
             index,
             &mut cell.shard,
-            self.config.drain_batch,
-            self.config.snapshot_every,
-            batch,
+            &self.config,
+            scratch,
             self.logging,
             &mut cell.events,
         );
@@ -309,7 +308,7 @@ impl PoolShared {
 /// The drain loop of one pooled worker.
 fn worker_loop(shared: &PoolShared, worker: usize) -> io::Result<()> {
     let me = worker as u32;
-    let mut batch = Vec::with_capacity(shared.config.drain_batch);
+    let mut batch = DrainScratch::with_capacity(shared.config.drain_batch);
     let steal_threshold = shared.config.drain_batch;
     // Set after a wakeup that found the owned set dry: the push that
     // woke us may live in a shard we no longer (or never) owned, so
@@ -806,7 +805,7 @@ mod tests {
         assert_eq!(shared.stats().steals, 1);
         // Nothing left for worker 1 to steal above the backlog bar once
         // the queues are drained.
-        let mut batch = Vec::new();
+        let mut batch = DrainScratch::default();
         while shared.drain_slot(0, 0, &mut batch) > 0 {}
         while shared.drain_slot(1, 0, &mut batch) > 0 {}
         assert!(!shared.try_steal(1, 1), "empty shards are never stolen");
@@ -915,7 +914,7 @@ mod tests {
             let shared = PoolShared::build(sup.into_parts(), 3);
             let mut sent: Vec<u64> = vec![0; SHARDS];
             let mut accepted_values: Vec<Vec<f64>> = vec![Vec::new(); SHARDS];
-            let mut batch = Vec::new();
+            let mut batch = DrainScratch::default();
             for step in &steps {
                 match step {
                     Step::DrainOwned(worker) => {
@@ -973,15 +972,12 @@ mod tests {
                 };
                 for &value in &accepted_values[s] {
                     let decision = reference.observe(value);
-                    for chunk in [
-                        &value.to_bits().to_le_bytes()[..],
-                        &[decision.is_rejuvenate() as u8][..],
-                    ] {
-                        for &b in chunk {
-                            digest ^= u64::from(b);
-                            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-                        }
-                    }
+                    // Word-at-a-time fold, mirroring the supervisor's
+                    // `fold_sample`: one xor-multiply for the value
+                    // bits, one for the decision.
+                    digest = (digest ^ value.to_bits()).wrapping_mul(0x0000_0100_0000_01b3);
+                    digest = (digest ^ u64::from(decision.is_rejuvenate()))
+                        .wrapping_mul(0x0000_0100_0000_01b3);
                 }
                 prop_assert_eq!(cell.shard.digest, digest, "shard {} order drifted", s);
             }

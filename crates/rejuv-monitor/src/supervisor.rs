@@ -96,6 +96,15 @@ pub struct SupervisorConfig {
     /// per-shard FIFO order, so digests, traces and checkpoints are
     /// bitwise identical across consumer counts. Default 1.
     pub consumers: usize,
+    /// Debug knob: drain with the per-sample reference loop (one
+    /// virtual `observe` call, digest fold and histogram bucket search
+    /// per observation) instead of the batch kernel
+    /// ([`rejuv_core::RejuvenationDetector::observe_batch`] plus bulk
+    /// histogram recording). The two paths are bitwise-identical in
+    /// every artifact — digests, traces, reports, checkpoints — which
+    /// is exactly why this flag exists: flipping it is a one-flag A/B
+    /// that CI `cmp`s. Default `false` (batch kernel).
+    pub scalar_drain: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -106,6 +115,7 @@ impl Default for SupervisorConfig {
             snapshot_every: None,
             backend: QueueBackend::Mutex,
             consumers: 1,
+            scalar_drain: false,
         }
     }
 }
@@ -228,12 +238,26 @@ fn fnv1a(mut digest: u64, bytes: &[u8]) -> u64 {
     digest
 }
 
+/// One digest step of the determinism contract: folds a sample's
+/// `(value bits, decision)` pair into the running FNV-1a-style digest
+/// *word-at-a-time* — one xor-multiply for the value bits taken as one
+/// 64-bit word, one for the decision. Two serial multiplies per sample
+/// instead of nine: the digest is an inherently serial dependency
+/// chain, and at nine multiplies it *was* the drain plane's critical
+/// path, capping both drain kernels well below what the detector and
+/// histogram work costs. Both the scalar and the batch drain use this
+/// same fold, so the A/B byte-equality contract is unaffected.
+#[inline]
+fn fold_sample(digest: u64, value_bits: u64, fired: bool) -> u64 {
+    let digest = (digest ^ value_bits).wrapping_mul(FNV_PRIME);
+    (digest ^ fired as u64).wrapping_mul(FNV_PRIME)
+}
+
 impl Shard {
     fn apply(&mut self, value: f64) -> Decision {
         let decision = self.detector.observe(value);
         self.processed += 1;
-        self.digest = fnv1a(self.digest, &value.to_bits().to_le_bytes());
-        self.digest = fnv1a(self.digest, &[decision.is_rejuvenate() as u8]);
+        self.digest = fold_sample(self.digest, value.to_bits(), decision.is_rejuvenate());
         if decision.is_rejuvenate() {
             self.rejuvenations += 1;
         }
@@ -278,31 +302,61 @@ impl Shard {
     }
 }
 
-/// Drains up to `drain_batch` pending observations of one shard through
-/// its detector, accumulating all metric state *inside the shard* and
-/// appending the events a log would record (batch, rejuvenations,
-/// detector snapshot — in that order) to `events` when `logging` is
-/// set. Shared verbatim by [`Supervisor::poll_shard`] (which writes the
-/// events through immediately) and the consumer pool's workers (which
-/// buffer them per shard and flush shard-major at checkpoint/join), so
-/// both paths process, count and hash identically by construction.
-/// Returns how many observations were processed.
+/// Reusable buffers for one drain path (the supervisor owns one, each
+/// pool worker owns one): the raw `(value, timestamp)` batch popped
+/// from the queue, the bare value slice handed to the detector's batch
+/// kernel, and the fired sequence numbers it returns. One allocation
+/// set per drain plane, reused across every drained batch.
+#[derive(Default)]
+pub(crate) struct DrainScratch {
+    pub(crate) batch: Vec<(f64, f64)>,
+    values: Vec<f64>,
+    fired: Vec<u64>,
+}
+
+impl DrainScratch {
+    pub(crate) fn with_capacity(drain_batch: usize) -> Self {
+        DrainScratch {
+            batch: Vec::with_capacity(drain_batch),
+            values: Vec::with_capacity(drain_batch),
+            fired: Vec::new(),
+        }
+    }
+}
+
+/// Drains up to `config.drain_batch` pending observations of one shard
+/// through its detector, accumulating all metric state *inside the
+/// shard* and appending the events a log would record (batch,
+/// rejuvenations, detector snapshot — in that order) to `events` when
+/// `logging` is set. Shared verbatim by [`Supervisor::poll_shard`]
+/// (which writes the events through immediately) and the consumer
+/// pool's workers (which buffer them per shard and flush shard-major at
+/// checkpoint/join), so both paths process, count and hash identically
+/// by construction. Returns how many observations were processed.
+///
+/// The hot path is the **batch kernel**: one virtual
+/// [`RejuvenationDetector::observe_batch`] call per drained batch, the
+/// decision digest folded from the returned fire list, bulk
+/// [`Histogram::record_slice`] for the value/latency histograms and a
+/// vectorized timestamp-diff pass. `config.scalar_drain` selects the
+/// per-sample reference loop instead; both produce bitwise-identical
+/// shard state (digest, counters, histograms) and identical events.
 pub(crate) fn drain_shard(
     index: usize,
     shard: &mut Shard,
-    drain_batch: usize,
-    snapshot_every: Option<u64>,
-    batch: &mut Vec<(f64, f64)>,
+    config: &SupervisorConfig,
+    scratch: &mut DrainScratch,
     logging: bool,
     events: &mut Vec<MonitorEvent>,
 ) -> usize {
+    let batch = &mut scratch.batch;
     batch.clear();
     // Top up the main queue from the dead-letter queue (capture order)
     // before popping: the logical stream is `main queue ++ DLQ`, and
     // refilling first keeps every drained batch identical to the batch
     // an undropped run would have drained. No-op without a DLQ.
     shard.queue.replay_dead_letters();
-    shard.queue.drain_into(batch, drain_batch);
+    shard.queue.drain_into(batch, config.drain_batch);
     if batch.is_empty() {
         return 0;
     }
@@ -324,26 +378,120 @@ pub(crate) fn drain_shard(
             }
         });
     }
-    let mut fired: Vec<u64> = Vec::new();
-    let mut last_at = shard.last_at;
-    for &(value, at) in batch.iter() {
-        let seq = shard.processed;
-        if shard.apply(value).is_rejuvenate() {
-            fired.push(seq);
-        }
-        if at.is_finite() {
-            if let Some(prev) = last_at {
-                shard.latency_hist.record(at - prev);
+    scratch.fired.clear();
+    let fired = &mut scratch.fired;
+    if config.scalar_drain {
+        // Reference path: one virtual dispatch, digest fold and bucket
+        // search per sample. Kept selectable so the batch kernel below
+        // is always one flag away from an A/B byte comparison.
+        let mut last_at = shard.last_at;
+        for &(value, at) in batch.iter() {
+            let seq = shard.processed;
+            if shard.apply(value).is_rejuvenate() {
+                fired.push(seq);
             }
-            last_at = Some(at);
+            if at.is_finite() {
+                if let Some(prev) = last_at {
+                    shard.latency_hist.record(at - prev);
+                }
+                last_at = Some(at);
+            }
+            shard.value_hist.record(value);
         }
-        shard.value_hist.record(value);
+        shard.last_at = last_at;
+    } else {
+        // Batch kernel: one virtual call per drained sub-chunk instead
+        // of one per sample. The detector contract (`observe_batch` ≡
+        // per-sample `observe`, bitwise) lets every per-sample artifact
+        // be reconstructed from the fire list: the digest folds (value
+        // bits, decision byte) pairs by walking the ascending fired
+        // sequence numbers, and the counters/last-decision derive from
+        // its length and tail.
+        // The batch is processed in small sub-chunks, each one kernel
+        // call followed by one fused digest/histogram/latency pass:
+        //
+        // * the FNV digest is a serial multiply-xor dependency chain,
+        //   so the (independent) bucket searches and timestamp diffs
+        //   run *inside* the same loop, filling the multiplier's
+        //   latency bubbles — a separate digest loop measurably costs
+        //   the batch path its whole win;
+        // * chunking keeps each kernel call and each fold short enough
+        //   that the out-of-order window can overlap chunk `k`'s fold
+        //   (latency-bound) with chunk `k+1`'s detector work
+        //   (throughput-bound), instead of serialising two long loops.
+        //
+        // Byte-for-byte the same digest, histograms and fire list as
+        // the scalar path: same fold order, same accumulation order,
+        // same subtraction per timed pair.
+        const DRAIN_CHUNK: usize = 32;
+        let all_values = &mut scratch.values;
+        all_values.clear();
+        all_values.extend(batch.iter().map(|&(v, _)| v));
+        let mut digest = shard.digest;
+        let mut next_fired = 0;
+        let mut last_at = shard.last_at;
+        let latency_hist = &mut shard.latency_hist;
+        let value_hist = &mut shard.value_hist;
+        let pairs = &batch[..];
+        let mut start = 0;
+        while start < pairs.len() {
+            let end = (start + DRAIN_CHUNK).min(pairs.len());
+            let values = &all_values[start..end];
+            shard
+                .detector
+                .observe_batch(values, fired, seq_start + start as u64);
+            // Each chunk's kernel appends only sequence numbers inside
+            // that chunk, and each chunk's fold consumes exactly those
+            // — so `next_fired == fired.len()` on entry means this
+            // chunk fired nothing, and the fold can drop the per-sample
+            // fired compare and sequence arithmetic. Rejuvenations are
+            // rare, so this is the overwhelmingly common shape.
+            if next_fired == fired.len() {
+                value_hist.record_slice_with(values, |i, value| {
+                    digest = fold_sample(digest, value.to_bits(), false);
+                    // Untimed producers (`at = NaN`) cost one
+                    // predictable branch here.
+                    let at = pairs[start + i].1;
+                    if at.is_finite() {
+                        if let Some(prev) = last_at {
+                            latency_hist.record(at - prev);
+                        }
+                        last_at = Some(at);
+                    }
+                });
+            } else {
+                let fired_slice = &fired[..];
+                value_hist.record_slice_with(values, |i, value| {
+                    let seq = seq_start + (start + i) as u64;
+                    let fired_here =
+                        next_fired < fired_slice.len() && fired_slice[next_fired] == seq;
+                    next_fired += fired_here as usize;
+                    digest = fold_sample(digest, value.to_bits(), fired_here);
+                    let at = pairs[start + i].1;
+                    if at.is_finite() {
+                        if let Some(prev) = last_at {
+                            latency_hist.record(at - prev);
+                        }
+                        last_at = Some(at);
+                    }
+                });
+            }
+            start = end;
+        }
+        shard.digest = digest;
+        shard.last_at = last_at;
+        shard.processed += pairs.len() as u64;
+        shard.rejuvenations += fired.len() as u64;
+        shard.last_decision = if fired.last() == Some(&(shard.processed - 1)) {
+            Decision::Rejuvenate
+        } else {
+            Decision::Continue
+        };
     }
-    shard.last_at = last_at;
     shard.batch_hist.record(batch.len() as f64);
     fp!("supervisor.drain-applied");
     if let Some(bus) = shard.bus.as_ref() {
-        for &seq in &fired {
+        for &seq in fired.iter() {
             bus.publish(OpEvent::RejuvenationFired {
                 shard: index as u32,
                 seq,
@@ -351,14 +499,14 @@ pub(crate) fn drain_shard(
         }
     }
     if logging {
-        for &seq in &fired {
+        for &seq in fired.iter() {
             events.push(MonitorEvent::Rejuvenated {
                 shard: index as u32,
                 seq,
             });
         }
     }
-    if let Some(every) = snapshot_every {
+    if let Some(every) = config.snapshot_every {
         let crossed = (shard.processed / every) > (seq_start / every);
         if crossed {
             if let Some(state) = shard.detector.snapshot() {
@@ -867,7 +1015,7 @@ pub struct Supervisor {
     /// state is folded in on export (see [`MetricsFold`]).
     metrics: MetricsRegistry,
     log: Option<EventLog>,
-    scratch: Vec<(f64, f64)>,
+    scratch: DrainScratch,
     event_scratch: Vec<MonitorEvent>,
     checkpoint: Option<CheckpointStream>,
     /// Operational event bus, if attached ([`Supervisor::set_bus`]).
@@ -898,7 +1046,7 @@ impl Supervisor {
         let mut metrics = MetricsRegistry::new();
         metrics.set_gauge("shards", 0.0);
         Supervisor {
-            scratch: Vec::with_capacity(config.drain_batch),
+            scratch: DrainScratch::with_capacity(config.drain_batch),
             config,
             shards: Vec::new(),
             metrics,
@@ -1301,26 +1449,24 @@ impl Supervisor {
     /// Propagates event-log and checkpoint-sink write failures; the
     /// shard state has already advanced past the processed observations.
     pub fn poll_shard(&mut self, shard: usize) -> io::Result<usize> {
-        let mut batch = std::mem::take(&mut self.scratch);
-        batch.clear();
-        let result = self.drain_one(shard, &mut batch);
-        self.scratch = batch;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.drain_one(shard, &mut scratch);
+        self.scratch = scratch;
         if matches!(result, Ok(n) if n > 0) {
             self.maybe_checkpoint()?;
         }
         result
     }
 
-    fn drain_one(&mut self, shard: usize, batch: &mut Vec<(f64, f64)>) -> io::Result<usize> {
+    fn drain_one(&mut self, shard: usize, scratch: &mut DrainScratch) -> io::Result<usize> {
         let logging = self.log.is_some();
         let mut events = std::mem::take(&mut self.event_scratch);
         events.clear();
         let n = drain_shard(
             shard,
             &mut self.shards[shard],
-            self.config.drain_batch,
-            self.config.snapshot_every,
-            batch,
+            &self.config,
+            scratch,
             logging,
             &mut events,
         );
@@ -1679,7 +1825,7 @@ impl Supervisor {
     /// apart; the inverse of [`Supervisor::into_parts`].
     pub(crate) fn from_parts(parts: SupervisorParts) -> Self {
         Supervisor {
-            scratch: Vec::with_capacity(parts.config.drain_batch),
+            scratch: DrainScratch::with_capacity(parts.config.drain_batch),
             config: parts.config,
             shards: parts.shards,
             metrics: parts.metrics,

@@ -34,6 +34,7 @@ fn config(backend: QueueBackend, consumers: usize) -> SupervisorConfig {
         snapshot_every: Some(100),
         backend,
         consumers,
+        scalar_drain: false,
     }
 }
 

@@ -73,6 +73,7 @@ fn run_schedule(backend: QueueBackend, consumers: usize, ops: &[Op], scrape: boo
         snapshot_every: Some(50),
         backend,
         consumers,
+        scalar_drain: false,
     };
     let mut sup = Supervisor::with_shards(config, SHARDS, |_| detector());
     let buffer = SharedBuffer::new();
@@ -166,6 +167,7 @@ fn threaded_run(backend: QueueBackend, listen: bool) -> (String, Vec<String>) {
         snapshot_every: None,
         backend,
         consumers: 2,
+        scalar_drain: false,
     };
     let shared = SharedSupervisor::new(Supervisor::with_shards(config, SHARDS, |_| detector()));
     let consumer = ConsumerThread::spawn_shared(&shared);

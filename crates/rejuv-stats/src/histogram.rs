@@ -84,6 +84,31 @@ impl Histogram {
         }
     }
 
+    /// Records a whole slice of observations in one pass. Equivalent to
+    /// calling [`Histogram::record`] per value (histogram state is pure
+    /// integer counters, so the result is identical), but the bin width
+    /// is computed once and the in-range tally is carried in a register.
+    pub fn record_slice(&mut self, values: &[f64]) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let last = self.counts.len() - 1;
+        let mut in_range = 0;
+        for &x in values {
+            if x.is_nan() {
+                continue;
+            }
+            if x < self.lo {
+                self.underflow += 1;
+            } else if x >= self.hi {
+                self.overflow += 1;
+            } else {
+                let idx = (((x - self.lo) / width) as usize).min(last);
+                self.counts[idx] += 1;
+                in_range += 1;
+            }
+        }
+        self.total_in_range += in_range;
+    }
+
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.counts.len()
@@ -204,6 +229,21 @@ mod tests {
         let h = Histogram::new(0.0, 10.0, 10).unwrap();
         assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
         assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_slice_matches_repeated_record() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.37) % 13.0 - 1.0)
+            .chain([f64::NAN, -5.0, 100.0])
+            .collect();
+        let mut scalar = Histogram::new(0.0, 10.0, 16).unwrap();
+        let mut bulk = scalar.clone();
+        for &v in &values {
+            scalar.record(v);
+        }
+        bulk.record_slice(&values);
+        assert_eq!(scalar, bulk);
     }
 
     #[test]
